@@ -1,0 +1,200 @@
+// Microbenchmarks (google-benchmark) for the design decisions DESIGN.md
+// calls out:
+//   1. alias-table vs inverse-CDF in-neighbor sampling (walk inner loop),
+//   2. sparse delta propagation vs full re-propagation (DM marginal gains),
+//   3. CELF vs plain greedy on the cumulative score,
+//   4. raw FJ step (SpMV) throughput,
+//   5. Post-Generation Truncation vs regenerating walks per candidate seed.
+#include <benchmark/benchmark.h>
+
+#include "core/estimated_greedy.h"
+#include "core/greedy_dm.h"
+#include "core/walk_engine.h"
+#include "core/walk_set.h"
+#include "datasets/synthetic.h"
+#include "graph/alias_table.h"
+#include "opinion/fj_model.h"
+#include "voting/evaluator.h"
+
+namespace {
+
+using namespace voteopt;
+
+const datasets::Dataset& SharedDataset() {
+  static const datasets::Dataset ds = datasets::MakeDataset(
+      datasets::DatasetName::kTwitterMask, /*scale=*/0.1, /*seed=*/3);
+  return ds;
+}
+
+const voting::ScoreEvaluator& SharedEvaluator() {
+  static opinion::FJModel model(SharedDataset().influence);
+  static const voting::ScoreEvaluator ev(model, SharedDataset().state,
+                                         SharedDataset().default_target, 10,
+                                         voting::ScoreSpec::Cumulative());
+  return ev;
+}
+
+// --- 1. sampling strategies -------------------------------------------------
+
+graph::NodeId SampleInNeighborCdf(const graph::Graph& g, graph::NodeId v,
+                                  Rng* rng) {
+  const auto sources = g.InNeighbors(v);
+  if (sources.empty()) return static_cast<graph::NodeId>(-1);
+  const auto weights = g.InWeights(v);
+  double u = rng->Uniform();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (u < weights[i]) return sources[i];
+    u -= weights[i];
+  }
+  return sources.back();
+}
+
+void BM_SampleAlias(benchmark::State& state) {
+  const graph::Graph& g = SharedDataset().influence;
+  graph::AliasSampler alias(g);
+  Rng rng(1);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    v = alias.SampleInNeighbor(v % g.num_nodes(), &rng);
+    if (v == graph::AliasSampler::kNoNeighbor) v = 0;
+    benchmark::DoNotOptimize(v);
+    ++v;
+  }
+}
+BENCHMARK(BM_SampleAlias);
+
+void BM_SampleCdf(benchmark::State& state) {
+  const graph::Graph& g = SharedDataset().influence;
+  Rng rng(1);
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    v = SampleInNeighborCdf(g, v % g.num_nodes(), &rng);
+    if (v == static_cast<graph::NodeId>(-1)) v = 0;
+    benchmark::DoNotOptimize(v);
+    ++v;
+  }
+}
+BENCHMARK(BM_SampleCdf);
+
+// --- 2. marginal gains: delta propagation vs full re-propagation -----------
+
+void BM_MarginalGainDelta(benchmark::State& state) {
+  const auto& ev = SharedEvaluator();
+  core::DeltaPropagator propagator(ev);
+  propagator.SetSeeds({1, 2, 3});
+  graph::NodeId w = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(propagator.MarginalGain(w));
+    w = (w + 17) % ev.num_users();
+  }
+}
+BENCHMARK(BM_MarginalGainDelta);
+
+void BM_MarginalGainFullRepropagation(benchmark::State& state) {
+  const auto& ev = SharedEvaluator();
+  const std::vector<graph::NodeId> seeds = {1, 2, 3};
+  const double base = ev.EvaluateSeeds(seeds);
+  graph::NodeId w = 0;
+  for (auto _ : state) {
+    auto with_w = seeds;
+    with_w.push_back(w);
+    benchmark::DoNotOptimize(ev.EvaluateSeeds(with_w) - base);
+    w = (w + 17) % ev.num_users();
+  }
+}
+BENCHMARK(BM_MarginalGainFullRepropagation);
+
+// --- 3. CELF vs plain greedy ------------------------------------------------
+
+void BM_GreedyCelf(benchmark::State& state) {
+  const auto& ev = SharedEvaluator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::GreedyDMSelect(ev, 10, {.use_celf = true}));
+  }
+}
+BENCHMARK(BM_GreedyCelf)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyPlain(benchmark::State& state) {
+  const auto& ev = SharedEvaluator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::GreedyDMSelect(ev, 10, {.use_celf = false}));
+  }
+}
+BENCHMARK(BM_GreedyPlain)->Unit(benchmark::kMillisecond);
+
+// --- 4. FJ step throughput ---------------------------------------------------
+
+void BM_FJStep(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  opinion::FJModel model(ds.influence);
+  const auto& campaign = ds.state.campaigns[0];
+  std::vector<double> current = campaign.initial_opinions;
+  std::vector<double> next(current.size());
+  for (auto _ : state) {
+    model.Step(current, campaign.initial_opinions, campaign.stubbornness,
+               &next);
+    std::swap(current, next);
+    benchmark::DoNotOptimize(current.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.influence.num_edges()));
+}
+BENCHMARK(BM_FJStep);
+
+// --- 5. truncation vs regeneration -------------------------------------------
+
+void BM_SeedViaTruncation(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  const auto& ev = SharedEvaluator();
+  graph::AliasSampler alias(ds.influence);
+  core::WalkEngine engine(ds.influence, ev.target_campaign(), alias);
+  for (auto _ : state) {
+    state.PauseTiming();  // walk generation happens once in both variants
+    Rng rng(5);
+    core::WalkSet walks(ds.influence.num_nodes());
+    std::vector<graph::NodeId> scratch;
+    for (graph::NodeId v = 0; v < ds.influence.num_nodes(); ++v) {
+      for (int j = 0; j < 4; ++j) {
+        engine.Generate(v, 10, &rng, &scratch);
+        walks.AddWalk(scratch);
+      }
+    }
+    walks.Finalize(ev.target_campaign().initial_opinions);
+    state.ResumeTiming();
+    for (graph::NodeId s = 0; s < 10; ++s) {
+      walks.Truncate(s * 13 % ds.influence.num_nodes(),
+                     [](uint32_t, double) {});
+    }
+  }
+}
+BENCHMARK(BM_SeedViaTruncation)->Unit(benchmark::kMillisecond);
+
+void BM_SeedViaRegeneration(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  const auto& ev = SharedEvaluator();
+  graph::AliasSampler alias(ds.influence);
+  core::WalkEngine engine(ds.influence, ev.target_campaign(), alias);
+  std::vector<bool> is_seed(ds.influence.num_nodes(), false);
+  for (auto _ : state) {
+    // Direct Generation: regenerate every walk for each new seed set.
+    Rng rng(5);
+    for (graph::NodeId s = 0; s < 10; ++s) {
+      is_seed[s * 13 % ds.influence.num_nodes()] = true;
+      double total = 0.0;
+      for (graph::NodeId v = 0; v < ds.influence.num_nodes(); ++v) {
+        for (int j = 0; j < 4; ++j) {
+          total += engine.GenerateWithSeeds(v, 10, is_seed, &rng);
+        }
+      }
+      benchmark::DoNotOptimize(total);
+    }
+    std::fill(is_seed.begin(), is_seed.end(), false);
+  }
+}
+BENCHMARK(BM_SeedViaRegeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace voteopt::bench {
+
+datasets::DatasetName ParseDatasetOrDie(const std::string& name) {
+  if (name == "dblp") return datasets::DatasetName::kDblp;
+  if (name == "yelp") return datasets::DatasetName::kYelp;
+  if (name == "tw-elec") return datasets::DatasetName::kTwitterElection;
+  if (name == "tw-dist") return datasets::DatasetName::kTwitterDistancing;
+  if (name == "tw-mask") return datasets::DatasetName::kTwitterMask;
+  std::cerr << "unknown dataset '" << name
+            << "' (expected dblp|yelp|tw-elec|tw-dist|tw-mask)\n";
+  std::exit(2);
+}
+
+std::string DatasetShortName(datasets::DatasetName name) {
+  switch (name) {
+    case datasets::DatasetName::kDblp:
+      return "dblp";
+    case datasets::DatasetName::kYelp:
+      return "yelp";
+    case datasets::DatasetName::kTwitterElection:
+      return "tw-elec";
+    case datasets::DatasetName::kTwitterDistancing:
+      return "tw-dist";
+    case datasets::DatasetName::kTwitterMask:
+      return "tw-mask";
+  }
+  return "?";
+}
+
+voting::ScoreSpec ParseScoreSpec(const Options& options,
+                                 const std::string& default_score,
+                                 uint32_t num_candidates) {
+  const std::string name = options.GetString("score", default_score);
+  if (name == "cumulative") return voting::ScoreSpec::Cumulative();
+  if (name == "plurality") return voting::ScoreSpec::Plurality();
+  if (name == "copeland") return voting::ScoreSpec::Copeland();
+  const uint32_t p = static_cast<uint32_t>(
+      std::min<int64_t>(options.GetInt("p", 2), num_candidates));
+  if (name == "p-approval") return voting::ScoreSpec::PApproval(p);
+  if (name == "positional") {
+    const double omega_p = options.GetDouble("omega_p", 0.5);
+    std::vector<double> omega(p, 1.0);
+    omega.back() = omega_p;
+    return voting::ScoreSpec::PositionalPApproval(std::move(omega));
+  }
+  std::cerr << "unknown score '" << name << "'\n";
+  std::exit(2);
+}
+
+BenchEnv MakeEnv(const Options& options, const std::string& default_dataset,
+                 double default_scale) {
+  BenchEnv env;
+  env.scale = options.GetDouble("scale", default_scale);
+  env.seed = static_cast<uint64_t>(options.GetInt("seed", 1));
+  env.mu = options.GetDouble("mu", 10.0);
+  env.horizon = static_cast<uint32_t>(options.GetInt("t", 20));
+  env.csv = options.GetBool("csv", false);
+  const datasets::DatasetName name =
+      ParseDatasetOrDie(options.GetString("dataset", default_dataset));
+  env.dataset = datasets::MakeDataset(name, env.scale, env.seed, env.mu);
+  env.model = std::make_unique<opinion::FJModel>(env.dataset.influence);
+  return env;
+}
+
+void Emit(const BenchEnv& env, const std::string& title, const Table& table) {
+  if (env.csv) {
+    table.PrintCsv(std::cout);
+    return;
+  }
+  std::cout << "\n== " << title << " ==\n"
+            << "dataset=" << env.dataset.name << " n=" << env.num_nodes()
+            << " m=" << env.graph().num_edges() << " r="
+            << env.dataset.state.num_candidates() << " t=" << env.horizon
+            << " seed=" << env.seed << "\n\n";
+  table.Print(std::cout);
+  std::cout << std::flush;
+}
+
+baselines::MethodOptions DefaultMethodOptions(const Options& options) {
+  baselines::MethodOptions mo;
+  mo.rng_seed = static_cast<uint64_t>(options.GetInt("method_seed", 42));
+  mo.rw.rho = options.GetDouble("rho", 0.9);
+  mo.rw.delta = options.GetDouble("delta", 0.1);
+  mo.rw.lambda_cap =
+      static_cast<uint64_t>(options.GetInt("lambda_cap", 256));
+  mo.rw.rng_seed = mo.rng_seed;
+  mo.rs.epsilon = options.GetDouble("epsilon", 0.1);
+  mo.rs.theta_cap = static_cast<uint64_t>(options.GetInt("theta_cap", 1 << 20));
+  mo.rs.theta_override =
+      static_cast<uint64_t>(options.GetInt("theta", 0));
+  mo.rs.rng_seed = mo.rng_seed;
+  mo.imm_epsilon = options.GetDouble("imm_epsilon", 0.2);
+  return mo;
+}
+
+std::vector<baselines::Method> ParseMethods(const Options& options) {
+  if (!options.Has("methods")) return baselines::AllMethods();
+  std::vector<baselines::Method> methods;
+  std::string list = options.GetString("methods", "");
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!token.empty()) {
+      const auto method = baselines::ParseMethod(token);
+      if (!method) {
+        std::cerr << "unknown method '" << token << "'\n";
+        std::exit(2);
+      }
+      methods.push_back(*method);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return methods;
+}
+
+}  // namespace voteopt::bench

@@ -1,0 +1,41 @@
+// Paper Fig. 12 (Yelp): cumulative score of the selected seeds and seed-
+// finding time as functions of the time horizon t = 0..30, for DM, RW, RS.
+//
+// Shapes to reproduce: the score plateaus around t ~ 20 (the paper's
+// default); DM's time grows linearly in t while RW/RS are much flatter
+// (walks usually stop before t steps).
+#include "bench_common.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  BenchEnv env = MakeEnv(options, "yelp");
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 25));
+  const baselines::MethodOptions method_options =
+      DefaultMethodOptions(options);
+  const auto horizons = options.GetIntList("horizons", {0, 5, 10, 15, 20,
+                                                        25, 30});
+
+  Table table({"t", "DM score", "RW score", "RS score", "DM sec", "RW sec",
+               "RS sec"});
+  for (int64_t t : horizons) {
+    env.horizon = static_cast<uint32_t>(t);
+    voting::ScoreEvaluator ev =
+        env.MakeEvaluator(voting::ScoreSpec::Cumulative());
+    const auto dm = baselines::SelectWithMethod(baselines::Method::kDM, ev, k,
+                                                method_options);
+    const auto rw = baselines::SelectWithMethod(baselines::Method::kRW, ev, k,
+                                                method_options);
+    const auto rs = baselines::SelectWithMethod(baselines::Method::kRS, ev, k,
+                                                method_options);
+    table.Add(t, Table::Num(dm.score, 2), Table::Num(rw.score, 2),
+              Table::Num(rs.score, 2), Table::Num(dm.seconds, 4),
+              Table::Num(rw.seconds, 4), Table::Num(rs.seconds, 4));
+  }
+  Emit(env, "Fig. 12: cumulative score and time vs horizon t (k=" +
+                std::to_string(k) + ")",
+       table);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Paper Figs. 9 and 10 (Yelp): relations among the plurality variants.
+//
+// Fig. 9: overlap of the positional-p-approval seed set with the plurality
+// and p-approval seed sets as omega[p] sweeps [0, 1] (p = 2 and 3). At
+// omega[p] = 0 the positional variant equals (p-1)-approval; at
+// omega[p] = 1 it equals p-approval. Paper: plurality vs 2-approval seed
+// sets overlap ~80%.
+//
+// Fig. 10: number of users ranking the target at positions 1..p at the
+// horizon, for the selected seed sets.
+#include "bench_common.h"
+
+#include "core/sandwich.h"
+#include "util/stats.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+namespace {
+
+std::vector<graph::NodeId> SelectFor(const bench::BenchEnv& env,
+                                     const voting::ScoreSpec& spec,
+                                     uint32_t k) {
+  voting::ScoreEvaluator ev = env.MakeEvaluator(spec);
+  return core::SandwichSelect(ev, k).seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  BenchEnv env = MakeEnv(options, "yelp", /*default_scale=*/0.08);
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 40));
+  const auto omega_values =
+      options.GetDoubleList("omega", {0.0, 0.25, 0.5, 0.75, 1.0});
+
+  const auto plurality = SelectFor(env, voting::ScoreSpec::Plurality(), k);
+
+  Table overlaps({"p", "omega[p]", "overlap vs plurality",
+                  "overlap vs p-approval", "overlap vs (p-1)-approval"});
+  for (uint32_t p : {2u, 3u}) {
+    const auto p_approval = SelectFor(env, voting::ScoreSpec::PApproval(p), k);
+    const auto pm1_approval =
+        p == 2 ? plurality
+               : SelectFor(env, voting::ScoreSpec::PApproval(p - 1), k);
+    for (double omega_p : omega_values) {
+      std::vector<double> omega(p, 1.0);
+      omega.back() = omega_p;
+      const auto positional = SelectFor(
+          env, voting::ScoreSpec::PositionalPApproval(omega), k);
+      overlaps.Add(p, Table::Num(omega_p, 2),
+                   Table::Num(OverlapFraction(positional, plurality), 3),
+                   Table::Num(OverlapFraction(positional, p_approval), 3),
+                   Table::Num(OverlapFraction(positional, pm1_approval), 3));
+    }
+  }
+  Emit(env, "Fig. 9: seed-set overlap among plurality variants (k=" +
+                std::to_string(k) + ")",
+       overlaps);
+
+  // Fig. 10: rank-position distribution of the target at the horizon.
+  const uint32_t r = env.dataset.state.num_candidates();
+  Table positions({"seed objective", "rank 1", "rank 2", "rank 3", "rank>3"});
+  auto count_positions = [&](const std::string& label,
+                             const std::vector<graph::NodeId>& seeds) {
+    voting::ScoreEvaluator ev =
+        env.MakeEvaluator(voting::ScoreSpec::PApproval(std::min(3u, r)));
+    const auto row = ev.TargetHorizonOpinions(seeds);
+    std::array<uint64_t, 4> counts{};
+    for (uint32_t v = 0; v < env.num_nodes(); ++v) {
+      const uint32_t beta = ev.UserRank(v, row[v]);
+      counts[std::min<uint32_t>(beta, 4) - 1]++;
+    }
+    positions.Add(label, counts[0], counts[1], counts[2], counts[3]);
+  };
+  count_positions("none (no seeds)", {});
+  count_positions("plurality", plurality);
+  count_positions("2-approval", SelectFor(env, voting::ScoreSpec::PApproval(2), k));
+  if (r >= 3) {
+    count_positions("3-approval",
+                    SelectFor(env, voting::ScoreSpec::PApproval(3), k));
+  }
+  Emit(env, "Fig. 10: users ranking the target at each position", positions);
+  return 0;
+}

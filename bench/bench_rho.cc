@@ -1,0 +1,37 @@
+// Paper Fig. 16 (Twitter Social Distancing): plurality score and seed-
+// finding time of RW vs the per-user confidence rho (Thms. 10-12 control
+// lambda_v).
+//
+// Shapes to reproduce: the score climbs sharply for small rho and is flat
+// from ~0.9 on (the paper's default); time grows with rho (more walks).
+#include "bench_common.h"
+
+#include "core/rw_greedy.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  BenchEnv env = MakeEnv(options, "tw-dist", /*default_scale=*/0.12);
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 25));
+  voting::ScoreEvaluator ev = env.MakeEvaluator(voting::ScoreSpec::Plurality());
+  const auto rho_values =
+      options.GetDoubleList("rhos", {0.75, 0.8, 0.85, 0.9, 0.95});
+
+  Table table({"rho", "mean lambda", "walks", "score", "seconds"});
+  for (double rho : rho_values) {
+    core::RWOptions rw;
+    rw.rho = rho;
+    rw.lambda_cap = static_cast<uint64_t>(options.GetInt("lambda_cap", 512));
+    const auto result = core::RWGreedySelect(ev, k, rw);
+    table.Add(Table::Num(rho, 2),
+              Table::Num(result.diagnostics.at("lambda_mean"), 1),
+              static_cast<int64_t>(result.diagnostics.at("walks")),
+              Table::Num(result.score, 2), Table::Num(result.seconds, 4));
+  }
+  Emit(env, "Fig. 16: plurality score and time vs rho (RW, k=" +
+                std::to_string(k) + ")",
+       table);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Paper Figs. 6, 7, 8 (a-d): score achieved and seed-selection time vs seed
+// budget k for all nine methods. --score picks the figure (plurality ->
+// Fig. 6, copeland -> Fig. 7, cumulative -> Fig. 8); --dataset picks the
+// panel (the paper shows Yelp, Twitter US Election and Twitter Mask).
+//
+// Shapes to reproduce: DM/RW/RS dominate all baselines (except GED-T == DM
+// on cumulative); scores grow with k, fastest for small k; DM is orders of
+// magnitude slower than RW/RS while RS is the fastest of the three.
+#include "bench_common.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  BenchEnv env = MakeEnv(options, "yelp", /*default_scale=*/0.1);
+  const voting::ScoreSpec spec = ParseScoreSpec(
+      options, "plurality", env.dataset.state.num_candidates());
+  voting::ScoreEvaluator ev = env.MakeEvaluator(spec);
+  const baselines::MethodOptions method_options =
+      DefaultMethodOptions(options);
+  const auto methods = ParseMethods(options);
+  const auto k_values = options.GetIntList("k", {10, 25, 50, 100});
+
+  Table scores({"method", "k", "score", "seconds"});
+  for (baselines::Method method : methods) {
+    for (int64_t k : k_values) {
+      const auto result = baselines::SelectWithMethod(
+          method, ev, static_cast<uint32_t>(k), method_options);
+      scores.Add(baselines::MethodName(method), k,
+                 Table::Num(result.score, 2), Table::Num(result.seconds, 4));
+    }
+  }
+  Emit(env,
+       "Figs. 6-8: " + voting::ScoreKindName(spec.kind) +
+           " score and selection time vs k",
+       scores);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Paper Figs. 13 and 14: score of the RS-selected seed set vs the number of
+// sketches theta, (a) for several seed budgets k and (b) for several
+// horizons t. --score=plurality reproduces Fig. 13 (Twitter Mask);
+// --score=copeland reproduces Fig. 14 (Yelp).
+//
+// Shape to reproduce: the score climbs with theta and converges at some
+// theta* << n; theta* is insensitive to k and t (§ VI-E heuristic).
+#include "bench_common.h"
+
+#include "core/rs_greedy.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  const std::string score_name = options.GetString("score", "plurality");
+  BenchEnv env =
+      MakeEnv(options, score_name == "copeland" ? "yelp" : "tw-mask");
+  const voting::ScoreSpec spec = ParseScoreSpec(
+      options, score_name, env.dataset.state.num_candidates());
+  const auto thetas = options.GetIntList(
+      "thetas", {64, 128, 256, 512, 1024, 2048, 4096, 8192});
+
+  // Panel (a): vary k at the default horizon.
+  {
+    const auto k_values = options.GetIntList("k", {10, 25, 50});
+    voting::ScoreEvaluator ev = env.MakeEvaluator(spec);
+    Table table({"theta", "k=10", "k=25", "k=50"});
+    for (int64_t theta : thetas) {
+      std::vector<std::string> row = {std::to_string(theta)};
+      for (int64_t k : k_values) {
+        core::RSOptions rs;
+        rs.theta_override = static_cast<uint64_t>(theta);
+        const auto result =
+            core::RSGreedySelect(ev, static_cast<uint32_t>(k), rs);
+        row.push_back(Table::Num(result.score, 2));
+      }
+      table.AddRow(row);
+    }
+    Emit(env,
+         "Figs. 13/14(a): " + voting::ScoreKindName(spec.kind) +
+             " score vs theta, varying k",
+         table);
+  }
+
+  // Panel (b): vary t at the default k.
+  {
+    const uint32_t k = static_cast<uint32_t>(options.GetInt("k_fixed", 25));
+    const auto t_values = options.GetIntList("horizons", {10, 20, 30});
+    Table table({"theta", "t=10", "t=20", "t=30"});
+    // Build evaluators once per horizon.
+    std::vector<std::unique_ptr<voting::ScoreEvaluator>> evaluators;
+    for (int64_t t : t_values) {
+      env.horizon = static_cast<uint32_t>(t);
+      evaluators.push_back(std::make_unique<voting::ScoreEvaluator>(
+          *env.model, env.dataset.state, env.dataset.default_target,
+          env.horizon, spec));
+    }
+    for (int64_t theta : thetas) {
+      std::vector<std::string> row = {std::to_string(theta)};
+      for (auto& ev : evaluators) {
+        core::RSOptions rs;
+        rs.theta_override = static_cast<uint64_t>(theta);
+        row.push_back(Table::Num(core::RSGreedySelect(*ev, k, rs).score, 2));
+      }
+      table.AddRow(row);
+    }
+    Emit(env,
+         "Figs. 13/14(b): " + voting::ScoreKindName(spec.kind) +
+             " score vs theta, varying t",
+         table);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: the paper's § VIII-B case study — the ACM general election on
+// a collaboration network with 7 research domains. Shows where the
+// selected seeds live, which domains swing, and that the seeds mostly
+// convert near-neutral users.
+//
+//   $ ./acm_election [--n=3000] [--k=100] [--t=20]
+#include <iostream>
+
+#include "core/rs_greedy.h"
+#include "core/sandwich.h"
+#include "datasets/case_study.h"
+#include "opinion/fj_model.h"
+#include "util/options.h"
+#include "util/table.h"
+#include "voting/evaluator.h"
+
+using namespace voteopt;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  datasets::CaseStudyConfig config;
+  config.num_users = static_cast<uint32_t>(options.GetInt("n", 1200));
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 100));
+  const uint32_t horizon = static_cast<uint32_t>(options.GetInt("t", 20));
+
+  const datasets::CaseStudyData data = datasets::MakeCaseStudy(config);
+  opinion::FJModel model(data.dataset.influence);
+  voting::ScoreEvaluator ev(model, data.dataset.state,
+                            data.dataset.default_target, horizon,
+                            voting::ScoreSpec::Plurality());
+
+  std::cout << "ACM election analog: " << config.num_users
+            << " researchers across 7 domains; target candidate is the "
+               "HCI/ML-leaning one.\n";
+  // Feasible solution via the sketch method (the paper's recommendation at
+  // this scale); the sandwich still evaluates S_U and S_L.
+  core::SandwichOptions sandwich;
+  sandwich.feasible = [](const voting::ScoreEvaluator& e, uint32_t budget) {
+    core::RSOptions rs;
+    rs.theta_override = 1u << 14;
+    return core::RSGreedySelect(e, budget, rs);
+  };
+  const auto result = core::SandwichSelect(ev, k, sandwich);
+  const auto report = datasets::AnalyzeCaseStudy(data, result.seeds, horizon);
+
+  Table table({"domain", "researchers", "votes before", "votes after",
+               "seeds"});
+  for (const auto& row : report) {
+    table.Add(row.domain, row.total_users, row.voting_for_target_before,
+              row.voting_for_target_after, row.seeds_in_domain.size());
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+
+  // Which kind of user switched? Bucket converts by their pre-seeding
+  // margin |b_target - b_rival| at the horizon.
+  const auto& rival = ev.HorizonOpinions(1 - data.dataset.default_target);
+  const auto before = ev.TargetHorizonOpinions({});
+  const auto after = ev.TargetHorizonOpinions(result.seeds);
+  uint32_t converts = 0, neutral_converts = 0;
+  for (uint32_t v = 0; v < config.num_users; ++v) {
+    const bool voted_before = before[v] > rival[v];
+    const bool votes_after = after[v] > rival[v];
+    if (!voted_before && votes_after) {
+      ++converts;
+      if (std::abs(before[v] - rival[v]) < 0.1) ++neutral_converts;
+    }
+  }
+  std::cout << "\nConverted voters: " << converts << "; of these "
+            << neutral_converts << " ("
+            << Table::Num(100.0 * neutral_converts / std::max(1u, converts),
+                          1)
+            << "%) were near-neutral (margin < 0.1) — the paper's "
+               "observation that seeds flip the fence-sitters.\n";
+  return 0;
+}

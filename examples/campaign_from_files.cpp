@@ -1,0 +1,88 @@
+// Scenario: run VoteOpt on YOUR data. This example shows the file-driven
+// workflow an adopter would use:
+//   1. an influence graph as a SNAP-style edge list,
+//   2. campaign opinions/stubbornness as a TSV bundle,
+//   3. pick a method + score from the command line, write the seeds out.
+//
+// Run without arguments it bootstraps a demo bundle first, so it always
+// works out of the box:
+//
+//   $ ./campaign_from_files
+//   $ ./campaign_from_files --prefix=/path/to/bundle --method=RS \
+//         --score=plurality --k=50 --t=20 --out=seeds.txt
+#include <fstream>
+#include <iostream>
+
+#include "baselines/selector_factory.h"
+#include "datasets/io.h"
+#include "datasets/synthetic.h"
+#include "opinion/fj_model.h"
+#include "util/options.h"
+#include "util/table.h"
+#include "voting/evaluator.h"
+
+using namespace voteopt;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  std::string prefix = options.GetString("prefix", "");
+  if (prefix.empty()) {
+    // Bootstrap: synthesize a small bundle next to the binary.
+    prefix = "./voteopt_demo";
+    const datasets::Dataset demo = datasets::MakeDataset(
+        datasets::DatasetName::kTwitterElection, 0.05, /*seed=*/3);
+    if (Status st = datasets::SaveDatasetBundle(demo, prefix); !st.ok()) {
+      std::cerr << "bootstrap failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "No --prefix given; wrote a demo bundle to " << prefix
+              << ".{influence.edges, counts.edges, campaigns.tsv, meta}\n\n";
+  }
+
+  auto loaded = datasets::LoadDatasetBundle(prefix);
+  if (!loaded.ok()) {
+    std::cerr << "cannot load bundle '" << prefix
+              << "': " << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  const datasets::Dataset& ds = *loaded;
+  std::cout << "Loaded '" << ds.name << "': n=" << ds.influence.num_nodes()
+            << " m=" << ds.influence.num_edges()
+            << " r=" << ds.state.num_candidates() << "\n";
+
+  const auto method =
+      baselines::ParseMethod(options.GetString("method", "RS"));
+  if (!method) {
+    std::cerr << "unknown --method (use DM|RW|RS|IC|LT|GED-T|PR|RWR|DC)\n";
+    return 2;
+  }
+  voting::ScoreSpec spec = voting::ScoreSpec::Plurality();
+  const std::string score = options.GetString("score", "plurality");
+  if (score == "cumulative") spec = voting::ScoreSpec::Cumulative();
+  if (score == "copeland") spec = voting::ScoreSpec::Copeland();
+  if (score == "borda") {
+    spec = voting::ScoreSpec::Borda(ds.state.num_candidates());
+  }
+
+  opinion::FJModel model(ds.influence);
+  voting::ScoreEvaluator ev(
+      model, ds.state,
+      static_cast<uint32_t>(options.GetInt("target", ds.default_target)),
+      static_cast<uint32_t>(options.GetInt("t", 20)), spec);
+
+  baselines::MethodOptions mo;
+  mo.rs.theta_override = static_cast<uint64_t>(options.GetInt("theta", 0));
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 25));
+  const auto result = baselines::SelectWithMethod(*method, ev, k, mo);
+
+  std::cout << "\n" << baselines::MethodName(*method) << " selected " << k
+            << " seeds in " << Table::Num(result.seconds, 3) << " s\n"
+            << score << " score: " << ev.EvaluateSeeds({}) << " (no seeds) -> "
+            << result.score << " (with seeds)\n";
+
+  const std::string out_path = options.GetString("out", prefix + ".seeds");
+  std::ofstream out(out_path);
+  for (graph::NodeId s : result.seeds) out << s << "\n";
+  std::cout << "seed ids written to " << out_path << "\n";
+  return 0;
+}

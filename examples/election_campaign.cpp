@@ -1,0 +1,88 @@
+// Scenario: a four-party election on a Twitter-like retweet network (the
+// paper's Twitter US Election setting). A campaign manager for the target
+// party asks: with a budget of k activists, whom do we recruit, and does
+// the answer change with the voting rule?
+//
+//   $ ./election_campaign [--scale=0.2] [--k=50] [--t=20]
+#include <iostream>
+
+#include "baselines/selector_factory.h"
+#include "datasets/synthetic.h"
+#include "opinion/fj_model.h"
+#include "util/options.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "voting/evaluator.h"
+
+using namespace voteopt;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  const double scale = options.GetDouble("scale", 0.15);
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 50));
+  const uint32_t horizon = static_cast<uint32_t>(options.GetInt("t", 20));
+
+  const datasets::Dataset ds = datasets::MakeDataset(
+      datasets::DatasetName::kTwitterElection, scale, /*seed=*/11);
+  opinion::FJModel model(ds.influence);
+  std::cout << "Election network: " << ds.influence.num_nodes() << " users, "
+            << ds.influence.num_edges() << " retweet edges, "
+            << ds.state.num_candidates() << " parties. Target = party "
+            << ds.default_target << ", budget k = " << k << ".\n";
+
+  // How does the winner look with no intervention?
+  {
+    voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
+                              voting::ScoreSpec::Plurality());
+    const auto scores = ev.ScoresAllCandidates(ev.TargetHorizonOpinions({}));
+    std::cout << "\nPlurality votes at t=" << horizon << " with no seeds:";
+    for (size_t q = 0; q < scores.size(); ++q) {
+      std::cout << "  party" << q << "=" << scores[q];
+    }
+    std::cout << "\n";
+  }
+
+  // Seeds under different voting rules, and how much they overlap.
+  baselines::MethodOptions mo;
+  mo.rs.theta_override = 1u << 14;
+  std::vector<std::pair<std::string, voting::ScoreSpec>> rules = {
+      {"cumulative", voting::ScoreSpec::Cumulative()},
+      {"plurality", voting::ScoreSpec::Plurality()},
+      {"2-approval", voting::ScoreSpec::PApproval(2)},
+      {"copeland", voting::ScoreSpec::Copeland()},
+  };
+  std::vector<std::vector<graph::NodeId>> seed_sets;
+  Table table({"voting rule", "score w/o seeds", "score w/ seeds",
+               "winner after seeding"});
+  for (const auto& [name, spec] : rules) {
+    voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
+                              spec);
+    const auto result =
+        baselines::SelectWithMethod(baselines::Method::kRS, ev, k, mo);
+    seed_sets.push_back(result.seeds);
+    const auto all =
+        ev.ScoresAllCandidates(ev.TargetHorizonOpinions(result.seeds));
+    uint32_t winner = 0;
+    for (uint32_t q = 1; q < all.size(); ++q) {
+      if (all[q] > all[winner]) winner = q;
+    }
+    table.Add(name, Table::Num(ev.EvaluateSeeds({}), 1),
+              Table::Num(result.score, 1),
+              winner == ds.default_target ? "target party"
+                                          : "party " + std::to_string(winner));
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+
+  std::cout << "\nSeed overlap across rules (fraction shared):\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      std::cout << "  " << rules[i].first << " vs " << rules[j].first << ": "
+                << Table::Num(OverlapFraction(seed_sets[i], seed_sets[j]), 2)
+                << "\n";
+    }
+  }
+  std::cout << "\nTakeaway: the right activists depend on the voting rule — "
+               "cumulative-optimal seeds need not win elections.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scenario: a restaurant category ("Chinese") competes with nine others on
+// a Yelp-like review network (the paper's Yelp setting with r = 10). Users
+// hold memberships on several platforms, so the operator cares about being
+// in each user's top-p, weighted by position — the p-approval and
+// positional-p-approval scores.
+//
+//   $ ./restaurant_rivalry [--scale=0.15] [--k=40]
+#include <iostream>
+
+#include "core/sandwich.h"
+#include "datasets/synthetic.h"
+#include "opinion/fj_model.h"
+#include "util/options.h"
+#include "util/table.h"
+#include "voting/evaluator.h"
+
+using namespace voteopt;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  const double scale = options.GetDouble("scale", 0.08);
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 40));
+  const uint32_t horizon = static_cast<uint32_t>(options.GetInt("t", 15));
+
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetName::kYelp, scale, /*seed=*/21);
+  opinion::FJModel model(ds.influence);
+  std::cout << "Yelp-like network: " << ds.influence.num_nodes()
+            << " users, " << ds.influence.num_edges() << " friendships, "
+            << ds.state.num_candidates()
+            << " restaurant categories. Target category = "
+            << ds.default_target << ".\n\n";
+
+  // Sweep the approval depth p: "how many memberships does a user hold?"
+  Table table({"objective", "users approving w/o seeds",
+               "users approving w/ seeds", "gain"});
+  for (uint32_t p : {1u, 2u, 3u}) {
+    const voting::ScoreSpec spec = p == 1 ? voting::ScoreSpec::Plurality()
+                                          : voting::ScoreSpec::PApproval(p);
+    voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
+                              spec);
+    const auto result = core::SandwichSelect(ev, k);
+    const double before = ev.EvaluateSeeds({});
+    table.Add(p == 1 ? "plurality (top-1)"
+                     : std::to_string(p) + "-approval (top-" +
+                           std::to_string(p) + ")",
+              Table::Num(before, 0), Table::Num(result.score, 0),
+              "+" + Table::Num(result.score - before, 0));
+  }
+  // Positional: a rank-2 membership is worth half a rank-1 one.
+  {
+    voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
+                              voting::ScoreSpec::PositionalPApproval(
+                                  {1.0, 0.5}));
+    const auto result = core::SandwichSelect(ev, k);
+    table.Add("positional-2-approval (1.0, 0.5)",
+              Table::Num(ev.EvaluateSeeds({}), 1),
+              Table::Num(result.score, 1),
+              "+" + Table::Num(result.score - ev.EvaluateSeeds({}), 1));
+    std::cout << "Sandwich diagnostics for the positional objective: "
+              << "F(SU)/UB(SU) = "
+              << result.diagnostics.at("sandwich_ratio") << " (empirical "
+              << "approximation factor of Fig. 2)\n\n";
+  }
+  table.Print(std::cout);
+  std::cout << "\nTakeaway: relaxing the rank constraint (p > 1) changes "
+               "which users are worth courting — seeds shift from contested "
+               "users to broadly-reachable ones.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "baselines/cascade_models.h"
+
+#include <deque>
+
+namespace voteopt::baselines {
+
+uint64_t SimulateSpreadOnce(const graph::Graph& graph,
+                            const std::vector<graph::NodeId>& seeds,
+                            CascadeModel model, Rng* rng) {
+  const uint32_t n = graph.num_nodes();
+  std::vector<bool> active(n, false);
+  std::deque<graph::NodeId> frontier;
+  uint64_t activated = 0;
+  for (graph::NodeId s : seeds) {
+    if (!active[s]) {
+      active[s] = true;
+      ++activated;
+      frontier.push_back(s);
+    }
+  }
+
+  if (model == CascadeModel::kIndependentCascade) {
+    while (!frontier.empty()) {
+      const graph::NodeId u = frontier.front();
+      frontier.pop_front();
+      const auto targets = graph.OutNeighbors(u);
+      const auto weights = graph.OutWeights(u);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        const graph::NodeId v = targets[i];
+        if (active[v]) continue;
+        if (rng->Bernoulli(weights[i])) {
+          active[v] = true;
+          ++activated;
+          frontier.push_back(v);
+        }
+      }
+    }
+    return activated;
+  }
+
+  // Linear Threshold: thresholds are sampled lazily; a node activates when
+  // the cumulative weight of its active in-neighbors crosses its threshold.
+  std::vector<double> threshold(n, -1.0);
+  std::vector<double> pressure(n, 0.0);
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop_front();
+    const auto targets = graph.OutNeighbors(u);
+    const auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const graph::NodeId v = targets[i];
+      if (active[v]) continue;
+      if (threshold[v] < 0.0) threshold[v] = rng->Uniform();
+      pressure[v] += weights[i];
+      if (pressure[v] >= threshold[v]) {
+        active[v] = true;
+        ++activated;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return activated;
+}
+
+double EstimateSpread(const graph::Graph& graph,
+                      const std::vector<graph::NodeId>& seeds,
+                      CascadeModel model, uint32_t runs, Rng* rng) {
+  double total = 0.0;
+  for (uint32_t i = 0; i < runs; ++i) {
+    total +=
+        static_cast<double>(SimulateSpreadOnce(graph, seeds, model, rng));
+  }
+  return total / static_cast<double>(runs);
+}
+
+void SampleRRSet(const graph::Graph& graph, CascadeModel model, Rng* rng,
+                 std::vector<graph::NodeId>* out) {
+  out->clear();
+  const uint32_t n = graph.num_nodes();
+  const graph::NodeId root = static_cast<graph::NodeId>(rng->UniformInt(n));
+
+  if (model == CascadeModel::kIndependentCascade) {
+    // Randomized reverse BFS: each in-edge is live with its probability.
+    std::vector<bool> visited(n, false);
+    std::deque<graph::NodeId> queue{root};
+    visited[root] = true;
+    out->push_back(root);
+    while (!queue.empty()) {
+      const graph::NodeId v = queue.front();
+      queue.pop_front();
+      const auto sources = graph.InNeighbors(v);
+      const auto weights = graph.InWeights(v);
+      for (size_t i = 0; i < sources.size(); ++i) {
+        const graph::NodeId u = sources[i];
+        if (visited[u]) continue;
+        if (rng->Bernoulli(weights[i])) {
+          visited[u] = true;
+          out->push_back(u);
+          queue.push_back(u);
+        }
+      }
+    }
+    return;
+  }
+
+  // LT: reverse chain choosing exactly one in-neighbor proportional to the
+  // edge weights (they sum to 1); stops on revisit or dead end.
+  std::vector<bool> visited(n, false);
+  graph::NodeId current = root;
+  visited[current] = true;
+  out->push_back(current);
+  while (true) {
+    const auto sources = graph.InNeighbors(current);
+    const auto weights = graph.InWeights(current);
+    if (sources.empty()) break;
+    // Inverse-CDF sample of one in-edge (weights sum to ~1).
+    double u = rng->Uniform();
+    size_t pick = sources.size() - 1;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (u < weights[i]) {
+        pick = i;
+        break;
+      }
+      u -= weights[i];
+    }
+    const graph::NodeId next = sources[pick];
+    if (visited[next]) break;
+    visited[next] = true;
+    out->push_back(next);
+    current = next;
+  }
+}
+
+}  // namespace voteopt::baselines

@@ -1,0 +1,48 @@
+// Classic influence-diffusion substrate: Independent Cascade (IC) and
+// Linear Threshold (LT) models [9] with Monte-Carlo spread estimation.
+//
+// These power two parts of the evaluation:
+//  * the IC / LT baselines of Figs. 6-8 (IMM-selected seeds, judged under
+//    the voting scores), and
+//  * the Expected Influence Spread comparison of Fig. 11 (voting-selected
+//    seeds, judged under IC / LT spread).
+//
+// Edge weights are interpreted as activation probabilities (IC) resp.
+// influence weights (LT). The paper's influence graphs are column-
+// stochastic, which matches LT's requirement that incoming weights sum
+// to <= 1.
+#ifndef VOTEOPT_BASELINES_CASCADE_MODELS_H_
+#define VOTEOPT_BASELINES_CASCADE_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace voteopt::baselines {
+
+enum class CascadeModel { kIndependentCascade, kLinearThreshold };
+
+/// One Monte-Carlo diffusion from `seeds`; returns the number of activated
+/// nodes (seeds included).
+uint64_t SimulateSpreadOnce(const graph::Graph& graph,
+                            const std::vector<graph::NodeId>& seeds,
+                            CascadeModel model, Rng* rng);
+
+/// Mean spread over `runs` simulations — the EIS measure of Fig. 11.
+double EstimateSpread(const graph::Graph& graph,
+                      const std::vector<graph::NodeId>& seeds,
+                      CascadeModel model, uint32_t runs, Rng* rng);
+
+/// Samples one Reverse-Reachable (RR) set from a uniformly random root
+/// (used by IMM): under IC a randomized reverse BFS keeping each in-edge
+/// with its probability; under LT a reverse chain picking exactly one
+/// in-neighbor per step (incoming weights sum to 1). Appends node ids to
+/// `out` (cleared first).
+void SampleRRSet(const graph::Graph& graph, CascadeModel model, Rng* rng,
+                 std::vector<graph::NodeId>* out);
+
+}  // namespace voteopt::baselines
+
+#endif  // VOTEOPT_BASELINES_CASCADE_MODELS_H_

@@ -1,0 +1,21 @@
+#include "baselines/degree.h"
+
+namespace voteopt::baselines {
+
+std::vector<double> WeightedOutDegree(const graph::Graph& graph) {
+  std::vector<double> degree(graph.num_nodes());
+  for (graph::NodeId u = 0; u < graph.num_nodes(); ++u) {
+    degree[u] = graph.OutWeightSum(u);
+  }
+  return degree;
+}
+
+std::vector<double> OutDegree(const graph::Graph& graph) {
+  std::vector<double> degree(graph.num_nodes());
+  for (graph::NodeId u = 0; u < graph.num_nodes(); ++u) {
+    degree[u] = static_cast<double>(graph.OutDegree(u));
+  }
+  return degree;
+}
+
+}  // namespace voteopt::baselines

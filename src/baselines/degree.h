@@ -1,0 +1,20 @@
+// Weighted degree-centrality seed selection (paper baseline DC).
+#ifndef VOTEOPT_BASELINES_DEGREE_H_
+#define VOTEOPT_BASELINES_DEGREE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace voteopt::baselines {
+
+/// Sum of outgoing influence weights per node (how much opinion mass the
+/// node injects into its followers each step).
+std::vector<double> WeightedOutDegree(const graph::Graph& graph);
+
+/// Plain out-degree (edge counts), for tests / ablation.
+std::vector<double> OutDegree(const graph::Graph& graph);
+
+}  // namespace voteopt::baselines
+
+#endif  // VOTEOPT_BASELINES_DEGREE_H_

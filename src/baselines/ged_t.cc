@@ -1,0 +1,119 @@
+#include "baselines/ged_t.h"
+
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "core/greedy_dm.h"
+#include "opinion/equilibrium.h"
+#include "util/timer.h"
+
+namespace voteopt::baselines {
+
+core::SelectionResult GedTSelect(const core::ScoreEvaluator& evaluator,
+                                 uint32_t k) {
+  WallTimer timer;
+  const uint32_t n = evaluator.num_users();
+  k = std::min<uint32_t>(k, n);
+
+  // Cumulative marginal gains via exact delta propagation, independent of
+  // the evaluator's score spec. CELF is sound here: the cumulative
+  // objective is submodular (Thm. 3; [25] Thm. 4.2 at equilibrium).
+  core::DeltaPropagator propagator(evaluator);
+  std::vector<graph::NodeId> touched;
+  auto cumulative_gain = [&](graph::NodeId w) {
+    const auto& delta = propagator.ComputeDelta(w, &touched);
+    double gain = 0.0;
+    for (graph::NodeId v : touched) gain += delta[v];
+    return gain;
+  };
+
+  using Entry = std::tuple<double, graph::NodeId, uint32_t>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+  for (graph::NodeId v = 0; v < n; ++v) queue.emplace(cumulative_gain(v), v, 0);
+
+  std::vector<graph::NodeId> seeds;
+  std::vector<bool> chosen(n, false);
+  while (seeds.size() < k && !queue.empty()) {
+    auto [gain, v, at] = queue.top();
+    queue.pop();
+    if (chosen[v]) continue;
+    if (at == seeds.size()) {
+      chosen[v] = true;
+      seeds.push_back(v);
+      propagator.SetSeeds(seeds);
+    } else {
+      queue.emplace(cumulative_gain(v), v,
+                    static_cast<uint32_t>(seeds.size()));
+    }
+  }
+
+  core::SelectionResult result;
+  result.seeds = std::move(seeds);
+  result.score = evaluator.ScoreFromTargetOpinions(propagator.base_horizon());
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+core::SelectionResult GedEquilibriumSelect(
+    const core::ScoreEvaluator& evaluator, uint32_t k) {
+  WallTimer timer;
+  const uint32_t n = evaluator.num_users();
+  k = std::min<uint32_t>(k, n);
+  const opinion::FJModel& model = evaluator.model();
+  const opinion::Campaign& campaign = evaluator.target_campaign();
+
+  // Equilibrium iteration tolerance is loose-ish: the greedy only needs
+  // stable orderings of cumulative sums.
+  const opinion::EquilibriumOptions eq_options{.tolerance = 1e-8,
+                                               .max_iterations = 20000};
+  std::vector<graph::NodeId> seeds;
+  auto equilibrium_sum = [&](const std::vector<graph::NodeId>& with) {
+    const auto eq = opinion::EquilibriumWithSeeds(model, campaign, with,
+                                                  eq_options);
+    return std::accumulate(eq.opinions.begin(), eq.opinions.end(), 0.0);
+  };
+
+  double base_sum = equilibrium_sum({});
+  auto gain_of = [&](graph::NodeId w) {
+    auto with = seeds;
+    with.push_back(w);
+    return equilibrium_sum(with) - base_sum;
+  };
+
+  // CELF over the equilibrium objective ([25] Thm. 4.2: submodular).
+  using Entry = std::tuple<double, graph::NodeId, uint32_t>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+  for (graph::NodeId v = 0; v < n; ++v) queue.emplace(gain_of(v), v, 0);
+
+  std::vector<bool> chosen(n, false);
+  while (seeds.size() < k && !queue.empty()) {
+    auto [gain, v, at] = queue.top();
+    queue.pop();
+    if (chosen[v]) continue;
+    if (at == seeds.size()) {
+      chosen[v] = true;
+      seeds.push_back(v);
+      base_sum = equilibrium_sum(seeds);
+    } else {
+      queue.emplace(gain_of(v), v, static_cast<uint32_t>(seeds.size()));
+    }
+  }
+
+  core::SelectionResult result;
+  result.seeds = std::move(seeds);
+  result.score = evaluator.EvaluateSeeds(result.seeds);
+  result.seconds = timer.Seconds();
+  result.diagnostics["equilibrium_sum"] = base_sum;
+  return result;
+}
+
+}  // namespace voteopt::baselines

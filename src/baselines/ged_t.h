@@ -1,0 +1,33 @@
+// GED-T: the greedy opinion-maximization algorithm of Gionis, Terzi,
+// Tsaparas [25], adapted to a finite time horizon (paper § VIII-A).
+//
+// [25] selects seeds maximizing the SUM of expressed opinions (at the Nash
+// equilibrium there; at the horizon t here) — i.e. it always optimizes the
+// cumulative objective for the single target campaign, regardless of which
+// voting score the experiment evaluates. This is why GED-T matches DM on
+// the cumulative score and trails on the rank-based scores (Figs. 6-8).
+#ifndef VOTEOPT_BASELINES_GED_T_H_
+#define VOTEOPT_BASELINES_GED_T_H_
+
+#include "core/problem.h"
+
+namespace voteopt::baselines {
+
+/// Greedy cumulative-objective selection at the horizon; the returned
+/// result's `score` is evaluated under the evaluator's own (possibly
+/// different) score spec.
+core::SelectionResult GedTSelect(const core::ScoreEvaluator& evaluator,
+                                 uint32_t k);
+
+/// The ORIGINAL [25] objective: greedy maximization of the sum of expressed
+/// opinions at the Nash equilibrium (not at a finite horizon). Useful for
+/// reproducing the paper's App. B comparison between equilibrium-optimal
+/// and horizon-optimal seed sets. CELF-accelerated ([25] proves the
+/// equilibrium objective is monotone submodular). The returned score is
+/// still evaluated under the evaluator's spec at the evaluator's horizon.
+core::SelectionResult GedEquilibriumSelect(
+    const core::ScoreEvaluator& evaluator, uint32_t k);
+
+}  // namespace voteopt::baselines
+
+#endif  // VOTEOPT_BASELINES_GED_T_H_

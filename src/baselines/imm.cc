@@ -1,0 +1,123 @@
+#include "baselines/imm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <queue>
+#include <tuple>
+
+#include "core/accuracy.h"
+
+namespace voteopt::baselines {
+
+double MaxCoverage(const std::vector<std::vector<graph::NodeId>>& rr_sets,
+                   uint32_t num_nodes, uint32_t k,
+                   std::vector<graph::NodeId>* seeds) {
+  seeds->clear();
+  if (rr_sets.empty()) return 0.0;
+
+  // Inverted index node -> RR sets containing it.
+  std::vector<std::vector<uint32_t>> sets_of(num_nodes);
+  for (uint32_t s = 0; s < rr_sets.size(); ++s) {
+    for (graph::NodeId v : rr_sets[s]) sets_of[v].push_back(s);
+  }
+  std::vector<bool> covered(rr_sets.size(), false);
+  std::vector<uint64_t> degree(num_nodes);
+  for (uint32_t v = 0; v < num_nodes; ++v) degree[v] = sets_of[v].size();
+
+  // Lazy greedy (coverage is submodular).
+  using Entry = std::tuple<uint64_t, graph::NodeId, uint32_t>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+  for (uint32_t v = 0; v < num_nodes; ++v) queue.emplace(degree[v], v, 0);
+
+  uint64_t covered_count = 0;
+  uint32_t round = 0;
+  std::vector<bool> chosen(num_nodes, false);
+  while (seeds->size() < k && !queue.empty()) {
+    auto [gain, v, at] = queue.top();
+    queue.pop();
+    if (chosen[v]) continue;
+    if (at == round) {
+      chosen[v] = true;
+      seeds->push_back(v);
+      for (uint32_t s : sets_of[v]) {
+        if (!covered[s]) {
+          covered[s] = true;
+          ++covered_count;
+        }
+      }
+      ++round;
+    } else {
+      uint64_t fresh = 0;
+      for (uint32_t s : sets_of[v]) {
+        if (!covered[s]) ++fresh;
+      }
+      queue.emplace(fresh, v, round);
+    }
+  }
+  return static_cast<double>(covered_count) /
+         static_cast<double>(rr_sets.size());
+}
+
+IMMResult IMMSelect(const graph::Graph& graph, uint32_t k, CascadeModel model,
+                    const IMMOptions& options, Rng* rng) {
+  const uint32_t n = graph.num_nodes();
+  const double nd = static_cast<double>(n);
+  const double epsilon = options.epsilon;
+  const double l =
+      options.l + std::log(2.0) / std::log(nd);  // union-bound correction
+  const double log_binom = core::LogBinomial(n, k);
+  const double one_minus_inv_e = 1.0 - 1.0 / std::numbers::e;
+
+  IMMResult result;
+  std::vector<std::vector<graph::NodeId>> rr_sets;
+  std::vector<graph::NodeId> scratch;
+  auto extend_to = [&](uint64_t count) {
+    count = std::min(count, options.max_rr_sets);
+    while (rr_sets.size() < count) {
+      SampleRRSet(graph, model, rng, &scratch);
+      rr_sets.push_back(scratch);
+    }
+  };
+
+  // Phase 1: estimate a lower bound LB on OPT (IMM Alg. 2).
+  const double eps_prime = epsilon * std::numbers::sqrt2;
+  const double lambda_prime =
+      (2.0 + 2.0 / 3.0 * eps_prime) *
+      (log_binom + l * std::log(nd) + std::log(std::log2(nd))) * nd /
+      (eps_prime * eps_prime);
+  double lb = 1.0;
+  const int max_iter = std::max(1, static_cast<int>(std::log2(nd)) - 1);
+  for (int i = 1; i <= max_iter; ++i) {
+    const double x = nd / std::pow(2.0, i);
+    extend_to(static_cast<uint64_t>(std::ceil(lambda_prime / x)));
+    std::vector<graph::NodeId> greedy_seeds;
+    const double frac = MaxCoverage(rr_sets, n, k, &greedy_seeds);
+    if (nd * frac >= (1.0 + eps_prime) * x) {
+      lb = nd * frac / (1.0 + eps_prime);
+      break;
+    }
+  }
+
+  // Phase 2: theta = lambda* / LB RR sets.
+  const double alpha = std::sqrt(l * std::log(nd) + std::log(2.0));
+  const double beta = std::sqrt(one_minus_inv_e *
+                                (log_binom + l * std::log(nd) + std::log(2.0)));
+  const double lambda_star = 2.0 * nd *
+                             (one_minus_inv_e * alpha + beta) *
+                             (one_minus_inv_e * alpha + beta) /
+                             (epsilon * epsilon);
+  extend_to(static_cast<uint64_t>(std::ceil(lambda_star / lb)));
+
+  // Phase 3: node selection.
+  const double frac = MaxCoverage(rr_sets, n, k, &result.seeds);
+  result.estimated_spread = nd * frac;
+  result.rr_sets_used = rr_sets.size();
+  return result;
+}
+
+}  // namespace voteopt::baselines

@@ -1,0 +1,47 @@
+// IMM: Influence Maximization via Martingales (Tang, Shi, Xiao; SIGMOD'15)
+// — the RR-set-based seed selector used for the paper's IC / LT baselines
+// and the EIS comparison (Fig. 11).
+//
+// Phase 1 (Sampling) estimates a lower bound LB on OPT by testing
+// x = n/2, n/4, ... with theta_i = lambda' / x_i RR sets each; Phase 2
+// generates theta = lambda* / LB RR sets; Phase 3 (NodeSelection) runs
+// lazy-greedy maximum coverage over the RR sets.
+#ifndef VOTEOPT_BASELINES_IMM_H_
+#define VOTEOPT_BASELINES_IMM_H_
+
+#include <vector>
+
+#include "baselines/cascade_models.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace voteopt::baselines {
+
+struct IMMOptions {
+  double epsilon = 0.1;
+  double l = 1.0;
+  /// Safety cap on the number of RR sets.
+  uint64_t max_rr_sets = 1u << 24;
+};
+
+struct IMMResult {
+  std::vector<graph::NodeId> seeds;
+  /// Estimated expected spread of the returned seeds.
+  double estimated_spread = 0.0;
+  uint64_t rr_sets_used = 0;
+};
+
+/// Returns k seeds approximately maximizing expected spread under `model`,
+/// with the standard (1 - 1/e - epsilon) guarantee w.p. >= 1 - n^-l.
+IMMResult IMMSelect(const graph::Graph& graph, uint32_t k, CascadeModel model,
+                    const IMMOptions& options, Rng* rng);
+
+/// Lazy-greedy max coverage over RR sets (exposed for tests): picks k nodes
+/// covering the most sets; returns covered fraction.
+double MaxCoverage(const std::vector<std::vector<graph::NodeId>>& rr_sets,
+                   uint32_t num_nodes, uint32_t k,
+                   std::vector<graph::NodeId>* seeds);
+
+}  // namespace voteopt::baselines
+
+#endif  // VOTEOPT_BASELINES_IMM_H_

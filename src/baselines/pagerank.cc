@@ -1,0 +1,66 @@
+#include "baselines/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace voteopt::baselines {
+
+std::vector<double> PageRankScores(const graph::Graph& graph,
+                                   const PageRankOptions& options) {
+  const uint32_t n = graph.num_nodes();
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+
+  // Out-weight mass per node in the walking direction, for normalizing the
+  // surfer's transition probabilities.
+  std::vector<double> out_mass(n, 0.0);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    out_mass[u] =
+        options.on_transpose ? graph.InWeightSum(u) : graph.OutWeightSum(u);
+  }
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Dangling mass (nodes with no outgoing transition) is redistributed
+    // uniformly, as in the standard formulation.
+    double dangling = 0.0;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (out_mass[u] <= 0.0) dangling += rank[u];
+    }
+    const double base = (1.0 - options.damping) / n +
+                        options.damping * dangling / n;
+    std::fill(next.begin(), next.end(), base);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (out_mass[u] <= 0.0) continue;
+      const double push = options.damping * rank[u] / out_mass[u];
+      const auto targets =
+          options.on_transpose ? graph.InNeighbors(u) : graph.OutNeighbors(u);
+      const auto weights =
+          options.on_transpose ? graph.InWeights(u) : graph.OutWeights(u);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        next[targets[i]] += push * weights[i];
+      }
+    }
+    double diff = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) diff += std::fabs(next[v] - rank[v]);
+    std::swap(rank, next);
+    if (diff < options.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<graph::NodeId> TopK(const std::vector<double>& scores,
+                                uint32_t k) {
+  std::vector<graph::NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](graph::NodeId a, graph::NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace voteopt::baselines

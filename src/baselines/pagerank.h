@@ -1,0 +1,31 @@
+// PageRank and weighted degree centrality seed-selection heuristics
+// (paper § VIII-A baselines PR and DC).
+#ifndef VOTEOPT_BASELINES_PAGERANK_H_
+#define VOTEOPT_BASELINES_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace voteopt::baselines {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  uint32_t max_iterations = 100;
+  double tolerance = 1e-9;
+  /// Rank on the transpose graph, so users whose influence reaches many
+  /// others (rather than users influenced by many) score high — the right
+  /// orientation for seed selection.
+  bool on_transpose = true;
+};
+
+/// Power-iteration PageRank scores (sum to 1).
+std::vector<double> PageRankScores(const graph::Graph& graph,
+                                   const PageRankOptions& options);
+
+/// Indices of the k largest entries of `scores` (ties toward smaller id).
+std::vector<graph::NodeId> TopK(const std::vector<double>& scores, uint32_t k);
+
+}  // namespace voteopt::baselines
+
+#endif  // VOTEOPT_BASELINES_PAGERANK_H_

@@ -1,0 +1,57 @@
+#include "baselines/rwr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace voteopt::baselines {
+
+std::vector<double> RWRScores(const graph::Graph& graph,
+                              const std::vector<double>& restart_distribution,
+                              const RWROptions& options) {
+  const uint32_t n = graph.num_nodes();
+  std::vector<double> restart(n, 1.0 / n);
+  if (!restart_distribution.empty()) {
+    assert(restart_distribution.size() == n);
+    const double sum = std::accumulate(restart_distribution.begin(),
+                                       restart_distribution.end(), 0.0);
+    if (sum > 0.0) {
+      for (uint32_t v = 0; v < n; ++v) restart[v] = restart_distribution[v] / sum;
+    }
+  }
+
+  std::vector<double> score = restart;
+  std::vector<double> next(n);
+  const double c = options.restart_prob;
+  std::vector<double> out_mass(n);
+  for (graph::NodeId u = 0; u < n; ++u) out_mass[u] = graph.OutWeightSum(u);
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    for (graph::NodeId v = 0; v < n; ++v) next[v] = c * restart[v];
+    double dangling = 0.0;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      if (out_mass[u] <= 0.0) {
+        dangling += score[u];
+        continue;
+      }
+      const double push = (1.0 - c) * score[u] / out_mass[u];
+      const auto targets = graph.OutNeighbors(u);
+      const auto weights = graph.OutWeights(u);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        next[targets[i]] += push * weights[i];
+      }
+    }
+    // Dangling walkers restart.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      next[v] += (1.0 - c) * dangling * restart[v];
+    }
+    double diff = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) diff += std::fabs(next[v] - score[v]);
+    std::swap(score, next);
+    if (diff < options.tolerance) break;
+  }
+  return score;
+}
+
+}  // namespace voteopt::baselines

@@ -1,0 +1,31 @@
+// Random Walk with Restart seed selection (paper baseline RWR, after [25]):
+// a surfer walks the influence graph forward (following who-influences-whom)
+// and restarts with probability `restart_prob`; nodes visited often are
+// considered influential. Differs from the PR baseline in orientation and
+// in the restart distribution, which can be biased by the target's initial
+// opinions (users already sympathetic restart more often, approximating
+// campaign exposure).
+#ifndef VOTEOPT_BASELINES_RWR_H_
+#define VOTEOPT_BASELINES_RWR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace voteopt::baselines {
+
+struct RWROptions {
+  double restart_prob = 0.2;
+  uint32_t max_iterations = 100;
+  double tolerance = 1e-9;
+};
+
+/// Stationary visiting probabilities; `restart_distribution` may be empty
+/// (uniform) or a non-negative vector of size n (normalized internally).
+std::vector<double> RWRScores(const graph::Graph& graph,
+                              const std::vector<double>& restart_distribution,
+                              const RWROptions& options);
+
+}  // namespace voteopt::baselines
+
+#endif  // VOTEOPT_BASELINES_RWR_H_

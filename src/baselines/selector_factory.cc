@@ -1,0 +1,134 @@
+#include "baselines/selector_factory.h"
+
+#include "baselines/degree.h"
+#include "baselines/ged_t.h"
+#include "baselines/imm.h"
+#include "baselines/pagerank.h"
+#include "baselines/rwr.h"
+#include "core/greedy_dm.h"
+#include "core/sandwich.h"
+#include "util/timer.h"
+
+namespace voteopt::baselines {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kDM:
+      return "DM";
+    case Method::kRW:
+      return "RW";
+    case Method::kRS:
+      return "RS";
+    case Method::kIC:
+      return "IC";
+    case Method::kLT:
+      return "LT";
+    case Method::kGedT:
+      return "GED-T";
+    case Method::kPageRank:
+      return "PR";
+    case Method::kRWR:
+      return "RWR";
+    case Method::kDegree:
+      return "DC";
+  }
+  return "?";
+}
+
+std::optional<Method> ParseMethod(const std::string& name) {
+  for (Method m : AllMethods()) {
+    if (name == MethodName(m)) return m;
+  }
+  return std::nullopt;
+}
+
+std::vector<Method> AllMethods() {
+  return {Method::kDM,   Method::kRW,  Method::kRS,
+          Method::kIC,   Method::kLT,  Method::kGedT,
+          Method::kPageRank, Method::kRWR, Method::kDegree};
+}
+
+namespace {
+
+core::SelectionResult FromScores(const core::ScoreEvaluator& evaluator,
+                                 uint32_t k, const std::vector<double>& scores,
+                                 double seconds_so_far) {
+  WallTimer timer;
+  core::SelectionResult result;
+  result.seeds = TopK(scores, k);
+  result.score = evaluator.EvaluateSeeds(result.seeds);
+  result.seconds = seconds_so_far + timer.Seconds();
+  return result;
+}
+
+}  // namespace
+
+core::SelectionResult SelectWithMethod(Method method,
+                                       const core::ScoreEvaluator& evaluator,
+                                       uint32_t k,
+                                       const MethodOptions& options) {
+  const graph::Graph& g = evaluator.model().graph();
+  switch (method) {
+    case Method::kDM: {
+      // Exact greedy; sandwich approximation supplies the guarantee (and
+      // sometimes a better set) for the non-submodular scores.
+      if (evaluator.spec().kind == voting::ScoreKind::kCumulative) {
+        return core::GreedyDMSelect(evaluator, k);
+      }
+      return core::SandwichSelect(evaluator, k);
+    }
+    case Method::kRW:
+      return core::RWGreedySelect(evaluator, k, options.rw);
+    case Method::kRS:
+      return core::RSGreedySelect(evaluator, k, options.rs);
+    case Method::kIC:
+    case Method::kLT: {
+      WallTimer timer;
+      Rng rng(options.rng_seed);
+      const CascadeModel model = method == Method::kIC
+                                     ? CascadeModel::kIndependentCascade
+                                     : CascadeModel::kLinearThreshold;
+      IMMResult imm = IMMSelect(
+          g, k, model, {.epsilon = options.imm_epsilon, .l = options.imm_l},
+          &rng);
+      core::SelectionResult result;
+      result.seeds = std::move(imm.seeds);
+      result.score = evaluator.EvaluateSeeds(result.seeds);
+      result.seconds = timer.Seconds();
+      result.diagnostics["rr_sets"] = static_cast<double>(imm.rr_sets_used);
+      result.diagnostics["estimated_spread"] = imm.estimated_spread;
+      return result;
+    }
+    case Method::kGedT:
+      return GedTSelect(evaluator, k);
+    case Method::kPageRank: {
+      WallTimer timer;
+      const std::vector<double> scores =
+          PageRankScores(g, {.damping = options.pagerank_damping});
+      return FromScores(evaluator, k, scores, timer.Seconds());
+    }
+    case Method::kRWR: {
+      WallTimer timer;
+      // Restart mass biased toward users already sympathetic to the target
+      // (their initial opinions), per the discussion in rwr.h.
+      const std::vector<double> scores =
+          RWRScores(g, evaluator.target_campaign().initial_opinions,
+                    {.restart_prob = options.rwr_restart});
+      return FromScores(evaluator, k, scores, timer.Seconds());
+    }
+    case Method::kDegree: {
+      WallTimer timer;
+      return FromScores(evaluator, k, WeightedOutDegree(g), timer.Seconds());
+    }
+  }
+  return {};
+}
+
+core::SeedSelector MakeSelector(Method method, const MethodOptions& options) {
+  return [method, options](const core::ScoreEvaluator& evaluator,
+                           uint32_t k) {
+    return SelectWithMethod(method, evaluator, k, options);
+  };
+}
+
+}  // namespace voteopt::baselines

@@ -1,0 +1,59 @@
+// Uniform access to all nine seed-selection methods of the paper's
+// evaluation (§ VIII-A): DM, RW, RS (ours) and IC, LT, GED-T, PR, RWR, DC
+// (baselines). All methods differ ONLY in how seeds are selected; every
+// returned result is scored by the same evaluator under the same diffusion
+// model and voting score.
+#ifndef VOTEOPT_BASELINES_SELECTOR_FACTORY_H_
+#define VOTEOPT_BASELINES_SELECTOR_FACTORY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/rs_greedy.h"
+#include "core/rw_greedy.h"
+
+namespace voteopt::baselines {
+
+enum class Method {
+  kDM,        // exact greedy (+ sandwich for non-submodular scores)
+  kRW,        // random-walk estimated greedy (§ V)
+  kRS,        // sketch estimated greedy (§ VI) — the paper's recommendation
+  kIC,        // IMM under Independent Cascade
+  kLT,        // IMM under Linear Threshold
+  kGedT,      // [25] adapted to finite horizon
+  kPageRank,  // PR heuristic
+  kRWR,       // random walk with restart heuristic
+  kDegree,    // weighted degree centrality
+};
+
+const char* MethodName(Method method);
+std::optional<Method> ParseMethod(const std::string& name);
+/// The full method roster in the paper's plotting order.
+std::vector<Method> AllMethods();
+
+struct MethodOptions {
+  core::RWOptions rw;
+  core::RSOptions rs;
+  double imm_epsilon = 0.1;
+  double imm_l = 1.0;
+  double rwr_restart = 0.2;
+  double pagerank_damping = 0.85;
+  uint64_t rng_seed = 42;
+};
+
+/// Runs the requested method and evaluates its seeds exactly.
+core::SelectionResult SelectWithMethod(Method method,
+                                       const core::ScoreEvaluator& evaluator,
+                                       uint32_t k,
+                                       const MethodOptions& options = {});
+
+/// Adapts a method into the generic SeedSelector interface (e.g. for the
+/// Algorithm-2 binary search).
+core::SeedSelector MakeSelector(Method method,
+                                const MethodOptions& options = {});
+
+}  // namespace voteopt::baselines
+
+#endif  // VOTEOPT_BASELINES_SELECTOR_FACTORY_H_

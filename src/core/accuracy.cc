@@ -1,0 +1,128 @@
+#include "core/accuracy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/walk_engine.h"
+#include "core/walk_set.h"
+#include "graph/alias_table.h"
+
+namespace voteopt::core {
+
+uint64_t LambdaForCumulative(double delta, double rho) {
+  assert(delta > 0.0 && rho > 0.0 && rho < 1.0);
+  return static_cast<uint64_t>(
+      std::ceil(std::log(2.0 / (1.0 - rho)) / (2.0 * delta * delta)));
+}
+
+uint64_t LambdaFromGamma(double gamma, double rho, bool one_sided) {
+  assert(gamma > 0.0 && rho > 0.0 && rho < 1.0);
+  const double numerator = one_sided ? 1.0 : 2.0;
+  return static_cast<uint64_t>(std::ceil(
+      std::log(numerator / (1.0 - rho)) / (2.0 * gamma * gamma)));
+}
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double ThetaForCumulative(uint64_t n, uint32_t k, double epsilon, double l,
+                          double opt_lower_bound) {
+  assert(epsilon > 0.0 && opt_lower_bound > 0.0);
+  const double nd = static_cast<double>(n);
+  const double one_minus_inv_e = 1.0 - 1.0 / std::numbers::e;
+  const double log_2nl = std::log(2.0) + l * std::log(nd);
+  const double log_binom = LogBinomial(n, k);
+  const double bracket =
+      one_minus_inv_e * std::sqrt(log_2nl) +
+      std::sqrt(one_minus_inv_e * (log_2nl + log_binom));
+  return 2.0 * nd / (opt_lower_bound * epsilon * epsilon) * bracket * bracket;
+}
+
+std::vector<double> EstimateGammaStar(const ScoreEvaluator& evaluator,
+                                      uint32_t k,
+                                      const GammaOptions& options) {
+  const graph::Graph& g = evaluator.model().graph();
+  const uint32_t n = g.num_nodes();
+  Rng rng(options.rng_seed);
+
+  // Cheap estimation pass: alpha walks per node, empty seed set.
+  graph::AliasSampler alias(g);
+  WalkEngine engine(g, evaluator.target_campaign(), alias);
+  WalkSet walks(n);
+  std::vector<graph::NodeId> scratch;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (uint32_t j = 0; j < options.alpha_walks; ++j) {
+      engine.Generate(v, evaluator.horizon(), &rng, &scratch);
+      walks.AddWalk(scratch);
+    }
+  }
+  walks.Finalize(evaluator.target_campaign().initial_opinions);
+
+  std::vector<double> gamma(n);
+  auto sweep = [&]() {
+    bool decreased = false;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const double margin =
+          evaluator.UserGamma(v, walks.EstimatedOpinion(v));
+      if (margin < gamma[v]) {
+        gamma[v] = margin;
+        decreased = true;
+      }
+    }
+    return decreased;
+  };
+  for (graph::NodeId v = 0; v < n; ++v) {
+    gamma[v] = evaluator.UserGamma(v, walks.EstimatedOpinion(v));
+  }
+
+  // Greedy cumulative seeding path: each round add the node with the
+  // largest estimated cumulative gain (the most opinion-raising seed),
+  // sweeping the margins it induces. Stops early when no margin shrinks
+  // (§ V-C stopping rule).
+  std::vector<bool> is_seed(n, false);
+  for (uint32_t round = 0; round < k; ++round) {
+    double best_gain = -1.0;
+    graph::NodeId best = static_cast<graph::NodeId>(-1);
+    for (graph::NodeId w = 0; w < n; ++w) {
+      if (is_seed[w]) continue;
+      double gain = 0.0;
+      for (const WalkSet::Posting& posting : walks.PostingsOf(w)) {
+        if (posting.pos >= walks.EffectiveLen(posting.walk)) continue;
+        gain += (1.0 - walks.Value(posting.walk)) /
+                static_cast<double>(walks.Lambda(walks.StartOf(posting.walk)));
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = w;
+      }
+    }
+    if (best == static_cast<graph::NodeId>(-1)) break;
+    is_seed[best] = true;
+    walks.Truncate(best, [](uint32_t, double) {});
+    if (!sweep()) break;
+  }
+
+  for (double& gamma_v : gamma) {
+    gamma_v = std::max(gamma_v, options.gamma_floor);
+  }
+  return gamma;
+}
+
+std::vector<uint64_t> LambdasFromGammaStar(const std::vector<double>& gamma,
+                                           double rho, bool one_sided,
+                                           uint64_t lambda_cap) {
+  std::vector<uint64_t> lambdas(gamma.size());
+  for (size_t v = 0; v < gamma.size(); ++v) {
+    lambdas[v] =
+        std::clamp<uint64_t>(LambdaFromGamma(gamma[v], rho, one_sided),
+                             uint64_t{1}, lambda_cap);
+  }
+  return lambdas;
+}
+
+}  // namespace voteopt::core

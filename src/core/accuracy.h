@@ -1,0 +1,62 @@
+// Sample-size bounds for the estimators (paper § V-C and § VI-B):
+//
+//   Thm. 10 (cumulative):   lambda_v >= ln(2/(1-rho)) / (2 delta^2)
+//   Thm. 11 (plurality):    lambda_v >= ln(2/(1-rho)) / (2 gamma_v^2)
+//   Thm. 12 (Copeland):     lambda_v >= ln(1/(1-rho)) / (2 gamma_v^2)
+//   Thm. 13 (sketches):     theta    >= Eq. 40 (needs a lower bound on OPT)
+//
+// plus the greedy heuristic of § V-C that estimates
+// gamma*_v = min_{|S| <= k} gamma_v[S], the smallest margin between the
+// target's opinion and any competitor's opinion for user v along the greedy
+// seeding path.
+#ifndef VOTEOPT_CORE_ACCURACY_H_
+#define VOTEOPT_CORE_ACCURACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "util/rng.h"
+
+namespace voteopt::core {
+
+/// Thm. 10: walks per node so that |b-hat - b| < delta with prob >= rho.
+uint64_t LambdaForCumulative(double delta, double rho);
+
+/// Thm. 11 (two-sided, plurality variants) / Thm. 12 (one-sided, Copeland):
+/// walks per node so the estimated ranking of the target vs each competitor
+/// is correct with probability >= rho, given margin gamma.
+uint64_t LambdaFromGamma(double gamma, double rho, bool one_sided);
+
+/// Thm. 13 / Eq. 40: number of sketches for a (1 - 1/e - epsilon)-
+/// approximation with probability >= 1 - n^-l, given OPT >= opt_lower_bound.
+double ThetaForCumulative(uint64_t n, uint32_t k, double epsilon, double l,
+                          double opt_lower_bound);
+
+/// ln C(n, k) via lgamma (used by Eq. 39/40 and by tests).
+double LogBinomial(uint64_t n, uint64_t k);
+
+struct GammaOptions {
+  /// alpha: walks per node for the cheap estimation pass (§ V-C suggests
+  /// ln(2/(1-rho)) / (2 delta^2); a small constant works well in practice).
+  uint32_t alpha_walks = 16;
+  /// Lower clamp on the returned gamma (prevents lambda -> infinity when a
+  /// user's margin crosses zero along the greedy path).
+  double gamma_floor = 0.02;
+  uint64_t rng_seed = 0x5EEDBEEF;
+};
+
+/// § V-C heuristic: estimates gamma*_v for every user by sweeping a greedy
+/// cumulative seeding path S_0 = {} . S_1 . ... . S_k on alpha walks per
+/// node and taking the minimum observed margin min_i gamma_v[S_i].
+std::vector<double> EstimateGammaStar(const ScoreEvaluator& evaluator,
+                                      uint32_t k, const GammaOptions& options);
+
+/// Per-node lambda from gamma* with a cap (memory guard).
+std::vector<uint64_t> LambdasFromGammaStar(const std::vector<double>& gamma,
+                                           double rho, bool one_sided,
+                                           uint64_t lambda_cap);
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_ACCURACY_H_

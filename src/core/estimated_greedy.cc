@@ -1,0 +1,217 @@
+#include "core/estimated_greedy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/timer.h"
+
+namespace voteopt::core {
+
+namespace {
+
+constexpr graph::NodeId kInvalidNode = static_cast<graph::NodeId>(-1);
+
+/// Shared per-iteration scratch: accumulates, for one candidate seed w, the
+/// estimated-opinion increase of every affected start node.
+class DeltaAccumulator {
+ public:
+  explicit DeltaAccumulator(uint32_t n) : sum_(n, 0.0), mark_(n, 0) {}
+
+  void Begin() { ++epoch_; touched_.clear(); }
+
+  void Add(graph::NodeId start, double delta) {
+    if (mark_[start] != epoch_) {
+      mark_[start] = epoch_;
+      sum_[start] = 0.0;
+      touched_.push_back(start);
+    }
+    sum_[start] += delta;
+  }
+
+  const std::vector<graph::NodeId>& touched() const { return touched_; }
+  double Sum(graph::NodeId v) const { return sum_[v]; }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<uint64_t> mark_;
+  uint64_t epoch_ = 0;
+  std::vector<graph::NodeId> touched_;
+};
+
+/// Copeland bookkeeping over estimated target opinions vs exact competitor
+/// opinions: weighted win/loss tallies per competitor (Eq. 47).
+struct CopelandTallies {
+  std::vector<double> wins, losses;
+
+  void Rebuild(const ScoreEvaluator& ev, const WalkSet& walks) {
+    const uint32_t r = ev.num_candidates();
+    wins.assign(r, 0.0);
+    losses.assign(r, 0.0);
+    for (graph::NodeId v = 0; v < walks.num_nodes(); ++v) {
+      if (walks.Lambda(v) == 0) continue;
+      const double bhat = walks.EstimatedOpinion(v);
+      const double weight = walks.StartWeight(v);
+      for (opinion::CandidateId x = 0; x < r; ++x) {
+        if (x == ev.target()) continue;
+        const double other = ev.HorizonOpinions(x)[v];
+        if (bhat > other) {
+          wins[x] += weight;
+        } else if (bhat < other) {
+          losses[x] += weight;
+        }
+      }
+    }
+  }
+
+  double Score(const ScoreEvaluator& ev) const {
+    double score = 0.0;
+    for (opinion::CandidateId x = 0; x < wins.size(); ++x) {
+      if (x == ev.target()) continue;
+      if (wins[x] > losses[x]) score += 1.0;
+    }
+    return score;
+  }
+};
+
+}  // namespace
+
+SelectionResult EstimatedGreedySelect(const ScoreEvaluator& evaluator,
+                                      uint32_t k, WalkSet* walks,
+                                      const EstimatedGreedyOptions& options) {
+  WallTimer timer;
+  const uint32_t n = walks->num_nodes();
+  k = std::min<uint32_t>(k, n);
+  const auto kind = evaluator.spec().kind;
+
+  std::vector<bool> is_seed(n, false);
+  std::vector<graph::NodeId> seeds;
+  DeltaAccumulator acc(n);
+
+  CopelandTallies tallies;
+  if (kind == voting::ScoreKind::kCopeland) tallies.Rebuild(evaluator, *walks);
+
+  // gains[] reused across iterations for the cumulative single-scan path.
+  std::vector<double> gains(n, 0.0);
+
+  while (seeds.size() < k) {
+    double best_gain = -std::numeric_limits<double>::infinity();
+    graph::NodeId best = kInvalidNode;
+
+    if (kind == voting::ScoreKind::kCumulative) {
+      // One scan over the index computes every candidate's marginal gain
+      // (paper § V-B): raising walk value to 1 adds
+      // weight_start / lambda_start * (1 - value).
+      for (graph::NodeId w = 0; w < n; ++w) {
+        if (is_seed[w]) continue;
+        double gain = 0.0;
+        for (const WalkSet::Posting& posting : walks->PostingsOf(w)) {
+          if (posting.pos >= walks->EffectiveLen(posting.walk)) continue;
+          const graph::NodeId start = walks->StartOf(posting.walk);
+          gain += walks->StartWeight(start) /
+                  static_cast<double>(walks->Lambda(start)) *
+                  (1.0 - walks->Value(posting.walk));
+        }
+        gains[w] = gain;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = w;
+        }
+      }
+    } else {
+      // Rank-sensitive scores: per candidate, accumulate the estimated-
+      // opinion deltas of the affected start nodes, then translate them
+      // into a score delta.
+      for (graph::NodeId w = 0; w < n; ++w) {
+        if (is_seed[w]) continue;
+        acc.Begin();
+        for (const WalkSet::Posting& posting : walks->PostingsOf(w)) {
+          if (posting.pos >= walks->EffectiveLen(posting.walk)) continue;
+          const graph::NodeId start = walks->StartOf(posting.walk);
+          acc.Add(start, (1.0 - walks->Value(posting.walk)) /
+                             static_cast<double>(walks->Lambda(start)));
+        }
+        double gain = 0.0;
+        if (kind == voting::ScoreKind::kCopeland) {
+          const uint32_t r = evaluator.num_candidates();
+          std::vector<double> dw(r, 0.0), dl(r, 0.0);
+          for (graph::NodeId v : acc.touched()) {
+            const double old_val = walks->EstimatedOpinion(v);
+            const double new_val = old_val + acc.Sum(v);
+            const double weight = walks->StartWeight(v);
+            for (opinion::CandidateId x = 0; x < r; ++x) {
+              if (x == evaluator.target()) continue;
+              const double other = evaluator.HorizonOpinions(x)[v];
+              dw[x] += weight * ((new_val > other) - (old_val > other));
+              dl[x] += weight * ((new_val < other) - (old_val < other));
+            }
+          }
+          double before = 0.0, after = 0.0;
+          for (opinion::CandidateId x = 0; x < r; ++x) {
+            if (x == evaluator.target()) continue;
+            before += tallies.wins[x] > tallies.losses[x] ? 1.0 : 0.0;
+            after += tallies.wins[x] + dw[x] > tallies.losses[x] + dl[x]
+                         ? 1.0
+                         : 0.0;
+          }
+          gain = after - before;
+        } else {
+          for (graph::NodeId v : acc.touched()) {
+            const double old_val = walks->EstimatedOpinion(v);
+            gain += walks->StartWeight(v) *
+                    (evaluator.UserRankWeight(v, old_val + acc.Sum(v)) -
+                     evaluator.UserRankWeight(v, old_val));
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = w;
+        }
+      }
+    }
+
+    if (best == kInvalidNode) break;
+    seeds.push_back(best);
+    is_seed[best] = true;
+    walks->Truncate(best, [](uint32_t, double) {});
+    if (kind == voting::ScoreKind::kCopeland) {
+      tallies.Rebuild(evaluator, *walks);
+    }
+    if (options.on_iteration) {
+      options.on_iteration(static_cast<uint32_t>(seeds.size()), *walks);
+    }
+  }
+
+  // Estimated final score for diagnostics.
+  double estimated = 0.0;
+  if (kind == voting::ScoreKind::kCumulative) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (walks->Lambda(v) > 0) {
+        estimated += walks->StartWeight(v) * walks->EstimatedOpinion(v);
+      }
+    }
+  } else if (kind == voting::ScoreKind::kCopeland) {
+    estimated = tallies.Score(evaluator);
+  } else {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (walks->Lambda(v) > 0) {
+        estimated +=
+            walks->StartWeight(v) *
+            evaluator.UserRankWeight(v, walks->EstimatedOpinion(v));
+      }
+    }
+  }
+
+  SelectionResult result;
+  result.seeds = std::move(seeds);
+  result.seconds = timer.Seconds();
+  result.score = options.evaluate_exact
+                     ? evaluator.EvaluateSeeds(result.seeds)
+                     : estimated;
+  result.diagnostics["estimated_score"] = estimated;
+  result.diagnostics["walks"] = static_cast<double>(walks->num_walks());
+  result.diagnostics["walk_memory_mb"] =
+      static_cast<double>(walks->memory_bytes()) / (1024.0 * 1024.0);
+  return result;
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,46 @@
+// Greedy seed selection over estimated opinions (the selection loops of
+// Algorithm 4 — random walks — and Algorithm 5 — sketches).
+//
+// Both methods reduce to the same engine: a WalkSet provides per-start
+// estimated opinions b-hat under Post-Generation Truncation, and the
+// estimated score is a per-start weighted sum,
+//
+//   F-hat = sum_{v : lambda_v > 0} weight_v * contribution(b-hat_v)
+//
+// with weight_v = 1 (RW, walks from every node) or n * lambda_v / theta
+// (RS, Eq. 35/42/47). Marginal gains of all candidate seeds are computed
+// with one scan over the inverted walk index per iteration; selecting a
+// seed truncates the walks that contain it (paper § V-B).
+//
+// Competitor opinions at the horizon come exactly from the ScoreEvaluator
+// (the paper computes them by direct matrix-vector multiplication, adding
+// O((r-1) t m) once).
+#ifndef VOTEOPT_CORE_ESTIMATED_GREEDY_H_
+#define VOTEOPT_CORE_ESTIMATED_GREEDY_H_
+
+#include <functional>
+
+#include "core/problem.h"
+#include "core/walk_set.h"
+
+namespace voteopt::core {
+
+struct EstimatedGreedyOptions {
+  /// Invoked after every seed selection with the current iteration number
+  /// (1-based) and the walk set; used by the gamma* estimation heuristic
+  /// (§ V-C) to observe estimated opinions along the greedy path.
+  std::function<void(uint32_t, const WalkSet&)> on_iteration;
+  /// Compute the exact score of the selected seeds at the end (one extra
+  /// propagation). Disable for inner helper runs.
+  bool evaluate_exact = true;
+};
+
+/// Runs k greedy iterations on `walks` (which must be finalized and is
+/// consumed: its truncation state reflects the selected seeds afterwards).
+SelectionResult EstimatedGreedySelect(
+    const ScoreEvaluator& evaluator, uint32_t k, WalkSet* walks,
+    const EstimatedGreedyOptions& options = EstimatedGreedyOptions());
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_ESTIMATED_GREEDY_H_

@@ -1,0 +1,229 @@
+#include "core/greedy_dm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+#include "util/timer.h"
+
+namespace voteopt::core {
+
+DeltaPropagator::DeltaPropagator(const ScoreEvaluator& evaluator)
+    : evaluator_(&evaluator) {
+  const uint32_t n = evaluator.num_users();
+  cur_delta_.assign(n, 0.0);
+  next_delta_.assign(n, 0.0);
+  cur_mark_.assign(n, 0);
+  next_mark_.assign(n, 0);
+  SetSeeds({});
+}
+
+void DeltaPropagator::SetSeeds(const std::vector<graph::NodeId>& seeds) {
+  seeds_ = seeds;
+  seeded_ = opinion::ApplySeeds(evaluator_->target_campaign(), seeds);
+  trajectory_ = evaluator_->model().Trajectory(seeded_, evaluator_->horizon());
+  base_horizon_ = trajectory_.back();
+  if (evaluator_->spec().kind == voting::ScoreKind::kCopeland) {
+    RebuildTallies();
+  }
+}
+
+void DeltaPropagator::RebuildTallies() {
+  const uint32_t r = evaluator_->num_candidates();
+  const uint32_t n = evaluator_->num_users();
+  wins_.assign(r, 0);
+  losses_.assign(r, 0);
+  for (opinion::CandidateId x = 0; x < r; ++x) {
+    if (x == evaluator_->target()) continue;
+    const auto& other = evaluator_->HorizonOpinions(x);
+    for (uint32_t v = 0; v < n; ++v) {
+      if (base_horizon_[v] > other[v]) {
+        ++wins_[x];
+      } else if (base_horizon_[v] < other[v]) {
+        ++losses_[x];
+      }
+    }
+  }
+}
+
+const std::vector<double>& DeltaPropagator::ComputeDelta(
+    graph::NodeId w, std::vector<graph::NodeId>* touched) {
+  const graph::Graph& g = evaluator_->model().graph();
+  const uint32_t horizon = evaluator_->horizon();
+
+  uint32_t cur_epoch = ++epoch_;
+  cur_nodes_.clear();
+  cur_nodes_.push_back(w);
+  cur_mark_[w] = cur_epoch;
+  cur_delta_[w] = 1.0 - trajectory_[0][w];
+
+  for (uint32_t s = 0; s < horizon; ++s) {
+    const uint32_t next_epoch = ++epoch_;
+    next_nodes_.clear();
+    for (graph::NodeId u : cur_nodes_) {
+      const double du = cur_delta_[u];
+      if (du <= 0.0) continue;
+      const auto targets = g.OutNeighbors(u);
+      const auto weights = g.OutWeights(u);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        const graph::NodeId v = targets[i];
+        if (v == w) continue;  // w is pinned below
+        const double coef = 1.0 - seeded_.stubbornness[v];
+        if (coef == 0.0) continue;  // seeds / fully stubborn absorb deltas
+        if (next_mark_[v] != next_epoch) {
+          next_mark_[v] = next_epoch;
+          next_delta_[v] = 0.0;
+          next_nodes_.push_back(v);
+        }
+        next_delta_[v] += coef * weights[i] * du;
+      }
+    }
+    // Pin the new seed at opinion 1: its delta is exactly the base deficit.
+    if (next_mark_[w] != next_epoch) {
+      next_mark_[w] = next_epoch;
+      next_nodes_.push_back(w);
+    }
+    next_delta_[w] = 1.0 - trajectory_[s + 1][w];
+
+    std::swap(cur_delta_, next_delta_);
+    std::swap(cur_mark_, next_mark_);
+    std::swap(cur_nodes_, next_nodes_);
+    cur_epoch = next_epoch;
+  }
+
+  *touched = cur_nodes_;
+  return cur_delta_;
+}
+
+double DeltaPropagator::MarginalGain(graph::NodeId w) {
+  const auto& delta = ComputeDelta(w, &touched_scratch_);
+  const auto& spec = evaluator_->spec();
+  switch (spec.kind) {
+    case voting::ScoreKind::kCumulative: {
+      double gain = 0.0;
+      for (graph::NodeId v : touched_scratch_) gain += delta[v];
+      return gain;
+    }
+    case voting::ScoreKind::kPlurality:
+    case voting::ScoreKind::kPApproval:
+    case voting::ScoreKind::kPositionalPApproval: {
+      double gain = 0.0;
+      for (graph::NodeId v : touched_scratch_) {
+        if (delta[v] <= 0.0) continue;
+        gain += evaluator_->UserRankWeight(v, base_horizon_[v] + delta[v]) -
+                evaluator_->UserRankWeight(v, base_horizon_[v]);
+      }
+      return gain;
+    }
+    case voting::ScoreKind::kCopeland: {
+      const uint32_t r = evaluator_->num_candidates();
+      // Adjust the pairwise tallies by the touched users only.
+      double before = 0.0, after = 0.0;
+      for (opinion::CandidateId x = 0; x < r; ++x) {
+        if (x == evaluator_->target()) continue;
+        const auto& other = evaluator_->HorizonOpinions(x);
+        int64_t dw = 0, dl = 0;
+        for (graph::NodeId v : touched_scratch_) {
+          if (delta[v] <= 0.0) continue;
+          const double old_val = base_horizon_[v];
+          const double new_val = old_val + delta[v];
+          dw += (new_val > other[v]) - (old_val > other[v]);
+          dl += (new_val < other[v]) - (old_val < other[v]);
+        }
+        before += (wins_[x] > losses_[x]) ? 1.0 : 0.0;
+        after += (wins_[x] + dw > losses_[x] + dl) ? 1.0 : 0.0;
+      }
+      return after - before;
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+constexpr graph::NodeId kInvalidNode = static_cast<graph::NodeId>(-1);
+
+std::vector<graph::NodeId> DefaultPool(uint32_t n) {
+  std::vector<graph::NodeId> pool(n);
+  for (uint32_t v = 0; v < n; ++v) pool[v] = v;
+  return pool;
+}
+
+}  // namespace
+
+SelectionResult GreedyDMSelect(const ScoreEvaluator& evaluator, uint32_t k,
+                               const DMOptions& options) {
+  WallTimer timer;
+  const uint32_t n = evaluator.num_users();
+  k = std::min<uint32_t>(k, n);
+  const std::vector<graph::NodeId> pool = options.candidate_pool.empty()
+                                              ? DefaultPool(n)
+                                              : options.candidate_pool;
+
+  DeltaPropagator propagator(evaluator);
+  std::vector<graph::NodeId> seeds;
+  std::vector<bool> is_seed(n, false);
+  uint64_t evaluations = 0;
+
+  const bool celf = options.use_celf &&
+                    evaluator.spec().kind == voting::ScoreKind::kCumulative;
+  if (celf) {
+    // CELF [49]: (gain, node, #seeds when the gain was computed). Stale
+    // gains upper-bound fresh ones by submodularity (Thm. 3).
+    using Entry = std::tuple<double, graph::NodeId, uint32_t>;
+    auto cmp = [](const Entry& a, const Entry& b) {
+      if (std::get<0>(a) != std::get<0>(b)) {
+        return std::get<0>(a) < std::get<0>(b);
+      }
+      return std::get<1>(a) > std::get<1>(b);  // smaller id wins ties
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+    for (graph::NodeId u : pool) {
+      queue.emplace(propagator.MarginalGain(u), u, 0);
+      ++evaluations;
+    }
+    while (seeds.size() < k && !queue.empty()) {
+      auto [gain, u, at] = queue.top();
+      queue.pop();
+      if (is_seed[u]) continue;
+      if (at == seeds.size()) {
+        seeds.push_back(u);
+        is_seed[u] = true;
+        propagator.SetSeeds(seeds);
+      } else {
+        queue.emplace(propagator.MarginalGain(u), u,
+                      static_cast<uint32_t>(seeds.size()));
+        ++evaluations;
+      }
+    }
+  } else {
+    // Plain greedy: exact marginal gain of every pool node each round.
+    while (seeds.size() < k) {
+      double best_gain = -1.0;
+      graph::NodeId best = kInvalidNode;
+      for (graph::NodeId u : pool) {
+        if (is_seed[u]) continue;
+        const double gain = propagator.MarginalGain(u);
+        ++evaluations;
+        if (gain > best_gain || (gain == best_gain && u < best)) {
+          best_gain = gain;
+          best = u;
+        }
+      }
+      if (best == kInvalidNode) break;
+      seeds.push_back(best);
+      is_seed[best] = true;
+      propagator.SetSeeds(seeds);
+    }
+  }
+
+  SelectionResult result;
+  result.seeds = std::move(seeds);
+  result.score = evaluator.ScoreFromTargetOpinions(propagator.base_horizon());
+  result.seconds = timer.Seconds();
+  result.diagnostics["evaluations"] = static_cast<double>(evaluations);
+  return result;
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,61 @@
+#include "core/min_seed.h"
+
+#include <algorithm>
+
+namespace voteopt::core {
+
+bool TargetWins(const ScoreEvaluator& evaluator,
+                const std::vector<graph::NodeId>& seeds) {
+  const std::vector<double> scores =
+      evaluator.ScoresAllCandidates(evaluator.TargetHorizonOpinions(seeds));
+  const double target_score = scores[evaluator.target()];
+  for (opinion::CandidateId x = 0; x < scores.size(); ++x) {
+    if (x == evaluator.target()) continue;
+    if (scores[x] >= target_score) return false;
+  }
+  return true;
+}
+
+MinSeedResult MinSeedsToWin(const ScoreEvaluator& evaluator,
+                            const SeedSelector& selector, uint32_t k_max) {
+  MinSeedResult result;
+  if (TargetWins(evaluator, {})) {
+    result.achievable = true;
+    result.k_star = 0;
+    return result;
+  }
+
+  const uint32_t n = evaluator.num_users();
+  uint32_t upper = (k_max == 0 || k_max > n) ? n : k_max;
+
+  // Check feasibility at the maximum budget first.
+  SelectionResult at_upper = selector(evaluator, upper);
+  ++result.selector_calls;
+  if (!TargetWins(evaluator, at_upper.seeds)) {
+    result.achievable = false;
+    result.k_star = upper;
+    result.seeds = std::move(at_upper.seeds);
+    return result;
+  }
+  result.achievable = true;
+  result.k_star = upper;
+  result.seeds = at_upper.seeds;
+
+  // Binary search: invariant — target loses at `lower`, wins with
+  // result.seeds of size result.k_star <= upper.
+  uint32_t lower = 0;
+  while (result.k_star - lower > 1) {
+    const uint32_t mid = lower + (result.k_star - lower) / 2;
+    SelectionResult attempt = selector(evaluator, mid);
+    ++result.selector_calls;
+    if (TargetWins(evaluator, attempt.seeds)) {
+      result.k_star = mid;
+      result.seeds = std::move(attempt.seeds);
+    } else {
+      lower = mid;
+    }
+  }
+  return result;
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,37 @@
+// Problem 2 (FJ-Vote-Win, paper Algorithm 2): the smallest seed budget k*
+// for which the target candidate's score at the horizon strictly exceeds
+// every competitor's, found by binary search over k (the scores are
+// non-decreasing in the seed set).
+#ifndef VOTEOPT_CORE_MIN_SEED_H_
+#define VOTEOPT_CORE_MIN_SEED_H_
+
+#include "core/problem.h"
+
+namespace voteopt::core {
+
+struct MinSeedResult {
+  /// Smallest budget found for which the target wins (0 when it wins with
+  /// no seeds). Meaningful only when `achievable`.
+  uint32_t k_star = 0;
+  /// The winning seed set (empty when k_star == 0).
+  std::vector<graph::NodeId> seeds;
+  /// False when even the maximum budget cannot make the target win.
+  bool achievable = false;
+  /// Number of selector invocations spent by the binary search.
+  uint32_t selector_calls = 0;
+};
+
+/// Algorithm 2. `selector` produces the (approximately optimal) seed set of
+/// a given size; since it is approximate, k* may exceed the true minimum
+/// (paper § III-C Remark 2). `k_max` bounds the search (0 means n).
+MinSeedResult MinSeedsToWin(const ScoreEvaluator& evaluator,
+                            const SeedSelector& selector, uint32_t k_max = 0);
+
+/// True when the target's score strictly exceeds every competitor's score
+/// under the given seed set.
+bool TargetWins(const ScoreEvaluator& evaluator,
+                const std::vector<graph::NodeId>& seeds);
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_MIN_SEED_H_

@@ -1,0 +1,25 @@
+#include "core/problem.h"
+
+namespace voteopt::core {
+
+Status FJVoteProblem::Validate() const {
+  if (graph == nullptr || state == nullptr) {
+    return Status::InvalidArgument("graph and state must be set");
+  }
+  VOTEOPT_RETURN_IF_ERROR(state->Validate(graph->num_nodes()));
+  if (target >= state->num_candidates()) {
+    return Status::InvalidArgument("target candidate id out of range");
+  }
+  if (k == 0 || k > graph->num_nodes()) {
+    return Status::InvalidArgument("seed budget k must be in [1, n]");
+  }
+  VOTEOPT_RETURN_IF_ERROR(spec.Validate(state->num_candidates()));
+  if (!graph->IsColumnStochastic(1e-6)) {
+    return Status::FailedPrecondition(
+        "influence matrix must be column-stochastic (normalize incoming "
+        "weights)");
+  }
+  return Status::OK();
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,54 @@
+// Problem 1 (FJ-Vote) instance definition and the common result type all
+// seed-selection algorithms return.
+#ifndef VOTEOPT_CORE_PROBLEM_H_
+#define VOTEOPT_CORE_PROBLEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "opinion/opinion_state.h"
+#include "voting/evaluator.h"
+#include "voting/scores.h"
+
+namespace voteopt::core {
+
+using voting::ScoreEvaluator;
+using voting::ScoreSpec;
+
+/// An FJ-Vote instance: graph + campaigns + target + horizon + budget +
+/// score. The referenced graph/state must outlive the problem.
+struct FJVoteProblem {
+  const graph::Graph* graph = nullptr;
+  const opinion::MultiCampaignState* state = nullptr;
+  opinion::CandidateId target = 0;
+  uint32_t horizon = 0;
+  uint32_t k = 1;
+  ScoreSpec spec;
+
+  Status Validate() const;
+};
+
+/// Output of a seed-selection algorithm.
+struct SelectionResult {
+  std::vector<graph::NodeId> seeds;
+  /// Exact score F(B(t)[seeds], c_q) as verified by the evaluator (not the
+  /// algorithm's internal estimate).
+  double score = 0.0;
+  /// Wall-clock seconds spent selecting (excludes evaluator precompute).
+  double seconds = 0.0;
+  /// Algorithm-specific diagnostics (e.g. "walks", "theta",
+  /// "sandwich_ratio", "celf_evaluations").
+  std::map<std::string, double> diagnostics;
+};
+
+/// Any seed-selection strategy: evaluator + budget -> result.
+using SeedSelector =
+    std::function<SelectionResult(const ScoreEvaluator&, uint32_t k)>;
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_PROBLEM_H_

@@ -1,0 +1,70 @@
+#include "core/rw_greedy.h"
+
+#include <algorithm>
+
+#include "core/estimated_greedy.h"
+#include "core/walk_engine.h"
+#include "core/walk_set.h"
+#include "graph/alias_table.h"
+#include "util/timer.h"
+
+namespace voteopt::core {
+
+SelectionResult RWGreedySelect(const ScoreEvaluator& evaluator, uint32_t k,
+                               const RWOptions& options) {
+  WallTimer timer;
+  const graph::Graph& g = evaluator.model().graph();
+  const uint32_t n = g.num_nodes();
+  Rng rng(options.rng_seed);
+
+  // Per-node walk counts from the score-specific accuracy bound.
+  std::vector<uint64_t> lambdas;
+  if (options.lambda_override > 0) {
+    lambdas.assign(n, options.lambda_override);
+  } else {
+    switch (evaluator.spec().kind) {
+      case voting::ScoreKind::kCumulative:
+        lambdas.assign(n, std::min<uint64_t>(
+                              LambdaForCumulative(options.delta, options.rho),
+                              options.lambda_cap));
+        break;
+      case voting::ScoreKind::kCopeland: {
+        const std::vector<double> gamma =
+            EstimateGammaStar(evaluator, k, options.gamma);
+        lambdas = LambdasFromGammaStar(gamma, options.rho, /*one_sided=*/true,
+                                       options.lambda_cap);
+        break;
+      }
+      default: {  // plurality variants
+        const std::vector<double> gamma =
+            EstimateGammaStar(evaluator, k, options.gamma);
+        lambdas = LambdasFromGammaStar(gamma, options.rho, /*one_sided=*/false,
+                                       options.lambda_cap);
+        break;
+      }
+    }
+  }
+
+  graph::AliasSampler alias(g);
+  WalkEngine engine(g, evaluator.target_campaign(), alias);
+  WalkSet walks(n);
+  std::vector<graph::NodeId> scratch;
+  double lambda_sum = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    lambda_sum += static_cast<double>(lambdas[v]);
+    for (uint64_t j = 0; j < lambdas[v]; ++j) {
+      engine.Generate(v, evaluator.horizon(), &rng, &scratch);
+      walks.AddWalk(scratch);
+    }
+  }
+  walks.Finalize(evaluator.target_campaign().initial_opinions);
+  const double generation_seconds = timer.Seconds();
+
+  SelectionResult result = EstimatedGreedySelect(evaluator, k, &walks);
+  result.seconds = timer.Seconds();
+  result.diagnostics["lambda_mean"] = lambda_sum / static_cast<double>(n);
+  result.diagnostics["generation_seconds"] = generation_seconds;
+  return result;
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,36 @@
+// The paper's RW method (§ V, Algorithm 4): generate lambda_v t-step
+// reverse random walks from every node once, then run the greedy loop with
+// Post-Generation Truncation. lambda_v follows Thm. 10 for the cumulative
+// score (driven by delta, rho) and Thms. 11/12 for the rank-based scores
+// (driven by the estimated margins gamma*_v and rho).
+#ifndef VOTEOPT_CORE_RW_GREEDY_H_
+#define VOTEOPT_CORE_RW_GREEDY_H_
+
+#include "core/accuracy.h"
+#include "core/problem.h"
+
+namespace voteopt::core {
+
+struct RWOptions {
+  /// Success probability of the per-user estimates (paper default 0.9).
+  double rho = 0.9;
+  /// Additive opinion error for the cumulative score (paper default 0.1).
+  double delta = 0.1;
+  /// Upper clamp on lambda_v (memory guard for tiny margins).
+  uint64_t lambda_cap = 1024;
+  /// If > 0, use this lambda for every node and skip the bound machinery
+  /// (used by ablations and parameter sweeps).
+  uint64_t lambda_override = 0;
+  /// gamma* estimation knobs (plurality variants / Copeland only).
+  GammaOptions gamma;
+  uint64_t rng_seed = 42;
+};
+
+/// Algorithm 4. Diagnostics: "lambda_mean", "walks", "walk_memory_mb",
+/// "estimated_score".
+SelectionResult RWGreedySelect(const ScoreEvaluator& evaluator, uint32_t k,
+                               const RWOptions& options = RWOptions());
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_RW_GREEDY_H_

@@ -1,0 +1,227 @@
+#include "core/sandwich.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+#include "core/greedy_dm.h"
+#include "graph/traversal.h"
+#include "util/timer.h"
+
+namespace voteopt::core {
+
+std::vector<graph::NodeId> FavorableUsers(const ScoreEvaluator& evaluator) {
+  const auto& base = evaluator.HorizonOpinions(evaluator.target());
+  const uint32_t p =
+      evaluator.spec().kind == voting::ScoreKind::kPlurality ||
+              evaluator.spec().kind == voting::ScoreKind::kCopeland
+          ? 1
+          : evaluator.spec().p;
+  std::vector<graph::NodeId> favorable;
+  for (uint32_t v = 0; v < evaluator.num_users(); ++v) {
+    if (evaluator.UserRank(v, base[v]) <= p) favorable.push_back(v);
+  }
+  return favorable;
+}
+
+std::vector<graph::NodeId> WeaklyFavorableUsers(
+    const ScoreEvaluator& evaluator) {
+  const auto& base = evaluator.HorizonOpinions(evaluator.target());
+  std::vector<graph::NodeId> weakly;
+  for (uint32_t v = 0; v < evaluator.num_users(); ++v) {
+    // Prefers the target to at least one competitor: b_qv > min_x b_xv.
+    double min_competitor = std::numeric_limits<double>::infinity();
+    for (opinion::CandidateId x = 0; x < evaluator.num_candidates(); ++x) {
+      if (x == evaluator.target()) continue;
+      min_competitor =
+          std::min(min_competitor, evaluator.HorizonOpinions(x)[v]);
+    }
+    if (base[v] > min_competitor) weakly.push_back(v);
+  }
+  return weakly;
+}
+
+BoundResult MaximizeUpperBound(const ScoreEvaluator& evaluator, uint32_t k,
+                               const std::vector<graph::NodeId>& base,
+                               double unit_weight) {
+  WallTimer timer;
+  const graph::Graph& g = evaluator.model().graph();
+  const uint32_t n = g.num_nodes();
+  const uint32_t t = evaluator.horizon();
+  k = std::min<uint32_t>(k, n);
+
+  std::vector<bool> covered(n, false);
+  size_t covered_count = 0;
+  for (graph::NodeId v : base) {
+    if (!covered[v]) {
+      covered[v] = true;
+      ++covered_count;
+    }
+  }
+
+  graph::HopLimitedBfs bfs(g, graph::Direction::kForward);
+  auto fresh_gain = [&](graph::NodeId s) {
+    size_t newly = 0;
+    bfs.Run({s}, t, [&](graph::NodeId v, uint32_t) {
+      if (!covered[v]) ++newly;
+    });
+    return newly;
+  };
+
+  // Lazy greedy; valid since coverage is monotone submodular (Thm. 6/7).
+  using Entry = std::tuple<size_t, graph::NodeId, uint32_t>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+  for (graph::NodeId s = 0; s < n; ++s) {
+    // Optimistic initial bound: everything within t hops could be new.
+    queue.emplace(fresh_gain(s), s, 0);
+  }
+
+  BoundResult result;
+  std::vector<bool> chosen(n, false);
+  uint32_t round = 0;
+  while (result.seeds.size() < k && !queue.empty()) {
+    auto [gain, s, at] = queue.top();
+    queue.pop();
+    if (chosen[s]) continue;
+    if (at == round) {
+      chosen[s] = true;
+      result.seeds.push_back(s);
+      bfs.Run({s}, t, [&](graph::NodeId v, uint32_t) {
+        if (!covered[v]) {
+          covered[v] = true;
+          ++covered_count;
+        }
+      });
+      ++round;
+    } else {
+      queue.emplace(fresh_gain(s), s, round);
+    }
+  }
+  result.bound_value = unit_weight * static_cast<double>(covered_count);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+BoundResult MaximizeLowerBound(const ScoreEvaluator& evaluator, uint32_t k,
+                               const std::vector<graph::NodeId>& favorable,
+                               double omega_p) {
+  WallTimer timer;
+  const uint32_t n = evaluator.num_users();
+  k = std::min<uint32_t>(k, n);
+  std::vector<bool> in_favorable(n, false);
+  for (graph::NodeId v : favorable) in_favorable[v] = true;
+
+  DeltaPropagator propagator(evaluator);
+  std::vector<graph::NodeId> touched;
+  auto restricted_gain = [&](graph::NodeId w) {
+    const auto& delta = propagator.ComputeDelta(w, &touched);
+    double gain = 0.0;
+    for (graph::NodeId v : touched) {
+      if (in_favorable[v]) gain += delta[v];
+    }
+    return gain;
+  };
+
+  // CELF over the restricted cumulative sum (submodular by Thm. 3).
+  using Entry = std::tuple<double, graph::NodeId, uint32_t>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) > std::get<1>(b);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+  for (graph::NodeId s = 0; s < n; ++s) queue.emplace(restricted_gain(s), s, 0);
+
+  BoundResult result;
+  std::vector<bool> chosen(n, false);
+  while (result.seeds.size() < k && !queue.empty()) {
+    auto [gain, s, at] = queue.top();
+    queue.pop();
+    if (chosen[s]) continue;
+    if (at == result.seeds.size()) {
+      chosen[s] = true;
+      result.seeds.push_back(s);
+      propagator.SetSeeds(result.seeds);
+    } else {
+      queue.emplace(restricted_gain(s), s,
+                    static_cast<uint32_t>(result.seeds.size()));
+    }
+  }
+  double lb = 0.0;
+  const auto& horizon = propagator.base_horizon();
+  for (graph::NodeId v : favorable) lb += horizon[v];
+  result.bound_value = omega_p * lb;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+SelectionResult SandwichSelect(const ScoreEvaluator& evaluator, uint32_t k,
+                               const SandwichOptions& options) {
+  WallTimer timer;
+  SeedSelector feasible = options.feasible;
+  if (!feasible) {
+    feasible = [](const ScoreEvaluator& ev, uint32_t budget) {
+      return GreedyDMSelect(ev, budget);
+    };
+  }
+  const auto kind = evaluator.spec().kind;
+  if (kind == voting::ScoreKind::kCumulative) {
+    return feasible(evaluator, k);  // submodular: no sandwich required
+  }
+
+  SelectionResult sf = feasible(evaluator, k);
+
+  const uint32_t n = evaluator.num_users();
+  const uint32_t r = evaluator.num_candidates();
+  BoundResult su;
+  BoundResult sl;
+  bool have_lower = false;
+  if (kind == voting::ScoreKind::kCopeland) {
+    const double unit = static_cast<double>(r - 1) /
+                        (std::floor(static_cast<double>(n) / 2.0) + 1.0);
+    su = MaximizeUpperBound(evaluator, k, WeaklyFavorableUsers(evaluator),
+                            unit);
+  } else {
+    const std::vector<graph::NodeId> favorable = FavorableUsers(evaluator);
+    const double omega1 = evaluator.spec().RankWeight(1);
+    su = MaximizeUpperBound(evaluator, k, favorable, omega1);
+    const double omega_p = evaluator.spec().RankWeight(evaluator.spec().p);
+    sl = MaximizeLowerBound(evaluator, k, favorable, omega_p);
+    have_lower = true;
+  }
+
+  const double f_su = evaluator.EvaluateSeeds(su.seeds);
+  const double f_sl = have_lower ? evaluator.EvaluateSeeds(sl.seeds) : -1.0;
+
+  SelectionResult best = sf;
+  const char* origin = "SF";
+  if (f_su > best.score) {
+    best.seeds = su.seeds;
+    best.score = f_su;
+    origin = "SU";
+  }
+  if (have_lower && f_sl > best.score) {
+    best.seeds = sl.seeds;
+    best.score = f_sl;
+    origin = "SL";
+  }
+  best.seconds = timer.Seconds();
+  best.diagnostics["score_SF"] = sf.score;
+  best.diagnostics["score_SU"] = f_su;
+  if (have_lower) best.diagnostics["score_SL"] = f_sl;
+  best.diagnostics["UB_at_SU"] = su.bound_value;
+  // Empirical sandwich factor F(S_U)/UB(S_U) of Eq. 20 / Fig. 2.
+  best.diagnostics["sandwich_ratio"] =
+      su.bound_value > 0.0 ? f_su / su.bound_value : 1.0;
+  best.diagnostics["origin"] = origin == std::string("SF")   ? 0.0
+                               : origin == std::string("SU") ? 1.0
+                                                             : 2.0;
+  return best;
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,70 @@
+// Sandwich approximation (paper § IV) for the non-submodular scores.
+//
+// For the plurality variants the paper sandwiches F between
+//   LB(S) = omega[p] * sum_{v in V_q^(t)} b_qv(t)[S]          (Def. 3)
+//   UB(S) = omega[1] * |N_S^(t) u V_q^(t)|                    (Def. 4)
+// and for Copeland
+//   UB(S) = (r-1)/(floor(n/2)+1) * |N_S^(t) u U_q^(t)|        (Def. 6)
+// where V_q^(t) / U_q^(t) are the (weakly) favorable users (Defs. 1 and 5)
+// and N_S^(t) is the set of users within t forward hops of S (Def. 2).
+//
+// LB is a cumulative score restricted to V_q^(t) (submodular by Thm. 3 =>
+// CELF-greedy with exact delta propagation); UB is weighted max coverage
+// (submodular => lazy greedy over hop-limited BFS). Algorithm 3 then keeps
+// the best of S_U, S_L and the plain-greedy feasible solution S_F under the
+// true score F.
+#ifndef VOTEOPT_CORE_SANDWICH_H_
+#define VOTEOPT_CORE_SANDWICH_H_
+
+#include <vector>
+
+#include "core/problem.h"
+
+namespace voteopt::core {
+
+/// V_q^(t): users who rank the target within the top p at the horizon even
+/// with no seeds (Def. 1). For plurality / Copeland callers, p = 1.
+std::vector<graph::NodeId> FavorableUsers(const ScoreEvaluator& evaluator);
+
+/// U_q^(t): users who prefer the target to at least one other candidate at
+/// the horizon with no seeds (Def. 5).
+std::vector<graph::NodeId> WeaklyFavorableUsers(
+    const ScoreEvaluator& evaluator);
+
+/// Result of maximizing one of the bound functions.
+struct BoundResult {
+  std::vector<graph::NodeId> seeds;
+  /// Bound value at the returned seed set (UB(S_U) resp. LB(S_L)).
+  double bound_value = 0.0;
+  double seconds = 0.0;
+};
+
+/// Lazy-greedy maximization of the coverage upper bound. `base` is the
+/// favorable (plurality variants) or weakly favorable (Copeland) user set;
+/// `unit_weight` is omega[1] resp. (r-1)/(floor(n/2)+1).
+BoundResult MaximizeUpperBound(const ScoreEvaluator& evaluator, uint32_t k,
+                               const std::vector<graph::NodeId>& base,
+                               double unit_weight);
+
+/// CELF-greedy maximization of the restricted-cumulative lower bound over
+/// the favorable set (plurality variants only).
+BoundResult MaximizeLowerBound(const ScoreEvaluator& evaluator, uint32_t k,
+                               const std::vector<graph::NodeId>& favorable,
+                               double omega_p);
+
+struct SandwichOptions {
+  /// Produces the feasible solution S_F; defaults to exact plain greedy
+  /// (GreedyDMSelect). The RW/RS methods plug their estimated greedy here.
+  SeedSelector feasible;
+};
+
+/// Algorithm 3: returns argmax_{S in {S_U, S_L, S_F}} F(S). Diagnostics
+/// include "sandwich_ratio" = F(S_U)/UB(S_U) (the empirical factor of
+/// Fig. 2) plus the individual scores. For the cumulative score this
+/// delegates directly to the feasible selector (no sandwich needed).
+SelectionResult SandwichSelect(const ScoreEvaluator& evaluator, uint32_t k,
+                               const SandwichOptions& options = {});
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_SANDWICH_H_

@@ -1,0 +1,100 @@
+#include "core/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/estimated_greedy.h"
+#include "core/walk_engine.h"
+#include "graph/alias_table.h"
+
+namespace voteopt::core {
+
+std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
+                                        uint64_t theta, Rng* rng) {
+  const graph::Graph& g = evaluator.model().graph();
+  const uint32_t n = g.num_nodes();
+  graph::AliasSampler alias(g);
+  WalkEngine engine(g, evaluator.target_campaign(), alias);
+
+  auto walks = std::make_unique<WalkSet>(n);
+  std::vector<graph::NodeId> scratch;
+  for (uint64_t j = 0; j < theta; ++j) {
+    const graph::NodeId start = static_cast<graph::NodeId>(rng->UniformInt(n));
+    engine.Generate(start, evaluator.horizon(), rng, &scratch);
+    walks->AddWalk(scratch);
+  }
+  walks->Finalize(evaluator.target_campaign().initial_opinions);
+
+  // Eq. 35/42/47 weighting: a start sampled lambda_v times represents
+  // n * lambda_v / theta users.
+  const double scale = static_cast<double>(n) / static_cast<double>(theta);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    walks->SetStartWeight(v, scale * static_cast<double>(walks->Lambda(v)));
+  }
+  return walks;
+}
+
+double CumulativeOptLowerBound(const ScoreEvaluator& evaluator, uint32_t k) {
+  const auto& base = evaluator.HorizonOpinions(evaluator.target());
+  double f_empty = 0.0;
+  for (double b : base) f_empty += b;
+  return std::max({f_empty, static_cast<double>(k), 1.0});
+}
+
+double RefineOptLowerBound(const ScoreEvaluator& evaluator, uint32_t k,
+                           double epsilon, double fallback, Rng* rng) {
+  const uint32_t n = evaluator.num_users();
+  double x = static_cast<double>(n) / 2.0;
+  // Cheap per-test sketch budget; grows as the tested bound shrinks, as in
+  // Algorithm 2 of [3].
+  while (x >= std::max<double>(k, 1.0)) {
+    const uint64_t theta = std::min<uint64_t>(
+        static_cast<uint64_t>(std::ceil(
+            (2.0 + 2.0 / 3.0 * epsilon) * static_cast<double>(n) *
+            std::log(static_cast<double>(n)) / (epsilon * epsilon * x))),
+        4ull * n);
+    auto walks = BuildSketchSet(evaluator, theta, rng);
+    EstimatedGreedyOptions opts;
+    opts.evaluate_exact = false;  // the test uses the estimate only
+    SelectionResult est = EstimatedGreedySelect(evaluator, k, walks.get(), opts);
+    if (est.score >= (1.0 + epsilon) * x) {
+      return std::max(fallback, est.score / (1.0 + epsilon));
+    }
+    x /= 2.0;
+  }
+  return fallback;
+}
+
+uint64_t EstimateThetaByConvergence(const ScoreEvaluator& evaluator,
+                                    uint32_t k, uint64_t theta_start,
+                                    uint64_t theta_cap, double tol,
+                                    uint64_t rng_seed) {
+  uint64_t theta = std::max<uint64_t>(theta_start, 16);
+  double previous = -1.0;
+  uint64_t last_stable = 0;
+  int stable_rounds = 0;
+  while (theta <= theta_cap) {
+    Rng rng(rng_seed);
+    auto walks = BuildSketchSet(evaluator, theta, &rng);
+    const SelectionResult result =
+        EstimatedGreedySelect(evaluator, k, walks.get());
+    if (previous >= 0.0) {
+      const double change = std::fabs(result.score - previous) /
+                            std::max(1.0, std::fabs(result.score));
+      if (change <= tol) {
+        // Require two consecutive stable doublings before declaring
+        // convergence: a single quiet doubling can be a fluke on the slow
+        // climb toward the plateau (cf. Figs. 13-14).
+        if (++stable_rounds >= 2) return last_stable;
+        if (stable_rounds == 1) last_stable = theta;
+      } else {
+        stable_rounds = 0;
+      }
+    }
+    previous = result.score;
+    theta *= 2;
+  }
+  return std::min<uint64_t>(theta, theta_cap);
+}
+
+}  // namespace voteopt::core

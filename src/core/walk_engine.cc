@@ -1,0 +1,35 @@
+#include "core/walk_engine.h"
+
+namespace voteopt::core {
+
+void WalkEngine::Generate(graph::NodeId start, uint32_t horizon, Rng* rng,
+                          std::vector<graph::NodeId>* out) const {
+  out->clear();
+  out->push_back(start);
+  graph::NodeId current = start;
+  for (uint32_t step = 0; step < horizon; ++step) {
+    const double d = campaign_->stubbornness[current];
+    if (d >= 1.0 || (d > 0.0 && rng->Uniform() < d)) break;  // absorbed
+    const graph::NodeId next = alias_->SampleInNeighbor(current, rng);
+    if (next == graph::AliasSampler::kNoNeighbor) break;  // no in-edges
+    out->push_back(next);
+    current = next;
+  }
+}
+
+double WalkEngine::GenerateWithSeeds(graph::NodeId start, uint32_t horizon,
+                                     const std::vector<bool>& is_seed,
+                                     Rng* rng) const {
+  graph::NodeId current = start;
+  for (uint32_t step = 0; step < horizon; ++step) {
+    if (is_seed[current]) break;  // d[S] = 1: absorbed at the seed
+    const double d = campaign_->stubbornness[current];
+    if (d >= 1.0 || (d > 0.0 && rng->Uniform() < d)) break;
+    const graph::NodeId next = alias_->SampleInNeighbor(current, rng);
+    if (next == graph::AliasSampler::kNoNeighbor) break;
+    current = next;
+  }
+  return is_seed[current] ? 1.0 : campaign_->initial_opinions[current];
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,49 @@
+// Generation of t-step reverse random walks (paper § V-A).
+//
+// A walk at node u terminates there with probability d_u[S] (stubbornness;
+// 1 for seeds); otherwise it moves to an in-neighbor sampled with
+// probability w_uv via the alias tables. It stops after t transitions, when
+// absorbed, or at a node without in-edges (such users retain their initial
+// opinion, so the walk's value is well defined). The start node's estimated
+// opinion is the initial opinion of the walk's end node (Thm. 8).
+#ifndef VOTEOPT_CORE_WALK_ENGINE_H_
+#define VOTEOPT_CORE_WALK_ENGINE_H_
+
+#include <vector>
+
+#include "graph/alias_table.h"
+#include "graph/graph.h"
+#include "opinion/opinion_state.h"
+#include "util/rng.h"
+
+namespace voteopt::core {
+
+class WalkEngine {
+ public:
+  /// `graph`, `campaign` and `alias` must outlive the engine; `alias` must
+  /// be built over `graph`.
+  WalkEngine(const graph::Graph& graph, const opinion::Campaign& campaign,
+             const graph::AliasSampler& alias)
+      : graph_(&graph), campaign_(&campaign), alias_(&alias) {}
+
+  /// Generates one walk with the EMPTY seed set (Post-Generation
+  /// Truncation setup, Thm. 9). `out` receives the node sequence, start
+  /// first; it always has between 1 and horizon+1 nodes.
+  void Generate(graph::NodeId start, uint32_t horizon, Rng* rng,
+                std::vector<graph::NodeId>* out) const;
+
+  /// Direct Generation (paper § V-A) with a seed set applied: seeds are
+  /// fully stubborn, so the walk is absorbed on reaching one. Returns the
+  /// estimate X = b0[S][end node]. Used to validate Thm. 8 against Thm. 9.
+  double GenerateWithSeeds(graph::NodeId start, uint32_t horizon,
+                           const std::vector<bool>& is_seed, Rng* rng) const;
+
+ private:
+  const graph::Graph* graph_;
+  const opinion::Campaign* campaign_;
+  const graph::AliasSampler* alias_;
+};
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_WALK_ENGINE_H_

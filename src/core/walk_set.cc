@@ -1,0 +1,94 @@
+#include "core/walk_set.h"
+
+#include <cassert>
+
+namespace voteopt::core {
+
+WalkSet::WalkSet(uint32_t num_nodes)
+    : num_nodes_(num_nodes),
+      lambda_(num_nodes, 0),
+      est_sum_(num_nodes, 0.0),
+      start_weight_(num_nodes, 1.0) {
+  offsets_.push_back(0);
+}
+
+void WalkSet::AddWalk(const std::vector<graph::NodeId>& walk_nodes) {
+  assert(!finalized_);
+  assert(!walk_nodes.empty());
+  nodes_.insert(nodes_.end(), walk_nodes.begin(), walk_nodes.end());
+  offsets_.push_back(nodes_.size());
+  starts_.push_back(walk_nodes.front());
+  eff_len_.push_back(static_cast<uint32_t>(walk_nodes.size()));
+  ++lambda_[walk_nodes.front()];
+}
+
+void WalkSet::Finalize(const std::vector<double>& initial_opinions) {
+  assert(!finalized_);
+  finalized_ = true;
+  const size_t walks = starts_.size();
+  values_.resize(walks);
+  for (size_t w = 0; w < walks; ++w) {
+    const graph::NodeId end = nodes_[offsets_[w + 1] - 1];
+    values_[w] = initial_opinions[end];
+    est_sum_[starts_[w]] += values_[w];
+  }
+
+  // Inverted index with first-occurrence dedup per walk: counting pass,
+  // then fill. `last_seen[v]` stamps the walk that last recorded v.
+  constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> last_seen(num_nodes_, kNone);
+  std::vector<uint64_t> counts(num_nodes_ + 1, 0);
+  for (uint32_t w = 0; w < walks; ++w) {
+    for (uint64_t i = offsets_[w]; i < offsets_[w + 1]; ++i) {
+      const graph::NodeId v = nodes_[i];
+      if (last_seen[v] == w) continue;
+      last_seen[v] = w;
+      ++counts[v + 1];
+    }
+  }
+  index_offsets_.assign(num_nodes_ + 1, 0);
+  for (uint32_t v = 0; v < num_nodes_; ++v) {
+    index_offsets_[v + 1] = index_offsets_[v] + counts[v + 1];
+  }
+  index_entries_.resize(index_offsets_[num_nodes_]);
+  std::vector<uint64_t> cursor(index_offsets_.begin(),
+                               index_offsets_.end() - 1);
+  std::fill(last_seen.begin(), last_seen.end(), kNone);
+  for (uint32_t w = 0; w < walks; ++w) {
+    for (uint64_t i = offsets_[w]; i < offsets_[w + 1]; ++i) {
+      const graph::NodeId v = nodes_[i];
+      if (last_seen[v] == w) continue;
+      last_seen[v] = w;
+      index_entries_[cursor[v]++] = {
+          w, static_cast<uint32_t>(i - offsets_[w])};
+    }
+  }
+}
+
+size_t WalkSet::memory_bytes() const {
+  return nodes_.size() * sizeof(graph::NodeId) +
+         offsets_.size() * sizeof(uint64_t) +
+         starts_.size() * sizeof(graph::NodeId) +
+         eff_len_.size() * sizeof(uint32_t) + values_.size() * sizeof(double) +
+         lambda_.size() * sizeof(uint32_t) + est_sum_.size() * sizeof(double) +
+         start_weight_.size() * sizeof(double) +
+         index_offsets_.size() * sizeof(uint64_t) +
+         index_entries_.size() * sizeof(Posting);
+}
+
+void WalkSet::Truncate(
+    graph::NodeId w, const std::function<void(uint32_t, double)>& on_change) {
+  assert(finalized_);
+  for (const Posting& posting : PostingsOf(w)) {
+    if (posting.pos >= eff_len_[posting.walk]) continue;  // already cut
+    const double old_value = values_[posting.walk];
+    eff_len_[posting.walk] = posting.pos + 1;
+    if (old_value < 1.0) {
+      values_[posting.walk] = 1.0;
+      est_sum_[starts_[posting.walk]] += 1.0 - old_value;
+      on_change(posting.walk, old_value);
+    }
+  }
+}
+
+}  // namespace voteopt::core

@@ -1,0 +1,106 @@
+// Storage for t-step reverse random walks with Post-Generation Truncation
+// (paper § V-B, Thm. 9).
+//
+// Walks are generated once with the empty seed set and stored flat. For a
+// seed set S, a walk's estimate Y(t)[S] is the initial opinion of the end
+// node after truncating the walk at the first occurrence of a node of S;
+// truncating at a seed sets the value to 1 (a seed's initial opinion is 1).
+//
+// An inverted index node -> (walk, first position) lets the greedy loop
+// compute the marginal gains of every candidate seed in one scan over the
+// index (paper § V-B time-complexity discussion), and truncation after a
+// selection is O(#walks containing the new seed).
+#ifndef VOTEOPT_CORE_WALK_SET_H_
+#define VOTEOPT_CORE_WALK_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace voteopt::core {
+
+class WalkSet {
+ public:
+  /// One inverted-index posting: the walk and the first position (0-based,
+  /// position 0 is the walk's start node) where the node occurs.
+  struct Posting {
+    uint32_t walk;
+    uint32_t pos;
+  };
+
+  explicit WalkSet(uint32_t num_nodes);
+
+  /// Appends a walk; `nodes` must be non-empty and nodes[0] is the start.
+  void AddWalk(const std::vector<graph::NodeId>& nodes);
+
+  /// Freezes the set: assigns each walk its no-seed value (the initial
+  /// opinion of its end node) and builds the inverted index. Call exactly
+  /// once, after all AddWalk calls.
+  void Finalize(const std::vector<double>& initial_opinions);
+
+  // --- static shape -------------------------------------------------------
+  uint32_t num_nodes() const { return num_nodes_; }
+  size_t num_walks() const { return starts_.size(); }
+  /// lambda_v: number of walks starting at v.
+  uint32_t Lambda(graph::NodeId v) const { return lambda_[v]; }
+  graph::NodeId StartOf(uint32_t walk) const { return starts_[walk]; }
+  size_t total_index_entries() const { return index_entries_.size(); }
+  size_t memory_bytes() const;
+
+  /// Per-start score weight: 1 for the RW method, n * lambda_v / theta for
+  /// the RS sketches (default 1).
+  void SetStartWeight(graph::NodeId v, double weight) {
+    start_weight_[v] = weight;
+  }
+  double StartWeight(graph::NodeId v) const { return start_weight_[v]; }
+
+  // --- dynamic state under the current seed set ---------------------------
+  /// Current estimate Y of this walk (initial opinion of the effective end
+  /// node; 1 once truncated at a seed).
+  double Value(uint32_t walk) const { return values_[walk]; }
+  /// Current effective length in nodes (after truncations).
+  uint32_t EffectiveLen(uint32_t walk) const { return eff_len_[walk]; }
+  /// Estimated opinion of start node v: average walk value (b-hat), or
+  /// `fallback` when v has no walks (possible for sketches).
+  double EstimatedOpinion(graph::NodeId v, double fallback = 0.0) const {
+    return lambda_[v] == 0
+               ? fallback
+               : est_sum_[v] / static_cast<double>(lambda_[v]);
+  }
+
+  /// Postings of node w (walks that contain w), grouped contiguously.
+  std::span<const Posting> PostingsOf(graph::NodeId w) const {
+    return {index_entries_.data() + index_offsets_[w],
+            index_entries_.data() + index_offsets_[w + 1]};
+  }
+
+  /// Makes w a seed: truncates every walk containing w at w's first
+  /// occurrence and sets its value to 1. `on_change(walk, old_value)` is
+  /// invoked for every walk whose value changed (old_value < 1).
+  void Truncate(graph::NodeId w,
+                const std::function<void(uint32_t, double)>& on_change);
+
+ private:
+  uint32_t num_nodes_;
+  bool finalized_ = false;
+
+  std::vector<graph::NodeId> nodes_;   // concatenated walk nodes
+  std::vector<uint64_t> offsets_;      // per-walk begin; size num_walks+1
+  std::vector<graph::NodeId> starts_;  // per-walk start node
+  std::vector<uint32_t> eff_len_;      // per-walk effective length
+  std::vector<double> values_;         // per-walk current Y value
+
+  std::vector<uint32_t> lambda_;       // per-node walk count
+  std::vector<double> est_sum_;        // per-node sum of walk values
+  std::vector<double> start_weight_;   // per-node score weight
+
+  std::vector<uint64_t> index_offsets_;
+  std::vector<Posting> index_entries_;
+};
+
+}  // namespace voteopt::core
+
+#endif  // VOTEOPT_CORE_WALK_SET_H_

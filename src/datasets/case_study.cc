@@ -1,0 +1,167 @@
+#include "datasets/case_study.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "opinion/fj_model.h"
+
+namespace voteopt::datasets {
+
+const std::array<const char*, kNumDomains> kDomainNames = {
+    "DM", "HCI", "ML", "CN", "AL", "SW", "HW"};
+
+namespace {
+
+// Domain base popularity (paper Table IV population ordering: DM and CN
+// largest, SW smallest) and overlap structure: DM overlaps strongly with
+// ML/HCI/CN; HW barely overlaps DM (paper's observation).
+constexpr std::array<double, kNumDomains> kDomainWeight = {
+    1.00, 0.92, 0.85, 0.98, 0.52, 0.34, 0.81};
+
+// Pairwise co-membership affinity (symmetric, diagonal unused).
+constexpr double kOverlap[kNumDomains][kNumDomains] = {
+    // DM   HCI   ML    CN    AL    SW    HW
+    {0.0, 0.50, 0.60, 0.45, 0.35, 0.15, 0.05},  // DM
+    {0.50, 0.0, 0.40, 0.20, 0.10, 0.25, 0.10},  // HCI
+    {0.60, 0.40, 0.0, 0.25, 0.30, 0.10, 0.10},  // ML
+    {0.45, 0.20, 0.25, 0.0, 0.20, 0.15, 0.40},  // CN
+    {0.35, 0.10, 0.30, 0.20, 0.0, 0.15, 0.15},  // AL
+    {0.15, 0.25, 0.10, 0.15, 0.15, 0.0, 0.35},  // SW
+    {0.05, 0.10, 0.10, 0.40, 0.15, 0.35, 0.0},  // HW
+};
+
+uint8_t SampleDomain(Rng* rng) {
+  double total = 0.0;
+  for (double w : kDomainWeight) total += w;
+  double u = rng->Uniform() * total;
+  for (uint8_t d = 0; d < kNumDomains; ++d) {
+    if (u < kDomainWeight[d]) return d;
+    u -= kDomainWeight[d];
+  }
+  return kNumDomains - 1;
+}
+
+}  // namespace
+
+CaseStudyData MakeCaseStudy(const CaseStudyConfig& config) {
+  Rng rng(config.rng_seed);
+  const uint32_t n = config.num_users;
+
+  CaseStudyData data;
+  // --- domain memberships: primary domain + 0-2 correlated secondaries ---
+  data.domains.resize(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint8_t primary = SampleDomain(&rng);
+    data.domains[v].push_back(primary);
+    for (uint8_t d = 0; d < kNumDomains; ++d) {
+      if (d == primary || data.domains[v].size() >= 3) continue;
+      if (rng.Bernoulli(0.6 * kOverlap[primary][d])) {
+        data.domains[v].push_back(d);
+      }
+    }
+  }
+
+  // --- collaboration graph: preferential within shared domains -----------
+  // Group users per domain, then wire each user to a few collaborators
+  // drawn from her domains (weighted by seniority rank), plus occasional
+  // cross-domain edges.
+  std::vector<std::vector<graph::NodeId>> members(kNumDomains);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint8_t d : data.domains[v]) members[d].push_back(v);
+  }
+  graph::GraphBuilder builder(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t collaborations = 2 + static_cast<uint32_t>(rng.Poisson(3));
+    for (uint32_t c = 0; c < collaborations; ++c) {
+      const uint8_t domain =
+          data.domains[v][rng.UniformInt(data.domains[v].size())];
+      const auto& pool = members[domain];
+      // Zipf rank within the domain approximates seniority: low ranks are
+      // prolific, highly connected researchers.
+      const uint64_t rank = rng.Zipf(pool.size(), 1.1);
+      const graph::NodeId u = pool[rank - 1];
+      if (u == v) continue;
+      const double coauthored_papers = static_cast<double>(rng.Zipf(40, 1.5));
+      builder.AddUndirectedEdge(v, u, coauthored_papers);
+    }
+  }
+  auto counts = builder.Build({.merge_parallel_edges = true});
+  assert(counts.ok());
+
+  // --- candidate profiles (Ioannidis: DM-centric; Konstan: HCI/ML) -------
+  data.candidate_profiles[0] = {0.42, 0.06, 0.10, 0.12, 0.16, 0.06, 0.08};
+  data.candidate_profiles[1] = {0.22, 0.34, 0.20, 0.06, 0.04, 0.10, 0.04};
+
+  // --- initial opinions: profile overlap + noise; stubbornness high ------
+  opinion::MultiCampaignState state;
+  state.campaigns.resize(2);
+  for (auto& campaign : state.campaigns) {
+    campaign.initial_opinions.resize(n);
+    campaign.stubbornness.resize(n);
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    // User profile: uniform mass over her domains.
+    std::array<double, kNumDomains> profile{};
+    for (uint8_t d : data.domains[v]) {
+      profile[d] += 1.0 / static_cast<double>(data.domains[v].size());
+    }
+    for (uint32_t q = 0; q < 2; ++q) {
+      double dot = 0.0, nu = 0.0, nc = 0.0;
+      for (uint8_t d = 0; d < kNumDomains; ++d) {
+        dot += profile[d] * data.candidate_profiles[q][d];
+        nu += profile[d] * profile[d];
+        nc += data.candidate_profiles[q][d] * data.candidate_profiles[q][d];
+      }
+      const double cosine = dot / std::sqrt(nu * nc);
+      const double noisy =
+          std::clamp(0.15 + 0.7 * cosine + rng.Normal(0.0, 0.08), 0.0, 1.0);
+      state.campaigns[q].initial_opinions[v] = noisy;
+      state.campaigns[q].stubbornness[v] = rng.Beta(5.0, 2.0);
+    }
+  }
+
+  data.dataset.name = "ACM-Election-CaseStudy";
+  data.dataset.counts = std::move(counts).value();
+  data.dataset.influence = ReweightWithMu(data.dataset.counts, config.mu);
+  data.dataset.state = std::move(state);
+  data.dataset.default_target = 1;  // "Konstan" analog
+  return data;
+}
+
+std::vector<DomainReport> AnalyzeCaseStudy(
+    const CaseStudyData& data, const std::vector<graph::NodeId>& seeds,
+    uint32_t horizon) {
+  const auto& ds = data.dataset;
+  const uint32_t n = ds.influence.num_nodes();
+  opinion::FJModel model(ds.influence);
+  const opinion::CandidateId target = ds.default_target;
+  const opinion::CandidateId rival = 1 - target;
+
+  const std::vector<double> rival_final =
+      model.Propagate(ds.state.campaigns[rival], horizon);
+  const std::vector<double> before =
+      model.Propagate(ds.state.campaigns[target], horizon);
+  const std::vector<double> after = model.PropagateWithSeeds(
+      ds.state.campaigns[target], seeds, horizon);
+
+  std::vector<DomainReport> report(kNumDomains);
+  for (uint8_t d = 0; d < kNumDomains; ++d) {
+    report[d].domain = kDomainNames[d];
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint8_t d : data.domains[v]) {
+      ++report[d].total_users;
+      if (before[v] > rival_final[v]) ++report[d].voting_for_target_before;
+      if (after[v] > rival_final[v]) ++report[d].voting_for_target_after;
+    }
+  }
+  for (graph::NodeId s : seeds) {
+    const uint8_t primary = data.domains[s].front();
+    report[primary].seeds_in_domain.push_back(s);
+  }
+  return report;
+}
+
+}  // namespace voteopt::datasets

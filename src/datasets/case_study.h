@@ -1,0 +1,62 @@
+// ACM-general-election case study substrate (paper § VIII-B, Fig. 4,
+// Tables IV-V).
+//
+// The paper's study runs on DBLP with 7 research domains, two candidates
+// (Ioannidis: data management; Konstan: HCI / recommender systems), initial
+// opinions = embedding similarity between a user's papers and a candidate's.
+// We synthesize the same structure: an overlapping-community collaboration
+// graph where every user belongs to 1-3 of 7 domains, candidate profiles
+// put mass on disjoint-ish domain subsets, and a user's initial opinion
+// about a candidate is the cosine-similarity-like overlap of her domain
+// profile with the candidate's, plus noise.
+#ifndef VOTEOPT_DATASETS_CASE_STUDY_H_
+#define VOTEOPT_DATASETS_CASE_STUDY_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "datasets/synthetic.h"
+
+namespace voteopt::datasets {
+
+inline constexpr uint32_t kNumDomains = 7;
+
+/// Domain labels matching paper Table IV.
+extern const std::array<const char*, kNumDomains> kDomainNames;
+
+struct CaseStudyData {
+  Dataset dataset;  // 2 candidates; target = 1 ("Konstan" analog)
+  /// domains[v] = the 1-3 domains user v belongs to.
+  std::vector<std::vector<uint8_t>> domains;
+  /// Per-candidate domain affinity profiles (rows sum to 1).
+  std::array<std::array<double, kNumDomains>, 2> candidate_profiles;
+};
+
+struct CaseStudyConfig {
+  uint32_t num_users = 4000;
+  uint64_t rng_seed = 7;
+  double mu = 10.0;
+};
+
+CaseStudyData MakeCaseStudy(const CaseStudyConfig& config = CaseStudyConfig());
+
+/// One row of the Table-IV-style report.
+struct DomainReport {
+  std::string domain;
+  uint32_t total_users = 0;
+  uint32_t voting_for_target_before = 0;
+  uint32_t voting_for_target_after = 0;
+  /// Seeds (from the provided seed set) whose strongest domain is this one.
+  std::vector<graph::NodeId> seeds_in_domain;
+};
+
+/// Evaluates the case study: who votes for the target (plurality sense) at
+/// the horizon, per domain, without vs with the seed set.
+std::vector<DomainReport> AnalyzeCaseStudy(
+    const CaseStudyData& data, const std::vector<graph::NodeId>& seeds,
+    uint32_t horizon);
+
+}  // namespace voteopt::datasets
+
+#endif  // VOTEOPT_DATASETS_CASE_STUDY_H_

@@ -1,0 +1,126 @@
+#include "datasets/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/io.h"
+
+namespace voteopt::datasets {
+
+namespace {
+constexpr char kMagic[] = "# voteopt-campaigns v1";
+}
+
+Status SaveCampaigns(const opinion::MultiCampaignState& state,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const uint32_t r = state.num_candidates();
+  if (r == 0) return Status::InvalidArgument("no campaigns to save");
+  const size_t n = state.campaigns[0].initial_opinions.size();
+  out << kMagic << "\n" << r << ' ' << n << "\n";
+  out.precision(17);
+  for (const auto& campaign : state.campaigns) {
+    if (campaign.initial_opinions.size() != n ||
+        campaign.stubbornness.size() != n) {
+      return Status::InvalidArgument("campaign size mismatch");
+    }
+    for (size_t v = 0; v < n; ++v) {
+      out << campaign.initial_opinions[v] << ' ' << campaign.stubbornness[v]
+          << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<opinion::MultiCampaignState> LoadCampaigns(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string header;
+  std::getline(in, header);
+  if (header != kMagic) {
+    return Status::Corruption(path + ": missing campaigns header");
+  }
+  uint32_t r = 0;
+  size_t n = 0;
+  if (!(in >> r >> n) || r < 2) {
+    return Status::Corruption(path + ": bad dimensions");
+  }
+  opinion::MultiCampaignState state;
+  state.campaigns.resize(r);
+  for (auto& campaign : state.campaigns) {
+    campaign.initial_opinions.resize(n);
+    campaign.stubbornness.resize(n);
+    for (size_t v = 0; v < n; ++v) {
+      if (!(in >> campaign.initial_opinions[v] >> campaign.stubbornness[v])) {
+        return Status::Corruption(path + ": truncated campaign data");
+      }
+    }
+  }
+  VOTEOPT_RETURN_IF_ERROR(state.Validate(static_cast<uint32_t>(n)));
+  return state;
+}
+
+Status SaveDatasetBundle(const Dataset& dataset, const std::string& prefix) {
+  VOTEOPT_RETURN_IF_ERROR(
+      graph::SaveEdgeList(dataset.influence, prefix + ".influence.edges"));
+  VOTEOPT_RETURN_IF_ERROR(
+      graph::SaveEdgeList(dataset.counts, prefix + ".counts.edges"));
+  VOTEOPT_RETURN_IF_ERROR(
+      SaveCampaigns(dataset.state, prefix + ".campaigns.tsv"));
+  std::ofstream meta(prefix + ".meta");
+  if (!meta) return Status::IOError("cannot open " + prefix + ".meta");
+  meta << "name " << dataset.name << "\n"
+       << "target " << dataset.default_target << "\n";
+  if (!meta) return Status::IOError("write failed for " + prefix + ".meta");
+  return Status::OK();
+}
+
+Result<Dataset> LoadDatasetBundle(const std::string& prefix) {
+  Dataset dataset;
+  {
+    auto influence = graph::LoadEdgeList(prefix + ".influence.edges",
+                                         {.normalize_incoming = true});
+    if (!influence.ok()) return influence.status();
+    dataset.influence = std::move(influence).value();
+  }
+  {
+    auto counts = graph::LoadEdgeList(prefix + ".counts.edges",
+                                      {.normalize_incoming = false});
+    if (!counts.ok()) return counts.status();
+    dataset.counts = std::move(counts).value();
+  }
+  {
+    auto campaigns = LoadCampaigns(prefix + ".campaigns.tsv");
+    if (!campaigns.ok()) return campaigns.status();
+    dataset.state = std::move(campaigns).value();
+  }
+  std::ifstream meta(prefix + ".meta");
+  if (!meta) return Status::IOError("cannot open " + prefix + ".meta");
+  std::string line;
+  while (std::getline(meta, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "name") {
+      std::string rest;
+      std::getline(ls, rest);
+      dataset.name = rest.empty() ? "" : rest.substr(1);
+    } else if (key == "target") {
+      uint32_t target = 0;
+      ls >> target;
+      dataset.default_target = target;
+    }
+  }
+  if (dataset.default_target >= dataset.state.num_candidates()) {
+    return Status::Corruption(prefix + ".meta: target out of range");
+  }
+  if (dataset.state.campaigns[0].initial_opinions.size() !=
+      dataset.influence.num_nodes()) {
+    return Status::Corruption(prefix + ": campaigns and graph disagree on n");
+  }
+  return dataset;
+}
+
+}  // namespace voteopt::datasets

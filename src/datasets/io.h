@@ -1,0 +1,36 @@
+// Persistence for problem instances: campaign states (initial opinions +
+// stubbornness per candidate) and whole dataset bundles. Lets users run the
+// library on their own data — graphs load via graph::LoadEdgeList, opinions
+// via the TSV format here — and makes synthetic benchmarks shareable.
+//
+// Campaign TSV format:
+//   # voteopt-campaigns v1
+//   <r> <n>
+//   <r * n lines: "<b0> <d>" in candidate-major order>
+//
+// A dataset bundle under <prefix> consists of:
+//   <prefix>.influence.edges   normalized influence graph
+//   <prefix>.counts.edges      raw interaction counts (for mu sweeps)
+//   <prefix>.campaigns.tsv     the campaign state
+//   <prefix>.meta              "name <display name>\ntarget <id>"
+#ifndef VOTEOPT_DATASETS_IO_H_
+#define VOTEOPT_DATASETS_IO_H_
+
+#include <string>
+
+#include "datasets/synthetic.h"
+#include "opinion/opinion_state.h"
+#include "util/status.h"
+
+namespace voteopt::datasets {
+
+Status SaveCampaigns(const opinion::MultiCampaignState& state,
+                     const std::string& path);
+Result<opinion::MultiCampaignState> LoadCampaigns(const std::string& path);
+
+Status SaveDatasetBundle(const Dataset& dataset, const std::string& prefix);
+Result<Dataset> LoadDatasetBundle(const std::string& prefix);
+
+}  // namespace voteopt::datasets
+
+#endif  // VOTEOPT_DATASETS_IO_H_

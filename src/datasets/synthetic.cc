@@ -1,0 +1,198 @@
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace voteopt::datasets {
+
+const char* DatasetDisplayName(DatasetName name) {
+  switch (name) {
+    case DatasetName::kDblp:
+      return "DBLP";
+    case DatasetName::kYelp:
+      return "Yelp";
+    case DatasetName::kTwitterElection:
+      return "Twitter US Election";
+    case DatasetName::kTwitterDistancing:
+      return "Twitter Social Distancing";
+    case DatasetName::kTwitterMask:
+      return "Twitter Mask";
+  }
+  return "?";
+}
+
+std::vector<DatasetName> AllDatasets() {
+  return {DatasetName::kDblp, DatasetName::kYelp,
+          DatasetName::kTwitterElection, DatasetName::kTwitterDistancing,
+          DatasetName::kTwitterMask};
+}
+
+uint32_t DefaultNumNodes(DatasetName name) {
+  switch (name) {
+    case DatasetName::kDblp:
+      return 3000;
+    case DatasetName::kYelp:
+      return 5000;
+    case DatasetName::kTwitterElection:
+      return 8000;
+    case DatasetName::kTwitterDistancing:
+      return 10000;
+    case DatasetName::kTwitterMask:
+      return 8000;
+  }
+  return 1000;
+}
+
+graph::Graph ReweightWithMu(const graph::Graph& counts, double mu) {
+  assert(mu > 0.0);
+  graph::GraphBuilder builder(counts.num_nodes());
+  for (graph::NodeId u = 0; u < counts.num_nodes(); ++u) {
+    const auto targets = counts.OutNeighbors(u);
+    const auto interactions = counts.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const double w = 1.0 - std::exp(-interactions[i] / mu);
+      if (w > 0.0) builder.AddEdge(u, targets[i], w);
+    }
+  }
+  auto built = builder.Build(
+      {.merge_parallel_edges = false, .normalize_incoming = true});
+  assert(built.ok());
+  return std::move(built).value();
+}
+
+namespace {
+
+/// Opinion/stubbornness recipes. Each candidate gets a "camp" of users with
+/// high affinity; the rest lean away, with plenty of near-neutral users —
+/// the dispersion that makes rank-based scores interesting. `camp_share`
+/// (optional, size r, sums to ~1) skews camp sizes: real electorates are
+/// rarely 50/50, and an asymmetric split gives the FJ-Vote-Win experiments
+/// a meaningful deficit to overcome.
+opinion::MultiCampaignState MakePolarizedOpinions(
+    uint32_t n, uint32_t r, bool uniform_stubbornness, Rng* rng,
+    const std::vector<double>& camp_share = {}) {
+  opinion::MultiCampaignState state;
+  state.campaigns.resize(r);
+  for (auto& campaign : state.campaigns) {
+    campaign.initial_opinions.resize(n);
+    campaign.stubbornness.resize(n);
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    // Soft camp assignment: one preferred candidate, but opinions about the
+    // others remain positive (the paper's key modelling point).
+    uint32_t camp;
+    if (camp_share.empty()) {
+      camp = static_cast<uint32_t>(rng->UniformInt(r));
+    } else {
+      double u = rng->Uniform();
+      camp = r - 1;
+      for (uint32_t q = 0; q < r; ++q) {
+        if (u < camp_share[q]) {
+          camp = q;
+          break;
+        }
+        u -= camp_share[q];
+      }
+    }
+    for (uint32_t q = 0; q < r; ++q) {
+      const double opinionated = rng->Uniform();
+      double value;
+      if (opinionated < 0.25) {
+        value = rng->Beta(2.0, 2.0);  // near-neutral users
+      } else if (q == camp) {
+        value = rng->Beta(5.0, 2.0);  // sympathetic
+      } else {
+        value = rng->Beta(2.0, 5.0);  // leaning away
+      }
+      state.campaigns[q].initial_opinions[v] = value;
+    }
+    for (uint32_t q = 0; q < r; ++q) {
+      double d;
+      if (uniform_stubbornness) {
+        d = rng->Uniform();  // Twitter: U[0,1] (§ VIII-A)
+      } else {
+        // 1 - variance proxy: users with stable historical opinions are
+        // stubborn. Beta(5,2) concentrates near 1 like the paper's
+        // 1 - var(yearly averages).
+        d = rng->Beta(5.0, 2.0);
+      }
+      state.campaigns[q].stubbornness[v] = d;
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+Dataset MakeDataset(DatasetName name, double scale, uint64_t seed, double mu) {
+  assert(scale > 0.0);
+  Rng rng(seed ^ (static_cast<uint64_t>(name) << 32));
+  const uint32_t n = std::max<uint32_t>(
+      64, static_cast<uint32_t>(DefaultNumNodes(name) * scale));
+
+  Dataset ds;
+  ds.name = DatasetDisplayName(name);
+
+  graph::InteractionCounts counts;
+  switch (name) {
+    case DatasetName::kDblp: {
+      // Senior-researcher collaboration graph: dense BA core, co-author
+      // counts Zipf-like (a few long-running collaborations dominate).
+      counts.kind = graph::InteractionCounts::Kind::kZipf;
+      counts.zipf_max = 50;
+      counts.zipf_exponent = 1.6;
+      ds.counts = graph::BarabasiAlbert(n, 8, counts, &rng);
+      ds.state = MakePolarizedOpinions(n, 2, /*uniform_stubbornness=*/false,
+                                       &rng);
+      ds.default_target = 1;  // "Joseph A. Konstan" analog
+      break;
+    }
+    case DatasetName::kYelp: {
+      // Friendship graph with common-visit counts ~ Poisson.
+      counts.kind = graph::InteractionCounts::Kind::kPoisson;
+      counts.mean = 6.0;
+      ds.counts = graph::BarabasiAlbert(n, 5, counts, &rng);
+      ds.state = MakePolarizedOpinions(n, 10, /*uniform_stubbornness=*/false,
+                                       &rng);
+      ds.default_target = 2;  // "Chinese" analog
+      break;
+    }
+    case DatasetName::kTwitterElection: {
+      counts.kind = graph::InteractionCounts::Kind::kPoisson;
+      counts.mean = 3.0;
+      ds.counts = graph::PowerLawDigraph(n, 2.0, 1.3, counts, &rng);
+      // Party support is asymmetric (the two big parties dominate).
+      ds.state = MakePolarizedOpinions(n, 4, /*uniform_stubbornness=*/true,
+                                       &rng, {0.30, 0.34, 0.18, 0.18});
+      ds.default_target = 0;  // "Democratic" analog
+      break;
+    }
+    case DatasetName::kTwitterDistancing: {
+      counts.kind = graph::InteractionCounts::Kind::kPoisson;
+      counts.mean = 3.0;
+      ds.counts = graph::PowerLawDigraph(n, 1.4, 1.3, counts, &rng);
+      // "For" trails "against": FJ-Vote-Win needs a deficit to overcome.
+      ds.state = MakePolarizedOpinions(n, 2, /*uniform_stubbornness=*/true,
+                                       &rng, {0.44, 0.56});
+      ds.default_target = 0;  // "For Social Distancing"
+      break;
+    }
+    case DatasetName::kTwitterMask: {
+      counts.kind = graph::InteractionCounts::Kind::kPoisson;
+      counts.mean = 3.0;
+      ds.counts = graph::PowerLawDigraph(n, 1.5, 1.3, counts, &rng);
+      ds.state = MakePolarizedOpinions(n, 2, /*uniform_stubbornness=*/true,
+                                       &rng, {0.46, 0.54});
+      ds.default_target = 0;  // "For Wearing a Mask"
+      break;
+    }
+  }
+  ds.influence = ReweightWithMu(ds.counts, mu);
+  return ds;
+}
+
+}  // namespace voteopt::datasets

@@ -1,0 +1,69 @@
+// Synthetic analogs of the paper's five evaluation datasets (Table III).
+//
+// The real corpora (DBLP snapshot, Yelp reviews, three Twitter crawls with
+// VADER sentiment) are not redistributable, so each dataset is synthesized
+// to match the paper's structural recipe at laptop scale:
+//
+//  * topology: collaboration/friendship graphs are Barabási–Albert with
+//    bidirected edges; retweet graphs are heavy-tailed digraphs;
+//  * edge weights: per-edge interaction counts a (co-author counts, common
+//    restaurant visits, retweet counts) mapped through w = 1 - e^{-a/mu}
+//    [74] and then normalized so incoming weights sum to 1 (§ VIII-A,
+//    App. D);
+//  * initial opinions in [0,1]: affinity / rating / sentiment mixtures;
+//  * stubbornness: 1 - opinion-variance proxies (DBLP, Yelp) or U[0,1]
+//    (Twitter, where most users have a single tweet).
+//
+// Every generator takes a `scale` factor (1.0 = default bench size) and a
+// seed; all outputs are deterministic in (name, scale, seed, mu).
+#ifndef VOTEOPT_DATASETS_SYNTHETIC_H_
+#define VOTEOPT_DATASETS_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "opinion/opinion_state.h"
+#include "util/rng.h"
+
+namespace voteopt::datasets {
+
+enum class DatasetName {
+  kDblp,               // 2 candidates (ACM election)
+  kYelp,               // 10 candidates (restaurant categories)
+  kTwitterElection,    // 4 candidates (parties)
+  kTwitterDistancing,  // 2 candidates (for / against)
+  kTwitterMask,        // 2 candidates (for / against)
+};
+
+const char* DatasetDisplayName(DatasetName name);
+std::vector<DatasetName> AllDatasets();
+
+/// A ready-to-use problem substrate.
+struct Dataset {
+  std::string name;
+  /// Column-stochastic influence graph (weights = normalized 1 - e^{-a/mu}).
+  graph::Graph influence;
+  /// Raw interaction-count graph, kept so the mu sweep of Fig. 19 can
+  /// re-derive influence weights without regenerating the topology.
+  graph::Graph counts;
+  opinion::MultiCampaignState state;
+  /// The paper's default target for this dataset (e.g. "Chinese" on Yelp,
+  /// "Democratic" on Twitter US Election).
+  opinion::CandidateId default_target = 0;
+};
+
+/// Builds a dataset analog. `scale` multiplies the default node count.
+Dataset MakeDataset(DatasetName name, double scale, uint64_t seed,
+                    double mu = 10.0);
+
+/// The paper's edge-weight pipeline: w = 1 - e^{-a/mu} on interaction
+/// counts, then incoming normalization (App. D).
+graph::Graph ReweightWithMu(const graph::Graph& counts, double mu);
+
+/// Default node count at scale 1 (exposed for bench labels).
+uint32_t DefaultNumNodes(DatasetName name);
+
+}  // namespace voteopt::datasets
+
+#endif  // VOTEOPT_DATASETS_SYNTHETIC_H_

@@ -1,0 +1,78 @@
+#include "graph/alias_table.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace voteopt::graph {
+
+AliasSampler::AliasSampler(const Graph& graph) : graph_(&graph) {
+  const uint64_t m = graph.num_edges();
+  prob_.assign(m, 1.0);
+  alias_.assign(m, 0);
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  std::vector<double> scaled;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto weights = graph.InWeights(v);
+    const size_t deg = weights.size();
+    if (deg == 0) continue;
+    const uint64_t base = graph.InEdgeBegin(v);
+    const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    assert(sum > 0.0);
+
+    // Vose's algorithm on the node's slice.
+    scaled.assign(deg, 0.0);
+    small.clear();
+    large.clear();
+    for (size_t i = 0; i < deg; ++i) {
+      scaled[i] = weights[i] / sum * static_cast<double>(deg);
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const uint32_t s = small.back();
+      small.pop_back();
+      const uint32_t l = large.back();
+      prob_[base + s] = scaled[s];
+      alias_[base + s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    // Residual buckets saturate to probability 1 (they alias to themselves).
+    for (uint32_t l : large) {
+      prob_[base + l] = 1.0;
+      alias_[base + l] = l;
+    }
+    for (uint32_t s : small) {
+      prob_[base + s] = 1.0;
+      alias_[base + s] = s;
+    }
+  }
+}
+
+NodeId AliasSampler::SampleInNeighbor(NodeId v, Rng* rng) const {
+  const auto neighbors = graph_->InNeighbors(v);
+  if (neighbors.empty()) return kNoNeighbor;
+  const uint64_t base = graph_->InEdgeBegin(v);
+  const size_t slot = static_cast<size_t>(rng->UniformInt(neighbors.size()));
+  if (rng->Uniform() < prob_[base + slot]) return neighbors[slot];
+  return neighbors[alias_[base + slot]];
+}
+
+double AliasSampler::Probability(NodeId v, size_t slot) const {
+  // Reconstructs the sampling probability of slice position `slot`:
+  // p = (prob[slot] + sum of (1 - prob[j]) over j aliasing to slot) / deg.
+  const auto neighbors = graph_->InNeighbors(v);
+  assert(slot < neighbors.size());
+  const uint64_t base = graph_->InEdgeBegin(v);
+  double p = prob_[base + slot];
+  for (size_t j = 0; j < neighbors.size(); ++j) {
+    if (j != slot && alias_[base + j] == slot) p += 1.0 - prob_[base + j];
+  }
+  return p / static_cast<double>(neighbors.size());
+}
+
+}  // namespace voteopt::graph

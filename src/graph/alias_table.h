@@ -1,0 +1,53 @@
+// O(1) weighted sampling of in-neighbors via Walker/Vose alias tables.
+//
+// The reverse random walks of paper § V move from a node v to an in-neighbor
+// u with probability w_uv (incoming weights sum to 1). Walk generation is the
+// dominant cost of the RW and RS methods, so each node's categorical
+// distribution is precompiled into an alias table: one uniform integer and
+// one uniform real per step, independent of degree.
+#ifndef VOTEOPT_GRAPH_ALIAS_TABLE_H_
+#define VOTEOPT_GRAPH_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace voteopt::graph {
+
+/// Per-node alias tables over the in-adjacency of a graph.
+///
+/// If a node's incoming weights sum to s < 1 they are sampled
+/// proportionally (the table normalizes internally); the caller is expected
+/// to pass column-stochastic graphs for exact paper semantics.
+class AliasSampler {
+ public:
+  /// Sentinel returned by SampleInNeighbor for nodes without in-edges.
+  static constexpr NodeId kNoNeighbor = static_cast<NodeId>(-1);
+
+  explicit AliasSampler(const Graph& graph);
+
+  /// Draws an in-neighbor of v with probability proportional to the edge
+  /// weight, or kNoNeighbor when v has no in-edges. O(1).
+  NodeId SampleInNeighbor(NodeId v, Rng* rng) const;
+
+  /// Exact sampling probability of the in-edge at slice position `slot`
+  /// of node v (for tests).
+  double Probability(NodeId v, size_t slot) const;
+
+  size_t memory_bytes() const {
+    return prob_.size() * sizeof(double) + alias_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  const Graph* graph_;
+  // Parallel to the graph's in-edge arrays: acceptance probability and
+  // within-slice alias index.
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace voteopt::graph
+
+#endif  // VOTEOPT_GRAPH_ALIAS_TABLE_H_

@@ -1,0 +1,115 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace voteopt::graph {
+
+GraphBuilder::GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, double w) {
+  sources_.push_back(u);
+  targets_.push_back(v);
+  weights_.push_back(w);
+}
+
+void GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v, double w) {
+  AddEdge(u, v, w);
+  AddEdge(v, u, w);
+}
+
+Result<Graph> GraphBuilder::Build(const BuildOptions& options) const {
+  // Validate endpoints and weights.
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i] >= num_nodes_ || targets_[i] >= num_nodes_) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(sources_[i]) + " -> " +
+          std::to_string(targets_[i]) + ") has endpoint outside [0, " +
+          std::to_string(num_nodes_) + ")");
+    }
+    if (!(weights_[i] > 0.0) || !std::isfinite(weights_[i])) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(sources_[i]) + " -> " +
+          std::to_string(targets_[i]) + ") has non-positive weight");
+    }
+    if (!options.allow_self_loops && sources_[i] == targets_[i]) {
+      return Status::InvalidArgument("self loop at node " +
+                                     std::to_string(sources_[i]));
+    }
+  }
+
+  // Order edges by (target, source) to build the in-CSR; merging parallel
+  // edges happens on this sorted order.
+  std::vector<uint64_t> order(sources_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    if (targets_[a] != targets_[b]) return targets_[a] < targets_[b];
+    return sources_[a] < sources_[b];
+  });
+
+  std::vector<NodeId> in_sources;
+  std::vector<NodeId> in_targets;
+  std::vector<double> in_weights;
+  in_sources.reserve(sources_.size());
+  in_targets.reserve(sources_.size());
+  in_weights.reserve(sources_.size());
+  for (uint64_t idx : order) {
+    if (options.merge_parallel_edges && !in_sources.empty() &&
+        in_sources.back() == sources_[idx] &&
+        in_targets.back() == targets_[idx]) {
+      in_weights.back() += weights_[idx];
+      continue;
+    }
+    in_sources.push_back(sources_[idx]);
+    in_targets.push_back(targets_[idx]);
+    in_weights.push_back(weights_[idx]);
+  }
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.num_edges_ = in_sources.size();
+
+  // In-CSR.
+  g.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (NodeId v : in_targets) ++g.in_offsets_[v + 1];
+  for (uint32_t v = 0; v < num_nodes_; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_sources_ = std::move(in_sources);
+  g.in_weights_ = std::move(in_weights);
+
+  if (options.normalize_incoming) {
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      const uint64_t begin = g.in_offsets_[v], end = g.in_offsets_[v + 1];
+      double sum = 0.0;
+      for (uint64_t e = begin; e < end; ++e) sum += g.in_weights_[e];
+      if (sum <= 0.0) continue;
+      for (uint64_t e = begin; e < end; ++e) g.in_weights_[e] /= sum;
+    }
+  }
+
+  // Out-CSR derived from the (possibly normalized) in-edges so both views
+  // agree on weights.
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  for (NodeId u : g.in_sources_) ++g.out_offsets_[u + 1];
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    g.out_offsets_[u + 1] += g.out_offsets_[u];
+  }
+  g.out_targets_.resize(g.num_edges_);
+  g.out_weights_.resize(g.num_edges_);
+  std::vector<uint64_t> cursor(g.out_offsets_.begin(),
+                               g.out_offsets_.end() - 1);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (uint64_t e = g.in_offsets_[v]; e < g.in_offsets_[v + 1]; ++e) {
+      const NodeId u = g.in_sources_[e];
+      g.out_targets_[cursor[u]] = v;
+      g.out_weights_[cursor[u]] = g.in_weights_[e];
+      ++cursor[u];
+    }
+  }
+  return g;
+}
+
+}  // namespace voteopt::graph

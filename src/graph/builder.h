@@ -1,0 +1,63 @@
+// Mutable edge accumulator that validates and freezes into an immutable
+// Graph.
+#ifndef VOTEOPT_GRAPH_BUILDER_H_
+#define VOTEOPT_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace voteopt::graph {
+
+/// Accumulates edges and produces a Graph.
+///
+/// Usage:
+///   GraphBuilder b(4);
+///   b.AddEdge(0, 2, 1.0);
+///   ...
+///   Result<Graph> g = b.Build({.normalize_incoming = true});
+class GraphBuilder {
+ public:
+  struct BuildOptions {
+    /// Merge parallel edges by summing their weights.
+    bool merge_parallel_edges = true;
+    /// Scale every node's incoming weights to sum to 1 (the paper's
+    /// column-stochastic requirement).
+    bool normalize_incoming = false;
+    /// Reject self loops instead of keeping them. The FJ model expresses
+    /// self-reinforcement through stubbornness, not self loops.
+    bool allow_self_loops = false;
+  };
+
+  /// `num_nodes` fixes the node-id universe [0, num_nodes).
+  explicit GraphBuilder(uint32_t num_nodes);
+
+  /// Appends a directed edge u -> v with weight w (> 0).
+  /// Out-of-range endpoints or non-positive weights fail at Build() time
+  /// with InvalidArgument (recorded, so callers may batch AddEdge freely).
+  void AddEdge(NodeId u, NodeId v, double w);
+
+  /// Convenience for symmetric relations (friendship / co-authorship):
+  /// adds both u->v and v->u.
+  void AddUndirectedEdge(NodeId u, NodeId v, double w);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  size_t num_pending_edges() const { return sources_.size(); }
+
+  /// Validates and freezes. The builder may be reused afterwards (its edge
+  /// buffer is left untouched).
+  Result<Graph> Build(const BuildOptions& options) const;
+  Result<Graph> Build() const { return Build(BuildOptions{}); }
+
+ private:
+  uint32_t num_nodes_;
+  std::vector<NodeId> sources_;
+  std::vector<NodeId> targets_;
+  std::vector<double> weights_;
+};
+
+}  // namespace voteopt::graph
+
+#endif  // VOTEOPT_GRAPH_BUILDER_H_

@@ -1,0 +1,157 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace voteopt::graph {
+
+double InteractionCounts::Draw(Rng* rng) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return mean;
+    case Kind::kPoisson:
+      // Shift by one so counts are never zero (an observed edge implies at
+      // least one interaction).
+      return static_cast<double>(1 + rng->Poisson(mean > 1.0 ? mean - 1.0
+                                                             : mean));
+    case Kind::kZipf:
+      return static_cast<double>(rng->Zipf(zipf_max, zipf_exponent));
+  }
+  return 1.0;
+}
+
+Graph ErdosRenyiDigraph(uint32_t num_nodes, uint64_t num_edges,
+                        const InteractionCounts& counts, Rng* rng) {
+  assert(num_nodes >= 2);
+  GraphBuilder builder(num_nodes);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  uint64_t added = 0;
+  const uint64_t max_possible =
+      static_cast<uint64_t>(num_nodes) * (num_nodes - 1);
+  num_edges = std::min(num_edges, max_possible);
+  while (added < num_edges) {
+    const NodeId u = static_cast<NodeId>(rng->UniformInt(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng->UniformInt(num_nodes));
+    if (u == v) continue;
+    const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    builder.AddEdge(u, v, counts.Draw(rng));
+    ++added;
+  }
+  auto result = builder.Build();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Graph BarabasiAlbert(uint32_t num_nodes, uint32_t edges_per_node,
+                     const InteractionCounts& counts, Rng* rng) {
+  assert(num_nodes >= 2);
+  edges_per_node = std::max<uint32_t>(1, edges_per_node);
+  GraphBuilder builder(num_nodes);
+  // Repeated-endpoints list implements preferential attachment in O(1) per
+  // draw.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(num_nodes) * edges_per_node * 2);
+
+  const uint32_t seed_size = std::min(num_nodes, edges_per_node + 1);
+  for (NodeId u = 0; u < seed_size; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      builder.AddUndirectedEdge(u, v, counts.Draw(rng));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = seed_size; u < num_nodes; ++u) {
+    std::unordered_set<NodeId> chosen;
+    while (chosen.size() < edges_per_node && chosen.size() < u) {
+      const NodeId v = endpoints[rng->UniformInt(endpoints.size())];
+      if (v == u) continue;
+      chosen.insert(v);
+    }
+    for (NodeId v : chosen) {
+      builder.AddUndirectedEdge(u, v, counts.Draw(rng));
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  auto result = builder.Build();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Graph WattsStrogatz(uint32_t num_nodes, uint32_t ring_degree,
+                    double rewire_prob, const InteractionCounts& counts,
+                    Rng* rng) {
+  assert(num_nodes >= 4);
+  const uint32_t half = std::max<uint32_t>(1, ring_degree / 2);
+  // Collect undirected edges as canonical (min, max) pairs.
+  std::unordered_set<uint64_t> edges;
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (uint32_t h = 1; h <= half; ++h) {
+      edges.insert(key(u, (u + h) % num_nodes));
+    }
+  }
+  // Rewire each edge's far endpoint with probability rewire_prob.
+  std::vector<uint64_t> edge_list(edges.begin(), edges.end());
+  for (uint64_t& e : edge_list) {
+    if (!rng->Bernoulli(rewire_prob)) continue;
+    const NodeId a = static_cast<NodeId>(e >> 32);
+    NodeId b = static_cast<NodeId>(rng->UniformInt(num_nodes));
+    int attempts = 0;
+    while ((b == a || edges.count(key(a, b))) && attempts++ < 16) {
+      b = static_cast<NodeId>(rng->UniformInt(num_nodes));
+    }
+    if (b == a || edges.count(key(a, b))) continue;
+    edges.erase(e);
+    e = key(a, b);
+    edges.insert(e);
+  }
+  GraphBuilder builder(num_nodes);
+  for (uint64_t e : edge_list) {
+    builder.AddUndirectedEdge(static_cast<NodeId>(e >> 32),
+                              static_cast<NodeId>(e & 0xFFFFFFFFu),
+                              counts.Draw(rng));
+  }
+  auto result = builder.Build();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Graph PowerLawDigraph(uint32_t num_nodes, double avg_out_degree,
+                      double popularity_exponent,
+                      const InteractionCounts& counts, Rng* rng) {
+  assert(num_nodes >= 2);
+  GraphBuilder builder(num_nodes);
+  // Node popularity via a random permutation of Zipf ranks: target of an
+  // edge is Zipf-rank-mapped, giving a heavy-tailed in-degree profile like
+  // retweet graphs.
+  std::vector<NodeId> rank_to_node(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) rank_to_node[v] = v;
+  rng->Shuffle(&rank_to_node);
+
+  std::unordered_set<uint64_t> seen;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const uint64_t degree = 1 + rng->Poisson(std::max(0.0, avg_out_degree - 1));
+    for (uint64_t i = 0; i < degree; ++i) {
+      const uint64_t rank = rng->Zipf(num_nodes, popularity_exponent);
+      const NodeId v = rank_to_node[rank - 1];
+      if (v == u) continue;
+      const uint64_t k = (static_cast<uint64_t>(u) << 32) | v;
+      if (!seen.insert(k).second) continue;
+      builder.AddEdge(u, v, counts.Draw(rng));
+    }
+  }
+  auto result = builder.Build();
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace voteopt::graph

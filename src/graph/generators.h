@@ -1,0 +1,56 @@
+// Synthetic graph topologies. The dataset module (src/datasets) composes
+// these with the paper's edge-weight recipe to build analogs of the five
+// evaluation datasets; tests use them as property-test fixtures.
+//
+// All generators assign each edge a positive "interaction count" weight
+// (co-author count / common visits / retweet count analog) drawn from the
+// given distribution; downstream code converts counts to influence weights
+// with w = 1 - exp(-a / mu) and normalizes (paper § VIII-A, Appendix D).
+#ifndef VOTEOPT_GRAPH_GENERATORS_H_
+#define VOTEOPT_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace voteopt::graph {
+
+/// Distribution of per-edge interaction counts.
+struct InteractionCounts {
+  enum class Kind { kConstant, kPoisson, kZipf };
+  Kind kind = Kind::kPoisson;
+  double mean = 5.0;      // Poisson mean / constant value
+  uint64_t zipf_max = 50; // Zipf support [1, zipf_max]
+  double zipf_exponent = 1.5;
+
+  double Draw(Rng* rng) const;
+};
+
+/// G(n, m)-style directed Erdős–Rényi graph with ~`num_edges` edges.
+Graph ErdosRenyiDigraph(uint32_t num_nodes, uint64_t num_edges,
+                        const InteractionCounts& counts, Rng* rng);
+
+/// Barabási–Albert preferential attachment; every undirected edge is
+/// emitted in both directions (collaboration / friendship networks:
+/// DBLP- and Yelp-like).
+Graph BarabasiAlbert(uint32_t num_nodes, uint32_t edges_per_node,
+                     const InteractionCounts& counts, Rng* rng);
+
+/// Watts–Strogatz small world (undirected ring lattice, rewired), emitted
+/// bidirected. Used as a test fixture with controllable clustering.
+Graph WattsStrogatz(uint32_t num_nodes, uint32_t ring_degree,
+                    double rewire_prob, const InteractionCounts& counts,
+                    Rng* rng);
+
+/// Power-law "retweet" digraph (Twitter-like): each node u emits
+/// Poisson(avg_out_degree) edges whose targets are drawn with probability
+/// proportional to a Zipf popularity; edges point u -> target
+/// ("u influences target" after orientation towards the retweeter).
+Graph PowerLawDigraph(uint32_t num_nodes, double avg_out_degree,
+                      double popularity_exponent,
+                      const InteractionCounts& counts, Rng* rng);
+
+}  // namespace voteopt::graph
+
+#endif  // VOTEOPT_GRAPH_GENERATORS_H_

@@ -1,0 +1,82 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "graph/builder.h"
+
+namespace voteopt::graph {
+
+double Graph::InWeightSum(NodeId v) const {
+  const auto w = InWeights(v);
+  return std::accumulate(w.begin(), w.end(), 0.0);
+}
+
+double Graph::OutWeightSum(NodeId u) const {
+  const auto w = OutWeights(u);
+  return std::accumulate(w.begin(), w.end(), 0.0);
+}
+
+bool Graph::IsColumnStochastic(double tol) const {
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (InDegree(v) == 0) continue;
+    if (std::fabs(InWeightSum(v) - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+Graph Graph::NormalizedIncoming() const {
+  GraphBuilder builder(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const double sum = InWeightSum(v);
+    if (sum <= 0.0) continue;
+    const auto sources = InNeighbors(v);
+    const auto weights = InWeights(v);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      builder.AddEdge(sources[i], v, weights[i] / sum);
+    }
+  }
+  auto result = builder.Build({.merge_parallel_edges = false});
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Graph Graph::Transposed() const {
+  GraphBuilder builder(num_nodes_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const auto targets = OutNeighbors(u);
+    const auto weights = OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      builder.AddEdge(targets[i], u, weights[i]);
+    }
+  }
+  auto result = builder.Build({.merge_parallel_edges = false});
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Graph Graph::InducedSubgraph(const std::vector<NodeId>& nodes) const {
+  constexpr NodeId kAbsent = static_cast<NodeId>(-1);
+  std::vector<NodeId> remap(num_nodes_, kAbsent);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    assert(nodes[i] < num_nodes_);
+    remap[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder(static_cast<uint32_t>(nodes.size()));
+  for (NodeId u : nodes) {
+    const NodeId new_u = remap[u];
+    const auto targets = OutNeighbors(u);
+    const auto weights = OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const NodeId new_v = remap[targets[i]];
+      if (new_v != kAbsent) builder.AddEdge(new_u, new_v, weights[i]);
+    }
+  }
+  auto result = builder.Build({.merge_parallel_edges = false});
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace voteopt::graph

@@ -1,0 +1,109 @@
+// Directed weighted graph stored as immutable dual CSR (out- and in-
+// adjacency). This is the substrate every other module builds on:
+//
+//  * The FJ / DeGroot update for node j aggregates the opinions of j's
+//    in-neighbors weighted by w_ij, so propagation iterates the in-CSR.
+//  * Reverse random walks (paper § V) move from a node to one of its
+//    in-neighbors with probability w_ij; the in-CSR rows are the walk
+//    transition tables (see AliasSampler).
+//  * The coverage bounds (paper § IV) and the IC/LT baselines traverse the
+//    out-CSR.
+//
+// The paper's influence matrix W is column-stochastic: for every node j the
+// incoming weights sum to 1 (sum_i w_ij = 1). `GraphBuilder` can enforce this
+// by normalization; `Graph::IsColumnStochastic` verifies it.
+#ifndef VOTEOPT_GRAPH_GRAPH_H_
+#define VOTEOPT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace voteopt::graph {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+/// Immutable directed weighted graph with both adjacency directions
+/// materialized. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Targets of edges leaving `u`.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+  /// Weights parallel to OutNeighbors(u): w(u -> v).
+  std::span<const double> OutWeights(NodeId u) const {
+    return {out_weights_.data() + out_offsets_[u],
+            out_weights_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Sources of edges entering `v`.
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+  /// Weights parallel to InNeighbors(v): w(u -> v).
+  std::span<const double> InWeights(NodeId v) const {
+    return {in_weights_.data() + in_offsets_[v],
+            in_weights_.data() + in_offsets_[v + 1]};
+  }
+
+  uint64_t OutDegree(NodeId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  uint64_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Sum of weights entering v (1.0 for column-stochastic graphs, 0.0 for
+  /// nodes without in-edges).
+  double InWeightSum(NodeId v) const;
+
+  /// Sum of weights leaving u.
+  double OutWeightSum(NodeId u) const;
+
+  /// True if every node with at least one in-edge has incoming weights
+  /// summing to 1 within `tol`.
+  bool IsColumnStochastic(double tol = 1e-9) const;
+
+  /// Offset of the first in-edge of v inside the global in-edge arrays;
+  /// exposed so AliasSampler can address per-node slices.
+  uint64_t InEdgeBegin(NodeId v) const { return in_offsets_[v]; }
+
+  /// Returns a copy whose incoming weights are scaled to sum to 1 per node
+  /// (nodes without in-edges are left empty). Out-weights mirror the change.
+  Graph NormalizedIncoming() const;
+
+  /// Returns the transpose (every edge u->v becomes v->u, weights kept).
+  Graph Transposed() const;
+
+  /// Returns the subgraph induced by `nodes` (ids are remapped to
+  /// 0..nodes.size()-1 in the given order). Used by the scalability
+  /// experiment (paper Fig. 17).
+  Graph InducedSubgraph(const std::vector<NodeId>& nodes) const;
+
+ private:
+  friend class GraphBuilder;
+
+  uint32_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  std::vector<uint64_t> out_offsets_;  // size n+1
+  std::vector<NodeId> out_targets_;    // size m
+  std::vector<double> out_weights_;    // size m
+  std::vector<uint64_t> in_offsets_;   // size n+1
+  std::vector<NodeId> in_sources_;     // size m
+  std::vector<double> in_weights_;     // size m
+};
+
+}  // namespace voteopt::graph
+
+#endif  // VOTEOPT_GRAPH_GRAPH_H_

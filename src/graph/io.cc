@@ -1,0 +1,94 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace voteopt::graph {
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const LoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  struct RawEdge {
+    uint64_t u, v;
+    double w;
+  };
+  std::vector<RawEdge> edges;
+  uint64_t max_id = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": expected '<src> <dst> [weight]'");
+    }
+    ls >> w;  // optional third column
+    if (!(w > 0.0)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": non-positive weight");
+    }
+    edges.push_back({u, v, w});
+    max_id = std::max(max_id, std::max(u, v));
+  }
+  if (edges.empty()) return Status::InvalidArgument(path + ": no edges");
+
+  uint32_t num_nodes = 0;
+  std::unordered_map<uint64_t, NodeId> remap;
+  if (options.compact_ids) {
+    for (const auto& e : edges) {
+      remap.emplace(e.u, static_cast<NodeId>(remap.size()));
+      remap.emplace(e.v, static_cast<NodeId>(remap.size()));
+    }
+    num_nodes = static_cast<uint32_t>(remap.size());
+  } else {
+    if (max_id >= static_cast<uint64_t>(UINT32_MAX)) {
+      return Status::OutOfRange(path + ": node id exceeds uint32 range");
+    }
+    num_nodes = static_cast<uint32_t>(max_id + 1);
+  }
+
+  GraphBuilder builder(num_nodes);
+  for (const auto& e : edges) {
+    const NodeId u =
+        options.compact_ids ? remap[e.u] : static_cast<NodeId>(e.u);
+    const NodeId v =
+        options.compact_ids ? remap[e.v] : static_cast<NodeId>(e.v);
+    if (u == v) continue;  // drop self loops silently, like SNAP loaders
+    if (options.undirected) {
+      builder.AddUndirectedEdge(u, v, e.w);
+    } else {
+      builder.AddEdge(u, v, e.w);
+    }
+  }
+  return builder.Build({.merge_parallel_edges = true,
+                        .normalize_incoming = options.normalize_incoming});
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);  // lossless double round-trip
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto targets = graph.OutNeighbors(u);
+    const auto weights = graph.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      out << u << ' ' << targets[i] << ' ' << weights[i] << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace voteopt::graph

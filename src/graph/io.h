@@ -1,0 +1,34 @@
+// SNAP-style edge-list I/O:
+//   # comment lines start with '#'
+//   <src> <dst> [weight]
+// Missing weights default to 1.0.
+#ifndef VOTEOPT_GRAPH_IO_H_
+#define VOTEOPT_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace voteopt::graph {
+
+struct LoadOptions {
+  /// Node ids in the file may be sparse; when true they are compacted to
+  /// [0, n). When false the node universe is [0, max_id].
+  bool compact_ids = false;
+  /// Column-stochastic normalization after load.
+  bool normalize_incoming = true;
+  /// Treat each line as an undirected edge (emit both directions).
+  bool undirected = false;
+};
+
+/// Parses an edge list file into a Graph.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           const LoadOptions& options = LoadOptions());
+
+/// Writes "src dst weight" lines (no comments).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace voteopt::graph
+
+#endif  // VOTEOPT_GRAPH_IO_H_

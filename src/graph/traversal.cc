@@ -1,0 +1,46 @@
+#include "graph/traversal.h"
+
+namespace voteopt::graph {
+
+HopLimitedBfs::HopLimitedBfs(const Graph& graph, Direction direction)
+    : graph_(&graph), direction_(direction), mark_(graph.num_nodes(), 0) {}
+
+void HopLimitedBfs::Run(const std::vector<NodeId>& sources, uint32_t max_hops,
+                        const std::function<void(NodeId, uint32_t)>& visit) {
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrap-around: reset marks once per 2^32 runs
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+  frontier_.clear();
+  for (NodeId s : sources) {
+    if (mark_[s] == epoch_) continue;
+    mark_[s] = epoch_;
+    frontier_.push_back(s);
+    visit(s, 0);
+  }
+  for (uint32_t hop = 1; hop <= max_hops && !frontier_.empty(); ++hop) {
+    next_.clear();
+    for (NodeId u : frontier_) {
+      const auto neighbors = direction_ == Direction::kForward
+                                 ? graph_->OutNeighbors(u)
+                                 : graph_->InNeighbors(u);
+      for (NodeId v : neighbors) {
+        if (mark_[v] == epoch_) continue;
+        mark_[v] = epoch_;
+        next_.push_back(v);
+        visit(v, hop);
+      }
+    }
+    std::swap(frontier_, next_);
+  }
+}
+
+std::vector<NodeId> HopLimitedBfs::ReachableWithin(
+    const std::vector<NodeId>& sources, uint32_t max_hops) {
+  std::vector<NodeId> out;
+  Run(sources, max_hops, [&](NodeId v, uint32_t) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace voteopt::graph

@@ -1,0 +1,45 @@
+// Hop-limited BFS with epoch-stamped visited marks (no O(n) clearing
+// between calls). Used for:
+//  * the reachable-users set N_S^(t) of paper Def. 2 (forward, <= t hops),
+//  * the coverage-based upper bounds of § IV (lazy greedy re-evaluations),
+//  * connectivity sanity checks in tests.
+#ifndef VOTEOPT_GRAPH_TRAVERSAL_H_
+#define VOTEOPT_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace voteopt::graph {
+
+enum class Direction { kForward, kReverse };
+
+/// Reusable BFS scratch space bound to one graph.
+class HopLimitedBfs {
+ public:
+  explicit HopLimitedBfs(const Graph& graph, Direction direction);
+
+  /// Visits every node within `max_hops` edges of any node in `sources`
+  /// (sources themselves are at hop 0) and invokes `visit(node, hop)` once
+  /// per node in nondecreasing hop order. Each call starts fresh.
+  void Run(const std::vector<NodeId>& sources, uint32_t max_hops,
+           const std::function<void(NodeId, uint32_t)>& visit);
+
+  /// Convenience: the set of nodes within `max_hops` of `sources`.
+  std::vector<NodeId> ReachableWithin(const std::vector<NodeId>& sources,
+                                      uint32_t max_hops);
+
+ private:
+  const Graph* graph_;
+  Direction direction_;
+  std::vector<uint32_t> mark_;     // epoch stamp per node
+  uint32_t epoch_ = 0;
+  std::vector<NodeId> frontier_;   // scratch
+  std::vector<NodeId> next_;       // scratch
+};
+
+}  // namespace voteopt::graph
+
+#endif  // VOTEOPT_GRAPH_TRAVERSAL_H_

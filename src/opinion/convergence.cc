@@ -1,0 +1,52 @@
+#include "opinion/convergence.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "graph/traversal.h"
+
+namespace voteopt::opinion {
+
+double FractionChanged(const std::vector<double>& previous,
+                       const std::vector<double>& current,
+                       double tolerance_percent) {
+  assert(previous.size() == current.size());
+  if (previous.empty()) return 0.0;
+  size_t changed = 0;
+  const double rel = tolerance_percent / 100.0;
+  for (size_t v = 0; v < previous.size(); ++v) {
+    if (std::fabs(current[v] - previous[v]) > rel * previous[v]) ++changed;
+  }
+  return static_cast<double>(changed) / static_cast<double>(previous.size());
+}
+
+bool HasConverged(const std::vector<double>& previous,
+                  const std::vector<double>& current, double absolute_tol) {
+  assert(previous.size() == current.size());
+  for (size_t v = 0; v < previous.size(); ++v) {
+    if (std::fabs(current[v] - previous[v]) > absolute_tol) return false;
+  }
+  return true;
+}
+
+std::vector<graph::NodeId> FindObliviousNodes(const graph::Graph& graph,
+                                              const Campaign& campaign) {
+  // Forward-reach from every stubborn node (d > 0); whatever non-stubborn
+  // node is never reached is oblivious.
+  std::vector<graph::NodeId> stubborn;
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (campaign.stubbornness[v] > 0.0) stubborn.push_back(v);
+  }
+  std::vector<bool> reached(graph.num_nodes(), false);
+  graph::HopLimitedBfs bfs(graph, graph::Direction::kForward);
+  bfs.Run(stubborn, graph.num_nodes(),
+          [&](graph::NodeId v, uint32_t) { reached[v] = true; });
+
+  std::vector<graph::NodeId> oblivious;
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (campaign.stubbornness[v] == 0.0 && !reached[v]) oblivious.push_back(v);
+  }
+  return oblivious;
+}
+
+}  // namespace voteopt::opinion

@@ -1,0 +1,32 @@
+// Convergence diagnostics for FJ diffusion (paper § II-A and Fig. 18).
+#ifndef VOTEOPT_OPINION_CONVERGENCE_H_
+#define VOTEOPT_OPINION_CONVERGENCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "opinion/opinion_state.h"
+
+namespace voteopt::opinion {
+
+/// Fraction of nodes whose opinion changed by more than `tolerance_percent`
+/// percent relative to the previous value (the Fig. 18 drift metric):
+/// counted when |b_t[v] - b_{t-1}[v]| > (tolerance_percent/100) * b_{t-1}[v].
+double FractionChanged(const std::vector<double>& previous,
+                       const std::vector<double>& current,
+                       double tolerance_percent);
+
+/// True when no opinion moved by more than `absolute_tol` in the last step.
+bool HasConverged(const std::vector<double>& previous,
+                  const std::vector<double>& current, double absolute_tol);
+
+/// Oblivious nodes (paper § II-A): non-stubborn (d = 0) and not reachable
+/// from any node with d > 0. The FJ model converges iff the oblivious
+/// subgraph is regular or empty; this utility lets callers check the
+/// precondition.
+std::vector<graph::NodeId> FindObliviousNodes(const graph::Graph& graph,
+                                              const Campaign& campaign);
+
+}  // namespace voteopt::opinion
+
+#endif  // VOTEOPT_OPINION_CONVERGENCE_H_

@@ -1,0 +1,38 @@
+#include "opinion/equilibrium.h"
+
+#include <cmath>
+
+namespace voteopt::opinion {
+
+EquilibriumResult EquilibriumOpinions(const FJModel& model,
+                                      const Campaign& campaign,
+                                      const EquilibriumOptions& options) {
+  EquilibriumResult result;
+  std::vector<double> current = campaign.initial_opinions;
+  std::vector<double> next(current.size());
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    model.Step(current, campaign.initial_opinions, campaign.stubbornness,
+               &next);
+    double max_delta = 0.0;
+    for (size_t v = 0; v < current.size(); ++v) {
+      max_delta = std::max(max_delta, std::fabs(next[v] - current[v]));
+    }
+    std::swap(current, next);
+    result.iterations = iter + 1;
+    if (max_delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.opinions = std::move(current);
+  return result;
+}
+
+EquilibriumResult EquilibriumWithSeeds(const FJModel& model,
+                                       const Campaign& campaign,
+                                       const std::vector<graph::NodeId>& seeds,
+                                       const EquilibriumOptions& options) {
+  return EquilibriumOpinions(model, ApplySeeds(campaign, seeds), options);
+}
+
+}  // namespace voteopt::opinion

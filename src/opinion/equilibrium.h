@@ -1,0 +1,53 @@
+// FJ equilibrium opinions (paper Appendix A/B context).
+//
+// The FJ recursion B(t+1) = B(t) W (I - D) + B(0) D converges, when the
+// oblivious subgraph is regular or empty (§ II-A), to the fixed point
+//
+//   B* = B(0) D (I - W (I - D))^{-1}
+//
+// [25] (GED) selects seeds against this equilibrium; the paper's problem
+// uses a finite horizon instead and shows the two objectives pick different
+// seeds (App. B: only 42-61% overlap). This module computes B* by damped
+// fixed-point iteration so the repository can reproduce that comparison and
+// host the original equilibrium-objective GED baseline.
+#ifndef VOTEOPT_OPINION_EQUILIBRIUM_H_
+#define VOTEOPT_OPINION_EQUILIBRIUM_H_
+
+#include <vector>
+
+#include "opinion/fj_model.h"
+#include "util/status.h"
+
+namespace voteopt::opinion {
+
+struct EquilibriumOptions {
+  /// Stop when no opinion moves more than this between iterations.
+  double tolerance = 1e-10;
+  /// Iteration cap; FJ contracts geometrically when some stubbornness is
+  /// positive along every cycle, so this is rarely reached.
+  uint32_t max_iterations = 100000;
+};
+
+struct EquilibriumResult {
+  std::vector<double> opinions;
+  /// Iterations actually used.
+  uint32_t iterations = 0;
+  /// False when max_iterations was hit before reaching tolerance (e.g. a
+  /// purely oblivious cycle oscillates and has no unique equilibrium).
+  bool converged = false;
+};
+
+/// Fixed-point iteration of the FJ update until convergence.
+EquilibriumResult EquilibriumOpinions(
+    const FJModel& model, const Campaign& campaign,
+    const EquilibriumOptions& options = EquilibriumOptions());
+
+/// Equilibrium with a seed set applied (b0, d raised to 1).
+EquilibriumResult EquilibriumWithSeeds(
+    const FJModel& model, const Campaign& campaign,
+    const std::vector<graph::NodeId>& seeds,
+    const EquilibriumOptions& options = EquilibriumOptions());
+
+}  // namespace voteopt::opinion
+
+#endif  // VOTEOPT_OPINION_EQUILIBRIUM_H_

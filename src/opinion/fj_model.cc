@@ -1,0 +1,64 @@
+#include "opinion/fj_model.h"
+
+#include <cassert>
+
+namespace voteopt::opinion {
+
+void FJModel::Step(const std::vector<double>& current,
+                   const std::vector<double>& initial,
+                   const std::vector<double>& stubbornness,
+                   std::vector<double>* out) const {
+  const uint32_t n = graph_->num_nodes();
+  assert(current.size() == n);
+  assert(initial.size() == n);
+  assert(stubbornness.size() == n);
+  out->resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto sources = graph_->InNeighbors(v);
+    if (sources.empty()) {
+      // No social signal: the user holds her previous opinion.
+      (*out)[v] = current[v];
+      continue;
+    }
+    const auto weights = graph_->InWeights(v);
+    double aggregated = 0.0;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      aggregated += weights[i] * current[sources[i]];
+    }
+    const double d = stubbornness[v];
+    (*out)[v] = (1.0 - d) * aggregated + d * initial[v];
+  }
+}
+
+std::vector<double> FJModel::Propagate(const Campaign& campaign,
+                                       uint32_t horizon) const {
+  std::vector<double> current = campaign.initial_opinions;
+  std::vector<double> next(current.size());
+  for (uint32_t step = 0; step < horizon; ++step) {
+    Step(current, campaign.initial_opinions, campaign.stubbornness, &next);
+    std::swap(current, next);
+  }
+  return current;
+}
+
+std::vector<double> FJModel::PropagateWithSeeds(
+    const Campaign& campaign, const std::vector<graph::NodeId>& seeds,
+    uint32_t horizon) const {
+  return Propagate(ApplySeeds(campaign, seeds), horizon);
+}
+
+std::vector<std::vector<double>> FJModel::Trajectory(const Campaign& campaign,
+                                                     uint32_t horizon) const {
+  std::vector<std::vector<double>> trajectory;
+  trajectory.reserve(horizon + 1);
+  trajectory.push_back(campaign.initial_opinions);
+  std::vector<double> next;
+  for (uint32_t step = 0; step < horizon; ++step) {
+    Step(trajectory.back(), campaign.initial_opinions, campaign.stubbornness,
+         &next);
+    trajectory.push_back(next);
+  }
+  return trajectory;
+}
+
+}  // namespace voteopt::opinion

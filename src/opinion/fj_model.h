@@ -1,0 +1,58 @@
+// Friedkin-Johnsen opinion propagation (paper Eq. 2):
+//
+//   B_q(t+1) = B_q(t) W_q (I - D_q) + B_q(0) D_q
+//
+// evaluated per node as
+//
+//   b(t+1)[v] = (1 - d[v]) * sum_{u in In(v)} w_uv * b(t)[u] + d[v] * b0[v]
+//
+// over the in-CSR (one sparse mat-vec per timestamp, O(m)). DeGroot is the
+// special case D = 0. Nodes without in-edges retain their previous opinion
+// (paper § II-A). This exact propagation is the "DM" method of the paper's
+// experiments and the ground truth the RW / RS estimators are tested against.
+#ifndef VOTEOPT_OPINION_FJ_MODEL_H_
+#define VOTEOPT_OPINION_FJ_MODEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "opinion/opinion_state.h"
+
+namespace voteopt::opinion {
+
+/// Exact FJ/DeGroot propagation engine bound to one influence graph.
+/// The graph must be column-stochastic for opinions to stay inside [0, 1].
+class FJModel {
+ public:
+  explicit FJModel(const graph::Graph& graph) : graph_(&graph) {}
+
+  /// One synchronous FJ step: fills `out` (resized to n) from `current`.
+  /// `initial` and `stubbornness` are B_q(0) and diag(D_q).
+  void Step(const std::vector<double>& current,
+            const std::vector<double>& initial,
+            const std::vector<double>& stubbornness,
+            std::vector<double>* out) const;
+
+  /// Opinions at time horizon t, i.e. t applications of Step starting from
+  /// campaign.initial_opinions.
+  std::vector<double> Propagate(const Campaign& campaign, uint32_t horizon) const;
+
+  /// Propagate with a seed set applied to the campaign (b0, d raised to 1).
+  std::vector<double> PropagateWithSeeds(
+      const Campaign& campaign, const std::vector<graph::NodeId>& seeds,
+      uint32_t horizon) const;
+
+  /// Full trajectory: result[s] is the opinion vector at time s, for
+  /// s = 0..horizon. Used by the drift experiment (paper Fig. 18).
+  std::vector<std::vector<double>> Trajectory(const Campaign& campaign,
+                                              uint32_t horizon) const;
+
+  const graph::Graph& graph() const { return *graph_; }
+
+ private:
+  const graph::Graph* graph_;
+};
+
+}  // namespace voteopt::opinion
+
+#endif  // VOTEOPT_OPINION_FJ_MODEL_H_

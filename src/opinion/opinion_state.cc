@@ -1,0 +1,62 @@
+#include "opinion/opinion_state.h"
+
+#include <string>
+
+namespace voteopt::opinion {
+
+namespace {
+
+Status ValidateUnitVector(const std::vector<double>& values, uint32_t n,
+                          const char* what) {
+  if (values.size() != n) {
+    return Status::InvalidArgument(
+        std::string(what) + " has size " + std::to_string(values.size()) +
+        ", expected " + std::to_string(n));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!(values[i] >= 0.0 && values[i] <= 1.0)) {
+      return Status::OutOfRange(std::string(what) + "[" + std::to_string(i) +
+                                "] = " + std::to_string(values[i]) +
+                                " outside [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Campaign::Validate(uint32_t num_nodes) const {
+  VOTEOPT_RETURN_IF_ERROR(
+      ValidateUnitVector(initial_opinions, num_nodes, "initial_opinions"));
+  VOTEOPT_RETURN_IF_ERROR(
+      ValidateUnitVector(stubbornness, num_nodes, "stubbornness"));
+  return Status::OK();
+}
+
+Status MultiCampaignState::Validate(uint32_t num_nodes) const {
+  if (campaigns.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 competing candidates, got " +
+        std::to_string(campaigns.size()));
+  }
+  for (size_t q = 0; q < campaigns.size(); ++q) {
+    Status st = campaigns[q].Validate(num_nodes);
+    if (!st.ok()) {
+      return Status::InvalidArgument("campaign " + std::to_string(q) + ": " +
+                                     st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Campaign ApplySeeds(const Campaign& campaign,
+                    const std::vector<graph::NodeId>& seeds) {
+  Campaign out = campaign;
+  for (graph::NodeId s : seeds) {
+    out.initial_opinions[s] = 1.0;
+    out.stubbornness[s] = 1.0;
+  }
+  return out;
+}
+
+}  // namespace voteopt::opinion

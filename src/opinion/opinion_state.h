@@ -1,0 +1,52 @@
+// Opinion state for multi-campaign diffusion (paper § II).
+//
+// Each of the r candidates has, per user: an initial opinion b0 in [0,1] and
+// a stubbornness d in [0,1]. The full opinion matrix B is r x n; opinions for
+// different candidates diffuse independently and concurrently.
+#ifndef VOTEOPT_OPINION_OPINION_STATE_H_
+#define VOTEOPT_OPINION_OPINION_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace voteopt::opinion {
+
+using CandidateId = uint32_t;
+
+/// One candidate's initial configuration: B_q(0) and D_q.
+struct Campaign {
+  /// b0[v]: initial opinion of user v about this candidate, in [0, 1].
+  std::vector<double> initial_opinions;
+  /// d[v]: stubbornness of user v towards this candidate, in [0, 1].
+  /// d = 0 everywhere recovers the DeGroot model.
+  std::vector<double> stubbornness;
+
+  /// Validates sizes and [0,1] ranges against an n-node graph.
+  Status Validate(uint32_t num_nodes) const;
+};
+
+/// All campaigns in the election. Index q is the candidate id.
+struct MultiCampaignState {
+  std::vector<Campaign> campaigns;
+
+  uint32_t num_candidates() const {
+    return static_cast<uint32_t>(campaigns.size());
+  }
+
+  /// Requires r >= 2 candidates (the problem is competitive) and per-
+  /// campaign validity.
+  Status Validate(uint32_t num_nodes) const;
+};
+
+/// Applies a seed set for candidate q: for each seed s, b0[s] and d[s] are
+/// raised to 1 (paper § II-C). Returns modified copies, leaving `campaign`
+/// untouched.
+Campaign ApplySeeds(const Campaign& campaign,
+                    const std::vector<graph::NodeId>& seeds);
+
+}  // namespace voteopt::opinion
+
+#endif  // VOTEOPT_OPINION_OPINION_STATE_H_

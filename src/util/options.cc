@@ -1,0 +1,95 @@
+#include "util/options.h"
+
+#include <cstdlib>
+
+namespace voteopt {
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Options::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Options::GetString(const std::string& key,
+                               const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Options::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<int64_t> Options::GetIntList(
+    const std::string& key, std::vector<int64_t> default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::vector<int64_t> out;
+  for (const auto& part : SplitCommas(it->second)) {
+    if (!part.empty()) out.push_back(std::strtoll(part.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<double> Options::GetDoubleList(
+    const std::string& key, std::vector<double> default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::vector<double> out;
+  for (const auto& part : SplitCommas(it->second)) {
+    if (!part.empty()) out.push_back(std::strtod(part.c_str(), nullptr));
+  }
+  return out;
+}
+
+}  // namespace voteopt

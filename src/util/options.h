@@ -1,0 +1,43 @@
+// Minimal --flag=value command-line parsing shared by the bench binaries and
+// examples (keeps them dependency-free and uniform).
+#ifndef VOTEOPT_UTIL_OPTIONS_H_
+#define VOTEOPT_UTIL_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace voteopt {
+
+/// Parses `--key=value` / `--key value` / bare `--flag` arguments.
+/// Unknown positional arguments are collected in positional().
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Comma-separated list of integers, e.g. --k=100,200,500.
+  std::vector<int64_t> GetIntList(const std::string& key,
+                                  std::vector<int64_t> default_value) const;
+  /// Comma-separated list of doubles.
+  std::vector<double> GetDoubleList(const std::string& key,
+                                    std::vector<double> default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace voteopt
+
+#endif  // VOTEOPT_UTIL_OPTIONS_H_

@@ -1,0 +1,188 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace voteopt {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& lane : state_) lane = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+double Rng::Gamma(double shape) {
+  assert(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia-Tsang trick).
+    const double u = Uniform();
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  const double x = Gamma(a);
+  const double y = Gamma(b);
+  const double sum = x + y;
+  if (sum <= 0.0) return 0.5;
+  return x / sum;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = Uniform();
+    uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= Uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction is adequate for the
+  // interaction-count generator; clamp at zero.
+  const double draw = Normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n >= 1);
+  if (n == 1) return 1;
+  // Exact rejection-inversion: sample x from the continuous envelope
+  // density proportional to x^-s on [1, n+1), round down to k, and accept
+  // with probability k^-s * q_1 / q_k, where q_k is the envelope mass of
+  // [k, k+1). The ratio k^-s / q_k is maximal at k = 1, so acceptance
+  // probabilities stay in (0, 1] and the accepted k follows the exact
+  // discrete Zipf pmf proportional to k^-s.
+  auto g = [s](double x) {  // antiderivative of x^-s (up to constants)
+    return s == 1.0 ? std::log(x) : std::pow(x, 1.0 - s);
+  };
+  const double g1 = g(1.0);
+  const double g_top = g(static_cast<double>(n) + 1.0);
+  const double q1 = std::fabs(g(2.0) - g1);
+  while (true) {
+    const double u = Uniform();
+    const double gx = g1 + u * (g_top - g1);
+    const double x =
+        s == 1.0 ? std::exp(gx) : std::pow(gx, 1.0 / (1.0 - s));
+    uint64_t k = static_cast<uint64_t>(x);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    const double qk = std::fabs(g(kd + 1.0) - g(kd));
+    if (Uniform() * qk <= q1 * std::pow(kd, -s)) return k;
+  }
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n,
+                                                    uint32_t count) {
+  assert(count <= n);
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  if (count * 3 >= n) {
+    // Dense: partial Fisher-Yates over [0, n).
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t j = i + static_cast<uint32_t>(UniformInt(n - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse: rejection with a hash set.
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    uint32_t candidate = static_cast<uint32_t>(UniformInt(n));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace voteopt

@@ -1,0 +1,106 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace voteopt {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  assert(!x.empty());
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double num = 0, dx = 0, dy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    dx += (x[i] - mx) * (x[i] - mx);
+    dy += (y[i] - my) * (y[i] - my);
+  }
+  if (dx == 0.0 || dy == 0.0) return 0.0;
+  return num / std::sqrt(dx * dy);
+}
+
+namespace {
+
+void SortUnique(std::vector<uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+size_t IntersectionSize(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+double JaccardOverlap(std::vector<uint32_t> a, std::vector<uint32_t> b) {
+  SortUnique(&a);
+  SortUnique(&b);
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t common = IntersectionSize(a, b);
+  return static_cast<double>(common) /
+         static_cast<double>(a.size() + b.size() - common);
+}
+
+double OverlapFraction(std::vector<uint32_t> a, std::vector<uint32_t> b) {
+  SortUnique(&a);
+  SortUnique(&b);
+  if (a.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(a, b)) /
+         static_cast<double>(a.size());
+}
+
+}  // namespace voteopt

@@ -1,0 +1,54 @@
+// Streaming summary statistics used by tests (statistical assertions) and by
+// the benchmark harness (trial aggregation).
+#ifndef VOTEOPT_UTIL_STATS_H_
+#define VOTEOPT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace voteopt {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Quantile of a sample (linear interpolation); q in [0, 1].
+/// Sorts a copy; intended for small benchmark result vectors.
+double Quantile(std::vector<double> values, double q);
+
+/// Pearson correlation of two equal-length samples.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two sets given as sorted or
+/// unsorted id vectors (duplicates ignored). Used for seed-set overlap
+/// experiments (paper Fig. 9).
+double JaccardOverlap(std::vector<uint32_t> a, std::vector<uint32_t> b);
+
+/// |A ∩ B| / |A| — the "overlap fraction" the paper reports for equal-size
+/// seed sets.
+double OverlapFraction(std::vector<uint32_t> a, std::vector<uint32_t> b);
+
+}  // namespace voteopt
+
+#endif  // VOTEOPT_UTIL_STATS_H_

@@ -1,0 +1,59 @@
+// Aligned table / CSV emission so every bench binary prints the same rows and
+// series the paper's tables and figures report.
+#ifndef VOTEOPT_UTIL_TABLE_H_
+#define VOTEOPT_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace voteopt {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for terminal output) or as CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary cell values with operator<<.
+  template <typename... Ts>
+  void Add(const Ts&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(Ts));
+    (row.push_back(FormatCell(cells)), ...);
+    AddRow(std::move(row));
+  }
+
+  /// Renders an aligned table with a separator under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double trimmed to `digits` significant decimals.
+  static std::string Num(double v, int digits = 4);
+
+ private:
+  template <typename T>
+  static std::string FormatCell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return Num(static_cast<double>(v));
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace voteopt
+
+#endif  // VOTEOPT_UTIL_TABLE_H_

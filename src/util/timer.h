@@ -1,0 +1,30 @@
+// Wall-clock timing for the benchmark harness.
+#ifndef VOTEOPT_UTIL_TIMER_H_
+#define VOTEOPT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace voteopt {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace voteopt
+
+#endif  // VOTEOPT_UTIL_TIMER_H_

@@ -1,0 +1,157 @@
+#include "voting/scores.h"
+
+#include <cassert>
+
+namespace voteopt::voting {
+
+std::string ScoreKindName(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kCumulative:
+      return "cumulative";
+    case ScoreKind::kPlurality:
+      return "plurality";
+    case ScoreKind::kPApproval:
+      return "p-approval";
+    case ScoreKind::kPositionalPApproval:
+      return "positional-p-approval";
+    case ScoreKind::kCopeland:
+      return "copeland";
+  }
+  return "unknown";
+}
+
+ScoreSpec ScoreSpec::Borda(uint32_t num_candidates) {
+  assert(num_candidates >= 2);
+  std::vector<double> omega(num_candidates);
+  for (uint32_t i = 0; i < num_candidates; ++i) {
+    omega[i] = static_cast<double>(num_candidates - 1 - i) /
+               static_cast<double>(num_candidates - 1);
+  }
+  return PositionalPApproval(std::move(omega));
+}
+
+Status ScoreSpec::Validate(uint32_t num_candidates) const {
+  if (kind == ScoreKind::kCumulative || kind == ScoreKind::kCopeland) {
+    return Status::OK();
+  }
+  if (p < 1 || p > num_candidates) {
+    return Status::InvalidArgument("approval depth p = " + std::to_string(p) +
+                                   " outside [1, r = " +
+                                   std::to_string(num_candidates) + "]");
+  }
+  if (kind == ScoreKind::kPositionalPApproval) {
+    if (omega.size() < p) {
+      return Status::InvalidArgument("omega has fewer than p entries");
+    }
+    for (size_t i = 0; i < omega.size(); ++i) {
+      if (!(omega[i] >= 0.0 && omega[i] <= 1.0)) {
+        return Status::OutOfRange("omega[" + std::to_string(i) +
+                                  "] outside [0, 1]");
+      }
+      if (i > 0 && omega[i] > omega[i - 1]) {
+        return Status::InvalidArgument("omega must be non-increasing");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double ScoreSpec::RankWeight(uint32_t beta) const {
+  assert(beta >= 1);
+  if (beta > p) return 0.0;
+  if (kind == ScoreKind::kPositionalPApproval) return omega[beta - 1];
+  return 1.0;  // plurality / p-approval weigh every approved rank as 1
+}
+
+uint32_t Rank(const OpinionMatrix& opinions, CandidateId q, uint32_t v) {
+  const double bqv = opinions[q][v];
+  uint32_t rank = 0;
+  for (const auto& row : opinions) {
+    if (row[v] >= bqv) ++rank;  // includes q itself
+  }
+  return rank;
+}
+
+namespace {
+
+double ApprovalStyleScore(const OpinionMatrix& opinions, CandidateId q,
+                          const ScoreSpec& spec) {
+  const size_t n = opinions[q].size();
+  double total = 0.0;
+  for (uint32_t v = 0; v < n; ++v) {
+    const uint32_t beta = Rank(opinions, q, v);
+    total += spec.RankWeight(beta);
+  }
+  return total;
+}
+
+double CopelandScoreImpl(const OpinionMatrix& opinions, CandidateId q) {
+  const size_t n = opinions[q].size();
+  double wins_total = 0.0;
+  for (CandidateId x = 0; x < opinions.size(); ++x) {
+    if (x == q) continue;
+    int64_t wins = 0, losses = 0;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (opinions[q][v] > opinions[x][v]) {
+        ++wins;
+      } else if (opinions[q][v] < opinions[x][v]) {
+        ++losses;
+      }
+    }
+    if (wins > losses) wins_total += 1.0;
+  }
+  return wins_total;
+}
+
+}  // namespace
+
+double Score(const OpinionMatrix& opinions, CandidateId q,
+             const ScoreSpec& spec) {
+  assert(q < opinions.size());
+  switch (spec.kind) {
+    case ScoreKind::kCumulative: {
+      double sum = 0.0;
+      for (double b : opinions[q]) sum += b;
+      return sum;
+    }
+    case ScoreKind::kPlurality: {
+      ScoreSpec plurality = spec;
+      plurality.p = 1;
+      return ApprovalStyleScore(opinions, q, plurality);
+    }
+    case ScoreKind::kPApproval:
+    case ScoreKind::kPositionalPApproval:
+      return ApprovalStyleScore(opinions, q, spec);
+    case ScoreKind::kCopeland:
+      return CopelandScoreImpl(opinions, q);
+  }
+  return 0.0;
+}
+
+std::vector<double> AllScores(const OpinionMatrix& opinions,
+                              const ScoreSpec& spec) {
+  std::vector<double> scores(opinions.size());
+  for (CandidateId q = 0; q < opinions.size(); ++q) {
+    scores[q] = Score(opinions, q, spec);
+  }
+  return scores;
+}
+
+CandidateId Winner(const OpinionMatrix& opinions, const ScoreSpec& spec) {
+  const std::vector<double> scores = AllScores(opinions, spec);
+  CandidateId best = 0;
+  for (CandidateId q = 1; q < scores.size(); ++q) {
+    if (scores[q] > scores[best]) best = q;
+  }
+  return best;
+}
+
+std::optional<CandidateId> CondorcetWinner(const OpinionMatrix& opinions) {
+  const double target = static_cast<double>(opinions.size()) - 1.0;
+  for (CandidateId q = 0; q < opinions.size(); ++q) {
+    if (CopelandScoreImpl(opinions, q) == target) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace voteopt::voting

@@ -1,0 +1,96 @@
+// The five voting-based scoring functions of paper § II-B, computed from an
+// opinion matrix B(t) (r candidate rows of n user opinions each):
+//
+//   cumulative            F = sum_v b_qv                               (Eq. 3)
+//   plurality             F = #{v : beta_v(q) = 1}                     (Eq. 4)
+//   p-approval            F = #{v : beta_v(q) <= p}                    (Eq. 5)
+//   positional-p-approval F = sum_v omega[beta_v(q)] * 1[beta <= p]    (Eq. 6)
+//   Copeland              F = #{x : q beats x in a one-on-one}         (Eq. 7)
+//
+// where beta_v(q) = #{x in C : b_xv >= b_qv} is q's rank in user v's
+// preference order (q itself counts, so the top candidate has rank 1 and
+// ties push every tied candidate's rank past 1).
+#ifndef VOTEOPT_VOTING_SCORES_H_
+#define VOTEOPT_VOTING_SCORES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opinion/opinion_state.h"
+#include "util/status.h"
+
+namespace voteopt::voting {
+
+using opinion::CandidateId;
+
+/// Opinion matrix at a fixed timestamp: opinions[q][v] = b_qv.
+using OpinionMatrix = std::vector<std::vector<double>>;
+
+enum class ScoreKind {
+  kCumulative,
+  kPlurality,
+  kPApproval,
+  kPositionalPApproval,
+  kCopeland,
+};
+
+std::string ScoreKindName(ScoreKind kind);
+
+/// Which score to optimize, plus the plurality-variant parameters.
+struct ScoreSpec {
+  ScoreKind kind = ScoreKind::kCumulative;
+  /// Approval depth p in [1, r]; used by the approval variants.
+  uint32_t p = 1;
+  /// Position weights omega[0] >= omega[1] >= ... in [0, 1], one per rank;
+  /// used by kPositionalPApproval only. Must have >= p entries.
+  std::vector<double> omega;
+
+  static ScoreSpec Cumulative() { return {ScoreKind::kCumulative, 1, {}}; }
+  static ScoreSpec Plurality() { return {ScoreKind::kPlurality, 1, {}}; }
+  static ScoreSpec PApproval(uint32_t p) {
+    return {ScoreKind::kPApproval, p, {}};
+  }
+  static ScoreSpec PositionalPApproval(std::vector<double> omega_weights) {
+    ScoreSpec spec{ScoreKind::kPositionalPApproval,
+                   static_cast<uint32_t>(omega_weights.size()),
+                   std::move(omega_weights)};
+    return spec;
+  }
+  static ScoreSpec Copeland() { return {ScoreKind::kCopeland, 1, {}}; }
+
+  /// Borda count (extension; paper § IX future work): rank beta earns
+  /// (r - beta) / (r - 1) points — exactly positional-r-approval with
+  /// linearly decaying weights. Requires r >= 2.
+  static ScoreSpec Borda(uint32_t num_candidates);
+
+  /// Validates p / omega against the number of candidates r.
+  Status Validate(uint32_t num_candidates) const;
+
+  /// Effective weight of rank `beta` (1-based): 0 beyond p; 1 for plain
+  /// plurality / p-approval; omega[beta-1] for positional.
+  double RankWeight(uint32_t beta) const;
+};
+
+/// Rank beta of candidate q in user v's preference order (1-based).
+uint32_t Rank(const OpinionMatrix& opinions, CandidateId q, uint32_t v);
+
+/// F(B, c_q) for the requested score.
+double Score(const OpinionMatrix& opinions, CandidateId q,
+             const ScoreSpec& spec);
+
+/// Scores of every candidate under the same spec.
+std::vector<double> AllScores(const OpinionMatrix& opinions,
+                              const ScoreSpec& spec);
+
+/// Candidate with the maximum score (ties broken toward the smaller id).
+CandidateId Winner(const OpinionMatrix& opinions, const ScoreSpec& spec);
+
+/// The Condorcet winner — the candidate that wins all r-1 one-on-one
+/// competitions — when one exists.
+std::optional<CandidateId> CondorcetWinner(const OpinionMatrix& opinions);
+
+}  // namespace voteopt::voting
+
+#endif  // VOTEOPT_VOTING_SCORES_H_

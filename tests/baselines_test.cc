@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cascade_models.h"
+#include "baselines/degree.h"
+#include "baselines/ged_t.h"
+#include "baselines/imm.h"
+#include "baselines/pagerank.h"
+#include "baselines/rwr.h"
+#include "baselines/selector_factory.h"
+#include "core/greedy_dm.h"
+#include "graph/builder.h"
+#include "test_fixtures.h"
+
+namespace voteopt::baselines {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+graph::Graph StarGraph(uint32_t leaves) {
+  // Node 0 points to every leaf with weight 1.
+  graph::GraphBuilder b(leaves + 1);
+  for (graph::NodeId v = 1; v <= leaves; ++v) b.AddEdge(0, v, 1.0);
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+// ---------------------------------------------------------------------------
+// IC / LT diffusion.
+// ---------------------------------------------------------------------------
+
+TEST(CascadeTest, SeedsAlwaysActive) {
+  auto inst = MakeRandomInstance(30, 150, 2, 3);
+  Rng rng(5);
+  for (auto model : {CascadeModel::kIndependentCascade,
+                     CascadeModel::kLinearThreshold}) {
+    const uint64_t spread =
+        SimulateSpreadOnce(inst.graph, {1, 2, 3}, model, &rng);
+    EXPECT_GE(spread, 3u);
+  }
+}
+
+TEST(CascadeTest, CertainEdgesActivateWholeChain) {
+  // Chain with weight-1 edges: IC activates everything downstream.
+  graph::GraphBuilder b(5);
+  for (graph::NodeId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(7);
+  EXPECT_EQ(SimulateSpreadOnce(*g, {0}, CascadeModel::kIndependentCascade,
+                               &rng),
+            5u);
+  // LT with incoming weight 1: threshold always crossed.
+  EXPECT_EQ(SimulateSpreadOnce(*g, {0}, CascadeModel::kLinearThreshold, &rng),
+            5u);
+}
+
+TEST(CascadeTest, SpreadMonotoneInSeeds) {
+  auto inst = MakeRandomInstance(60, 300, 2, 9);
+  Rng rng1(11), rng2(11);
+  const double small = EstimateSpread(inst.graph, {0, 1},
+                                      CascadeModel::kIndependentCascade, 300,
+                                      &rng1);
+  const double large = EstimateSpread(inst.graph, {0, 1, 2, 3, 4, 5},
+                                      CascadeModel::kIndependentCascade, 300,
+                                      &rng2);
+  EXPECT_GE(large, small);
+}
+
+TEST(CascadeTest, StarSpreadMatchesExpectation) {
+  // IC from the hub with p = 0.5 edges: E[spread] = 1 + leaves/2.
+  graph::GraphBuilder b(11);
+  for (graph::NodeId v = 1; v <= 10; ++v) b.AddEdge(0, v, 0.5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(13);
+  const double spread = EstimateSpread(
+      *g, {0}, CascadeModel::kIndependentCascade, 20000, &rng);
+  EXPECT_NEAR(spread, 6.0, 0.1);
+}
+
+TEST(RRSetTest, ContainsRootAndRespectsModel) {
+  auto inst = MakeRandomInstance(40, 200, 2, 15);
+  Rng rng(17);
+  std::vector<graph::NodeId> rr;
+  for (int i = 0; i < 200; ++i) {
+    SampleRRSet(inst.graph, CascadeModel::kIndependentCascade, &rng, &rr);
+    ASSERT_FALSE(rr.empty());
+    SampleRRSet(inst.graph, CascadeModel::kLinearThreshold, &rng, &rr);
+    ASSERT_FALSE(rr.empty());
+    // LT RR sets are simple paths: all nodes distinct.
+    std::set<graph::NodeId> unique(rr.begin(), rr.end());
+    EXPECT_EQ(unique.size(), rr.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IMM.
+// ---------------------------------------------------------------------------
+
+TEST(MaxCoverageTest, PicksCoveringNode) {
+  // Node 7 covers all three sets; greedy must pick it first.
+  std::vector<std::vector<graph::NodeId>> rr_sets = {
+      {1, 7}, {2, 7}, {3, 7}};
+  std::vector<graph::NodeId> seeds;
+  const double frac = MaxCoverage(rr_sets, 10, 1, &seeds);
+  EXPECT_EQ(seeds, std::vector<graph::NodeId>{7});
+  EXPECT_DOUBLE_EQ(frac, 1.0);
+}
+
+TEST(MaxCoverageTest, TwoSeedsCoverDisjointSets) {
+  std::vector<std::vector<graph::NodeId>> rr_sets = {{0}, {0}, {1}, {2}};
+  std::vector<graph::NodeId> seeds;
+  const double frac = MaxCoverage(rr_sets, 3, 2, &seeds);
+  EXPECT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0u);           // covers two sets
+  EXPECT_DOUBLE_EQ(frac, 0.75);      // 3 of 4 sets covered
+}
+
+TEST(IMMTest, ReturnsKDistinctSeeds) {
+  auto inst = MakeRandomInstance(50, 250, 2, 19);
+  Rng rng(21);
+  const IMMResult result = IMMSelect(
+      inst.graph, 5, CascadeModel::kIndependentCascade, {.epsilon = 0.3},
+      &rng);
+  EXPECT_EQ(result.seeds.size(), 5u);
+  std::set<graph::NodeId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 5u);
+  EXPECT_GT(result.rr_sets_used, 0u);
+  EXPECT_GE(result.estimated_spread, 5.0);
+}
+
+TEST(IMMTest, EstimatedSpreadMatchesMonteCarlo) {
+  auto inst = MakeRandomInstance(60, 350, 2, 23);
+  Rng rng(25);
+  const IMMResult result = IMMSelect(
+      inst.graph, 4, CascadeModel::kIndependentCascade, {.epsilon = 0.2},
+      &rng);
+  Rng mc_rng(27);
+  const double mc = EstimateSpread(inst.graph, result.seeds,
+                                   CascadeModel::kIndependentCascade, 2000,
+                                   &mc_rng);
+  EXPECT_NEAR(result.estimated_spread, mc, 0.25 * mc + 1.0);
+}
+
+TEST(IMMTest, HubIsSelectedOnStar) {
+  graph::Graph g = StarGraph(20);
+  Rng rng(29);
+  const IMMResult result =
+      IMMSelect(g, 1, CascadeModel::kIndependentCascade, {.epsilon = 0.3},
+                &rng);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PageRank / RWR / degree.
+// ---------------------------------------------------------------------------
+
+TEST(PageRankTest, ScoresSumToOne) {
+  auto inst = MakeRandomInstance(50, 250, 2, 31);
+  const auto scores = PageRankScores(inst.graph, {});
+  double total = 0.0;
+  for (double s : scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, TransposeRanksInfluencersHigh) {
+  // On a star (hub -> leaves), ranking on the transpose makes the hub the
+  // top node (its influence reaches everyone).
+  graph::Graph g = StarGraph(10);
+  const auto scores = PageRankScores(g, {.on_transpose = true});
+  EXPECT_EQ(TopK(scores, 1)[0], 0u);
+  // On the forward graph the hub collects no mass instead.
+  const auto fwd = PageRankScores(g, {.on_transpose = false});
+  EXPECT_NE(TopK(fwd, 1)[0], 0u);
+}
+
+TEST(TopKTest, OrderAndTieBreak) {
+  const std::vector<double> scores = {0.1, 0.5, 0.5, 0.9};
+  EXPECT_EQ(TopK(scores, 3), (std::vector<graph::NodeId>{3, 1, 2}));
+  EXPECT_EQ(TopK(scores, 10).size(), 4u);  // clamped to n
+}
+
+TEST(RWRTest, UniformRestartScoresSumToOne) {
+  auto inst = MakeRandomInstance(40, 200, 2, 37);
+  const auto scores = RWRScores(inst.graph, {}, {});
+  double total = 0.0;
+  for (double s : scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(RWRTest, RestartDistributionBiasesScores) {
+  graph::Graph g = StarGraph(4);
+  // All restart mass on node 3.
+  std::vector<double> restart(5, 0.0);
+  restart[3] = 1.0;
+  const auto scores = RWRScores(g, restart, {.restart_prob = 0.5});
+  // Node 3 holds at least the restart mass share.
+  EXPECT_GT(scores[3], scores[1]);
+  EXPECT_GT(scores[3], scores[2]);
+}
+
+TEST(DegreeTest, WeightedOutDegree) {
+  graph::GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(0, 2, 0.25);
+  b.AddEdge(1, 2, 0.75);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const auto wd = WeightedOutDegree(*g);
+  EXPECT_DOUBLE_EQ(wd[0], 0.75);
+  EXPECT_DOUBLE_EQ(wd[1], 0.75);
+  EXPECT_DOUBLE_EQ(wd[2], 0.0);
+  const auto d = OutDegree(*g);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// GED-T.
+// ---------------------------------------------------------------------------
+
+TEST(GedTTest, MatchesDMOnCumulativeScore) {
+  // Paper § VIII-C: "our DM and baseline GED-T perform the same for the
+  // cumulative score (only)".
+  auto inst = MakeRandomInstance(40, 200, 2, 41);
+  opinion::FJModel model(inst.graph);
+  core::ScoreEvaluator ev(model, inst.state, 0, 4,
+                          voting::ScoreSpec::Cumulative());
+  const auto dm = core::GreedyDMSelect(ev, 4);
+  const auto ged = GedTSelect(ev, 4);
+  EXPECT_EQ(ged.seeds, dm.seeds);
+  EXPECT_NEAR(ged.score, dm.score, 1e-9);
+}
+
+TEST(GedTTest, OptimizesCumulativeEvenUnderPluralitySpec) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  core::ScoreEvaluator ev(model, ex.state, 0, 1,
+                          voting::ScoreSpec::Plurality());
+  const auto ged = GedTSelect(ev, 1);
+  // GED-T picks node 0 (best cumulative seed, Table I), which is NOT the
+  // best plurality seed (node 2) — exactly the paper's point.
+  EXPECT_EQ(ged.seeds, std::vector<graph::NodeId>{0});
+  EXPECT_DOUBLE_EQ(ged.score, 2.0);  // plurality score of {0}
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+// ---------------------------------------------------------------------------
+
+TEST(FactoryTest, NamesRoundTrip) {
+  for (Method m : AllMethods()) {
+    const auto parsed = ParseMethod(MethodName(m));
+    ASSERT_TRUE(parsed.has_value()) << MethodName(m);
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(ParseMethod("bogus").has_value());
+  EXPECT_EQ(AllMethods().size(), 9u);
+}
+
+TEST(FactoryTest, EveryMethodReturnsKSeeds) {
+  auto inst = MakeRandomInstance(30, 160, 2, 43, /*max_stubbornness=*/0.8);
+  opinion::FJModel model(inst.graph);
+  core::ScoreEvaluator ev(model, inst.state, 0, 3,
+                          voting::ScoreSpec::Cumulative());
+  MethodOptions options;
+  options.rw.lambda_override = 16;
+  options.rs.theta_override = 512;
+  options.imm_epsilon = 0.3;
+  for (Method m : AllMethods()) {
+    const auto result = SelectWithMethod(m, ev, 3, options);
+    EXPECT_EQ(result.seeds.size(), 3u) << MethodName(m);
+    std::set<graph::NodeId> unique(result.seeds.begin(), result.seeds.end());
+    EXPECT_EQ(unique.size(), 3u) << MethodName(m);
+    EXPECT_GE(result.score, 0.0) << MethodName(m);
+  }
+}
+
+TEST(FactoryTest, MakeSelectorWrapsMethod) {
+  auto inst = MakeRandomInstance(25, 130, 2, 47);
+  opinion::FJModel model(inst.graph);
+  core::ScoreEvaluator ev(model, inst.state, 0, 3,
+                          voting::ScoreSpec::Cumulative());
+  const auto selector = MakeSelector(Method::kDegree);
+  const auto direct = SelectWithMethod(Method::kDegree, ev, 2);
+  const auto wrapped = selector(ev, 2);
+  EXPECT_EQ(wrapped.seeds, direct.seeds);
+}
+
+}  // namespace
+}  // namespace voteopt::baselines

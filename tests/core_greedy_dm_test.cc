@@ -1,0 +1,204 @@
+#include "core/greedy_dm.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace voteopt::core {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+// ---------------------------------------------------------------------------
+// DeltaPropagator: the sparse marginal-gain engine must agree exactly with
+// full re-propagation.
+// ---------------------------------------------------------------------------
+
+class DeltaPropagatorParamTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(DeltaPropagatorParamTest, DeltaEqualsFullRepropagation) {
+  const auto [horizon, seed] = GetParam();
+  auto inst = MakeRandomInstance(40, 220, 2, seed);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, horizon, ScoreSpec::Cumulative());
+
+  DeltaPropagator propagator(ev);
+  const std::vector<graph::NodeId> base_seeds = {3, 17};
+  propagator.SetSeeds(base_seeds);
+  const auto base = model.PropagateWithSeeds(inst.state.campaigns[0],
+                                             base_seeds, horizon);
+
+  std::vector<graph::NodeId> touched;
+  for (graph::NodeId w : {0u, 5u, 11u, 25u, 39u}) {
+    const auto& delta = propagator.ComputeDelta(w, &touched);
+    auto with_w = base_seeds;
+    with_w.push_back(w);
+    const auto full =
+        model.PropagateWithSeeds(inst.state.campaigns[0], with_w, horizon);
+    // Reconstruct full vector from sparse delta.
+    std::vector<double> reconstructed = base;
+    for (graph::NodeId v : touched) reconstructed[v] += delta[v];
+    for (uint32_t v = 0; v < 40; ++v) {
+      ASSERT_NEAR(reconstructed[v], full[v], 1e-10)
+          << "w=" << w << " v=" << v << " t=" << horizon;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HorizonsAndSeeds, DeltaPropagatorParamTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u, 5u, 12u),
+                       ::testing::Values(101u, 202u, 303u)));
+
+TEST(DeltaPropagatorTest, GainOfExistingSeedIsZero) {
+  auto inst = MakeRandomInstance(30, 150, 2, 7);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 5, ScoreSpec::Cumulative());
+  DeltaPropagator propagator(ev);
+  propagator.SetSeeds({4});
+  EXPECT_NEAR(propagator.MarginalGain(4), 0.0, 1e-12);
+}
+
+TEST(DeltaPropagatorTest, MarginalGainMatchesScoreDifference) {
+  auto inst = MakeRandomInstance(35, 180, 3, 9);
+  opinion::FJModel model(inst.graph);
+  for (ScoreSpec spec :
+       {ScoreSpec::Cumulative(), ScoreSpec::Plurality(),
+        ScoreSpec::PApproval(2), ScoreSpec::Copeland(),
+        ScoreSpec::PositionalPApproval({1.0, 0.4, 0.1})}) {
+    ScoreEvaluator ev(model, inst.state, 0, 6, spec);
+    DeltaPropagator propagator(ev);
+    propagator.SetSeeds({2});
+    for (graph::NodeId w : {6u, 13u, 30u}) {
+      const double gain = propagator.MarginalGain(w);
+      const double expected =
+          ev.EvaluateSeeds({2, w}) - ev.EvaluateSeeds({2});
+      EXPECT_NEAR(gain, expected, 1e-9)
+          << voting::ScoreKindName(spec.kind) << " w=" << w;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy selection.
+// ---------------------------------------------------------------------------
+
+TEST(GreedyDMTest, PaperExampleBestSingleSeeds) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  // Example 2: user 1 (node 0) maximizes cumulative; user 3 (node 2)
+  // maximizes plurality and achieves Copeland 1.
+  {
+    ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Cumulative());
+    const auto result = GreedyDMSelect(ev, 1);
+    EXPECT_EQ(result.seeds, std::vector<graph::NodeId>{0});
+    EXPECT_NEAR(result.score, 3.30, 1e-9);
+  }
+  {
+    ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Plurality());
+    const auto result = GreedyDMSelect(ev, 1);
+    EXPECT_EQ(result.seeds, std::vector<graph::NodeId>{2});
+    EXPECT_DOUBLE_EQ(result.score, 4.0);
+  }
+  {
+    ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Copeland());
+    const auto result = GreedyDMSelect(ev, 1);
+    EXPECT_DOUBLE_EQ(result.score, 1.0);  // node 2 or 3 both achieve 1
+  }
+}
+
+TEST(GreedyDMTest, FirstSeedIsBruteForceBest) {
+  auto inst = MakeRandomInstance(30, 160, 2, 41);
+  opinion::FJModel model(inst.graph);
+  for (ScoreSpec spec : {ScoreSpec::Cumulative(), ScoreSpec::Plurality()}) {
+    ScoreEvaluator ev(model, inst.state, 0, 4, spec);
+    const auto result = GreedyDMSelect(ev, 1);
+    double best = -1.0;
+    for (graph::NodeId v = 0; v < 30; ++v) {
+      best = std::max(best, ev.EvaluateSeeds({v}));
+    }
+    EXPECT_NEAR(result.score, best, 1e-9) << voting::ScoreKindName(spec.kind);
+  }
+}
+
+TEST(GreedyDMTest, CelfMatchesPlainGreedyOnCumulative) {
+  auto inst = MakeRandomInstance(40, 200, 2, 43);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 5, ScoreSpec::Cumulative());
+  const auto celf = GreedyDMSelect(ev, 5, {.use_celf = true});
+  const auto plain = GreedyDMSelect(ev, 5, {.use_celf = false});
+  EXPECT_EQ(celf.seeds, plain.seeds);
+  EXPECT_NEAR(celf.score, plain.score, 1e-9);
+  // CELF must do no more evaluations than plain greedy.
+  EXPECT_LE(celf.diagnostics.at("evaluations"),
+            plain.diagnostics.at("evaluations"));
+}
+
+TEST(GreedyDMTest, ScoreNondecreasingInK) {
+  auto inst = MakeRandomInstance(35, 170, 3, 47);
+  opinion::FJModel model(inst.graph);
+  for (ScoreSpec spec : {ScoreSpec::Cumulative(), ScoreSpec::Plurality(),
+                         ScoreSpec::Copeland()}) {
+    ScoreEvaluator ev(model, inst.state, 1, 4, spec);
+    double previous = -1.0;
+    for (uint32_t k : {1u, 2u, 4u, 8u}) {
+      const auto result = GreedyDMSelect(ev, k);
+      EXPECT_EQ(result.seeds.size(), k);
+      EXPECT_GE(result.score, previous - 1e-9)
+          << voting::ScoreKindName(spec.kind) << " k=" << k;
+      previous = result.score;
+    }
+  }
+}
+
+TEST(GreedyDMTest, SeedsAreDistinct) {
+  auto inst = MakeRandomInstance(25, 120, 2, 53);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, ScoreSpec::Cumulative());
+  const auto result = GreedyDMSelect(ev, 10);
+  std::set<graph::NodeId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), result.seeds.size());
+}
+
+TEST(GreedyDMTest, KLargerThanNClamps) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Cumulative());
+  const auto result = GreedyDMSelect(ev, 100);
+  EXPECT_EQ(result.seeds.size(), 4u);
+  EXPECT_NEAR(result.score, 4.0, 1e-9);  // everyone seeded at opinion 1
+}
+
+TEST(GreedyDMTest, CandidatePoolRestrictsSelection) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Cumulative());
+  DMOptions options;
+  options.candidate_pool = {1, 3};
+  const auto result = GreedyDMSelect(ev, 2, options);
+  std::set<graph::NodeId> seeds(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(seeds, (std::set<graph::NodeId>{1, 3}));
+}
+
+TEST(GreedyDMTest, GreedyMatchesBruteForcePairOnCumulative) {
+  // Submodular + monotone: greedy must be within (1-1/e) of optimum; on
+  // this instance we check the stronger property that it finds the true
+  // best pair (typical for such small instances).
+  auto inst = MakeRandomInstance(18, 80, 2, 59);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, ScoreSpec::Cumulative());
+  const auto greedy = GreedyDMSelect(ev, 2);
+  double best = -1.0;
+  for (graph::NodeId a = 0; a < 18; ++a) {
+    for (graph::NodeId b = a + 1; b < 18; ++b) {
+      best = std::max(best, ev.EvaluateSeeds({a, b}));
+    }
+  }
+  constexpr double kOneMinusInvE = 0.6321205588285577;
+  EXPECT_GE(greedy.score, kOneMinusInvE * best - 1e-9);
+}
+
+}  // namespace
+}  // namespace voteopt::core

@@ -1,0 +1,113 @@
+#include "core/min_seed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_dm.h"
+#include "test_fixtures.h"
+
+namespace voteopt::core {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+SeedSelector ExactGreedy() {
+  return [](const ScoreEvaluator& ev, uint32_t k) {
+    return GreedyDMSelect(ev, k);
+  };
+}
+
+TEST(TargetWinsTest, PaperExample) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, voting::ScoreSpec::Plurality());
+  // Without seeds both candidates have plurality 2: no strict win.
+  EXPECT_FALSE(TargetWins(ev, {}));
+  // Seeding node 2 gives 4 vs 0.
+  EXPECT_TRUE(TargetWins(ev, {2}));
+}
+
+TEST(MinSeedsTest, PaperExampleNeedsOneSeedForPlurality) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, voting::ScoreSpec::Plurality());
+  const auto result = MinSeedsToWin(ev, ExactGreedy());
+  ASSERT_TRUE(result.achievable);
+  EXPECT_EQ(result.k_star, 1u);
+  EXPECT_EQ(result.seeds.size(), 1u);
+  EXPECT_TRUE(TargetWins(ev, result.seeds));
+}
+
+TEST(MinSeedsTest, ZeroWhenAlreadyWinning) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  // Swap roles: evaluate candidate c2 (index 1), which wins cumulative
+  // 2.78 vs 2.55 with no seeds at all.
+  ScoreEvaluator ev(model, ex.state, 1, 1, voting::ScoreSpec::Cumulative());
+  const auto result = MinSeedsToWin(ev, ExactGreedy());
+  ASSERT_TRUE(result.achievable);
+  EXPECT_EQ(result.k_star, 0u);
+  EXPECT_TRUE(result.seeds.empty());
+}
+
+TEST(MinSeedsTest, MatchesExhaustiveSearchOverK) {
+  // k* from the binary search must equal the smallest k whose greedy seed
+  // set wins (Algorithm 2 semantics, given the same selector).
+  for (uint64_t seed : {71u, 73u, 79u}) {
+    auto inst = MakeRandomInstance(20, 110, 2, seed);
+    opinion::FJModel model(inst.graph);
+    ScoreEvaluator ev(model, inst.state, 0, 4, voting::ScoreSpec::Cumulative());
+    const auto result = MinSeedsToWin(ev, ExactGreedy());
+    if (!result.achievable) continue;
+    uint32_t smallest = 0;
+    if (!TargetWins(ev, {})) {
+      smallest = 21;  // sentinel
+      for (uint32_t k = 1; k <= 20; ++k) {
+        if (TargetWins(ev, GreedyDMSelect(ev, k).seeds)) {
+          smallest = k;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(result.k_star, smallest) << "instance seed " << seed;
+  }
+}
+
+TEST(MinSeedsTest, UnachievableWhenCompetitorSaturated) {
+  // Competitor is fully stubborn at opinion 1 everywhere: cumulative score
+  // n can at best be tied, never strictly beaten.
+  auto inst = MakeRandomInstance(12, 60, 2, 83);
+  for (uint32_t v = 0; v < 12; ++v) {
+    inst.state.campaigns[1].initial_opinions[v] = 1.0;
+    inst.state.campaigns[1].stubbornness[v] = 1.0;
+  }
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Cumulative());
+  const auto result = MinSeedsToWin(ev, ExactGreedy());
+  EXPECT_FALSE(result.achievable);
+  EXPECT_EQ(result.k_star, 12u);  // reports the exhausted budget
+}
+
+TEST(MinSeedsTest, RespectsKMax) {
+  auto inst = MakeRandomInstance(20, 100, 2, 89);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Cumulative());
+  const auto result = MinSeedsToWin(ev, ExactGreedy(), /*k_max=*/2);
+  if (result.achievable) {
+    EXPECT_LE(result.k_star, 2u);
+  } else {
+    EXPECT_EQ(result.k_star, 2u);
+  }
+}
+
+TEST(MinSeedsTest, BinarySearchUsesLogCalls) {
+  auto inst = MakeRandomInstance(64, 320, 2, 97);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Cumulative());
+  const auto result = MinSeedsToWin(ev, ExactGreedy());
+  // 1 feasibility call + at most ceil(log2(64)) = 6 bisection steps.
+  EXPECT_LE(result.selector_calls, 8u);
+}
+
+}  // namespace
+}  // namespace voteopt::core

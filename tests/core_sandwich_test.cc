@@ -1,0 +1,212 @@
+#include "core/sandwich.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/traversal.h"
+
+#include "core/greedy_dm.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace voteopt::core {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+double UpperBoundValue(const ScoreEvaluator& ev,
+                       const std::vector<graph::NodeId>& seeds,
+                       const std::vector<graph::NodeId>& base,
+                       double unit_weight) {
+  graph::HopLimitedBfs bfs(ev.model().graph(), graph::Direction::kForward);
+  std::vector<bool> covered(ev.num_users(), false);
+  size_t count = 0;
+  for (graph::NodeId v : base) {
+    if (!covered[v]) {
+      covered[v] = true;
+      ++count;
+    }
+  }
+  bfs.Run(seeds, ev.horizon(), [&](graph::NodeId v, uint32_t) {
+    if (!covered[v]) {
+      covered[v] = true;
+      ++count;
+    }
+  });
+  return unit_weight * static_cast<double>(count);
+}
+
+TEST(FavorableUsersTest, PaperExample) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, voting::ScoreSpec::Plurality());
+  // Users 1, 2 (nodes 0, 1) already rank the target first at t = 1.
+  EXPECT_EQ(FavorableUsers(ev), (std::vector<graph::NodeId>{0, 1}));
+}
+
+TEST(WeaklyFavorableUsersTest, TwoCandidatesEqualsFavorable) {
+  // With r = 2, "prefers target to at least one" == "prefers target to
+  // all" (there is only one competitor).
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, voting::ScoreSpec::Copeland());
+  EXPECT_EQ(WeaklyFavorableUsers(ev), (std::vector<graph::NodeId>{0, 1}));
+}
+
+TEST(WeaklyFavorableUsersTest, SupersetOfFavorableManyCandidates) {
+  auto inst = MakeRandomInstance(40, 200, 5, 61);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 4, voting::ScoreSpec::Plurality());
+  const auto favorable = FavorableUsers(ev);
+  const auto weakly = WeaklyFavorableUsers(ev);
+  // Every strictly-top user also beats at least one competitor.
+  for (graph::NodeId v : favorable) {
+    EXPECT_TRUE(std::find(weakly.begin(), weakly.end(), v) != weakly.end());
+  }
+  EXPECT_GE(weakly.size(), favorable.size());
+}
+
+// ---------------------------------------------------------------------------
+// Sandwich ordering LB(S) <= F(S) <= UB(S) (Thms. 5-7) on random seed sets.
+// ---------------------------------------------------------------------------
+
+class SandwichOrderingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SandwichOrderingTest, BoundsHoldForRandomSeedSets) {
+  auto inst = MakeRandomInstance(35, 180, 3, GetParam());
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 4, voting::ScoreSpec::Plurality());
+  const auto favorable = FavorableUsers(ev);
+  std::vector<bool> in_favorable(35, false);
+  for (graph::NodeId v : favorable) in_favorable[v] = true;
+
+  Rng rng(GetParam() * 77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto seeds = rng.SampleWithoutReplacement(35, 1 + trial);
+    std::vector<graph::NodeId> seed_vec(seeds.begin(), seeds.end());
+    const double f = ev.EvaluateSeeds(seed_vec);
+
+    // LB (Def. 3): omega[p]=1 times opinion mass over the favorable set.
+    const auto horizon = ev.TargetHorizonOpinions(seed_vec);
+    double lb = 0.0;
+    for (graph::NodeId v : favorable) lb += horizon[v];
+    // UB (Def. 4): coverage of N_S u V_q.
+    const double ub = UpperBoundValue(ev, seed_vec, favorable, 1.0);
+
+    EXPECT_LE(lb, f + 1e-9) << "trial " << trial;
+    EXPECT_LE(f, ub + 1e-9) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SandwichOrderingTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(SandwichOrderingTest, CopelandUpperBoundHolds) {
+  auto inst = MakeRandomInstance(30, 150, 4, 67);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Copeland());
+  const auto weakly = WeaklyFavorableUsers(ev);
+  const double unit = 3.0 / (std::floor(30 / 2.0) + 1.0);
+  Rng rng(71);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(30, 2 + trial);
+    std::vector<graph::NodeId> seeds(sample.begin(), sample.end());
+    const double f = ev.EvaluateSeeds(seeds);
+    const double ub = UpperBoundValue(ev, seeds, weakly, unit);
+    EXPECT_LE(f, ub + 1e-9) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bound maximizers.
+// ---------------------------------------------------------------------------
+
+TEST(MaximizeUpperBoundTest, CoversGreedily) {
+  // Chain 0->1->2->3->4: with t=2 and empty base, seeding node 0 covers
+  // {0,1,2}; greedy k=2 then adds a node covering the rest.
+  graph::GraphBuilder b(5);
+  for (graph::NodeId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  opinion::MultiCampaignState state;
+  state.campaigns.resize(2);
+  for (auto& c : state.campaigns) {
+    c.initial_opinions.assign(5, 0.5);
+    c.stubbornness.assign(5, 0.5);
+  }
+  opinion::FJModel model(*g);
+  ScoreEvaluator ev(model, state, 0, 2, voting::ScoreSpec::Plurality());
+  const auto result = MaximizeUpperBound(ev, 2, {}, 1.0);
+  EXPECT_EQ(result.seeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.bound_value, 5.0);  // everything covered
+  // Greedy first pick must be a node covering 3 nodes: 0, 1 or 2.
+  EXPECT_LE(result.seeds[0], 2u);
+}
+
+TEST(MaximizeLowerBoundTest, OnlyFavorableOpinionsCount) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, voting::ScoreSpec::Plurality());
+  const auto favorable = FavorableUsers(ev);  // {0, 1}
+  const auto result = MaximizeLowerBound(ev, 1, favorable, 1.0);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  // Seeding node 0 or 1 raises the favorable-set opinion mass the most
+  // (0.4 -> 1 gain of 0.6 beats 0.8 -> 1 gain of 0.2 and beats any
+  // diffusion-only effect on nodes 0/1, which have no in-edges).
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_NEAR(result.bound_value, 1.0 + 0.8, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3.
+// ---------------------------------------------------------------------------
+
+TEST(SandwichSelectTest, ReturnsBestOfThreeWithDiagnostics) {
+  auto inst = MakeRandomInstance(30, 160, 3, 73);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 4, voting::ScoreSpec::Plurality());
+  const auto result = SandwichSelect(ev, 4);
+  EXPECT_EQ(result.seeds.size(), 4u);
+  EXPECT_GE(result.score,
+            result.diagnostics.at("score_SF") - 1e-9);
+  EXPECT_GE(result.score, result.diagnostics.at("score_SU") - 1e-9);
+  EXPECT_GE(result.score, result.diagnostics.at("score_SL") - 1e-9);
+  // The empirical factor of Fig. 2 is in (0, 1].
+  const double ratio = result.diagnostics.at("sandwich_ratio");
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0 + 1e-9);
+}
+
+TEST(SandwichSelectTest, CopelandSkipsLowerBound) {
+  auto inst = MakeRandomInstance(25, 120, 3, 79);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Copeland());
+  const auto result = SandwichSelect(ev, 3);
+  EXPECT_EQ(result.diagnostics.count("score_SL"), 0u);
+  EXPECT_EQ(result.diagnostics.count("score_SU"), 1u);
+}
+
+TEST(SandwichSelectTest, CumulativeDelegatesToFeasible) {
+  auto inst = MakeRandomInstance(25, 120, 2, 83);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Cumulative());
+  const auto sandwich = SandwichSelect(ev, 3);
+  const auto direct = GreedyDMSelect(ev, 3);
+  EXPECT_EQ(sandwich.seeds, direct.seeds);
+}
+
+TEST(SandwichSelectTest, NeverWorseThanPlainGreedy) {
+  for (uint64_t seed : {89u, 97u, 101u}) {
+    auto inst = MakeRandomInstance(30, 150, 4, seed);
+    opinion::FJModel model(inst.graph);
+    ScoreEvaluator ev(model, inst.state, 1, 4, voting::ScoreSpec::Plurality());
+    const auto sandwich = SandwichSelect(ev, 3);
+    const auto plain = GreedyDMSelect(ev, 3);
+    EXPECT_GE(sandwich.score, plain.score - 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace voteopt::core

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accuracy.h"
+#include "core/estimated_greedy.h"
+#include "core/greedy_dm.h"
+#include "core/rw_greedy.h"
+#include "core/walk_engine.h"
+#include "core/walk_set.h"
+#include "graph/alias_table.h"
+#include "test_fixtures.h"
+#include "util/stats.h"
+
+namespace voteopt::core {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+// ---------------------------------------------------------------------------
+// WalkSet storage and truncation semantics.
+// ---------------------------------------------------------------------------
+
+TEST(WalkSetTest, PostingsRecordFirstOccurrenceOnly) {
+  WalkSet walks(5);
+  walks.AddWalk({0, 1, 2, 1, 3});  // node 1 appears twice
+  walks.Finalize({0.1, 0.2, 0.3, 0.4, 0.5});
+  const auto postings = walks.PostingsOf(1);
+  ASSERT_EQ(postings.size(), 1u);
+  EXPECT_EQ(postings[0].walk, 0u);
+  EXPECT_EQ(postings[0].pos, 1u);
+}
+
+TEST(WalkSetTest, ValueIsInitialOpinionOfEndNode) {
+  WalkSet walks(4);
+  walks.AddWalk({0, 2, 3});
+  walks.AddWalk({1});
+  walks.Finalize({0.9, 0.8, 0.7, 0.25});
+  EXPECT_DOUBLE_EQ(walks.Value(0), 0.25);  // ends at node 3
+  EXPECT_DOUBLE_EQ(walks.Value(1), 0.8);   // single-node walk
+  EXPECT_DOUBLE_EQ(walks.EstimatedOpinion(0), 0.25);
+  EXPECT_DOUBLE_EQ(walks.EstimatedOpinion(1), 0.8);
+}
+
+TEST(WalkSetTest, LambdaCountsWalksPerStart) {
+  WalkSet walks(3);
+  walks.AddWalk({0, 1});
+  walks.AddWalk({0, 2});
+  walks.AddWalk({1});
+  walks.Finalize({0.0, 0.5, 1.0});
+  EXPECT_EQ(walks.Lambda(0), 2u);
+  EXPECT_EQ(walks.Lambda(1), 1u);
+  EXPECT_EQ(walks.Lambda(2), 0u);
+  EXPECT_DOUBLE_EQ(walks.EstimatedOpinion(0), 0.75);  // (0.5 + 1.0)/2
+  EXPECT_DOUBLE_EQ(walks.EstimatedOpinion(2, 0.123), 0.123);  // fallback
+}
+
+TEST(WalkSetTest, TruncationSetsValueToOneAndShortens) {
+  WalkSet walks(4);
+  walks.AddWalk({0, 1, 2, 3});
+  walks.Finalize({0.1, 0.2, 0.3, 0.4});
+  int changed = 0;
+  walks.Truncate(2, [&](uint32_t walk, double old_value) {
+    ++changed;
+    EXPECT_EQ(walk, 0u);
+    EXPECT_DOUBLE_EQ(old_value, 0.4);
+  });
+  EXPECT_EQ(changed, 1);
+  EXPECT_DOUBLE_EQ(walks.Value(0), 1.0);
+  EXPECT_EQ(walks.EffectiveLen(0), 3u);
+  EXPECT_DOUBLE_EQ(walks.EstimatedOpinion(0), 1.0);
+}
+
+TEST(WalkSetTest, TruncationAtFirstSeedOccurrenceWins) {
+  WalkSet walks(5);
+  walks.AddWalk({0, 1, 2, 3, 4});
+  walks.Finalize({0.1, 0.2, 0.3, 0.4, 0.5});
+  walks.Truncate(3, [](uint32_t, double) {});
+  EXPECT_EQ(walks.EffectiveLen(0), 4u);
+  // Truncating at an earlier node shortens further...
+  walks.Truncate(1, [](uint32_t, double) {});
+  EXPECT_EQ(walks.EffectiveLen(0), 2u);
+  // ...but a later node is now beyond the effective end: no change.
+  int changed = 0;
+  walks.Truncate(2, [&](uint32_t, double) { ++changed; });
+  EXPECT_EQ(changed, 0);
+  EXPECT_EQ(walks.EffectiveLen(0), 2u);
+}
+
+TEST(WalkSetTest, TruncationAtStartPosition) {
+  WalkSet walks(3);
+  walks.AddWalk({1, 2});
+  walks.Finalize({0.0, 0.5, 0.25});
+  walks.Truncate(1, [](uint32_t, double) {});
+  EXPECT_EQ(walks.EffectiveLen(0), 1u);
+  EXPECT_DOUBLE_EQ(walks.Value(0), 1.0);  // seeding the start itself
+}
+
+// ---------------------------------------------------------------------------
+// Walk engine: unbiasedness (Thms. 8 and 9).
+// ---------------------------------------------------------------------------
+
+TEST(WalkEngineTest, WalkLengthBoundedByHorizon) {
+  auto inst = MakeRandomInstance(30, 150, 2, 5);
+  graph::AliasSampler alias(inst.graph);
+  WalkEngine engine(inst.graph, inst.state.campaigns[0], alias);
+  Rng rng(6);
+  std::vector<graph::NodeId> walk;
+  for (uint32_t t : {0u, 1u, 5u}) {
+    for (int i = 0; i < 50; ++i) {
+      engine.Generate(static_cast<graph::NodeId>(i % 30), t, &rng, &walk);
+      EXPECT_GE(walk.size(), 1u);
+      EXPECT_LE(walk.size(), t + 1);
+    }
+  }
+}
+
+TEST(WalkEngineTest, FullyStubbornStartNeverMoves) {
+  auto inst = MakeRandomInstance(20, 100, 2, 7);
+  inst.state.campaigns[0].stubbornness[4] = 1.0;
+  graph::AliasSampler alias(inst.graph);
+  WalkEngine engine(inst.graph, inst.state.campaigns[0], alias);
+  Rng rng(8);
+  std::vector<graph::NodeId> walk;
+  for (int i = 0; i < 20; ++i) {
+    engine.Generate(4, 10, &rng, &walk);
+    EXPECT_EQ(walk, std::vector<graph::NodeId>{4});
+  }
+}
+
+// Thm. 8/9 on the paper example, where exact opinions are known in closed
+// form: the mean estimate over many walks must approach the exact opinion.
+TEST(WalkEngineTest, EstimateIsUnbiasedOnPaperExample) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  graph::AliasSampler alias(ex.graph);
+  WalkEngine engine(ex.graph, ex.state.campaigns[0], alias);
+  Rng rng(9);
+  const uint32_t t = 3;
+  const auto exact = model.Propagate(ex.state.campaigns[0], t);
+  std::vector<graph::NodeId> walk;
+  for (graph::NodeId start = 0; start < 4; ++start) {
+    RunningStat stat;
+    for (int i = 0; i < 60000; ++i) {
+      engine.Generate(start, t, &rng, &walk);
+      stat.Add(ex.state.campaigns[0].initial_opinions[walk.back()]);
+    }
+    EXPECT_NEAR(stat.mean(), exact[start], 0.01) << "start " << start;
+  }
+}
+
+TEST(WalkEngineTest, PostGenerationTruncationMatchesDirectGeneration) {
+  // Thm. 9: E[Y[S]] = b[S] = E[X[S]] (Thm. 8). Compare both estimators
+  // against the exact seeded opinion.
+  auto inst = MakeRandomInstance(25, 140, 2, 11, /*max_stubbornness=*/0.6);
+  opinion::FJModel model(inst.graph);
+  graph::AliasSampler alias(inst.graph);
+  WalkEngine engine(inst.graph, inst.state.campaigns[0], alias);
+  const std::vector<graph::NodeId> seeds = {2, 7};
+  std::vector<bool> is_seed(25, false);
+  for (auto s : seeds) is_seed[s] = true;
+  const uint32_t t = 4;
+  const auto exact = model.PropagateWithSeeds(inst.state.campaigns[0], seeds, t);
+
+  Rng rng(13);
+  std::vector<graph::NodeId> walk;
+  for (graph::NodeId start : {0u, 5u, 12u, 24u}) {
+    RunningStat direct, truncated;
+    for (int i = 0; i < 40000; ++i) {
+      direct.Add(engine.GenerateWithSeeds(start, t, is_seed, &rng));
+      engine.Generate(start, t, &rng, &walk);
+      // Post-generation truncation at the first seed occurrence.
+      double value = inst.state.campaigns[0].initial_opinions[walk.back()];
+      for (graph::NodeId v : walk) {
+        if (is_seed[v]) {
+          value = 1.0;
+          break;
+        }
+      }
+      truncated.Add(value);
+    }
+    EXPECT_NEAR(direct.mean(), exact[start], 0.015) << "start " << start;
+    EXPECT_NEAR(truncated.mean(), exact[start], 0.015) << "start " << start;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy bounds (Thms. 10-12).
+// ---------------------------------------------------------------------------
+
+TEST(AccuracyTest, LambdaFormulasMatchPaper) {
+  // Thm. 10 with delta = 0.1, rho = 0.9: ln(20)/(2*0.01) ~ 149.8 -> 150.
+  EXPECT_EQ(LambdaForCumulative(0.1, 0.9), 150u);
+  // Plurality (two-sided) needs more walks than Copeland (one-sided).
+  EXPECT_GT(LambdaFromGamma(0.1, 0.9, false),
+            LambdaFromGamma(0.1, 0.9, true));
+  // Smaller margins need more walks.
+  EXPECT_GT(LambdaFromGamma(0.05, 0.9, false),
+            LambdaFromGamma(0.1, 0.9, false));
+  // Higher confidence needs more walks.
+  EXPECT_GT(LambdaForCumulative(0.1, 0.95), LambdaForCumulative(0.1, 0.75));
+}
+
+TEST(AccuracyTest, LogBinomial) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-9);
+  EXPECT_EQ(LogBinomial(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(AccuracyTest, GammaStarRespectsFloorAndShrinks) {
+  auto inst = MakeRandomInstance(30, 150, 3, 17);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 4, voting::ScoreSpec::Plurality());
+  GammaOptions options;
+  options.gamma_floor = 0.05;
+  const auto gamma = EstimateGammaStar(ev, 3, options);
+  ASSERT_EQ(gamma.size(), 30u);
+  for (uint32_t v = 0; v < 30; ++v) {
+    EXPECT_GE(gamma[v], 0.05);
+    EXPECT_LE(gamma[v], 1.0);
+  }
+}
+
+TEST(AccuracyTest, LambdasFromGammaClamped) {
+  const std::vector<double> gamma = {0.001, 0.5, 1.0};
+  const auto lambdas = LambdasFromGammaStar(gamma, 0.9, false, 100);
+  EXPECT_EQ(lambdas[0], 100u);  // capped
+  EXPECT_GE(lambdas[1], 1u);
+  EXPECT_LE(lambdas[2], 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Estimated greedy (Algorithm 4 loop).
+// ---------------------------------------------------------------------------
+
+TEST(EstimatedGreedyTest, PaperExampleCumulativePicksNodeZero) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, voting::ScoreSpec::Cumulative());
+
+  // Exact walks: enough per node that the estimates are sharp.
+  graph::AliasSampler alias(ex.graph);
+  WalkEngine engine(ex.graph, ex.state.campaigns[0], alias);
+  Rng rng(19);
+  WalkSet walks(4);
+  std::vector<graph::NodeId> scratch;
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    for (int j = 0; j < 4000; ++j) {
+      engine.Generate(v, 1, &rng, &scratch);
+      walks.AddWalk(scratch);
+    }
+  }
+  walks.Finalize(ex.state.campaigns[0].initial_opinions);
+  const auto result = EstimatedGreedySelect(ev, 1, &walks);
+  EXPECT_EQ(result.seeds, std::vector<graph::NodeId>{0});
+  EXPECT_NEAR(result.score, 3.30, 1e-9);  // exact score of chosen set
+  EXPECT_NEAR(result.diagnostics.at("estimated_score"), 3.30, 0.05);
+}
+
+TEST(RWGreedyTest, CumulativeCloseToExactGreedy) {
+  auto inst = MakeRandomInstance(60, 300, 2, 23, /*max_stubbornness=*/0.8);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 5, voting::ScoreSpec::Cumulative());
+  const auto exact = GreedyDMSelect(ev, 4);
+  RWOptions options;
+  options.rho = 0.9;
+  options.delta = 0.05;
+  const auto rw = RWGreedySelect(ev, 4, options);
+  EXPECT_EQ(rw.seeds.size(), 4u);
+  // The RW greedy achieves at least 90% of exact greedy on this instance.
+  EXPECT_GE(rw.score, 0.9 * exact.score);
+  EXPECT_GT(rw.diagnostics.at("walks"), 0.0);
+}
+
+TEST(RWGreedyTest, PluralityAndCopelandProduceValidResults) {
+  auto inst = MakeRandomInstance(40, 220, 3, 29, /*max_stubbornness=*/0.8);
+  opinion::FJModel model(inst.graph);
+  for (auto spec :
+       {voting::ScoreSpec::Plurality(), voting::ScoreSpec::Copeland()}) {
+    ScoreEvaluator ev(model, inst.state, 0, 4, spec);
+    RWOptions options;
+    options.lambda_cap = 64;  // keep the test fast
+    const auto result = RWGreedySelect(ev, 3, options);
+    EXPECT_EQ(result.seeds.size(), 3u);
+    EXPECT_GE(result.score, ev.EvaluateSeeds({}));
+  }
+}
+
+TEST(RWGreedyTest, LambdaOverrideControlsWalkCount) {
+  auto inst = MakeRandomInstance(20, 100, 2, 31);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Cumulative());
+  RWOptions options;
+  options.lambda_override = 7;
+  const auto result = RWGreedySelect(ev, 2, options);
+  EXPECT_DOUBLE_EQ(result.diagnostics.at("walks"), 140.0);  // 20 * 7
+  EXPECT_DOUBLE_EQ(result.diagnostics.at("lambda_mean"), 7.0);
+}
+
+TEST(EstimatedGreedyTest, MoreSeedsNeverLowerEstimatedCumulative) {
+  auto inst = MakeRandomInstance(30, 160, 2, 37);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 4, voting::ScoreSpec::Cumulative());
+  RWOptions options;
+  options.lambda_override = 32;
+  double previous = -1.0;
+  for (uint32_t k : {1u, 3u, 6u}) {
+    RWOptions o = options;
+    const auto result = RWGreedySelect(ev, k, o);
+    EXPECT_GE(result.score, previous - 1e-9);
+    previous = result.score;
+  }
+}
+
+}  // namespace
+}  // namespace voteopt::core

@@ -1,0 +1,97 @@
+#include "datasets/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace voteopt::datasets {
+namespace {
+
+class DatasetsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { prefix_ = ::testing::TempDir() + "/voteopt_bundle"; }
+  void TearDown() override {
+    for (const char* suffix :
+         {".influence.edges", ".counts.edges", ".campaigns.tsv", ".meta"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+  std::string prefix_;
+};
+
+TEST_F(DatasetsIoTest, CampaignsRoundTrip) {
+  const Dataset ds = MakeDataset(DatasetName::kTwitterMask, 0.02, 5);
+  const std::string path = prefix_ + ".campaigns.tsv";
+  ASSERT_TRUE(SaveCampaigns(ds.state, path).ok());
+  auto loaded = LoadCampaigns(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_candidates(), ds.state.num_candidates());
+  for (uint32_t q = 0; q < ds.state.num_candidates(); ++q) {
+    EXPECT_EQ(loaded->campaigns[q].initial_opinions,
+              ds.state.campaigns[q].initial_opinions);
+    EXPECT_EQ(loaded->campaigns[q].stubbornness,
+              ds.state.campaigns[q].stubbornness);
+  }
+}
+
+TEST_F(DatasetsIoTest, BundleRoundTrip) {
+  const Dataset ds = MakeDataset(DatasetName::kYelp, 0.02, 9);
+  ASSERT_TRUE(SaveDatasetBundle(ds, prefix_).ok());
+  auto loaded = LoadDatasetBundle(prefix_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, ds.name);
+  EXPECT_EQ(loaded->default_target, ds.default_target);
+  EXPECT_EQ(loaded->influence.num_nodes(), ds.influence.num_nodes());
+  EXPECT_EQ(loaded->influence.num_edges(), ds.influence.num_edges());
+  EXPECT_EQ(loaded->counts.num_edges(), ds.counts.num_edges());
+  EXPECT_TRUE(loaded->influence.IsColumnStochastic(1e-6));
+  // Spot-check weights survive the text round trip.
+  for (graph::NodeId v = 0; v < std::min<uint32_t>(20, ds.influence.num_nodes());
+       ++v) {
+    const auto original = ds.influence.InWeights(v);
+    const auto restored = loaded->influence.InWeights(v);
+    ASSERT_EQ(original.size(), restored.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+      EXPECT_NEAR(original[i], restored[i], 1e-9);
+    }
+  }
+}
+
+TEST_F(DatasetsIoTest, LoadMissingCampaignsFails) {
+  auto loaded = LoadCampaigns(prefix_ + ".campaigns.tsv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(DatasetsIoTest, CorruptHeaderRejected) {
+  const std::string path = prefix_ + ".campaigns.tsv";
+  std::ofstream(path) << "not a campaigns file\n2 2\n";
+  auto loaded = LoadCampaigns(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsIoTest, TruncatedDataRejected) {
+  const std::string path = prefix_ + ".campaigns.tsv";
+  std::ofstream(path) << "# voteopt-campaigns v1\n2 3\n0.5 0.5\n0.5 0.5\n";
+  auto loaded = LoadCampaigns(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsIoTest, OutOfRangeValuesRejectedOnLoad) {
+  const std::string path = prefix_ + ".campaigns.tsv";
+  std::ofstream(path) << "# voteopt-campaigns v1\n2 1\n1.5 0.5\n0.5 0.5\n";
+  auto loaded = LoadCampaigns(path);
+  ASSERT_FALSE(loaded.ok());  // validation runs on load
+}
+
+TEST_F(DatasetsIoTest, SingleCampaignRejected) {
+  const std::string path = prefix_ + ".campaigns.tsv";
+  std::ofstream(path) << "# voteopt-campaigns v1\n1 1\n0.5 0.5\n";
+  EXPECT_FALSE(LoadCampaigns(path).ok());
+}
+
+}  // namespace
+}  // namespace voteopt::datasets

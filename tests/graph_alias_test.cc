@@ -1,0 +1,105 @@
+#include "graph/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace voteopt::graph {
+namespace {
+
+TEST(AliasSamplerTest, ExactProbabilitiesMatchWeights) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 3, 0.1);
+  b.AddEdge(1, 3, 0.3);
+  b.AddEdge(2, 3, 0.6);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AliasSampler sampler(*g);
+  // Reconstructed per-slot probabilities must equal the normalized weights.
+  EXPECT_NEAR(sampler.Probability(3, 0), 0.1, 1e-12);
+  EXPECT_NEAR(sampler.Probability(3, 1), 0.3, 1e-12);
+  EXPECT_NEAR(sampler.Probability(3, 2), 0.6, 1e-12);
+}
+
+TEST(AliasSamplerTest, EmpiricalFrequenciesMatch) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 3, 0.2);
+  b.AddEdge(1, 3, 0.5);
+  b.AddEdge(2, 3, 0.3);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AliasSampler sampler(*g);
+  Rng rng(99);
+  std::map<NodeId, int> counts;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[sampler.SampleInNeighbor(3, &rng)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(AliasSamplerTest, NodeWithoutInEdgesReturnsSentinel) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AliasSampler sampler(*g);
+  Rng rng(1);
+  EXPECT_EQ(sampler.SampleInNeighbor(0, &rng), AliasSampler::kNoNeighbor);
+  EXPECT_EQ(sampler.SampleInNeighbor(1, &rng), 0u);
+}
+
+TEST(AliasSamplerTest, SingleInNeighborAlwaysSampled) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.37);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AliasSampler sampler(*g);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.SampleInNeighbor(1, &rng), 0u);
+  }
+}
+
+TEST(AliasSamplerTest, UnnormalizedWeightsSampledProportionally) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 2.0);
+  b.AddEdge(1, 2, 6.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AliasSampler sampler(*g);
+  EXPECT_NEAR(sampler.Probability(2, 0), 0.25, 1e-12);
+  EXPECT_NEAR(sampler.Probability(2, 1), 0.75, 1e-12);
+}
+
+TEST(AliasSamplerTest, ProbabilitiesSumToOnePerNode) {
+  Rng rng(123);
+  InteractionCounts counts;
+  Graph g = ErdosRenyiDigraph(50, 400, counts, &rng).NormalizedIncoming();
+  AliasSampler sampler(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const size_t deg = g.InNeighbors(v).size();
+    if (deg == 0) continue;
+    double total = 0.0;
+    for (size_t i = 0; i < deg; ++i) total += sampler.Probability(v, i);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "node " << v;
+  }
+}
+
+TEST(AliasSamplerTest, MemoryAccounting) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AliasSampler sampler(*g);
+  EXPECT_EQ(sampler.memory_bytes(), 2 * (sizeof(double) + sizeof(uint32_t)));
+}
+
+}  // namespace
+}  // namespace voteopt::graph

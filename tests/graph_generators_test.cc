@@ -1,0 +1,118 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace voteopt::graph {
+namespace {
+
+InteractionCounts DefaultCounts() {
+  InteractionCounts c;
+  c.kind = InteractionCounts::Kind::kPoisson;
+  c.mean = 5.0;
+  return c;
+}
+
+TEST(GeneratorsTest, ErdosRenyiHasRequestedEdges) {
+  Rng rng(1);
+  Graph g = ErdosRenyiDigraph(100, 500, DefaultCounts(), &rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiCapsAtMaxPossible) {
+  Rng rng(2);
+  Graph g = ErdosRenyiDigraph(5, 1000, DefaultCounts(), &rng);
+  EXPECT_EQ(g.num_edges(), 20u);  // 5 * 4 directed pairs
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministicInSeed) {
+  Rng rng1(7), rng2(7);
+  Graph a = ErdosRenyiDigraph(60, 300, DefaultCounts(), &rng1);
+  Graph b = ErdosRenyiDigraph(60, 300, DefaultCounts(), &rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v));
+  }
+}
+
+TEST(GeneratorsTest, BarabasiAlbertIsBidirected) {
+  Rng rng(3);
+  Graph g = BarabasiAlbert(200, 3, DefaultCounts(), &rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_EQ(g.num_edges() % 2, 0u);
+  // Every edge has its reverse.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      bool reverse = false;
+      for (NodeId w : g.OutNeighbors(v)) reverse |= (w == u);
+      ASSERT_TRUE(reverse) << u << "->" << v;
+    }
+  }
+}
+
+TEST(GeneratorsTest, BarabasiAlbertHasSkewedDegrees) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(1000, 2, DefaultCounts(), &rng);
+  uint64_t max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g.OutDegree(v));
+  }
+  const double avg = static_cast<double>(g.num_edges()) / g.num_nodes();
+  // Preferential attachment produces hubs far above the average degree.
+  EXPECT_GT(static_cast<double>(max_degree), 5.0 * avg);
+}
+
+TEST(GeneratorsTest, WattsStrogatzRingDegreeWithoutRewire) {
+  Rng rng(5);
+  Graph g = WattsStrogatz(50, 4, 0.0, DefaultCounts(), &rng);
+  // Undirected ring with k/2 = 2 neighbors each side -> out-degree 4
+  // (bidirected).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), 4u) << "node " << v;
+  }
+}
+
+TEST(GeneratorsTest, WattsStrogatzRewirePreservesEdgeCount) {
+  Rng rng(6);
+  Graph g0 = WattsStrogatz(80, 4, 0.0, DefaultCounts(), &rng);
+  Rng rng2(6);
+  Graph g1 = WattsStrogatz(80, 4, 0.5, DefaultCounts(), &rng2);
+  EXPECT_EQ(g0.num_edges(), g1.num_edges());
+}
+
+TEST(GeneratorsTest, PowerLawDigraphInDegreeSkew) {
+  Rng rng(8);
+  Graph g = PowerLawDigraph(2000, 3.0, 1.2, DefaultCounts(), &rng);
+  uint64_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  const double avg_in = static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_GT(static_cast<double>(max_in), 10.0 * avg_in);
+}
+
+TEST(GeneratorsTest, InteractionCountsAlwaysPositive) {
+  Rng rng(9);
+  for (auto kind : {InteractionCounts::Kind::kConstant,
+                    InteractionCounts::Kind::kPoisson,
+                    InteractionCounts::Kind::kZipf}) {
+    InteractionCounts c;
+    c.kind = kind;
+    c.mean = 4.0;
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_GT(c.Draw(&rng), 0.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, NormalizedGeneratedGraphIsStochastic) {
+  Rng rng(10);
+  Graph g =
+      PowerLawDigraph(500, 2.0, 1.3, DefaultCounts(), &rng).NormalizedIncoming();
+  EXPECT_TRUE(g.IsColumnStochastic());
+}
+
+}  // namespace
+}  // namespace voteopt::graph

@@ -1,0 +1,140 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/builder.h"
+
+namespace voteopt::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/voteopt_io_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(GraphIoTest, LoadsEdgesWithCommentsAndDefaults) {
+  WriteFile(
+      "# SNAP-style comment\n"
+      "0 1 0.5\n"
+      "1 2\n"           // default weight 1.0
+      "\n"              // blank line ignored
+      "0 2 0.25\n");
+  auto g = LoadEdgeList(path_, {.normalize_incoming = false});
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g->OutWeights(1)[0], 1.0);
+}
+
+TEST_F(GraphIoTest, NormalizesByDefault) {
+  WriteFile("0 2 2\n1 2 6\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsColumnStochastic());
+}
+
+TEST_F(GraphIoTest, CompactIdsRemapsSparseIds) {
+  WriteFile("100 200 1\n200 300 1\n");
+  auto g = LoadEdgeList(path_, {.compact_ids = true,
+                                .normalize_incoming = false});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST_F(GraphIoTest, WithoutCompactIdsUsesMaxId) {
+  WriteFile("0 4 1\n");
+  auto g = LoadEdgeList(path_, {.normalize_incoming = false});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 5u);
+}
+
+TEST_F(GraphIoTest, UndirectedOptionAddsBothDirections) {
+  WriteFile("0 1 1\n");
+  auto g = LoadEdgeList(path_, {.normalize_incoming = false,
+                                .undirected = true});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST_F(GraphIoTest, MissingFileIsIOError) {
+  auto g = LoadEdgeList("/nonexistent/file.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(GraphIoTest, MalformedLineIsCorruption) {
+  WriteFile("0 1 1\nnot an edge\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kCorruption);
+  // Error message carries the line number.
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, NegativeWeightIsCorruption) {
+  WriteFile("0 1 -0.5\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(GraphIoTest, EmptyFileIsInvalidArgument) {
+  WriteFile("# only comments\n");
+  auto g = LoadEdgeList(path_);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, SelfLoopsDroppedSilently) {
+  WriteFile("0 0 1\n0 1 1\n");
+  auto g = LoadEdgeList(path_, {.normalize_incoming = false});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST_F(GraphIoTest, SaveLoadRoundTrip) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(1, 2, 0.25);
+  b.AddEdge(2, 3, 0.125);
+  auto original = b.Build();
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveEdgeList(*original, path_).ok());
+
+  auto loaded = LoadEdgeList(path_, {.normalize_incoming = false});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), original->num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original->num_edges());
+  for (NodeId u = 0; u < original->num_nodes(); ++u) {
+    const auto ow = original->OutWeights(u);
+    const auto lw = loaded->OutWeights(u);
+    ASSERT_EQ(ow.size(), lw.size());
+    for (size_t i = 0; i < ow.size(); ++i) EXPECT_NEAR(ow[i], lw[i], 1e-9);
+  }
+}
+
+TEST_F(GraphIoTest, SaveToUnwritablePathFails) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(SaveEdgeList(*g, "/nonexistent/dir/out.txt").code(),
+            Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace voteopt::graph

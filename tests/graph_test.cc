@@ -1,0 +1,177 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace voteopt::graph {
+namespace {
+
+Graph Diamond() {
+  // 0 -> 1 (0.3), 0 -> 2 (0.7), 1 -> 3 (0.4), 2 -> 3 (0.6)
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 0.3);
+  b.AddEdge(0, 2, 0.7);
+  b.AddEdge(1, 3, 0.4);
+  b.AddEdge(2, 3, 0.6);
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(GraphBuilderTest, BasicShape) {
+  Graph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(3), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+}
+
+TEST(GraphBuilderTest, DualCsrConsistency) {
+  Graph g = Diamond();
+  // Every out-edge appears as an in-edge with the same weight.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto targets = g.OutNeighbors(u);
+    const auto weights = g.OutWeights(u);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const auto sources = g.InNeighbors(targets[i]);
+      const auto in_weights = g.InWeights(targets[i]);
+      bool found = false;
+      for (size_t j = 0; j < sources.size(); ++j) {
+        if (sources[j] == u && in_weights[j] == weights[i]) found = true;
+      }
+      EXPECT_TRUE(found) << "edge " << u << "->" << targets[i];
+    }
+  }
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 5, 1.0);
+  auto result = b.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeight) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 0.0);
+  EXPECT_FALSE(b.Build().ok());
+  GraphBuilder b2(3);
+  b2.AddEdge(0, 1, -1.0);
+  EXPECT_FALSE(b2.Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoopByDefault) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 1, 1.0);
+  EXPECT_FALSE(b.Build().ok());
+  EXPECT_TRUE(b.Build({.allow_self_loops = true}).ok());
+}
+
+TEST(GraphBuilderTest, MergesParallelEdges) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.25);
+  b.AddEdge(0, 1, 0.5);
+  auto g = b.Build({.merge_parallel_edges = true});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g->OutWeights(0)[0], 0.75);
+}
+
+TEST(GraphBuilderTest, NormalizeIncomingMakesColumnStochastic) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2, 2.0);
+  b.AddEdge(1, 2, 6.0);
+  auto g = b.Build({.normalize_incoming = true});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsColumnStochastic());
+  EXPECT_DOUBLE_EQ(g->InWeightSum(2), 1.0);
+  // Ratios preserved: 2:6 -> 0.25 : 0.75.
+  EXPECT_DOUBLE_EQ(g->InWeights(2)[0], 0.25);
+  EXPECT_DOUBLE_EQ(g->InWeights(2)[1], 0.75);
+}
+
+TEST(GraphBuilderTest, UndirectedEdgeAddsBothDirections) {
+  GraphBuilder b(2);
+  b.AddUndirectedEdge(0, 1, 3.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->OutDegree(0), 1u);
+  EXPECT_EQ(g->OutDegree(1), 1u);
+}
+
+TEST(GraphBuilderTest, EmptyGraphIsValid) {
+  GraphBuilder b(5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 5u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_TRUE(g->IsColumnStochastic());  // vacuously
+}
+
+TEST(GraphTest, WeightSums) {
+  Graph g = Diamond();
+  EXPECT_DOUBLE_EQ(g.OutWeightSum(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.InWeightSum(3), 1.0);
+  EXPECT_DOUBLE_EQ(g.InWeightSum(0), 0.0);
+}
+
+TEST(GraphTest, IsColumnStochasticDetectsViolation) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1, 0.5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->IsColumnStochastic());
+}
+
+TEST(GraphTest, NormalizedIncomingIdempotent) {
+  Graph g = Diamond().NormalizedIncoming();
+  EXPECT_TRUE(g.IsColumnStochastic());
+  Graph g2 = g.NormalizedIncoming();
+  EXPECT_TRUE(g2.IsColumnStochastic());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+}
+
+TEST(GraphTest, TransposeReversesEdges) {
+  Graph g = Diamond();
+  Graph t = g.Transposed();
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  EXPECT_EQ(t.OutDegree(3), 2u);
+  EXPECT_EQ(t.InDegree(0), 2u);  // 0 had out-degree 2
+  EXPECT_EQ(t.OutDegree(0), 0u);  // 0 had in-degree 0
+  EXPECT_EQ(t.InDegree(1), 1u);
+  // Double transpose restores shape.
+  Graph tt = t.Transposed();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(tt.OutDegree(v), g.OutDegree(v));
+    EXPECT_EQ(tt.InDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(GraphTest, InducedSubgraphRemapsIds) {
+  Graph g = Diamond();
+  // Keep nodes {0, 2, 3} -> new ids {0, 1, 2}; surviving edges:
+  // 0->2 (0.7) and 2->3 (0.6).
+  Graph sub = g.InducedSubgraph({0, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  ASSERT_EQ(sub.OutDegree(0), 1u);
+  EXPECT_EQ(sub.OutNeighbors(0)[0], 1u);
+  EXPECT_DOUBLE_EQ(sub.OutWeights(0)[0], 0.7);
+  ASSERT_EQ(sub.OutDegree(1), 1u);
+  EXPECT_EQ(sub.OutNeighbors(1)[0], 2u);
+}
+
+TEST(GraphTest, InducedSubgraphEmptySelection) {
+  Graph g = Diamond();
+  Graph sub = g.InducedSubgraph({});
+  EXPECT_EQ(sub.num_nodes(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace voteopt::graph

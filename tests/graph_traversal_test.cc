@@ -1,0 +1,89 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/builder.h"
+
+namespace voteopt::graph {
+namespace {
+
+Graph Chain5() {
+  // 0 -> 1 -> 2 -> 3 -> 4
+  GraphBuilder b(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1, 1.0);
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(TraversalTest, ForwardHopsFromSingleSource) {
+  Graph g = Chain5();
+  HopLimitedBfs bfs(g, Direction::kForward);
+  std::map<NodeId, uint32_t> hops;
+  bfs.Run({0}, 2, [&](NodeId v, uint32_t h) { hops[v] = h; });
+  EXPECT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 2u);
+}
+
+TEST(TraversalTest, ZeroHopsVisitsOnlySources) {
+  Graph g = Chain5();
+  HopLimitedBfs bfs(g, Direction::kForward);
+  auto reachable = bfs.ReachableWithin({2}, 0);
+  EXPECT_EQ(reachable, std::vector<NodeId>{2});
+}
+
+TEST(TraversalTest, ReverseDirection) {
+  Graph g = Chain5();
+  HopLimitedBfs bfs(g, Direction::kReverse);
+  auto reachable = bfs.ReachableWithin({4}, 2);
+  std::sort(reachable.begin(), reachable.end());
+  EXPECT_EQ(reachable, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(TraversalTest, MultiSourceDeduplicates) {
+  Graph g = Chain5();
+  HopLimitedBfs bfs(g, Direction::kForward);
+  auto reachable = bfs.ReachableWithin({0, 1, 1}, 1);
+  std::sort(reachable.begin(), reachable.end());
+  EXPECT_EQ(reachable, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TraversalTest, RepeatedRunsAreIndependent) {
+  Graph g = Chain5();
+  HopLimitedBfs bfs(g, Direction::kForward);
+  // First run marks nodes; second run must start fresh (epoch trick).
+  EXPECT_EQ(bfs.ReachableWithin({0}, 4).size(), 5u);
+  EXPECT_EQ(bfs.ReachableWithin({0}, 4).size(), 5u);
+  EXPECT_EQ(bfs.ReachableWithin({3}, 1).size(), 2u);
+}
+
+TEST(TraversalTest, HopLimitBeyondDiameterVisitsComponent) {
+  Graph g = Chain5();
+  HopLimitedBfs bfs(g, Direction::kForward);
+  EXPECT_EQ(bfs.ReachableWithin({0}, 100).size(), 5u);
+  EXPECT_EQ(bfs.ReachableWithin({4}, 100).size(), 1u);  // sink
+}
+
+TEST(TraversalTest, BranchingGraphHopOrder) {
+  // 0 -> {1, 2}; 1 -> 3; 2 -> 3 (diamond).
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(1, 3, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  HopLimitedBfs bfs(*g, Direction::kForward);
+  std::vector<uint32_t> order;
+  bfs.Run({0}, 5, [&](NodeId, uint32_t h) { order.push_back(h); });
+  // Hops nondecreasing; node 3 visited once.
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace voteopt::graph

@@ -1,0 +1,253 @@
+#include "opinion/fj_model.h"
+
+#include <gtest/gtest.h>
+
+#include "opinion/convergence.h"
+#include "test_fixtures.h"
+
+namespace voteopt::opinion {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+// ---------------------------------------------------------------------------
+// The paper's running example (Fig. 1 / Table I): every opinion digit.
+// ---------------------------------------------------------------------------
+
+TEST(FJPaperExampleTest, NoSeedsHorizonOne) {
+  auto ex = MakePaperExample();
+  FJModel model(ex.graph);
+  const auto b1 = model.Propagate(ex.state.campaigns[0], 1);
+  EXPECT_NEAR(b1[0], 0.40, 1e-12);
+  EXPECT_NEAR(b1[1], 0.80, 1e-12);
+  EXPECT_NEAR(b1[2], 0.60, 1e-12);
+  EXPECT_NEAR(b1[3], 0.75, 1e-12);
+}
+
+struct SeedCase {
+  std::vector<graph::NodeId> seeds;
+  std::array<double, 4> expected;  // Table I row
+};
+
+class FJTableITest : public ::testing::TestWithParam<SeedCase> {};
+
+TEST_P(FJTableITest, MatchesTableIRow) {
+  auto ex = MakePaperExample();
+  FJModel model(ex.graph);
+  const auto b1 =
+      model.PropagateWithSeeds(ex.state.campaigns[0], GetParam().seeds, 1);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NEAR(b1[v], GetParam().expected[v], 1e-12) << "user " << v + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeedSets, FJTableITest,
+    ::testing::Values(
+        SeedCase{{}, {0.40, 0.80, 0.60, 0.75}},
+        SeedCase{{0}, {1.00, 0.80, 0.75, 0.75}},
+        SeedCase{{1}, {0.40, 1.00, 0.65, 0.75}},
+        SeedCase{{2}, {0.40, 0.80, 1.00, 0.95}},
+        SeedCase{{3}, {0.40, 0.80, 0.60, 1.00}},
+        SeedCase{{0, 1}, {1.00, 1.00, 0.80, 0.75}}));
+
+TEST(FJPaperExampleTest, CompetitorFullyStubbornKeepsCaptionValues) {
+  auto ex = MakePaperExample();
+  FJModel model(ex.graph);
+  const auto c2 = model.Propagate(ex.state.campaigns[1], 1);
+  EXPECT_NEAR(c2[0], 0.35, 1e-12);
+  EXPECT_NEAR(c2[1], 0.75, 1e-12);
+  EXPECT_NEAR(c2[2], 0.78, 1e-12);
+  EXPECT_NEAR(c2[3], 0.90, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Model semantics.
+// ---------------------------------------------------------------------------
+
+TEST(FJModelTest, HorizonZeroIsInitialOpinions) {
+  auto ex = MakePaperExample();
+  FJModel model(ex.graph);
+  EXPECT_EQ(model.Propagate(ex.state.campaigns[0], 0),
+            ex.state.campaigns[0].initial_opinions);
+}
+
+TEST(FJModelTest, NodesWithoutInEdgesRetainInitialOpinion) {
+  auto ex = MakePaperExample();
+  FJModel model(ex.graph);
+  for (uint32_t t : {1u, 5u, 20u}) {
+    const auto b = model.Propagate(ex.state.campaigns[0], t);
+    EXPECT_DOUBLE_EQ(b[0], 0.40);
+    EXPECT_DOUBLE_EQ(b[1], 0.80);
+  }
+}
+
+TEST(FJModelTest, FullyStubbornUserNeverMoves) {
+  auto inst = MakeRandomInstance(30, 120, 2, 11);
+  inst.state.campaigns[0].stubbornness[5] = 1.0;
+  FJModel model(inst.graph);
+  const auto b = model.Propagate(inst.state.campaigns[0], 15);
+  EXPECT_DOUBLE_EQ(b[5], inst.state.campaigns[0].initial_opinions[5]);
+}
+
+TEST(FJModelTest, OpinionsStayInUnitInterval) {
+  auto inst = MakeRandomInstance(100, 600, 2, 13);
+  FJModel model(inst.graph);
+  for (uint32_t t : {1u, 3u, 10u, 30u}) {
+    const auto b = model.Propagate(inst.state.campaigns[0], t);
+    for (double x : b) {
+      ASSERT_GE(x, 0.0);
+      ASSERT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(FJModelTest, DeGrootIsSpecialCaseWithZeroStubbornness) {
+  // A 2-node cycle with d = 0 oscillates: pure DeGroot averaging.
+  graph::GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 0, 1.0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  Campaign campaign;
+  campaign.initial_opinions = {0.0, 1.0};
+  campaign.stubbornness = {0.0, 0.0};
+  FJModel model(*g);
+  const auto b1 = model.Propagate(campaign, 1);
+  EXPECT_DOUBLE_EQ(b1[0], 1.0);  // swapped
+  EXPECT_DOUBLE_EQ(b1[1], 0.0);
+  const auto b2 = model.Propagate(campaign, 2);
+  EXPECT_DOUBLE_EQ(b2[0], 0.0);  // swapped back
+  EXPECT_DOUBLE_EQ(b2[1], 1.0);
+}
+
+TEST(FJModelTest, StepMatchesPropagate) {
+  auto inst = MakeRandomInstance(40, 200, 2, 17);
+  FJModel model(inst.graph);
+  const auto& campaign = inst.state.campaigns[0];
+  std::vector<double> current = campaign.initial_opinions;
+  std::vector<double> next;
+  for (int t = 1; t <= 4; ++t) {
+    model.Step(current, campaign.initial_opinions, campaign.stubbornness,
+               &next);
+    std::swap(current, next);
+    EXPECT_EQ(current, model.Propagate(campaign, t)) << "t=" << t;
+  }
+}
+
+TEST(FJModelTest, TrajectoryHasHorizonPlusOneSnapshots) {
+  auto ex = MakePaperExample();
+  FJModel model(ex.graph);
+  const auto trajectory = model.Trajectory(ex.state.campaigns[0], 7);
+  ASSERT_EQ(trajectory.size(), 8u);
+  EXPECT_EQ(trajectory[0], ex.state.campaigns[0].initial_opinions);
+  EXPECT_EQ(trajectory[3], model.Propagate(ex.state.campaigns[0], 3));
+  EXPECT_EQ(trajectory[7], model.Propagate(ex.state.campaigns[0], 7));
+}
+
+TEST(FJModelTest, SeedsAreMonotone) {
+  // Adding a seed never lowers any user's opinion (basis of Thm. 3).
+  auto inst = MakeRandomInstance(50, 300, 2, 19);
+  FJModel model(inst.graph);
+  const auto& campaign = inst.state.campaigns[0];
+  const auto base = model.PropagateWithSeeds(campaign, {3}, 10);
+  const auto more = model.PropagateWithSeeds(campaign, {3, 7}, 10);
+  for (size_t v = 0; v < base.size(); ++v) {
+    EXPECT_GE(more[v], base[v] - 1e-12);
+  }
+}
+
+TEST(ApplySeedsTest, RaisesOpinionAndStubbornnessToOne) {
+  auto ex = MakePaperExample();
+  const Campaign seeded = ApplySeeds(ex.state.campaigns[0], {2});
+  EXPECT_DOUBLE_EQ(seeded.initial_opinions[2], 1.0);
+  EXPECT_DOUBLE_EQ(seeded.stubbornness[2], 1.0);
+  // Original untouched.
+  EXPECT_DOUBLE_EQ(ex.state.campaigns[0].initial_opinions[2], 0.60);
+  // Other entries untouched.
+  EXPECT_DOUBLE_EQ(seeded.initial_opinions[0], 0.40);
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignValidationTest, RejectsWrongSize) {
+  Campaign c;
+  c.initial_opinions = {0.5};
+  c.stubbornness = {0.5};
+  EXPECT_FALSE(c.Validate(2).ok());
+}
+
+TEST(CampaignValidationTest, RejectsOutOfRangeValues) {
+  Campaign c;
+  c.initial_opinions = {0.5, 1.5};
+  c.stubbornness = {0.5, 0.5};
+  EXPECT_EQ(c.Validate(2).code(), Status::Code::kOutOfRange);
+  c.initial_opinions = {0.5, 0.5};
+  c.stubbornness = {-0.1, 0.5};
+  EXPECT_EQ(c.Validate(2).code(), Status::Code::kOutOfRange);
+}
+
+TEST(StateValidationTest, RequiresAtLeastTwoCandidates) {
+  MultiCampaignState state;
+  state.campaigns.resize(1);
+  state.campaigns[0].initial_opinions = {0.5};
+  state.campaigns[0].stubbornness = {0.5};
+  EXPECT_FALSE(state.Validate(1).ok());
+}
+
+TEST(StateValidationTest, PaperExampleValidates) {
+  auto ex = MakePaperExample();
+  EXPECT_TRUE(ex.state.Validate(4).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Convergence utilities.
+// ---------------------------------------------------------------------------
+
+TEST(ConvergenceTest, FractionChangedRespectsTolerance) {
+  std::vector<double> prev = {0.5, 0.5, 0.5, 0.5};
+  std::vector<double> curr = {0.5, 0.505, 0.6, 0.5};
+  // 2% tolerance: |0.005| <= 0.01 stays; |0.1| > 0.01 counts.
+  EXPECT_DOUBLE_EQ(FractionChanged(prev, curr, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(FractionChanged(prev, curr, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionChanged(prev, prev, 0.0), 0.0);
+}
+
+TEST(ConvergenceTest, HasConverged) {
+  std::vector<double> a = {0.2, 0.3};
+  std::vector<double> b = {0.2 + 1e-7, 0.3};
+  EXPECT_TRUE(HasConverged(a, b, 1e-6));
+  EXPECT_FALSE(HasConverged(a, {0.3, 0.3}, 1e-6));
+}
+
+TEST(ConvergenceTest, StubbornCampaignConvergesOnPaperExample) {
+  auto ex = MakePaperExample();
+  FJModel model(ex.graph);
+  const auto t30 = model.Propagate(ex.state.campaigns[0], 30);
+  const auto t31 = model.Propagate(ex.state.campaigns[0], 31);
+  EXPECT_TRUE(HasConverged(t30, t31, 1e-9));
+}
+
+TEST(ObliviousNodesTest, DetectsUnreachableNonStubborn) {
+  // 0 -> 1; node 2 isolated and non-stubborn; node 0 stubborn.
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 1.0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  Campaign campaign;
+  campaign.initial_opinions = {0.5, 0.5, 0.5};
+  campaign.stubbornness = {0.8, 0.0, 0.0};
+  const auto oblivious = FindObliviousNodes(*g, campaign);
+  EXPECT_EQ(oblivious, std::vector<graph::NodeId>{2});
+}
+
+TEST(ObliviousNodesTest, NoObliviousWhenAllStubborn) {
+  auto ex = MakePaperExample();
+  EXPECT_TRUE(FindObliviousNodes(ex.graph, ex.state.campaigns[0]).empty());
+}
+
+}  // namespace
+}  // namespace voteopt::opinion

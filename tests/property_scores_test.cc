@@ -1,0 +1,169 @@
+// Empirical verification of Table II: monotonicity and (non-)submodularity
+// of the five voting scores, plus the paper's explicit counterexamples
+// (Example 3, § IV-D submodularity-ratio instance).
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+#include "util/rng.h"
+#include "voting/evaluator.h"
+
+namespace voteopt::voting {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+ScoreSpec SpecFor(const std::string& name) {
+  if (name == "cumulative") return ScoreSpec::Cumulative();
+  if (name == "plurality") return ScoreSpec::Plurality();
+  if (name == "p-approval") return ScoreSpec::PApproval(2);
+  if (name == "positional") return ScoreSpec::PositionalPApproval({1.0, 0.5});
+  return ScoreSpec::Copeland();
+}
+
+class ScorePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+// Table II column "Non-decreasing": F(S) <= F(S u {v}) for every score.
+TEST_P(ScorePropertyTest, MonotoneInSeedSet) {
+  const auto& [score_name, instance_seed] = GetParam();
+  auto inst = MakeRandomInstance(25, 130, 3, instance_seed);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 4, SpecFor(score_name));
+
+  Rng rng(instance_seed * 13);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto base = rng.SampleWithoutReplacement(25, 1 + trial);
+    std::vector<graph::NodeId> seeds(base.begin(), base.end());
+    const double before = ev.EvaluateSeeds(seeds);
+    const graph::NodeId extra = static_cast<graph::NodeId>(
+        rng.UniformInt(25));
+    auto extended = seeds;
+    if (std::find(extended.begin(), extended.end(), extra) != extended.end())
+      continue;
+    extended.push_back(extra);
+    const double after = ev.EvaluateSeeds(extended);
+    EXPECT_GE(after, before - 1e-9)
+        << score_name << " seed " << instance_seed << " trial " << trial;
+  }
+}
+
+// Table II column "Non-negative".
+TEST_P(ScorePropertyTest, NonNegative) {
+  const auto& [score_name, instance_seed] = GetParam();
+  auto inst = MakeRandomInstance(20, 100, 3, instance_seed);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 1, 3, SpecFor(score_name));
+  EXPECT_GE(ev.EvaluateSeeds({}), 0.0);
+  EXPECT_GE(ev.EvaluateSeeds({0, 5}), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScoresAndInstances, ScorePropertyTest,
+    ::testing::Combine(::testing::Values("cumulative", "plurality",
+                                         "p-approval", "positional",
+                                         "copeland"),
+                       ::testing::Values(11u, 22u, 33u)));
+
+// Thm. 3: cumulative marginal gains shrink as the seed set grows.
+TEST(SubmodularityTest, CumulativeSubmodularOnRandomInstances) {
+  for (uint64_t seed : {5u, 6u, 7u, 8u}) {
+    auto inst = MakeRandomInstance(20, 110, 2, seed);
+    opinion::FJModel model(inst.graph);
+    ScoreEvaluator ev(model, inst.state, 0, 5, ScoreSpec::Cumulative());
+    Rng rng(seed * 31);
+    for (int trial = 0; trial < 5; ++trial) {
+      // X subset of Y, s outside Y.
+      const auto y_sample = rng.SampleWithoutReplacement(20, 5);
+      std::vector<graph::NodeId> y(y_sample.begin(), y_sample.end());
+      std::vector<graph::NodeId> x(y.begin(), y.begin() + 2);
+      graph::NodeId s = 0;
+      while (std::find(y.begin(), y.end(), s) != y.end()) ++s;
+
+      auto with = [&](std::vector<graph::NodeId> base, graph::NodeId extra) {
+        base.push_back(extra);
+        return ev.EvaluateSeeds(base);
+      };
+      const double gain_x = with(x, s) - ev.EvaluateSeeds(x);
+      const double gain_y = with(y, s) - ev.EvaluateSeeds(y);
+      EXPECT_GE(gain_x, gain_y - 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+// Thm. 3 (per-user form): every user's opinion is individually submodular.
+TEST(SubmodularityTest, PerUserOpinionSubmodular) {
+  auto inst = MakeRandomInstance(18, 90, 2, 9);
+  opinion::FJModel model(inst.graph);
+  const auto& campaign = inst.state.campaigns[0];
+  const std::vector<graph::NodeId> x = {2};
+  const std::vector<graph::NodeId> y = {2, 11, 14};
+  const graph::NodeId s = 6;
+  const auto bx = model.PropagateWithSeeds(campaign, x, 6);
+  const auto by = model.PropagateWithSeeds(campaign, y, 6);
+  auto xs = x;
+  xs.push_back(s);
+  auto ys = y;
+  ys.push_back(s);
+  const auto bxs = model.PropagateWithSeeds(campaign, xs, 6);
+  const auto bys = model.PropagateWithSeeds(campaign, ys, 6);
+  for (uint32_t v = 0; v < 18; ++v) {
+    EXPECT_GE(bxs[v] - bx[v], bys[v] - by[v] - 1e-12) << "user " << v;
+  }
+}
+
+// Example 3: plurality and Copeland violate submodularity on the paper's
+// running example — inserting node 2 (user 2) into {} gains 0, but into
+// {node 0} gains 1.
+TEST(NonSubmodularityTest, PaperExampleViolatesForPlurality) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Plurality());
+  const double gain_into_empty = ev.EvaluateSeeds({1}) - ev.EvaluateSeeds({});
+  const double gain_into_zero =
+      ev.EvaluateSeeds({0, 1}) - ev.EvaluateSeeds({0});
+  EXPECT_DOUBLE_EQ(gain_into_empty, 0.0);
+  EXPECT_DOUBLE_EQ(gain_into_zero, 1.0);
+  EXPECT_LT(gain_into_empty, gain_into_zero);  // submodularity violated
+}
+
+TEST(NonSubmodularityTest, PaperExampleViolatesForCopeland) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Copeland());
+  const double gain_into_empty = ev.EvaluateSeeds({1}) - ev.EvaluateSeeds({});
+  const double gain_into_zero =
+      ev.EvaluateSeeds({0, 1}) - ev.EvaluateSeeds({0});
+  EXPECT_DOUBLE_EQ(gain_into_empty, 0.0);
+  EXPECT_DOUBLE_EQ(gain_into_zero, 1.0);
+}
+
+// § IV-D: the same instance gives submodularity ratio psi = 0 for
+// plurality: F({1}) - F({}) = 0 and F({2}) - F({}) = 0 while
+// F({1,2}) - F({}) = 1, so no positive psi satisfies Eq. 27.
+TEST(SubmodularityRatioTest, PaperInstanceHasRatioZero) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Plurality());
+  const double f_empty = ev.EvaluateSeeds({});
+  const double sum_singleton_gains = (ev.EvaluateSeeds({0}) - f_empty) +
+                                     (ev.EvaluateSeeds({1}) - f_empty);
+  const double joint_gain = ev.EvaluateSeeds({0, 1}) - f_empty;
+  EXPECT_DOUBLE_EQ(sum_singleton_gains, 0.0);
+  EXPECT_DOUBLE_EQ(joint_gain, 1.0);
+}
+
+// Independence of campaigns: seeding the target never changes competitor
+// horizon opinions (§ II-C Remark 2; the evaluator relies on this).
+TEST(IndependenceTest, CompetitorOpinionsUnaffectedByTargetSeeds) {
+  auto inst = MakeRandomInstance(25, 130, 3, 15);
+  opinion::FJModel model(inst.graph);
+  const auto competitor_before =
+      model.Propagate(inst.state.campaigns[2], 5);
+  // "Seeding" candidate 0 doesn't touch campaign 2's inputs at all.
+  const auto competitor_after = model.Propagate(inst.state.campaigns[2], 5);
+  EXPECT_EQ(competitor_before, competitor_after);
+}
+
+}  // namespace
+}  // namespace voteopt::voting

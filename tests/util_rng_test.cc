@@ -1,0 +1,142 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/stats.h"
+
+namespace voteopt {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.Uniform());
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stat.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t x = rng.UniformInt(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reachable
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.Normal(2.0, 3.0));
+  EXPECT_NEAR(stat.mean(), 2.0, 0.06);
+  EXPECT_NEAR(stat.stddev(), 3.0, 0.06);
+}
+
+TEST(RngTest, BetaStaysInUnitIntervalWithCorrectMean) {
+  Rng rng(23);
+  RunningStat stat;
+  for (int i = 0; i < 30000; ++i) {
+    const double x = rng.Beta(2.0, 5.0);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    stat.Add(x);
+  }
+  EXPECT_NEAR(stat.mean(), 2.0 / 7.0, 0.01);  // a / (a+b)
+}
+
+TEST(RngTest, BetaSymmetricAroundHalf) {
+  Rng rng(27);
+  RunningStat stat;
+  for (int i = 0; i < 30000; ++i) stat.Add(rng.Beta(3.0, 3.0));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(29);
+  RunningStat small, large;
+  for (int i = 0; i < 20000; ++i) {
+    small.Add(static_cast<double>(rng.Poisson(3.0)));
+    large.Add(static_cast<double>(rng.Poisson(80.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 80.0, 0.5);
+}
+
+TEST(RngTest, ZipfWithinSupportAndSkewed) {
+  Rng rng(31);
+  uint64_t ones = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const uint64_t x = rng.Zipf(100, 1.5);
+    ASSERT_GE(x, 1u);
+    ASSERT_LE(x, 100u);
+    ones += (x == 1);
+  }
+  // Zipf(1.5) over [1,100] puts > 35% of its mass on 1.
+  EXPECT_GT(static_cast<double>(ones) / trials, 0.35);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndComplete) {
+  Rng rng(37);
+  // Dense branch.
+  auto dense = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint32_t> dense_set(dense.begin(), dense.end());
+  EXPECT_EQ(dense_set.size(), 10u);
+  // Sparse branch.
+  auto sparse = rng.SampleWithoutReplacement(10000, 20);
+  std::set<uint32_t> sparse_set(sparse.begin(), sparse.end());
+  EXPECT_EQ(sparse_set.size(), 20u);
+  for (uint32_t v : sparse) EXPECT_LT(v, 10000u);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+}  // namespace
+}  // namespace voteopt

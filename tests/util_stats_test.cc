@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace voteopt {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSample) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantVectorGivesZero) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> c = {5, 5, 5};
+  EXPECT_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(OverlapTest, Jaccard) {
+  EXPECT_DOUBLE_EQ(JaccardOverlap({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardOverlap({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardOverlap({1}, {2}), 0.0);
+  // Duplicates ignored.
+  EXPECT_DOUBLE_EQ(JaccardOverlap({1, 1, 2}, {2, 2, 1}), 1.0);
+}
+
+TEST(OverlapTest, FractionOfFirstSet) {
+  EXPECT_DOUBLE_EQ(OverlapFraction({1, 2, 3, 4}, {3, 4, 5}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapFraction({}, {1}), 1.0);
+}
+
+}  // namespace
+}  // namespace voteopt

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/options.h"
+#include "util/table.h"
+
+namespace voteopt {
+namespace {
+
+TEST(TableTest, AlignedOutputContainsAllCells) {
+  Table t({"method", "score", "time"});
+  t.Add("DM", 12.5, 0.031);
+  t.Add("RW", 11.875, 0.002);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("DM"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  EXPECT_NE(out.find("11.875"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscapesCommasAndQuotes) {
+  Table t({"name", "value"});
+  t.Add(std::string("a,b"), std::string("he said \"hi\""));
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, NumTrimsTrailingZeros) {
+  EXPECT_EQ(Table::Num(1.5), "1.5");
+  EXPECT_EQ(Table::Num(2.0), "2");
+  EXPECT_EQ(Table::Num(0.12345, 2), "0.12");
+  EXPECT_EQ(Table::Num(std::nan("")), "nan");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);  // must not crash; row padded to 3 cells
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+Options ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(const_cast<char*>(s.c_str()));
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionsTest, KeyEqualsValue) {
+  Options o = ParseArgs({"--k=100", "--score=plurality"});
+  EXPECT_EQ(o.GetInt("k", 0), 100);
+  EXPECT_EQ(o.GetString("score", ""), "plurality");
+}
+
+TEST(OptionsTest, KeySpaceValue) {
+  Options o = ParseArgs({"--scale", "0.5"});
+  EXPECT_DOUBLE_EQ(o.GetDouble("scale", 1.0), 0.5);
+}
+
+TEST(OptionsTest, BareFlagIsTrue) {
+  Options o = ParseArgs({"--csv"});
+  EXPECT_TRUE(o.GetBool("csv", false));
+  EXPECT_FALSE(o.GetBool("missing", false));
+  EXPECT_TRUE(o.Has("csv"));
+  EXPECT_FALSE(o.Has("missing"));
+}
+
+TEST(OptionsTest, FalseLiterals) {
+  Options o = ParseArgs({"--a=false", "--b=0"});
+  EXPECT_FALSE(o.GetBool("a", true));
+  EXPECT_FALSE(o.GetBool("b", true));
+}
+
+TEST(OptionsTest, DefaultsWhenAbsent) {
+  Options o = ParseArgs({});
+  EXPECT_EQ(o.GetInt("k", 42), 42);
+  EXPECT_EQ(o.GetString("x", "dflt"), "dflt");
+}
+
+TEST(OptionsTest, IntAndDoubleLists) {
+  Options o = ParseArgs({"--k=100,200,500", "--eps=0.05,0.1"});
+  EXPECT_EQ(o.GetIntList("k", {}), (std::vector<int64_t>{100, 200, 500}));
+  EXPECT_EQ(o.GetDoubleList("eps", {}), (std::vector<double>{0.05, 0.1}));
+  EXPECT_EQ(o.GetIntList("missing", {7}), (std::vector<int64_t>{7}));
+}
+
+TEST(OptionsTest, PositionalArguments) {
+  Options o = ParseArgs({"input.txt", "--k=3", "more"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "input.txt");
+  EXPECT_EQ(o.positional()[1], "more");
+}
+
+}  // namespace
+}  // namespace voteopt

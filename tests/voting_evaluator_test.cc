@@ -1,0 +1,114 @@
+#include "voting/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace voteopt::voting {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+TEST(EvaluatorTest, EvaluateSeedsMatchesTableI) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator cumulative(model, ex.state, 0, 1, ScoreSpec::Cumulative());
+  EXPECT_NEAR(cumulative.EvaluateSeeds({}), 2.55, 1e-9);
+  EXPECT_NEAR(cumulative.EvaluateSeeds({0}), 3.30, 1e-9);
+  EXPECT_NEAR(cumulative.EvaluateSeeds({0, 1}), 3.55, 1e-9);
+
+  ScoreEvaluator plurality(model, ex.state, 0, 1, ScoreSpec::Plurality());
+  EXPECT_DOUBLE_EQ(plurality.EvaluateSeeds({2}), 4.0);
+  EXPECT_DOUBLE_EQ(plurality.EvaluateSeeds({3}), 3.0);
+
+  ScoreEvaluator copeland(model, ex.state, 0, 1, ScoreSpec::Copeland());
+  EXPECT_DOUBLE_EQ(copeland.EvaluateSeeds({}), 0.0);
+  EXPECT_DOUBLE_EQ(copeland.EvaluateSeeds({2}), 1.0);
+}
+
+TEST(EvaluatorTest, ScoreFromTargetOpinionsAgreesWithFreeFunction) {
+  auto inst = MakeRandomInstance(40, 200, 4, 23);
+  opinion::FJModel model(inst.graph);
+  for (ScoreSpec spec : {ScoreSpec::Cumulative(), ScoreSpec::Plurality(),
+                         ScoreSpec::PApproval(2), ScoreSpec::Copeland(),
+                         ScoreSpec::PositionalPApproval({1.0, 0.5, 0.25})}) {
+    ScoreEvaluator ev(model, inst.state, 1, 5, spec);
+    const auto target_row = ev.TargetHorizonOpinions({3, 9});
+
+    OpinionMatrix matrix(inst.state.num_candidates());
+    for (opinion::CandidateId q = 0; q < matrix.size(); ++q) {
+      matrix[q] = q == 1 ? target_row
+                         : model.Propagate(inst.state.campaigns[q], 5);
+    }
+    EXPECT_NEAR(ev.ScoreFromTargetOpinions(target_row),
+                Score(matrix, 1, spec), 1e-9)
+        << ScoreKindName(spec.kind);
+  }
+}
+
+TEST(EvaluatorTest, UserRankMatchesBruteForce) {
+  auto inst = MakeRandomInstance(30, 150, 5, 29);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 2, 4, ScoreSpec::Plurality());
+
+  OpinionMatrix matrix(inst.state.num_candidates());
+  for (opinion::CandidateId q = 0; q < matrix.size(); ++q) {
+    matrix[q] = model.Propagate(inst.state.campaigns[q], 4);
+  }
+  for (uint32_t v = 0; v < 30; ++v) {
+    EXPECT_EQ(ev.UserRank(v, matrix[2][v]), Rank(matrix, 2, v)) << "v=" << v;
+    // Rank at value 1.1 would be 1 (nothing above it).
+    EXPECT_EQ(ev.UserRank(v, 1.1), 1u);
+    // Rank at value below everything is r.
+    EXPECT_EQ(ev.UserRank(v, -0.1), 5u);
+  }
+}
+
+TEST(EvaluatorTest, UserGammaIsMinCompetitorDistance) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Plurality());
+  // Competitor horizon values: (0.35, 0.75, 0.78, 0.90).
+  EXPECT_NEAR(ev.UserGamma(0, 0.40), 0.05, 1e-12);
+  EXPECT_NEAR(ev.UserGamma(2, 0.60), 0.18, 1e-12);
+  EXPECT_NEAR(ev.UserGamma(3, 1.00), 0.10, 1e-12);
+}
+
+TEST(EvaluatorTest, ScoresAllCandidatesReactsToTargetRow) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Plurality());
+
+  const auto base = ev.ScoresAllCandidates(ev.TargetHorizonOpinions({}));
+  EXPECT_DOUBLE_EQ(base[0], 2.0);
+  EXPECT_DOUBLE_EQ(base[1], 2.0);
+
+  // Seeding node 2 flips users 3 and 4 to the target: competitor drops.
+  const auto seeded = ev.ScoresAllCandidates(ev.TargetHorizonOpinions({2}));
+  EXPECT_DOUBLE_EQ(seeded[0], 4.0);
+  EXPECT_DOUBLE_EQ(seeded[1], 0.0);
+}
+
+TEST(EvaluatorTest, HorizonOpinionsCachedForAllCandidates) {
+  auto inst = MakeRandomInstance(25, 120, 3, 31);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 6, ScoreSpec::Cumulative());
+  for (opinion::CandidateId q = 0; q < 3; ++q) {
+    EXPECT_EQ(ev.HorizonOpinions(q), model.Propagate(inst.state.campaigns[q], 6));
+  }
+}
+
+TEST(EvaluatorTest, AccessorsExposeProblemShape) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 0, 1, ScoreSpec::Copeland());
+  EXPECT_EQ(ev.target(), 0u);
+  EXPECT_EQ(ev.horizon(), 1u);
+  EXPECT_EQ(ev.num_candidates(), 2u);
+  EXPECT_EQ(ev.num_users(), 4u);
+  EXPECT_EQ(ev.spec().kind, ScoreKind::kCopeland);
+}
+
+}  // namespace
+}  // namespace voteopt::voting

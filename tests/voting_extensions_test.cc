@@ -1,0 +1,115 @@
+// Tests for the extension features (paper § IX future work and § II-A
+// generality): the Borda score and per-candidate influence matrices W_q.
+#include <gtest/gtest.h>
+
+#include "core/greedy_dm.h"
+#include "graph/builder.h"
+#include "test_fixtures.h"
+#include "voting/evaluator.h"
+
+namespace voteopt::voting {
+namespace {
+
+using test::MakePaperExample;
+using test::MakeRandomInstance;
+
+// ---------------------------------------------------------------------------
+// Borda.
+// ---------------------------------------------------------------------------
+
+TEST(BordaTest, WeightsAreLinearAndValid) {
+  const ScoreSpec borda = ScoreSpec::Borda(4);
+  EXPECT_TRUE(borda.Validate(4).ok());
+  EXPECT_DOUBLE_EQ(borda.RankWeight(1), 1.0);
+  EXPECT_DOUBLE_EQ(borda.RankWeight(2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(borda.RankWeight(3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(borda.RankWeight(4), 0.0);
+}
+
+TEST(BordaTest, TwoCandidatesBordaEqualsPlurality) {
+  // With r = 2 the Borda weights are (1, 0): exactly plurality.
+  const OpinionMatrix m = {{0.9, 0.2, 0.5}, {0.5, 0.6, 0.4}};
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::Borda(2)),
+                   Score(m, 0, ScoreSpec::Plurality()));
+}
+
+TEST(BordaTest, RewardsConsistentSecondPlaces) {
+  // Candidate 1 is everyone's second choice: zero plurality but strong
+  // Borda — the classic motivation for the rule.
+  const OpinionMatrix m = {
+      {0.9, 0.1, 0.9}, {0.5, 0.5, 0.5}, {0.1, 0.9, 0.1}};
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::Plurality()), 0.0);
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::Borda(3)), 1.5);  // 3 * 0.5
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::Borda(3)), 2.0);  // 2 firsts
+}
+
+TEST(BordaTest, GreedySelectionWorksEndToEnd) {
+  auto inst = MakeRandomInstance(25, 130, 4, 301);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 4, ScoreSpec::Borda(4));
+  const auto result = core::GreedyDMSelect(ev, 3);
+  EXPECT_EQ(result.seeds.size(), 3u);
+  EXPECT_GE(result.score, ev.EvaluateSeeds({}));
+}
+
+// ---------------------------------------------------------------------------
+// Per-candidate influence matrices.
+// ---------------------------------------------------------------------------
+
+TEST(PerCandidateModelTest, CompetitorUsesItsOwnGraph) {
+  auto ex = MakePaperExample();
+  // A second graph where user 3's influences are reversed in strength.
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 2, 0.9);
+  builder.AddEdge(1, 2, 0.1);
+  builder.AddEdge(2, 3, 1.0);
+  auto alt = builder.Build();
+  ASSERT_TRUE(alt.ok());
+
+  // Make c2 non-stubborn so its graph actually matters.
+  ex.state.campaigns[1].stubbornness = {1.0, 1.0, 0.0, 0.0};
+
+  opinion::FJModel target_model(ex.graph);
+  opinion::FJModel competitor_model(*alt);
+  ScoreEvaluator ev({&target_model, &competitor_model}, ex.state, 0, 1,
+                    ScoreSpec::Plurality());
+  // c2 horizon for user 3 under its own W: 0.9*0.35 + 0.1*0.75 = 0.39.
+  EXPECT_NEAR(ev.HorizonOpinions(1)[2], 0.39, 1e-12);
+  // Target unchanged (its own graph): Table I row {}.
+  EXPECT_NEAR(ev.HorizonOpinions(0)[2], 0.60, 1e-12);
+}
+
+TEST(PerCandidateModelTest, SharedModelOverloadEquivalent) {
+  auto inst = MakeRandomInstance(20, 100, 3, 303);
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator shared(model, inst.state, 1, 5, ScoreSpec::Copeland());
+  ScoreEvaluator explicit_models({&model, &model, &model}, inst.state, 1, 5,
+                                 ScoreSpec::Copeland());
+  for (uint32_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(shared.HorizonOpinions(q), explicit_models.HorizonOpinions(q));
+  }
+  EXPECT_DOUBLE_EQ(shared.EvaluateSeeds({2, 5}),
+                   explicit_models.EvaluateSeeds({2, 5}));
+}
+
+TEST(PerCandidateModelTest, DifferentCompetitorGraphChangesScores) {
+  auto inst = MakeRandomInstance(30, 150, 2, 307);
+  // Competitor diffuses over the transpose graph (influence reversed).
+  graph::Graph transpose =
+      inst.graph.Transposed().NormalizedIncoming();
+  opinion::FJModel target_model(inst.graph);
+  opinion::FJModel competitor_model(transpose);
+
+  ScoreEvaluator same(target_model, inst.state, 0, 5,
+                      ScoreSpec::Plurality());
+  ScoreEvaluator different({&target_model, &competitor_model}, inst.state, 0,
+                           5, ScoreSpec::Plurality());
+  // The competitor's horizon opinions genuinely differ.
+  EXPECT_NE(same.HorizonOpinions(1), different.HorizonOpinions(1));
+  // Seed selection still works on the mixed-topology instance.
+  const auto result = core::GreedyDMSelect(different, 2);
+  EXPECT_EQ(result.seeds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace voteopt::voting

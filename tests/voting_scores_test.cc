@@ -1,0 +1,223 @@
+#include "voting/scores.h"
+
+#include <gtest/gtest.h>
+
+#include "opinion/fj_model.h"
+#include "test_fixtures.h"
+
+namespace voteopt::voting {
+namespace {
+
+using test::MakePaperExample;
+
+/// Opinion matrix of the paper example at t=1 for a given c1 seed set.
+OpinionMatrix PaperMatrixAt1(const std::vector<graph::NodeId>& seeds) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  OpinionMatrix m(2);
+  m[0] = model.PropagateWithSeeds(ex.state.campaigns[0], seeds, 1);
+  m[1] = model.Propagate(ex.state.campaigns[1], 1);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Table I scores.
+// ---------------------------------------------------------------------------
+
+struct TableIRow {
+  std::vector<graph::NodeId> seeds;
+  double cumulative;
+  double plurality;
+  double copeland;
+};
+
+class TableIScoresTest : public ::testing::TestWithParam<TableIRow> {};
+
+TEST_P(TableIScoresTest, AllThreeScoresMatch) {
+  const auto& row = GetParam();
+  const OpinionMatrix m = PaperMatrixAt1(row.seeds);
+  EXPECT_NEAR(Score(m, 0, ScoreSpec::Cumulative()), row.cumulative, 1e-9);
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::Plurality()), row.plurality);
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::Copeland()), row.copeland);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, TableIScoresTest,
+    ::testing::Values(TableIRow{{}, 2.55, 2, 0},
+                      TableIRow{{0}, 3.30, 2, 0},
+                      TableIRow{{1}, 2.80, 2, 0},
+                      TableIRow{{2}, 3.15, 4, 1},
+                      TableIRow{{3}, 2.80, 3, 1},
+                      TableIRow{{0, 1}, 3.55, 3, 1}));
+
+// ---------------------------------------------------------------------------
+// Rank semantics (beta includes the candidate itself; ties push ranks up).
+// ---------------------------------------------------------------------------
+
+TEST(RankTest, StrictLeaderHasRankOne) {
+  OpinionMatrix m = {{0.9}, {0.5}, {0.1}};
+  EXPECT_EQ(Rank(m, 0, 0), 1u);
+  EXPECT_EQ(Rank(m, 1, 0), 2u);
+  EXPECT_EQ(Rank(m, 2, 0), 3u);
+}
+
+TEST(RankTest, TiesShareThePushedRank) {
+  OpinionMatrix m = {{0.7}, {0.7}, {0.1}};
+  // Both tied candidates have rank 2 (two candidates have value >= 0.7).
+  EXPECT_EQ(Rank(m, 0, 0), 2u);
+  EXPECT_EQ(Rank(m, 1, 0), 2u);
+}
+
+TEST(PluralityTest, TieMeansNobodyGetsTheVote) {
+  OpinionMatrix m = {{0.7, 0.2}, {0.7, 0.1}};
+  // User 0 ties -> no plurality point for either; user 1 prefers c0.
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::Plurality()), 1.0);
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::Plurality()), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// p-approval and positional-p-approval.
+// ---------------------------------------------------------------------------
+
+TEST(PApprovalTest, CountsTopPMembership) {
+  // 3 candidates, 2 users. User 0 ranks: c0 > c1 > c2; user 1: c2 > c1 > c0.
+  OpinionMatrix m = {{0.9, 0.1}, {0.5, 0.5}, {0.2, 0.8}};
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::PApproval(1)), 0.0);
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::PApproval(2)), 2.0);
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::PApproval(2)), 1.0);
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::PApproval(3)), 2.0);
+}
+
+TEST(PApprovalTest, PEqualsOneIsPlurality) {
+  const OpinionMatrix m = PaperMatrixAt1({2});
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::PApproval(1)),
+                   Score(m, 0, ScoreSpec::Plurality()));
+}
+
+TEST(PositionalTest, WeightsRanks) {
+  OpinionMatrix m = {{0.9, 0.1}, {0.5, 0.5}, {0.2, 0.8}};
+  // omega = (1.0, 0.4): rank1 worth 1, rank2 worth 0.4.
+  const ScoreSpec spec = ScoreSpec::PositionalPApproval({1.0, 0.4});
+  // c1 is rank 2 for both users -> 0.8.
+  EXPECT_DOUBLE_EQ(Score(m, 1, spec), 0.8);
+  // c0: rank 1 for user 0 (1.0), rank 3 for user 1 (0) -> 1.0.
+  EXPECT_DOUBLE_EQ(Score(m, 0, spec), 1.0);
+}
+
+TEST(PositionalTest, OmegaPEqualOneIsPApproval) {
+  const OpinionMatrix m = PaperMatrixAt1({});
+  EXPECT_DOUBLE_EQ(
+      Score(m, 0, ScoreSpec::PositionalPApproval({1.0, 1.0})),
+      Score(m, 0, ScoreSpec::PApproval(2)));
+}
+
+TEST(PositionalTest, OmegaPEqualZeroIsPMinusOneApproval) {
+  // Paper § VIII-C: positional-p with omega[p] = 0 collapses to (p-1)-
+  // approval.
+  OpinionMatrix m = {{0.9, 0.1, 0.6}, {0.5, 0.5, 0.7}, {0.2, 0.8, 0.3}};
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::PositionalPApproval({1.0, 0.0})),
+                   Score(m, 1, ScoreSpec::PApproval(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Copeland and Condorcet.
+// ---------------------------------------------------------------------------
+
+TEST(CopelandTest, CountsPairwiseWins) {
+  // 3 candidates, 3 users; c0 beats both (2 wins), c1 beats c2.
+  OpinionMatrix m = {{0.9, 0.9, 0.1}, {0.5, 0.5, 0.5}, {0.2, 0.2, 0.9}};
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::Copeland()), 2.0);
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::Copeland()), 1.0);
+  EXPECT_DOUBLE_EQ(Score(m, 2, ScoreSpec::Copeland()), 0.0);
+}
+
+TEST(CopelandTest, ExactTieIsNotAWin) {
+  OpinionMatrix m = {{0.9, 0.1}, {0.1, 0.9}};
+  EXPECT_DOUBLE_EQ(Score(m, 0, ScoreSpec::Copeland()), 0.0);
+  EXPECT_DOUBLE_EQ(Score(m, 1, ScoreSpec::Copeland()), 0.0);
+}
+
+TEST(CondorcetTest, WinnerExists) {
+  OpinionMatrix m = {{0.9, 0.9, 0.1}, {0.5, 0.5, 0.5}, {0.2, 0.2, 0.9}};
+  auto winner = CondorcetWinner(m);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(*winner, 0u);
+}
+
+TEST(CondorcetTest, NoWinnerInRockPaperScissors) {
+  // Cyclic preferences: c0 > c1 > c2 > c0.
+  OpinionMatrix m = {{0.9, 0.1, 0.5}, {0.5, 0.9, 0.1}, {0.1, 0.5, 0.9}};
+  EXPECT_FALSE(CondorcetWinner(m).has_value());
+}
+
+TEST(CondorcetTest, PaperExampleSeedThreeMakesCondorcetWinner) {
+  // Example 2: with seed user 3 (node 2), c1 becomes the Condorcet winner.
+  const OpinionMatrix m = PaperMatrixAt1({2});
+  auto winner = CondorcetWinner(m);
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(*winner, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Winner and AllScores.
+// ---------------------------------------------------------------------------
+
+TEST(WinnerTest, MaxScoreWinsWithLowIdTieBreak) {
+  OpinionMatrix m = {{0.5, 0.5}, {0.5, 0.5}};
+  EXPECT_EQ(Winner(m, ScoreSpec::Cumulative()), 0u);  // tie -> lower id
+  OpinionMatrix m2 = {{0.2, 0.2}, {0.9, 0.9}};
+  EXPECT_EQ(Winner(m2, ScoreSpec::Cumulative()), 1u);
+}
+
+TEST(AllScoresTest, MatchesIndividualScores) {
+  const OpinionMatrix m = PaperMatrixAt1({3});
+  const auto all = AllScores(m, ScoreSpec::Plurality());
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], Score(m, 0, ScoreSpec::Plurality()));
+  EXPECT_DOUBLE_EQ(all[1], Score(m, 1, ScoreSpec::Plurality()));
+  EXPECT_DOUBLE_EQ(all[0] + all[1], 4.0);  // every user votes (no ties here)
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation.
+// ---------------------------------------------------------------------------
+
+TEST(ScoreSpecTest, ValidatesApprovalDepth) {
+  EXPECT_TRUE(ScoreSpec::PApproval(2).Validate(3).ok());
+  EXPECT_FALSE(ScoreSpec::PApproval(0).Validate(3).ok());
+  EXPECT_FALSE(ScoreSpec::PApproval(4).Validate(3).ok());
+  EXPECT_TRUE(ScoreSpec::Cumulative().Validate(2).ok());
+  EXPECT_TRUE(ScoreSpec::Copeland().Validate(2).ok());
+}
+
+TEST(ScoreSpecTest, ValidatesOmega) {
+  EXPECT_TRUE(ScoreSpec::PositionalPApproval({1.0, 0.5}).Validate(3).ok());
+  // Increasing weights rejected.
+  EXPECT_FALSE(ScoreSpec::PositionalPApproval({0.5, 1.0}).Validate(3).ok());
+  // Out of range rejected.
+  EXPECT_FALSE(ScoreSpec::PositionalPApproval({1.5, 0.5}).Validate(3).ok());
+  // p exceeding r rejected.
+  EXPECT_FALSE(
+      ScoreSpec::PositionalPApproval({1.0, 1.0, 1.0, 1.0}).Validate(3).ok());
+}
+
+TEST(ScoreSpecTest, RankWeightBeyondPIsZero) {
+  const ScoreSpec spec = ScoreSpec::PositionalPApproval({1.0, 0.3});
+  EXPECT_DOUBLE_EQ(spec.RankWeight(1), 1.0);
+  EXPECT_DOUBLE_EQ(spec.RankWeight(2), 0.3);
+  EXPECT_DOUBLE_EQ(spec.RankWeight(3), 0.0);
+  EXPECT_DOUBLE_EQ(ScoreSpec::PApproval(2).RankWeight(2), 1.0);
+  EXPECT_DOUBLE_EQ(ScoreSpec::PApproval(2).RankWeight(3), 0.0);
+}
+
+TEST(ScoreKindNameTest, AllNamed) {
+  EXPECT_EQ(ScoreKindName(ScoreKind::kCumulative), "cumulative");
+  EXPECT_EQ(ScoreKindName(ScoreKind::kPlurality), "plurality");
+  EXPECT_EQ(ScoreKindName(ScoreKind::kPApproval), "p-approval");
+  EXPECT_EQ(ScoreKindName(ScoreKind::kPositionalPApproval),
+            "positional-p-approval");
+  EXPECT_EQ(ScoreKindName(ScoreKind::kCopeland), "copeland");
+}
+
+}  // namespace
+}  // namespace voteopt::voting
