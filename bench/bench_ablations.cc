@@ -108,18 +108,20 @@ BENCHMARK(BM_MarginalGainFullRepropagation);
 
 void BM_GreedyCelf(benchmark::State& state) {
   const auto& ev = SharedEvaluator();
+  core::DMOptions opts;
+  opts.use_celf = true;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::GreedyDMSelect(ev, 10, {.use_celf = true}));
+    benchmark::DoNotOptimize(core::GreedyDMSelect(ev, 10, opts));
   }
 }
 BENCHMARK(BM_GreedyCelf)->Unit(benchmark::kMillisecond);
 
 void BM_GreedyPlain(benchmark::State& state) {
   const auto& ev = SharedEvaluator();
+  core::DMOptions opts;
+  opts.use_celf = false;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::GreedyDMSelect(ev, 10, {.use_celf = false}));
+    benchmark::DoNotOptimize(core::GreedyDMSelect(ev, 10, opts));
   }
 }
 BENCHMARK(BM_GreedyPlain)->Unit(benchmark::kMillisecond);

@@ -93,6 +93,8 @@ baselines::MethodOptions DefaultMethodOptions(const Options& options) {
   mo.rs.theta_override =
       static_cast<uint64_t>(options.GetInt("theta", 0));
   mo.rs.rng_seed = mo.rng_seed;
+  mo.rs.num_threads =
+      static_cast<uint32_t>(options.GetInt("threads", 1));
   mo.imm_epsilon = options.GetDouble("imm_epsilon", 0.2);
   return mo;
 }

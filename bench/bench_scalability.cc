@@ -10,10 +10,14 @@
 // here and in bench_ablations.
 #include "bench_common.h"
 
+#include <fstream>
 #include <queue>
+#include <sstream>
 #include <tuple>
 
+#include "core/sketch.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace voteopt;
@@ -116,5 +120,63 @@ int main(int argc, char** argv) {
   Emit(env, "Fig. 17: time and memory vs graph size (cumulative, k=" +
                 std::to_string(k) + ")",
        table);
+
+  // --- Sketch engine scaling: serial stream vs sharded parallel builder ---
+  // Times BuildSketchSet on the full bench graph at several thread counts.
+  //   --sketch_bench=0       skip this section
+  //   --sketch_theta=<int>   walks per build (default 2^19)
+  //   --sketch_threads=a,b   thread counts for the sharded builder
+  //   --json_out=<path>      also dump the rows as JSON (BENCH_sketch.json)
+  if (options.GetBool("sketch_bench", true)) {
+    const auto theta =
+        static_cast<uint64_t>(options.GetInt("sketch_theta", 1 << 19));
+    const auto thread_counts =
+        options.GetIntList("sketch_threads", {1, 2, 4, 8});
+    voting::ScoreEvaluator ev =
+        env.MakeEvaluator(voting::ScoreSpec::Cumulative());
+
+    Table sketch_table({"engine", "threads", "theta", "sec", "walks/sec"});
+    std::ostringstream json_rows;
+    auto record = [&](const std::string& engine, uint32_t threads,
+                      double sec) {
+      const double rate = static_cast<double>(theta) / sec;
+      sketch_table.Add(engine, threads, theta, Table::Num(sec, 3),
+                       Table::Num(rate, 0));
+      if (json_rows.tellp() > 0) json_rows << ",\n";
+      json_rows << "    {\"engine\": \"" << engine
+                << "\", \"threads\": " << threads << ", \"seconds\": " << sec
+                << ", \"walks_per_sec\": " << rate << "}";
+    };
+
+    {
+      Rng sketch_rng(7);
+      WallTimer timer;
+      auto walks = core::BuildSketchSet(ev, theta, &sketch_rng);
+      record("serial", 1, timer.Seconds());
+    }
+    for (const int64_t threads : thread_counts) {
+      core::SketchBuildOptions build_options;
+      build_options.num_threads = static_cast<uint32_t>(threads);
+      WallTimer timer;
+      auto walks = core::BuildSketchSet(ev, theta, /*master_seed=*/7,
+                                        build_options);
+      record("sharded", static_cast<uint32_t>(threads), timer.Seconds());
+    }
+    Emit(env, "Sketch engine: serial vs sharded walk generation (theta=" +
+                  std::to_string(theta) + ")",
+         sketch_table);
+
+    if (options.Has("json_out")) {
+      std::ofstream out(options.GetString("json_out", "BENCH_sketch.json"));
+      out << "{\n  \"bench\": \"bench_scalability/sketch_engine\",\n"
+          << "  \"dataset\": \"" << env.dataset.name
+          << "\",\n  \"n\": " << env.num_nodes()
+          << ",\n  \"m\": " << env.graph().num_edges()
+          << ",\n  \"theta\": " << theta << ",\n  \"horizon\": "
+          << env.horizon << ",\n  \"hardware_threads\": "
+          << ThreadPool::DefaultThreadCount() << ",\n  \"rows\": [\n"
+          << json_rows.str() << "\n  ]\n}\n";
+    }
+  }
   return 0;
 }

@@ -8,8 +8,8 @@
 // works out of the box:
 //
 //   $ ./campaign_from_files
-//   $ ./campaign_from_files --prefix=/path/to/bundle --method=RS \
-//         --score=plurality --k=50 --t=20 --out=seeds.txt
+//   $ ./campaign_from_files --prefix=/path/to/bundle --method=RS
+//         --score=plurality --k=50 --t=20 --out=seeds.txt  (one line)
 #include <fstream>
 #include <iostream>
 

@@ -36,7 +36,14 @@ SelectionResult RSGreedySelect(const ScoreEvaluator& evaluator, uint32_t k,
     theta = std::clamp<uint64_t>(theta, 1, options.theta_cap);
   }
 
-  auto walks = BuildSketchSet(evaluator, theta, &rng);
+  std::unique_ptr<WalkSet> walks;
+  if (options.num_threads == 1) {
+    walks = BuildSketchSet(evaluator, theta, &rng);
+  } else {
+    SketchBuildOptions build_options;
+    build_options.num_threads = options.num_threads;
+    walks = BuildSketchSet(evaluator, theta, rng.Next(), build_options);
+  }
   SelectionResult result = EstimatedGreedySelect(evaluator, k, walks.get());
   result.seconds = timer.Seconds();
   result.diagnostics["theta"] = static_cast<double>(theta);

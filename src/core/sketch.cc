@@ -6,8 +6,28 @@
 #include "core/estimated_greedy.h"
 #include "core/walk_engine.h"
 #include "graph/alias_table.h"
+#include "util/thread_pool.h"
 
 namespace voteopt::core {
+
+namespace {
+
+// Eq. 35/42/47 weighting: a start sampled lambda_v times represents
+// n * lambda_v / theta users. Call after Finalize.
+void ApplySketchWeights(WalkSet* walks, uint32_t n, uint64_t theta) {
+  const double scale = static_cast<double>(n) / static_cast<double>(theta);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    walks->SetStartWeight(v, scale * static_cast<double>(walks->Lambda(v)));
+  }
+}
+
+// Independent per-block stream: the Rng constructor runs the seed through
+// splitmix64, which decorrelates consecutive block seeds.
+Rng BlockRng(uint64_t master_seed, uint64_t block) {
+  return Rng(master_seed + (block + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
 
 std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
                                         uint64_t theta, Rng* rng) {
@@ -24,13 +44,50 @@ std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
     walks->AddWalk(scratch);
   }
   walks->Finalize(evaluator.target_campaign().initial_opinions);
+  ApplySketchWeights(walks.get(), n, theta);
+  return walks;
+}
 
-  // Eq. 35/42/47 weighting: a start sampled lambda_v times represents
-  // n * lambda_v / theta users.
-  const double scale = static_cast<double>(n) / static_cast<double>(theta);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    walks->SetStartWeight(v, scale * static_cast<double>(walks->Lambda(v)));
+std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
+                                        uint64_t theta, uint64_t master_seed,
+                                        const SketchBuildOptions& options) {
+  const graph::Graph& g = evaluator.model().graph();
+  const uint32_t n = g.num_nodes();
+  graph::AliasSampler alias(g);
+  const WalkEngine engine(g, evaluator.target_campaign(), alias);
+  const uint32_t horizon = evaluator.horizon();
+
+  const uint64_t block_size = std::max<uint64_t>(1, options.block_size);
+  const uint64_t num_blocks = (theta + block_size - 1) / block_size;
+  std::vector<WalkBuffer> buffers(num_blocks);
+  auto run_block = [&](uint64_t b) {
+    const uint64_t begin = b * block_size;
+    const uint64_t count = std::min(block_size, theta - begin);
+    Rng rng = BlockRng(master_seed, b);
+    buffers[b].nodes.reserve(count * (horizon / 4 + 1));
+    engine.GenerateBatch(count, horizon, &rng, &buffers[b]);
+  };
+
+  uint32_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                              : options.num_threads;
+  threads = static_cast<uint32_t>(
+      std::min<uint64_t>(threads, std::max<uint64_t>(num_blocks, 1)));
+  if (threads <= 1) {
+    for (uint64_t b = 0; b < num_blocks; ++b) run_block(b);
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> done;
+    done.reserve(num_blocks);
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+      done.push_back(pool.Submit([&run_block, b] { run_block(b); }));
+    }
+    for (auto& f : done) f.get();
   }
+
+  auto walks = std::make_unique<WalkSet>(n);
+  for (const WalkBuffer& buffer : buffers) walks->AddWalks(buffer);
+  walks->Finalize(evaluator.target_campaign().initial_opinions);
+  ApplySketchWeights(walks.get(), n, theta);
   return walks;
 }
 

@@ -20,6 +20,28 @@ namespace voteopt::core {
 std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
                                         uint64_t theta, Rng* rng);
 
+/// Knobs for the sharded sketch builder below.
+struct SketchBuildOptions {
+  /// Worker threads: 0 = one per hardware thread, 1 = run inline (no pool).
+  uint32_t num_threads = 0;
+  /// Walks per deterministic RNG block (the sharding granule). Smaller
+  /// blocks balance load better; larger blocks amortize dispatch.
+  uint64_t block_size = 8192;
+};
+
+/// Sharded BuildSketchSet: the `theta` walks are split into fixed-size
+/// blocks, block i draws from its own Rng derived from (master_seed, i),
+/// and blocks are merged in index order. The output is therefore a pure
+/// function of (master_seed, theta, block_size) — bit-identical across runs
+/// AND across thread counts — while the blocks themselves are generated on
+/// a thread pool. Estimates follow the same Eq. 35 / 42 / 47 weighting as
+/// the serial builder and agree with it within the Thm. 13 epsilon bound.
+/// `options` is deliberately not defaulted: a literal-0 seed with a
+/// defaulted options argument would be ambiguous against the Rng* overload.
+std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
+                                        uint64_t theta, uint64_t master_seed,
+                                        const SketchBuildOptions& options);
+
 /// Lower bound on OPT for the cumulative score. By monotonicity
 /// OPT >= F(empty set), which the evaluator has already computed exactly;
 /// OPT >= k because each seed contributes opinion 1 at its own node. The

@@ -9,8 +9,10 @@
 #ifndef VOTEOPT_CORE_WALK_ENGINE_H_
 #define VOTEOPT_CORE_WALK_ENGINE_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "core/walk_set.h"
 #include "graph/alias_table.h"
 #include "graph/graph.h"
 #include "opinion/opinion_state.h"
@@ -32,6 +34,16 @@ class WalkEngine {
   void Generate(graph::NodeId start, uint32_t horizon, Rng* rng,
                 std::vector<graph::NodeId>* out) const;
 
+  /// Generates `count` empty-seed-set walks from uniformly sampled starts,
+  /// appending them to `out`. Per walk, `rng` is consumed exactly as the
+  /// UniformInt(start) + Generate sequence would be, so a batch is a
+  /// self-contained RNG block: the output depends only on `rng`'s state at
+  /// entry. The engine is stateless, so concurrent calls on distinct
+  /// (rng, out) pairs are safe — this is the unit of work the parallel
+  /// sketch builder shards across a thread pool.
+  void GenerateBatch(uint64_t count, uint32_t horizon, Rng* rng,
+                     WalkBuffer* out) const;
+
   /// Direct Generation (paper § V-A) with a seed set applied: seeds are
   /// fully stubborn, so the walk is absorbed on reaching one. Returns the
   /// estimate X = b0[S][end node]. Used to validate Thm. 8 against Thm. 9.
@@ -39,6 +51,13 @@ class WalkEngine {
                            const std::vector<bool>& is_seed, Rng* rng) const;
 
  private:
+  /// The shared per-step dynamics: appends the walk's nodes after `start`
+  /// to *nodes (start itself is the caller's). Both Generate entry points
+  /// route through this, which is what guarantees their RNG-consumption
+  /// parity.
+  void Extend(graph::NodeId start, uint32_t horizon, Rng* rng,
+              std::vector<graph::NodeId>* nodes) const;
+
   const graph::Graph* graph_;
   const opinion::Campaign* campaign_;
   const graph::AliasSampler* alias_;

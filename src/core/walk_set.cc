@@ -22,6 +22,22 @@ void WalkSet::AddWalk(const std::vector<graph::NodeId>& walk_nodes) {
   ++lambda_[walk_nodes.front()];
 }
 
+void WalkSet::AddWalks(const WalkBuffer& buffer) {
+  assert(!finalized_);
+  nodes_.insert(nodes_.end(), buffer.nodes.begin(), buffer.nodes.end());
+  uint64_t pos = offsets_.back();
+  for (const uint32_t len : buffer.lengths) {
+    assert(len >= 1);
+    const graph::NodeId start = nodes_[pos];
+    pos += len;
+    offsets_.push_back(pos);
+    starts_.push_back(start);
+    eff_len_.push_back(len);
+    ++lambda_[start];
+  }
+  assert(pos == nodes_.size());
+}
+
 void WalkSet::Finalize(const std::vector<double>& initial_opinions) {
   assert(!finalized_);
   finalized_ = true;

@@ -22,6 +22,17 @@
 
 namespace voteopt::core {
 
+/// A worker-local batch of walks: concatenated node sequences plus per-walk
+/// lengths. Cheaper than a WalkSet (no per-node state, no index), so shards
+/// can be generated independently and merged into one WalkSet in a
+/// deterministic order afterwards.
+struct WalkBuffer {
+  std::vector<graph::NodeId> nodes;  // concatenated walk nodes
+  std::vector<uint32_t> lengths;     // per-walk length in nodes (>= 1)
+
+  size_t num_walks() const { return lengths.size(); }
+};
+
 class WalkSet {
  public:
   /// One inverted-index posting: the walk and the first position (0-based,
@@ -35,6 +46,10 @@ class WalkSet {
 
   /// Appends a walk; `nodes` must be non-empty and nodes[0] is the start.
   void AddWalk(const std::vector<graph::NodeId>& nodes);
+
+  /// Bulk-appends every walk of `buffer` in order. Equivalent to calling
+  /// AddWalk per walk, but with a single nodes_ splice.
+  void AddWalks(const WalkBuffer& buffer);
 
   /// Freezes the set: assigns each walk its no-seed value (the initial
   /// opinion of its end node) and builds the inverted index. Call exactly

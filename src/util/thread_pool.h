@@ -1,0 +1,72 @@
+// Fixed-size worker pool for sharding CPU-bound work (sketch construction,
+// batched walk generation). Tasks are submitted as callables; each Submit
+// returns a std::future that carries the task's result or, if it threw, its
+// exception. Destruction drains the queue: tasks already submitted still run
+// before the workers join, so futures obtained from Submit are always
+// eventually satisfied.
+#ifndef VOTEOPT_UTIL_THREAD_POOL_H_
+#define VOTEOPT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace voteopt {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(uint32_t num_threads = 0);
+
+  /// Drains the queue (queued tasks still run), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Enqueues `fn` for execution on some worker. The returned future yields
+  /// fn's result, or rethrows the exception fn exited with.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    // shared_ptr because std::function requires copyable callables while
+    // packaged_task is move-only.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static uint32_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace voteopt
+
+#endif  // VOTEOPT_UTIL_THREAD_POOL_H_

@@ -127,8 +127,12 @@ TEST(GreedyDMTest, CelfMatchesPlainGreedyOnCumulative) {
   auto inst = MakeRandomInstance(40, 200, 2, 43);
   opinion::FJModel model(inst.graph);
   ScoreEvaluator ev(model, inst.state, 0, 5, ScoreSpec::Cumulative());
-  const auto celf = GreedyDMSelect(ev, 5, {.use_celf = true});
-  const auto plain = GreedyDMSelect(ev, 5, {.use_celf = false});
+  DMOptions celf_opts;
+  celf_opts.use_celf = true;
+  DMOptions plain_opts;
+  plain_opts.use_celf = false;
+  const auto celf = GreedyDMSelect(ev, 5, celf_opts);
+  const auto plain = GreedyDMSelect(ev, 5, plain_opts);
   EXPECT_EQ(celf.seeds, plain.seeds);
   EXPECT_NEAR(celf.score, plain.score, 1e-9);
   // CELF must do no more evaluations than plain greedy.

@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace voteopt {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResults) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, RunsOnWorkerThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  auto worker = pool.Submit([] { return std::this_thread::get_id(); });
+  EXPECT_NE(worker.get(), caller);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto throwing = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto fine = pool.Submit([] { return 7; });
+  EXPECT_THROW(
+      {
+        try {
+          throwing.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // A throwing task must not take the worker down with it.
+  EXPECT_EQ(fine.get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownWhileBusyDrainsQueue) {
+  // Destroy the pool while tasks are still queued behind a slow one: every
+  // submitted task must still run, and every future must become ready.
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter->fetch_add(1);
+      }));
+    }
+    // ~ThreadPool runs here with most of the queue still pending.
+  }
+  EXPECT_EQ(counter->load(), 32);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, ManySmallTasksFromManySubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> submitters;
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &sum, &futures, &futures_mutex] {
+      for (int i = 0; i < 100; ++i) {
+        auto f = pool.Submit([&sum] { sum.fetch_add(1); });
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 400);
+}
+
+}  // namespace
+}  // namespace voteopt
