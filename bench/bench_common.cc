@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <sstream>
+
+#include "util/thread_pool.h"
 
 namespace voteopt::bench {
 
@@ -49,6 +52,36 @@ voting::ScoreSpec ParseScoreSpec(const Options& options,
   }
   std::cerr << "unknown score '" << name << "'\n";
   std::exit(2);
+}
+
+std::string HostMetadataJson() {
+#if defined(__clang__)
+  const std::string compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  const std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+#ifdef VOTEOPT_BUILD_TYPE
+  const std::string build_type = VOTEOPT_BUILD_TYPE;
+#else
+  const std::string build_type = "unknown";
+#endif
+#if defined(__linux__)
+  const std::string os = "linux";
+#elif defined(__APPLE__)
+  const std::string os = "darwin";
+#elif defined(_WIN32)
+  const std::string os = "windows";
+#else
+  const std::string os = "unknown";
+#endif
+  std::ostringstream out;
+  out << "{\"hardware_threads\": " << ThreadPool::DefaultThreadCount()
+      << ", \"build_type\": \"" << build_type << "\", \"compiler\": \""
+      << compiler << "\", \"os\": \"" << os
+      << "\", \"pointer_bits\": " << 8 * sizeof(void*) << "}";
+  return out.str();
 }
 
 BenchEnv MakeEnv(const Options& options, const std::string& default_dataset,

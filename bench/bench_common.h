@@ -67,6 +67,13 @@ BenchEnv MakeEnv(const Options& options, const std::string& default_dataset,
 /// the experiment (skipped in CSV mode).
 void Emit(const BenchEnv& env, const std::string& title, const Table& table);
 
+/// Host/build metadata as a JSON object literal, e.g.
+///   {"hardware_threads": 8, "build_type": "RelWithDebInfo",
+///    "compiler": "gcc 12.2.0", "os": "linux", "pointer_bits": 64}
+/// Embedded under the "host" key of every --json_out payload so BENCH_*.json
+/// files recorded on different machines are comparable.
+std::string HostMetadataJson();
+
 /// Method options tuned for bench scale (caps that keep RW/RS memory sane).
 baselines::MethodOptions DefaultMethodOptions(const Options& options);
 

@@ -17,7 +17,6 @@
 
 #include "core/sketch.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace voteopt;
@@ -173,9 +172,8 @@ int main(int argc, char** argv) {
           << "\",\n  \"n\": " << env.num_nodes()
           << ",\n  \"m\": " << env.graph().num_edges()
           << ",\n  \"theta\": " << theta << ",\n  \"horizon\": "
-          << env.horizon << ",\n  \"hardware_threads\": "
-          << ThreadPool::DefaultThreadCount() << ",\n  \"rows\": [\n"
-          << json_rows.str() << "\n  ]\n}\n";
+          << env.horizon << ",\n  \"host\": " << HostMetadataJson()
+          << ",\n  \"rows\": [\n" << json_rows.str() << "\n  ]\n}\n";
     }
   }
   return 0;

@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
 
   baselines::MethodOptions mo;
   mo.rs.theta_override = static_cast<uint64_t>(options.GetInt("theta", 0));
+  // --threads=0 (default) uses the sharded BuildSketchSet fast path with
+  // one worker per hardware thread; results are thread-count independent.
+  mo.rs.num_threads = static_cast<uint32_t>(options.GetInt("threads", 0));
   const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 25));
   const auto result = baselines::SelectWithMethod(*method, ev, k, mo);
 

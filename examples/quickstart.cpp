@@ -70,9 +70,13 @@ int main() {
         spec.kind == voting::ScoreKind::kCumulative
             ? core::GreedyDMSelect(evaluator, k)
             : core::SandwichSelect(evaluator, k);
-    // The paper's recommended sketch-based method.
+    // The paper's recommended sketch-based method, on the supported fast
+    // path: num_threads != 1 routes through the sharded BuildSketchSet
+    // overload (SketchBuildOptions), whose output is deterministic in the
+    // seed and independent of the worker count.
     core::RSOptions rs;
     rs.theta_override = 2000;
+    rs.num_threads = 0;  // sharded builder, one worker per hardware thread
     const core::SelectionResult sketch =
         core::RSGreedySelect(evaluator, k, rs);
 

@@ -10,11 +10,22 @@
 // compute the marginal gains of every candidate seed in one scan over the
 // index (paper § V-B time-complexity discussion), and truncation after a
 // selection is O(#walks containing the new seed).
+//
+// A WalkSet is split into two layers:
+//  * FROZEN data — the walk nodes, offsets, starts, per-node walk counts
+//    and weights, and the inverted index. Immutable after Finalize, exposed
+//    as spans for serialization (store/), and adoptable from externally
+//    owned memory (e.g. an mmap'd sketch file) without copying.
+//  * DYNAMIC state — per-walk values / effective lengths and per-node
+//    estimate sums under the current seed set. Always owned, mutated by
+//    Truncate, and rebuildable in O(total walk nodes) with ResetValues so
+//    one frozen sketch can serve many queries.
 #ifndef VOTEOPT_CORE_WALK_SET_H_
 #define VOTEOPT_CORE_WALK_SET_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -42,7 +53,39 @@ class WalkSet {
     uint32_t pos;
   };
 
+  /// The frozen (immutable) layer as span views. After Finalize the spans
+  /// alias the WalkSet's own vectors; after AdoptFrozen they alias external
+  /// storage such as an mmap'd file.
+  struct Frozen {
+    std::span<const graph::NodeId> nodes;     // concatenated walk nodes
+    std::span<const uint64_t> offsets;        // per-walk begin; num_walks+1
+    std::span<const graph::NodeId> starts;    // per-walk start node
+    std::span<const uint32_t> lambda;         // per-node walk count
+    std::span<const double> start_weight;     // per-node score weight
+    std::span<const uint64_t> index_offsets;  // num_nodes+1
+    std::span<const Posting> index_entries;
+  };
+
   explicit WalkSet(uint32_t num_nodes);
+
+  // After Finalize the frozen views alias this object's own vectors, so
+  // copying must re-point them at the copy's storage (an implicit shallow
+  // copy would dangle once the source dies). Adopted sets share the
+  // keep-alive instead — both copies read the same immutable mapping.
+  // Moves are safe as-is: vector buffers transfer and the spans keep
+  // pointing at them.
+  WalkSet(const WalkSet& other);
+  WalkSet& operator=(const WalkSet& other);
+  WalkSet(WalkSet&&) = default;
+  WalkSet& operator=(WalkSet&&) = default;
+
+  /// Adopts externally owned frozen data without copying; `keep_alive` pins
+  /// the backing storage (e.g. the mmap) for the WalkSet's lifetime. The
+  /// caller must have validated internal consistency (the sketch store
+  /// does). Dynamic state is empty until ResetValues is called.
+  static std::unique_ptr<WalkSet> AdoptFrozen(
+      uint32_t num_nodes, const Frozen& frozen,
+      std::shared_ptr<const void> keep_alive);
 
   /// Appends a walk; `nodes` must be non-empty and nodes[0] is the start.
   void AddWalk(const std::vector<graph::NodeId>& nodes);
@@ -51,26 +94,43 @@ class WalkSet {
   /// AddWalk per walk, but with a single nodes_ splice.
   void AddWalks(const WalkBuffer& buffer);
 
-  /// Freezes the set: assigns each walk its no-seed value (the initial
-  /// opinion of its end node) and builds the inverted index. Call exactly
-  /// once, after all AddWalk calls.
+  /// Freezes the set: builds the inverted index and derives the dynamic
+  /// state from `initial_opinions` (each walk's no-seed value is the
+  /// initial opinion of its end node). Call exactly once, after all
+  /// AddWalk calls.
   void Finalize(const std::vector<double>& initial_opinions);
+
+  /// (Re-)derives the dynamic state from `initial_opinions`, undoing every
+  /// truncation in one O(num_walks) pass — far cheaper than regenerating
+  /// walks or rebuilding the index. Requires Finalize or AdoptFrozen; this
+  /// is how a persisted sketch is reused across queries (and across
+  /// updated campaign opinions).
+  void ResetValues(const std::vector<double>& initial_opinions);
 
   // --- static shape -------------------------------------------------------
   uint32_t num_nodes() const { return num_nodes_; }
-  size_t num_walks() const { return starts_.size(); }
+  size_t num_walks() const {
+    return finalized_ ? frozen_.starts.size() : starts_.size();
+  }
   /// lambda_v: number of walks starting at v.
-  uint32_t Lambda(graph::NodeId v) const { return lambda_[v]; }
-  graph::NodeId StartOf(uint32_t walk) const { return starts_[walk]; }
-  size_t total_index_entries() const { return index_entries_.size(); }
+  uint32_t Lambda(graph::NodeId v) const {
+    return finalized_ ? frozen_.lambda[v] : lambda_[v];
+  }
+  graph::NodeId StartOf(uint32_t walk) const { return frozen_.starts[walk]; }
+  size_t total_index_entries() const { return frozen_.index_entries.size(); }
   size_t memory_bytes() const;
 
+  /// The frozen layer (requires Finalize / AdoptFrozen). This is what the
+  /// sketch store serializes; saving is a pure function of these spans.
+  const Frozen& frozen() const { return frozen_; }
+  /// True when the frozen data lives in adopted external storage.
+  bool adopted() const { return adopted_; }
+
   /// Per-start score weight: 1 for the RW method, n * lambda_v / theta for
-  /// the RS sketches (default 1).
-  void SetStartWeight(graph::NodeId v, double weight) {
-    start_weight_[v] = weight;
-  }
-  double StartWeight(graph::NodeId v) const { return start_weight_[v]; }
+  /// the RS sketches (default 1). Only valid on owned (non-adopted) sets;
+  /// persisted sketches carry their weights in the file.
+  void SetStartWeight(graph::NodeId v, double weight);
+  double StartWeight(graph::NodeId v) const { return frozen_.start_weight[v]; }
 
   // --- dynamic state under the current seed set ---------------------------
   /// Current estimate Y of this walk (initial opinion of the effective end
@@ -81,15 +141,16 @@ class WalkSet {
   /// Estimated opinion of start node v: average walk value (b-hat), or
   /// `fallback` when v has no walks (possible for sketches).
   double EstimatedOpinion(graph::NodeId v, double fallback = 0.0) const {
-    return lambda_[v] == 0
-               ? fallback
-               : est_sum_[v] / static_cast<double>(lambda_[v]);
+    const uint32_t lambda = frozen_.lambda[v];
+    return lambda == 0 ? fallback
+                       : est_sum_[v] / static_cast<double>(lambda);
   }
 
   /// Postings of node w (walks that contain w), grouped contiguously.
   std::span<const Posting> PostingsOf(graph::NodeId w) const {
-    return {index_entries_.data() + index_offsets_[w],
-            index_entries_.data() + index_offsets_[w + 1]};
+    return frozen_.index_entries.subspan(
+        frozen_.index_offsets[w],
+        frozen_.index_offsets[w + 1] - frozen_.index_offsets[w]);
   }
 
   /// Makes w a seed: truncates every walk containing w at w's first
@@ -99,21 +160,32 @@ class WalkSet {
                 const std::function<void(uint32_t, double)>& on_change);
 
  private:
+  /// Points the frozen views at the owned vectors.
+  void FreezeOwned();
+  /// Counting-sort construction of the first-occurrence inverted index.
+  void BuildIndex();
+
   uint32_t num_nodes_;
   bool finalized_ = false;
+  bool adopted_ = false;
 
+  // Owned frozen storage (build path; empty after AdoptFrozen).
   std::vector<graph::NodeId> nodes_;   // concatenated walk nodes
   std::vector<uint64_t> offsets_;      // per-walk begin; size num_walks+1
   std::vector<graph::NodeId> starts_;  // per-walk start node
-  std::vector<uint32_t> eff_len_;      // per-walk effective length
-  std::vector<double> values_;         // per-walk current Y value
-
   std::vector<uint32_t> lambda_;       // per-node walk count
-  std::vector<double> est_sum_;        // per-node sum of walk values
   std::vector<double> start_weight_;   // per-node score weight
-
   std::vector<uint64_t> index_offsets_;
   std::vector<Posting> index_entries_;
+  /// Pins adopted external storage (mmap) for the WalkSet's lifetime.
+  std::shared_ptr<const void> keep_alive_;
+
+  Frozen frozen_;  // views over the owned vectors or adopted storage
+
+  // Dynamic state (always owned, rebuilt by ResetValues).
+  std::vector<uint32_t> eff_len_;  // per-walk effective length
+  std::vector<double> values_;     // per-walk current Y value
+  std::vector<double> est_sum_;    // per-node sum of walk values
 };
 
 }  // namespace voteopt::core

@@ -123,4 +123,11 @@ Result<Dataset> LoadDatasetBundle(const std::string& prefix) {
   return dataset;
 }
 
+std::string BundleSketchPath(const std::string& prefix) {
+  // Kept as a literal so the low-level dataset I/O layer stays decoupled
+  // from store/; must match store::kSketchFileSuffix (static-checked by
+  // datasets_io_test / serve_service_test).
+  return prefix + ".sketch";
+}
+
 }  // namespace voteopt::datasets

@@ -13,6 +13,11 @@
 //   <prefix>.counts.edges      raw interaction counts (for mu sweeps)
 //   <prefix>.campaigns.tsv     the campaign state
 //   <prefix>.meta              "name <display name>\ntarget <id>"
+//   <prefix>.sketch            OPTIONAL persisted sketch set (binary,
+//                              store/sketch_store.h) — the precomputed
+//                              walk artifact the serve layer queries;
+//                              absent bundles are still valid and the
+//                              service rebuilds (and can re-persist) it
 #ifndef VOTEOPT_DATASETS_IO_H_
 #define VOTEOPT_DATASETS_IO_H_
 
@@ -30,6 +35,10 @@ Result<opinion::MultiCampaignState> LoadCampaigns(const std::string& path);
 
 Status SaveDatasetBundle(const Dataset& dataset, const std::string& prefix);
 Result<Dataset> LoadDatasetBundle(const std::string& prefix);
+
+/// Path of the bundle's optional persisted-sketch member
+/// (`<prefix>.sketch`, store/sketch_store.h format).
+std::string BundleSketchPath(const std::string& prefix);
 
 }  // namespace voteopt::datasets
 

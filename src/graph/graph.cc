@@ -9,6 +9,61 @@
 
 namespace voteopt::graph {
 
+Result<Graph> Graph::FromCsr(uint32_t num_nodes,
+                             std::vector<uint64_t> out_offsets,
+                             std::vector<NodeId> out_targets,
+                             std::vector<double> out_weights,
+                             std::vector<uint64_t> in_offsets,
+                             std::vector<NodeId> in_sources,
+                             std::vector<double> in_weights) {
+  const uint64_t num_edges = out_targets.size();
+  auto check_direction = [&](const std::vector<uint64_t>& offsets,
+                             const std::vector<NodeId>& endpoints,
+                             const std::vector<double>& weights,
+                             const char* which) -> Status {
+    if (offsets.size() != num_nodes + size_t{1}) {
+      return Status::InvalidArgument(std::string(which) +
+                                     "-offsets size is not n+1");
+    }
+    if (offsets.front() != 0 || offsets.back() != num_edges) {
+      return Status::InvalidArgument(std::string(which) +
+                                     "-offsets do not span the edge arrays");
+    }
+    for (size_t v = 0; v + 1 < offsets.size(); ++v) {
+      if (offsets[v] > offsets[v + 1]) {
+        return Status::InvalidArgument(std::string(which) +
+                                       "-offsets are not monotone");
+      }
+    }
+    if (endpoints.size() != num_edges || weights.size() != num_edges) {
+      return Status::InvalidArgument(
+          std::string(which) + "-edge arrays disagree on the edge count");
+    }
+    for (const NodeId id : endpoints) {
+      if (id >= num_nodes) {
+        return Status::InvalidArgument(std::string(which) +
+                                       "-edge endpoint out of range");
+      }
+    }
+    return Status::OK();
+  };
+  VOTEOPT_RETURN_IF_ERROR(
+      check_direction(out_offsets, out_targets, out_weights, "out"));
+  VOTEOPT_RETURN_IF_ERROR(
+      check_direction(in_offsets, in_sources, in_weights, "in"));
+
+  Graph graph;
+  graph.num_nodes_ = num_nodes;
+  graph.num_edges_ = num_edges;
+  graph.out_offsets_ = std::move(out_offsets);
+  graph.out_targets_ = std::move(out_targets);
+  graph.out_weights_ = std::move(out_weights);
+  graph.in_offsets_ = std::move(in_offsets);
+  graph.in_sources_ = std::move(in_sources);
+  graph.in_weights_ = std::move(in_weights);
+  return graph;
+}
+
 double Graph::InWeightSum(NodeId v) const {
   const auto w = InWeights(v);
   return std::accumulate(w.begin(), w.end(), 0.0);

@@ -79,6 +79,26 @@ class Graph {
   /// exposed so AliasSampler can address per-node slices.
   uint64_t InEdgeBegin(NodeId v) const { return in_offsets_[v]; }
 
+  // Bulk CSR views over the whole arrays (serialization path, store/).
+  std::span<const uint64_t> OutOffsets() const { return out_offsets_; }
+  std::span<const NodeId> OutTargets() const { return out_targets_; }
+  std::span<const double> OutWeightsRaw() const { return out_weights_; }
+  std::span<const uint64_t> InOffsets() const { return in_offsets_; }
+  std::span<const NodeId> InSources() const { return in_sources_; }
+  std::span<const double> InWeightsRaw() const { return in_weights_; }
+
+  /// Constructs a Graph directly from its dual-CSR arrays (the store/
+  /// deserialization path). Validates the shape — offset arrays are sized
+  /// n+1, monotone, and end at the edge count; node ids are in range; both
+  /// directions agree on the edge count — but trusts the weights.
+  static Result<Graph> FromCsr(uint32_t num_nodes,
+                               std::vector<uint64_t> out_offsets,
+                               std::vector<NodeId> out_targets,
+                               std::vector<double> out_weights,
+                               std::vector<uint64_t> in_offsets,
+                               std::vector<NodeId> in_sources,
+                               std::vector<double> in_weights);
+
   /// Returns a copy whose incoming weights are scaled to sum to 1 per node
   /// (nodes without in-edges are left empty). Out-weights mirror the change.
   Graph NormalizedIncoming() const;

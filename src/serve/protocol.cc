@@ -1,0 +1,384 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace voteopt::serve {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader — just enough for the flat request objects above
+// (objects, arrays, strings, numbers, booleans, null; no \uXXXX escapes).
+// Kept dependency-free on purpose: the serving scaffold must not pull a
+// JSON library into the core build.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject
+
+  const JsonValue* Find(const std::string& name) const {
+    for (const auto& [key, value] : fields) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto value = ParseValue(/*depth=*/0);
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 8;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Status::InvalidArgument("JSON too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    Consume('{');
+    if (Consume('}')) return value;
+    while (true) {
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
+      auto field = ParseValue(depth + 1);
+      if (!field.ok()) return field;
+      value.fields.emplace_back(std::move(key->str), std::move(*field));
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return Status::InvalidArgument("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    Consume('[');
+    if (Consume(']')) return value;
+    while (true) {
+      auto item = ParseValue(depth + 1);
+      if (!item.ok()) return item;
+      value.items.push_back(std::move(*item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return Status::InvalidArgument("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::InvalidArgument("expected '\"'");
+    }
+    ++pos_;
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': value.str += '"'; break;
+          case '\\': value.str += '\\'; break;
+          case '/': value.str += '/'; break;
+          case 'n': value.str += '\n'; break;
+          case 't': value.str += '\t'; break;
+          case 'r': value.str += '\r'; break;
+          default:
+            return Status::InvalidArgument("unsupported string escape");
+        }
+      } else {
+        value.str += c;
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    const char* first = text_.data() + begin;
+    const char* last = text_.data() + pos_;
+    auto [end, ec] = std::from_chars(first, last, value.number);
+    if (ec != std::errc() || end != last || begin == pos_) {
+      return Status::InvalidArgument("bad number");
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<uint32_t> AsU32(const JsonValue& value, const std::string& name) {
+  if (value.type != JsonValue::Type::kNumber || value.number < 0 ||
+      value.number != std::floor(value.number) ||
+      value.number > 4294967295.0) {
+    return Status::InvalidArgument("field '" + name +
+                                   "' must be a non-negative integer");
+  }
+  return static_cast<uint32_t>(value.number);
+}
+
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  *out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      case '\r': *out << "\\r"; break;
+      default:
+        // RFC 8259: control characters must be escaped; echoed request ids
+        // may carry arbitrary bytes.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          *out << c;
+        }
+        break;
+    }
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+const char* OpName(Request::Op op) {
+  switch (op) {
+    case Request::Op::kTopK: return "topk";
+    case Request::Op::kMinSeed: return "minseed";
+    case Request::Op::kEvaluate: return "evaluate";
+  }
+  return "?";
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  JsonParser parser(line);
+  auto parsed = parser.Parse();
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const JsonValue& object = *parsed;
+
+  Request request;
+  const JsonValue* op = object.Find("op");
+  if (op == nullptr || op->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("missing string field 'op'");
+  }
+  if (op->str == "topk") {
+    request.op = Request::Op::kTopK;
+  } else if (op->str == "minseed") {
+    request.op = Request::Op::kMinSeed;
+  } else if (op->str == "evaluate") {
+    request.op = Request::Op::kEvaluate;
+  } else {
+    return Status::InvalidArgument("unknown op '" + op->str + "'");
+  }
+
+  if (const JsonValue* id = object.Find("id"); id != nullptr) {
+    if (id->type != JsonValue::Type::kString) {
+      return Status::InvalidArgument("field 'id' must be a string");
+    }
+    request.id = id->str;
+  }
+  if (const JsonValue* rule = object.Find("rule"); rule != nullptr) {
+    if (rule->type != JsonValue::Type::kString) {
+      return Status::InvalidArgument("field 'rule' must be a string");
+    }
+    request.rule = rule->str;
+  }
+  if (const JsonValue* p = object.Find("p"); p != nullptr) {
+    auto parsed_p = AsU32(*p, "p");
+    if (!parsed_p.ok()) return parsed_p.status();
+    request.p = *parsed_p;
+  }
+  if (const JsonValue* omega = object.Find("omega"); omega != nullptr) {
+    if (omega->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'omega' must be an array");
+    }
+    for (const JsonValue& item : omega->items) {
+      if (item.type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument("'omega' entries must be numbers");
+      }
+      request.omega.push_back(item.number);
+    }
+  }
+  if (const JsonValue* k = object.Find("k"); k != nullptr) {
+    auto parsed_k = AsU32(*k, "k");
+    if (!parsed_k.ok()) return parsed_k.status();
+    request.k = *parsed_k;
+  }
+  if (const JsonValue* k_max = object.Find("k_max"); k_max != nullptr) {
+    auto parsed_k = AsU32(*k_max, "k_max");
+    if (!parsed_k.ok()) return parsed_k.status();
+    request.k_max = *parsed_k;
+  }
+  if (const JsonValue* seeds = object.Find("seeds"); seeds != nullptr) {
+    if (seeds->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'seeds' must be an array");
+    }
+    for (const JsonValue& item : seeds->items) {
+      auto id = AsU32(item, "seeds");
+      if (!id.ok()) return id.status();
+      request.seeds.push_back(*id);
+    }
+  }
+  if (const JsonValue* overrides = object.Find("override");
+      overrides != nullptr) {
+    if (overrides->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'override' must be an array");
+    }
+    for (const JsonValue& pair : overrides->items) {
+      if (pair.type != JsonValue::Type::kArray || pair.items.size() != 2 ||
+          pair.items[1].type != JsonValue::Type::kNumber) {
+        return Status::InvalidArgument(
+            "'override' entries must be [user, opinion] pairs");
+      }
+      auto user = AsU32(pair.items[0], "override");
+      if (!user.ok()) return user.status();
+      request.overrides.emplace_back(*user, pair.items[1].number);
+    }
+  }
+  return request;
+}
+
+Response Response::Error(const Request& request, const Status& status) {
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.ok = false;
+  response.error = status.ToString();
+  return response;
+}
+
+std::string Response::ToJson() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"op\": ";
+  AppendJsonString(&out, op);
+  if (!id.empty()) {
+    out << ", \"id\": ";
+    AppendJsonString(&out, id);
+  }
+  out << ", \"ok\": " << (ok ? "true" : "false");
+  if (!ok) {
+    out << ", \"error\": ";
+    AppendJsonString(&out, error);
+    out << "}";
+    return out.str();
+  }
+  auto append_seeds = [&] {
+    out << ", \"seeds\": [";
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << seeds[i];
+    }
+    out << "]";
+  };
+  if (op == "topk") {
+    append_seeds();
+    out << ", \"estimated_score\": " << estimated_score
+        << ", \"exact_score\": " << exact_score;
+  } else if (op == "minseed") {
+    out << ", \"achievable\": " << (achievable ? "true" : "false")
+        << ", \"k_star\": " << k_star;
+    append_seeds();
+    out << ", \"exact_score\": " << exact_score
+        << ", \"selector_calls\": " << selector_calls;
+  } else if (op == "evaluate") {
+    out << ", \"score\": " << score << ", \"scores\": [";
+    for (size_t i = 0; i < all_scores.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << all_scores[i];
+    }
+    out << "], \"winner\": " << winner;
+  }
+  out << ", \"millis\": " << millis << "}";
+  return out.str();
+}
+
+}  // namespace voteopt::serve

@@ -1,0 +1,90 @@
+// The voteopt_serve wire protocol: newline-delimited JSON requests and
+// responses — the scaffold a real RPC frontend plugs into later. One
+// request object per line, one response object per line, same order.
+//
+// Request fields (op selects the query; everything else is optional):
+//   {"op": "topk",     "k": 10, "rule": "plurality"}
+//   {"op": "minseed",  "k_max": 100, "rule": "cumulative"}
+//   {"op": "evaluate", "seeds": [3, 17], "rule": "copeland",
+//    "override": [[5, 0.9], [12, 0.1]]}
+// Common optional fields:
+//   "id"    — opaque string echoed into the response (request matching)
+//   "rule"  — cumulative (default) | plurality | papproval | positional |
+//             copeland | borda
+//   "p"     — approval depth for papproval
+//   "omega" — positional weights (descending, in [0,1]) for positional
+// "override" entries are (user, opinion) pairs applied to the target
+// campaign's initial opinions before scoring — the "supplied campaign
+// state" of an in-flight campaign.
+//
+// Responses always carry "op", "ok", and the echoed "id"; on failure only
+// "error" is added, on success the op-specific payload (see ToJson).
+#ifndef VOTEOPT_SERVE_PROTOCOL_H_
+#define VOTEOPT_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace voteopt::serve {
+
+struct Request {
+  enum class Op { kTopK, kMinSeed, kEvaluate };
+
+  Op op = Op::kTopK;
+  std::string id;  // echoed when non-empty
+
+  // Voting rule selection.
+  std::string rule = "cumulative";
+  uint32_t p = 1;
+  std::vector<double> omega;
+
+  uint32_t k = 1;      // topk: budget
+  uint32_t k_max = 0;  // minseed: search bound (0 = num nodes)
+
+  std::vector<graph::NodeId> seeds;                         // evaluate
+  std::vector<std::pair<graph::NodeId, double>> overrides;  // evaluate
+};
+
+const char* OpName(Request::Op op);
+
+/// Parses one request line. Unknown fields are ignored (forward compat);
+/// malformed JSON, a missing/unknown "op", or ill-typed fields are
+/// InvalidArgument.
+Result<Request> ParseRequest(const std::string& line);
+
+struct Response {
+  std::string id;
+  std::string op;
+  bool ok = true;
+  std::string error;  // set when !ok
+
+  // topk / minseed payload.
+  std::vector<graph::NodeId> seeds;
+  double estimated_score = 0.0;
+  double exact_score = 0.0;
+
+  // minseed payload.
+  uint32_t k_star = 0;
+  bool achievable = false;
+  uint32_t selector_calls = 0;
+
+  // evaluate payload.
+  double score = 0.0;
+  std::vector<double> all_scores;  // one per candidate
+  uint32_t winner = 0;
+
+  double millis = 0.0;  // server-side handling time
+
+  static Response Error(const Request& request, const Status& status);
+
+  std::string ToJson() const;
+};
+
+}  // namespace voteopt::serve
+
+#endif  // VOTEOPT_SERVE_PROTOCOL_H_

@@ -1,0 +1,300 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/estimated_greedy.h"
+#include "core/min_seed.h"
+#include "core/sketch.h"
+#include "util/timer.h"
+
+namespace voteopt::serve {
+
+namespace {
+
+/// Fingerprint of the problem instance a sketch is bound to: every CSR
+/// array of the influence graph plus every campaign's opinions and
+/// stubbornness. A regenerated bundle with the same node count but
+/// different edges/opinions would otherwise silently serve wrong answers
+/// from a stale sketch. (The bundle's default target is deliberately
+/// excluded: the sketch pins its own target in SketchMeta.)
+uint64_t BundleFingerprint(const datasets::Dataset& dataset) {
+  std::vector<uint64_t> digests;
+  auto add = [&digests](const void* data, size_t size) {
+    digests.push_back(store::Fnv1a64(data, size));
+  };
+  const graph::Graph& g = dataset.influence;
+  add(g.OutOffsets().data(), g.OutOffsets().size_bytes());
+  add(g.OutTargets().data(), g.OutTargets().size_bytes());
+  add(g.OutWeightsRaw().data(), g.OutWeightsRaw().size_bytes());
+  add(g.InOffsets().data(), g.InOffsets().size_bytes());
+  add(g.InSources().data(), g.InSources().size_bytes());
+  add(g.InWeightsRaw().data(), g.InWeightsRaw().size_bytes());
+  for (const opinion::Campaign& campaign : dataset.state.campaigns) {
+    add(campaign.initial_opinions.data(),
+        campaign.initial_opinions.size() * sizeof(double));
+    add(campaign.stubbornness.data(),
+        campaign.stubbornness.size() * sizeof(double));
+  }
+  return store::Fnv1a64(digests.data(), digests.size() * sizeof(uint64_t));
+}
+
+/// Canonical cache key for a voting rule (omega is hashed; two positional
+/// rules with different weights must not share an evaluator).
+std::string SpecKey(const voting::ScoreSpec& spec) {
+  std::string key = voting::ScoreKindName(spec.kind);
+  key += "/p=" + std::to_string(spec.p);
+  if (!spec.omega.empty()) {
+    key += "/omega=" + std::to_string(store::Fnv1a64(
+                           spec.omega.data(),
+                           spec.omega.size() * sizeof(double)));
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CampaignService>> CampaignService::Open(
+    const ServiceOptions& options) {
+  auto service = std::unique_ptr<CampaignService>(new CampaignService());
+  service->options_ = options;
+
+  auto bundle = datasets::LoadDatasetBundle(options.bundle_prefix);
+  if (!bundle.ok()) return bundle.status();
+  service->dataset_ = std::move(bundle).value();
+  service->model_ =
+      std::make_unique<opinion::FJModel>(service->dataset_.influence);
+  service->evaluators_ =
+      std::make_unique<LruCache<std::unique_ptr<voting::ScoreEvaluator>>>(
+          options.evaluator_cache_capacity);
+
+  const uint64_t fingerprint = BundleFingerprint(service->dataset_);
+  const std::string sketch_path =
+      options.sketch_path.empty()
+          ? datasets::BundleSketchPath(options.bundle_prefix)
+          : options.sketch_path;
+  auto loaded = store::LoadSketch(sketch_path, options.sketch_load_mode);
+  if (loaded.ok()) {
+    service->walks_ = std::move(loaded->walks);
+    service->meta_ = loaded->meta;
+    if (service->meta_.bundle_fingerprint != 0 &&
+        service->meta_.bundle_fingerprint != fingerprint) {
+      return Status::FailedPrecondition(
+          sketch_path +
+          ": sketch was built from a different bundle (fingerprint "
+          "mismatch) — rebuild it against the current data");
+    }
+  } else if (loaded.status().code() == Status::Code::kIOError &&
+             options.build_theta > 0) {
+    // No persisted sketch: fall back to the offline build, inline.
+    service->meta_.theta = options.build_theta;
+    service->meta_.horizon = options.build_horizon;
+    service->meta_.target = service->dataset_.default_target;
+    service->meta_.master_seed = options.rng_seed;
+    service->meta_.bundle_fingerprint = fingerprint;
+    const voting::ScoreSpec build_spec = voting::ScoreSpec::Cumulative();
+    auto build_evaluator = std::make_unique<voting::ScoreEvaluator>(
+        *service->model_, service->dataset_.state, service->meta_.target,
+        service->meta_.horizon, build_spec);
+    core::SketchBuildOptions build_options;
+    build_options.num_threads = options.num_threads;
+    service->walks_ =
+        core::BuildSketchSet(*build_evaluator, options.build_theta,
+                             options.rng_seed, build_options);
+    service->stats_.sketch_built = true;
+    // The evaluator's horizon propagation is the expensive part of its
+    // construction — seed the cache so the first cumulative query reuses it.
+    service->evaluators_->Put(SpecKey(build_spec),
+                              std::move(build_evaluator));
+    if (options.save_built_sketch) {
+      VOTEOPT_RETURN_IF_ERROR(
+          store::SaveSketch(*service->walks_, service->meta_, sketch_path));
+    }
+  } else {
+    return loaded.status();
+  }
+
+  if (service->walks_->num_nodes() !=
+      service->dataset_.influence.num_nodes()) {
+    return Status::FailedPrecondition(
+        sketch_path + ": sketch node universe disagrees with the bundle");
+  }
+  if (service->meta_.target >= service->dataset_.state.num_candidates()) {
+    return Status::FailedPrecondition(
+        sketch_path + ": sketch target candidate not in the bundle");
+  }
+  return service;
+}
+
+Result<voting::ScoreSpec> CampaignService::ResolveSpec(
+    const Request& request) const {
+  const uint32_t r = dataset_.state.num_candidates();
+  voting::ScoreSpec spec;
+  if (request.rule == "cumulative") {
+    spec = voting::ScoreSpec::Cumulative();
+  } else if (request.rule == "plurality") {
+    spec = voting::ScoreSpec::Plurality();
+  } else if (request.rule == "papproval" || request.rule == "p-approval") {
+    spec = voting::ScoreSpec::PApproval(request.p);
+  } else if (request.rule == "positional") {
+    if (request.omega.empty()) {
+      return Status::InvalidArgument(
+          "rule 'positional' requires the 'omega' weights");
+    }
+    spec = voting::ScoreSpec::PositionalPApproval(request.omega);
+  } else if (request.rule == "copeland") {
+    spec = voting::ScoreSpec::Copeland();
+  } else if (request.rule == "borda") {
+    spec = voting::ScoreSpec::Borda(r);
+  } else {
+    return Status::InvalidArgument("unknown rule '" + request.rule + "'");
+  }
+  VOTEOPT_RETURN_IF_ERROR(spec.Validate(r));
+  return spec;
+}
+
+voting::ScoreEvaluator* CampaignService::EvaluatorFor(
+    const voting::ScoreSpec& spec) {
+  const std::string key = SpecKey(spec);
+  if (auto* cached = evaluators_->Get(key); cached != nullptr) {
+    ++stats_.evaluator_cache_hits;
+    return cached->get();
+  }
+  ++stats_.evaluator_cache_misses;
+  auto evaluator = std::make_unique<voting::ScoreEvaluator>(
+      *model_, dataset_.state, meta_.target, meta_.horizon, spec);
+  return evaluators_->Put(key, std::move(evaluator))->get();
+}
+
+void CampaignService::ResetSketch() {
+  walks_->ResetValues(
+      dataset_.state.campaigns[meta_.target].initial_opinions);
+  ++stats_.sketch_resets;
+}
+
+Response CampaignService::Handle(const Request& request) {
+  ++stats_.queries;
+  Response response;
+  switch (request.op) {
+    case Request::Op::kTopK:
+      response = HandleTopK(request);
+      break;
+    case Request::Op::kMinSeed:
+      response = HandleMinSeed(request);
+      break;
+    case Request::Op::kEvaluate:
+      response = HandleEvaluate(request);
+      break;
+  }
+  if (!response.ok) ++stats_.errors;
+  return response;
+}
+
+std::vector<Response> CampaignService::HandleBatch(
+    const std::vector<Request>& batch) {
+  std::vector<Response> responses;
+  responses.reserve(batch.size());
+  for (const Request& request : batch) responses.push_back(Handle(request));
+  return responses;
+}
+
+Response CampaignService::HandleTopK(const Request& request) {
+  WallTimer timer;
+  auto spec = ResolveSpec(request);
+  if (!spec.ok()) return Response::Error(request, spec.status());
+  if (request.k == 0 || request.k > dataset_.influence.num_nodes()) {
+    return Response::Error(
+        request, Status::InvalidArgument("k must be in [1, num_nodes]"));
+  }
+  voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec);
+  ResetSketch();
+  const core::SelectionResult selection =
+      core::EstimatedGreedySelect(*evaluator, request.k, walks_.get());
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.seeds = selection.seeds;
+  response.estimated_score = selection.diagnostics.at("estimated_score");
+  response.exact_score = selection.score;
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response CampaignService::HandleMinSeed(const Request& request) {
+  WallTimer timer;
+  auto spec = ResolveSpec(request);
+  if (!spec.ok()) return Response::Error(request, spec.status());
+  if (request.k_max > dataset_.influence.num_nodes()) {
+    return Response::Error(
+        request, Status::InvalidArgument("k_max exceeds num_nodes"));
+  }
+  voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec);
+  const core::SeedSelector selector =
+      [this](const voting::ScoreEvaluator& evaluator_ref, uint32_t budget) {
+        ResetSketch();
+        return core::EstimatedGreedySelect(evaluator_ref, budget,
+                                           walks_.get());
+      };
+  const core::MinSeedResult result =
+      core::MinSeedsToWin(*evaluator, selector, request.k_max);
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.achievable = result.achievable;
+  response.k_star = result.k_star;
+  response.seeds = result.seeds;
+  response.selector_calls = result.selector_calls;
+  response.exact_score = evaluator->EvaluateSeeds(result.seeds);
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response CampaignService::HandleEvaluate(const Request& request) {
+  WallTimer timer;
+  auto spec = ResolveSpec(request);
+  if (!spec.ok()) return Response::Error(request, spec.status());
+  const uint32_t n = dataset_.influence.num_nodes();
+  for (const graph::NodeId seed : request.seeds) {
+    if (seed >= n) {
+      return Response::Error(request,
+                             Status::OutOfRange("seed id out of range"));
+    }
+  }
+  for (const auto& [user, opinion] : request.overrides) {
+    if (user >= n) {
+      return Response::Error(request,
+                             Status::OutOfRange("override user out of range"));
+    }
+    if (opinion < 0.0 || opinion > 1.0) {
+      return Response::Error(
+          request,
+          Status::InvalidArgument("override opinion must be in [0, 1]"));
+    }
+  }
+  voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec);
+
+  // Exact propagation of the (possibly overridden) target campaign; the
+  // competitors' horizon opinions come from the cached evaluator state.
+  opinion::Campaign campaign = dataset_.state.campaigns[meta_.target];
+  for (const auto& [user, opinion] : request.overrides) {
+    campaign.initial_opinions[user] = opinion;
+  }
+  const std::vector<double> target_row =
+      model_->PropagateWithSeeds(campaign, request.seeds, meta_.horizon);
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.score = evaluator->ScoreFromTargetOpinions(target_row);
+  response.all_scores = evaluator->ScoresAllCandidates(target_row);
+  response.winner = static_cast<uint32_t>(
+      std::max_element(response.all_scores.begin(),
+                       response.all_scores.end()) -
+      response.all_scores.begin());
+  response.millis = timer.Millis();
+  return response;
+}
+
+}  // namespace voteopt::serve

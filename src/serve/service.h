@@ -1,0 +1,115 @@
+// CampaignService: the online half of the offline-build → persist → serve
+// split. It owns a loaded problem instance (influence graph + campaign
+// state, from a dataset bundle) and one persisted sketch set (store/), and
+// answers batched queries against them:
+//
+//   * topk      — budget-k seed selection on the sketch (RS greedy loop)
+//   * minseed   — Problem 2's minimum winning budget (binary search)
+//   * evaluate  — exact score of a supplied seed set, optionally under
+//                 updated ("override") target opinions — a campaign's
+//                 current state
+//
+// One sketch set serves every query: before each selection the dynamic
+// truncation state is rebuilt in O(theta) by WalkSet::ResetValues — the
+// walks themselves (the expensive artifact) are never regenerated. Per
+// voting rule, the exact-evaluation state (competitor horizon opinions,
+// sorted per-user copies) is kept in an LRU cache of ScoreEvaluators.
+//
+// The sketch bakes in the horizon and the target campaign's stubbornness,
+// so the service pins (target, horizon) from the sketch's persisted meta.
+#ifndef VOTEOPT_SERVE_SERVICE_H_
+#define VOTEOPT_SERVE_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/io.h"
+#include "datasets/synthetic.h"
+#include "opinion/fj_model.h"
+#include "serve/lru_cache.h"
+#include "serve/protocol.h"
+#include "store/sketch_store.h"
+#include "voting/evaluator.h"
+
+namespace voteopt::serve {
+
+struct ServiceOptions {
+  /// Dataset bundle prefix (graph + campaigns + meta; datasets/io.h).
+  std::string bundle_prefix;
+  /// Sketch store file; empty means `<bundle_prefix>.sketch`.
+  std::string sketch_path;
+  /// Map the sketch instead of copying it into RAM.
+  store::SketchLoadMode sketch_load_mode = store::SketchLoadMode::kMmap;
+
+  /// Fallback when the sketch file is missing: build this many walks
+  /// (0 = fail instead of building).
+  uint64_t build_theta = uint64_t{1} << 18;
+  /// Horizon for a freshly built sketch (persisted files carry their own).
+  uint32_t build_horizon = 20;
+  /// Persist a freshly built sketch next to the bundle.
+  bool save_built_sketch = false;
+  /// Sketch-builder threads (0 = one per hardware thread).
+  uint32_t num_threads = 0;
+  uint64_t rng_seed = 42;
+
+  /// Capacity of the per-voting-rule evaluator LRU.
+  uint32_t evaluator_cache_capacity = 4;
+};
+
+class CampaignService {
+ public:
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t errors = 0;
+    uint64_t evaluator_cache_hits = 0;
+    uint64_t evaluator_cache_misses = 0;
+    uint64_t sketch_resets = 0;
+    bool sketch_built = false;  // true when Open had to build (no file)
+  };
+
+  /// Loads the bundle and the sketch (building + optionally persisting one
+  /// when absent). Fails with a clean Status on any inconsistency — e.g. a
+  /// sketch whose node universe or target disagrees with the bundle.
+  static Result<std::unique_ptr<CampaignService>> Open(
+      const ServiceOptions& options);
+
+  /// Answers one query. Never throws; failures come back as error
+  /// responses so a batch keeps flowing.
+  Response Handle(const Request& request);
+
+  /// Answers a batch in order against the same loaded store.
+  std::vector<Response> HandleBatch(const std::vector<Request>& batch);
+
+  const datasets::Dataset& dataset() const { return dataset_; }
+  const store::SketchMeta& sketch_meta() const { return meta_; }
+  const core::WalkSet& walks() const { return *walks_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  CampaignService() = default;
+
+  /// Resolves the request's voting rule into a validated ScoreSpec.
+  Result<voting::ScoreSpec> ResolveSpec(const Request& request) const;
+  /// Cached evaluator for a spec (builds + inserts on miss).
+  voting::ScoreEvaluator* EvaluatorFor(const voting::ScoreSpec& spec);
+  /// Rebuilds the sketch's dynamic state for a fresh selection.
+  void ResetSketch();
+
+  Response HandleTopK(const Request& request);
+  Response HandleMinSeed(const Request& request);
+  Response HandleEvaluate(const Request& request);
+
+  ServiceOptions options_;
+  datasets::Dataset dataset_;
+  std::unique_ptr<opinion::FJModel> model_;
+  std::unique_ptr<core::WalkSet> walks_;
+  store::SketchMeta meta_;
+  std::unique_ptr<LruCache<std::unique_ptr<voting::ScoreEvaluator>>>
+      evaluators_;
+  Stats stats_;
+};
+
+}  // namespace voteopt::serve
+
+#endif  // VOTEOPT_SERVE_SERVICE_H_

@@ -1,0 +1,77 @@
+#include "store/graph_store.h"
+
+#include <cstring>
+
+namespace voteopt::store {
+
+namespace {
+
+struct GraphMetaDisk {
+  uint32_t num_nodes;
+  uint32_t reserved;
+  uint64_t num_edges;
+};
+static_assert(sizeof(GraphMetaDisk) == 16);
+
+template <typename T>
+std::vector<T> CopySpan(std::span<const T> view) {
+  return std::vector<T>(view.begin(), view.end());
+}
+
+}  // namespace
+
+Status SaveGraph(const graph::Graph& graph, const std::string& path) {
+  const GraphMetaDisk meta{graph.num_nodes(), 0, graph.num_edges()};
+  std::vector<SectionRef> sections;
+  sections.push_back({"meta", &meta, sizeof(meta)});
+  sections.push_back(MakeSection("out_offsets", graph.OutOffsets()));
+  sections.push_back(MakeSection("out_targets", graph.OutTargets()));
+  sections.push_back(MakeSection("out_weights", graph.OutWeightsRaw()));
+  sections.push_back(MakeSection("in_offsets", graph.InOffsets()));
+  sections.push_back(MakeSection("in_sources", graph.InSources()));
+  sections.push_back(MakeSection("in_weights", graph.InWeightsRaw()));
+  return WriteSectionFile(path, FileKind::kGraph, sections);
+}
+
+Result<graph::Graph> LoadGraph(const std::string& path) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+  if (!reader.ok()) return reader.status();
+
+  auto meta_raw = reader->Raw("meta");
+  if (!meta_raw.ok()) return meta_raw.status();
+  if (meta_raw->size() != sizeof(GraphMetaDisk)) {
+    return Status::Corruption(path + ": bad graph meta section size");
+  }
+  GraphMetaDisk meta;
+  std::memcpy(&meta, meta_raw->data(), sizeof(meta));
+
+  auto out_offsets = reader->Typed<uint64_t>("out_offsets");
+  if (!out_offsets.ok()) return out_offsets.status();
+  auto out_targets = reader->Typed<graph::NodeId>("out_targets");
+  if (!out_targets.ok()) return out_targets.status();
+  auto out_weights = reader->Typed<double>("out_weights");
+  if (!out_weights.ok()) return out_weights.status();
+  auto in_offsets = reader->Typed<uint64_t>("in_offsets");
+  if (!in_offsets.ok()) return in_offsets.status();
+  auto in_sources = reader->Typed<graph::NodeId>("in_sources");
+  if (!in_sources.ok()) return in_sources.status();
+  auto in_weights = reader->Typed<double>("in_weights");
+  if (!in_weights.ok()) return in_weights.status();
+
+  if (out_targets->size() != meta.num_edges ||
+      in_sources->size() != meta.num_edges) {
+    return Status::Corruption(path + ": edge sections disagree with meta");
+  }
+  auto built = graph::Graph::FromCsr(
+      meta.num_nodes, CopySpan(*out_offsets), CopySpan(*out_targets),
+      CopySpan(*out_weights), CopySpan(*in_offsets), CopySpan(*in_sources),
+      CopySpan(*in_weights));
+  if (!built.ok()) {
+    return Status::Corruption(path + ": " + built.status().message());
+  }
+  return std::move(built).value();
+}
+
+}  // namespace voteopt::store

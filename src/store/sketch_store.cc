@@ -1,0 +1,171 @@
+#include "store/sketch_store.h"
+
+#include <cstring>
+
+namespace voteopt::store {
+
+namespace {
+
+struct SketchMetaDisk {
+  uint32_t num_nodes;
+  uint32_t horizon;
+  uint32_t target;
+  uint32_t reserved;
+  uint64_t num_walks;
+  uint64_t theta;
+  uint64_t master_seed;
+  uint64_t bundle_fingerprint;
+};
+static_assert(sizeof(SketchMetaDisk) == 48);
+
+/// Structural validation of adopted frozen data. The format layer already
+/// guarantees the bytes match their checksums; this guarantees the arrays
+/// describe a well-formed walk set, so the hot query paths can index
+/// without bounds checks.
+Status ValidateFrozen(const core::WalkSet::Frozen& frozen, uint32_t num_nodes,
+                      uint64_t num_walks) {
+  if (frozen.offsets.size() != num_walks + 1 ||
+      frozen.starts.size() != num_walks) {
+    return Status::Corruption("walk offsets/starts disagree with meta");
+  }
+  if (frozen.lambda.size() != num_nodes ||
+      frozen.start_weight.size() != num_nodes ||
+      frozen.index_offsets.size() != num_nodes + size_t{1}) {
+    return Status::Corruption("per-node sections disagree with meta");
+  }
+  if (num_walks > 0 && frozen.offsets.front() != 0) {
+    return Status::Corruption("walk offsets do not start at 0");
+  }
+  if (frozen.offsets.back() != frozen.nodes.size()) {
+    return Status::Corruption("walk offsets do not span the node array");
+  }
+  for (uint64_t w = 0; w < num_walks; ++w) {
+    if (frozen.offsets[w] >= frozen.offsets[w + 1]) {
+      return Status::Corruption("empty or non-monotone walk");
+    }
+  }
+  for (const graph::NodeId v : frozen.nodes) {
+    if (v >= num_nodes) return Status::Corruption("walk node out of range");
+  }
+  // Per-node recount (not just the total): the greedy loop divides by
+  // Lambda(start) for every start that owns walks, so a permuted lambda
+  // array would otherwise turn into inf/NaN gains at query time.
+  std::vector<uint32_t> recount(num_nodes, 0);
+  for (uint64_t w = 0; w < num_walks; ++w) {
+    if (frozen.starts[w] != frozen.nodes[frozen.offsets[w]]) {
+      return Status::Corruption("walk start disagrees with its node array");
+    }
+    ++recount[frozen.starts[w]];
+  }
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    if (recount[v] != frozen.lambda[v]) {
+      return Status::Corruption("lambda counts disagree with the walks");
+    }
+  }
+  if (frozen.index_offsets.front() != 0 ||
+      frozen.index_offsets.back() != frozen.index_entries.size()) {
+    return Status::Corruption("index offsets do not span the posting array");
+  }
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    if (frozen.index_offsets[v] > frozen.index_offsets[v + 1]) {
+      return Status::Corruption("index offsets are not monotone");
+    }
+  }
+  for (const core::WalkSet::Posting& posting : frozen.index_entries) {
+    if (posting.walk >= num_walks) {
+      return Status::Corruption("index posting references a bad walk");
+    }
+    if (posting.pos >=
+        frozen.offsets[posting.walk + 1] - frozen.offsets[posting.walk]) {
+      return Status::Corruption("index posting position out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSketch(const core::WalkSet& walks, const SketchMeta& meta,
+                  const std::string& path) {
+  const core::WalkSet::Frozen& frozen = walks.frozen();
+  if (frozen.offsets.empty()) {
+    return Status::FailedPrecondition(
+        "WalkSet must be finalized before saving");
+  }
+  const SketchMetaDisk disk_meta{walks.num_nodes(), meta.horizon,
+                                 meta.target,       0,
+                                 walks.num_walks(), meta.theta,
+                                 meta.master_seed,  meta.bundle_fingerprint};
+  std::vector<SectionRef> sections;
+  sections.push_back({"meta", &disk_meta, sizeof(disk_meta)});
+  sections.push_back(MakeSection("offsets", frozen.offsets));
+  sections.push_back(MakeSection("nodes", frozen.nodes));
+  sections.push_back(MakeSection("starts", frozen.starts));
+  sections.push_back(MakeSection("lambda", frozen.lambda));
+  sections.push_back(MakeSection("start_weight", frozen.start_weight));
+  sections.push_back(MakeSection("index_offsets", frozen.index_offsets));
+  sections.push_back(
+      MakeSection("index_entries", frozen.index_entries));
+  return WriteSectionFile(path, FileKind::kSketch, sections);
+}
+
+Result<LoadedSketch> LoadSketch(const std::string& path,
+                                SketchLoadMode mode) {
+  auto file = MappedFile::Open(path, mode == SketchLoadMode::kMmap
+                                         ? MappedFile::Mode::kMmap
+                                         : MappedFile::Mode::kCopy);
+  if (!file.ok()) return file.status();
+  auto reader = SectionReader::Parse(*file, FileKind::kSketch);
+  if (!reader.ok()) return reader.status();
+
+  auto meta_raw = reader->Raw("meta");
+  if (!meta_raw.ok()) return meta_raw.status();
+  if (meta_raw->size() != sizeof(SketchMetaDisk)) {
+    return Status::Corruption(path + ": bad sketch meta section size");
+  }
+  SketchMetaDisk disk_meta;
+  std::memcpy(&disk_meta, meta_raw->data(), sizeof(disk_meta));
+
+  core::WalkSet::Frozen frozen;
+  auto offsets = reader->Typed<uint64_t>("offsets");
+  if (!offsets.ok()) return offsets.status();
+  frozen.offsets = *offsets;
+  auto nodes = reader->Typed<graph::NodeId>("nodes");
+  if (!nodes.ok()) return nodes.status();
+  frozen.nodes = *nodes;
+  auto starts = reader->Typed<graph::NodeId>("starts");
+  if (!starts.ok()) return starts.status();
+  frozen.starts = *starts;
+  auto lambda = reader->Typed<uint32_t>("lambda");
+  if (!lambda.ok()) return lambda.status();
+  frozen.lambda = *lambda;
+  auto start_weight = reader->Typed<double>("start_weight");
+  if (!start_weight.ok()) return start_weight.status();
+  frozen.start_weight = *start_weight;
+  auto index_offsets = reader->Typed<uint64_t>("index_offsets");
+  if (!index_offsets.ok()) return index_offsets.status();
+  frozen.index_offsets = *index_offsets;
+  auto index_entries = reader->Typed<core::WalkSet::Posting>("index_entries");
+  if (!index_entries.ok()) return index_entries.status();
+  frozen.index_entries = *index_entries;
+
+  if (Status st =
+          ValidateFrozen(frozen, disk_meta.num_nodes, disk_meta.num_walks);
+      !st.ok()) {
+    return Status::Corruption(path + ": " + st.message());
+  }
+
+  LoadedSketch loaded;
+  // The WalkSet pins the mapping (or heap copy); views stay valid for its
+  // whole lifetime even after the reader goes out of scope.
+  loaded.walks = core::WalkSet::AdoptFrozen(disk_meta.num_nodes, frozen,
+                                            reader->file());
+  loaded.meta.theta = disk_meta.theta;
+  loaded.meta.horizon = disk_meta.horizon;
+  loaded.meta.target = disk_meta.target;
+  loaded.meta.master_seed = disk_meta.master_seed;
+  loaded.meta.bundle_fingerprint = disk_meta.bundle_fingerprint;
+  return loaded;
+}
+
+}  // namespace voteopt::store

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "store/sketch_store.h"
+
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 namespace voteopt::datasets {
 namespace {
@@ -91,6 +94,105 @@ TEST_F(DatasetsIoTest, SingleCampaignRejected) {
   const std::string path = prefix_ + ".campaigns.tsv";
   std::ofstream(path) << "# voteopt-campaigns v1\n1 1\n0.5 0.5\n";
   EXPECT_FALSE(LoadCampaigns(path).ok());
+}
+
+TEST_F(DatasetsIoTest, EmptyCampaignsFileRejected) {
+  const std::string path = prefix_ + ".campaigns.tsv";
+  std::ofstream(path) << "";
+  auto loaded = LoadCampaigns(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsIoTest, TruncatedHeaderLineRejected) {
+  const std::string path = prefix_ + ".campaigns.tsv";
+  // The magic line is cut short mid-token.
+  std::ofstream(path) << "# voteopt-camp";
+  auto loaded = LoadCampaigns(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsIoTest, MissingDimensionsRejected) {
+  const std::string path = prefix_ + ".campaigns.tsv";
+  std::ofstream(path) << "# voteopt-campaigns v1\n";
+  auto loaded = LoadCampaigns(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsIoTest, LoadBundleFromMissingPrefixIsCleanError) {
+  auto loaded = LoadDatasetBundle(prefix_ + "-does-not-exist");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+class DatasetsBundleErrorTest : public DatasetsIoTest {
+ protected:
+  void SetUp() override {
+    DatasetsIoTest::SetUp();
+    const Dataset ds = MakeDataset(DatasetName::kTwitterMask, 0.02, 5);
+    ASSERT_TRUE(SaveDatasetBundle(ds, prefix_).ok());
+  }
+};
+
+TEST_F(DatasetsBundleErrorTest, EachMissingMemberIsCleanError) {
+  // Dropping any required member must yield a Status, never a crash.
+  for (const char* suffix :
+       {".influence.edges", ".counts.edges", ".campaigns.tsv", ".meta"}) {
+    const std::string path = prefix_ + suffix;
+    std::ifstream keep(path, std::ios::binary);
+    std::stringstream saved;
+    saved << keep.rdbuf();
+    keep.close();
+    std::remove(path.c_str());
+    auto loaded = LoadDatasetBundle(prefix_);
+    EXPECT_FALSE(loaded.ok()) << "missing " << suffix << " went undetected";
+    EXPECT_EQ(loaded.status().code(), Status::Code::kIOError) << suffix;
+    std::ofstream(path, std::ios::binary) << saved.str();
+  }
+  // Intact again: the bundle loads.
+  EXPECT_TRUE(LoadDatasetBundle(prefix_).ok());
+}
+
+TEST_F(DatasetsBundleErrorTest, WrongCampaignsMagicRejected) {
+  std::ofstream(prefix_ + ".campaigns.tsv")
+      << "# some-other-format v9\n2 2\n0.5 0.5\n0.5 0.5\n";
+  auto loaded = LoadDatasetBundle(prefix_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsBundleErrorTest, TruncatedCampaignsMemberRejected) {
+  std::ofstream(prefix_ + ".campaigns.tsv")
+      << "# voteopt-campaigns v1\n2 4\n0.5 0.5\n";
+  auto loaded = LoadDatasetBundle(prefix_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsBundleErrorTest, OutOfRangeMetaTargetRejected) {
+  std::ofstream(prefix_ + ".meta") << "name Broken\ntarget 99\n";
+  auto loaded = LoadDatasetBundle(prefix_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsBundleErrorTest, GraphCampaignSizeMismatchRejected) {
+  // Campaigns for a different (tiny) node universe.
+  std::ofstream(prefix_ + ".campaigns.tsv")
+      << "# voteopt-campaigns v1\n2 2\n0.5 0.5\n0.5 0.5\n0.5 0.5\n0.5 0.5\n";
+  auto loaded = LoadDatasetBundle(prefix_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(DatasetsBundleErrorTest, BundleSketchPathIsTheSketchMember) {
+  // datasets/ keeps the suffix as a literal to stay decoupled from store/;
+  // the two spellings must agree.
+  EXPECT_EQ(BundleSketchPath(prefix_),
+            prefix_ + voteopt::store::kSketchFileSuffix);
+  EXPECT_EQ(BundleSketchPath(prefix_), prefix_ + ".sketch");
 }
 
 }  // namespace

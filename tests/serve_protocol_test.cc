@@ -1,0 +1,128 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "serve/lru_cache.h"
+
+namespace voteopt::serve {
+namespace {
+
+TEST(ParseRequestTest, ParsesTopK) {
+  auto request = ParseRequest(
+      R"({"op": "topk", "k": 25, "rule": "plurality", "id": "q-1"})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, Request::Op::kTopK);
+  EXPECT_EQ(request->k, 25u);
+  EXPECT_EQ(request->rule, "plurality");
+  EXPECT_EQ(request->id, "q-1");
+}
+
+TEST(ParseRequestTest, ParsesMinSeedWithDefaults) {
+  auto request = ParseRequest(R"({"op": "minseed"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->op, Request::Op::kMinSeed);
+  EXPECT_EQ(request->k_max, 0u);  // 0 = search up to n
+  EXPECT_EQ(request->rule, "cumulative");
+}
+
+TEST(ParseRequestTest, ParsesEvaluateWithSeedsAndOverrides) {
+  auto request = ParseRequest(
+      R"({"op": "evaluate", "seeds": [3, 17, 4], )"
+      R"("override": [[5, 0.9], [12, 0.25]], "rule": "copeland"})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, Request::Op::kEvaluate);
+  EXPECT_EQ(request->seeds, (std::vector<graph::NodeId>{3, 17, 4}));
+  ASSERT_EQ(request->overrides.size(), 2u);
+  EXPECT_EQ(request->overrides[0].first, 5u);
+  EXPECT_DOUBLE_EQ(request->overrides[0].second, 0.9);
+}
+
+TEST(ParseRequestTest, ParsesPositionalOmega) {
+  auto request = ParseRequest(
+      R"({"op": "topk", "k": 2, "rule": "positional", "omega": [1.0, 0.5]})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->omega, (std::vector<double>{1.0, 0.5}));
+}
+
+TEST(ParseRequestTest, IgnoresUnknownFieldsForForwardCompat) {
+  auto request =
+      ParseRequest(R"({"op": "topk", "k": 1, "deadline_ms": 250})");
+  EXPECT_TRUE(request.ok());
+}
+
+TEST(ParseRequestTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk")").ok());        // unterminated
+  EXPECT_FALSE(ParseRequest(R"({"k": 5})").ok());             // no op
+  EXPECT_FALSE(ParseRequest(R"({"op": "frobnicate"})").ok()); // bad op
+  EXPECT_FALSE(ParseRequest(R"({"op": 7})").ok());            // ill-typed op
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk", "k": -3})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk", "k": 2.5})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op": "evaluate", "seeds": [1, "x"]})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op": "evaluate", "override": [[1]]})").ok());
+  EXPECT_FALSE(ParseRequest(R"([1, 2, 3])").ok());  // not an object
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk"} trailing)").ok());
+}
+
+TEST(ResponseTest, SerializesErrorShape) {
+  Request request;
+  request.op = Request::Op::kEvaluate;
+  request.id = "r9";
+  const Response response =
+      Response::Error(request, Status::OutOfRange("seed id out of range"));
+  const std::string json = response.ToJson();
+  EXPECT_NE(json.find("\"op\": \"evaluate\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": \"r9\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("seed id out of range"), std::string::npos);
+}
+
+TEST(ResponseTest, SerializesTopKShapeAndEscapes) {
+  Response response;
+  response.op = "topk";
+  response.id = "with \"quotes\"";
+  response.seeds = {1, 2, 3};
+  response.estimated_score = 12.5;
+  response.exact_score = 12.0;
+  const std::string json = response.ToJson();
+  EXPECT_NE(json.find("\"seeds\": [1, 2, 3]"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+  // A response must itself parse as a JSON object (frontends echo these).
+  EXPECT_TRUE(ParseRequest(R"({"op": "topk", "k": 1})").ok());
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Get("a"), nullptr);  // a is now most recent
+  cache.Put("c", 3);                   // evicts b
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  ASSERT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutReplacesExistingKey) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("a", 5);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get("a"), 5);
+}
+
+TEST(LruCacheTest, ZeroCapacityClampsToOne) {
+  LruCache<int> cache(0);
+  cache.Put("a", 1);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  cache.Put("b", 2);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("b"), 2);
+}
+
+}  // namespace
+}  // namespace voteopt::serve

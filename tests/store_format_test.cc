@@ -1,0 +1,180 @@
+#include "store/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace voteopt::store {
+namespace {
+
+class StoreFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override { path_ = ::testing::TempDir() + "/format_test.bin"; }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Status WriteSample() {
+    payload_a_ = {1, 2, 3, 4, 5};
+    payload_b_ = {0.5, -1.25};
+    std::vector<SectionRef> sections;
+    sections.push_back(
+        MakeSection("alpha", std::span<const uint32_t>(payload_a_)));
+    sections.push_back(
+        MakeSection("beta", std::span<const double>(payload_b_)));
+    return WriteSectionFile(path_, FileKind::kGraph, sections);
+  }
+
+  std::vector<uint8_t> ReadAll() {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    return bytes;
+  }
+
+  void WriteAll(const std::vector<uint8_t>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+  std::vector<uint32_t> payload_a_;
+  std::vector<double> payload_b_;
+};
+
+TEST_F(StoreFormatTest, RoundTripsSections) {
+  ASSERT_TRUE(WriteSample().ok());
+  for (const MappedFile::Mode mode :
+       {MappedFile::Mode::kMmap, MappedFile::Mode::kCopy}) {
+    auto file = MappedFile::Open(path_, mode);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+    auto alpha = reader->Typed<uint32_t>("alpha");
+    ASSERT_TRUE(alpha.ok());
+    EXPECT_EQ(std::vector<uint32_t>(alpha->begin(), alpha->end()),
+              payload_a_);
+    auto beta = reader->Typed<double>("beta");
+    ASSERT_TRUE(beta.ok());
+    EXPECT_EQ(std::vector<double>(beta->begin(), beta->end()), payload_b_);
+  }
+}
+
+TEST_F(StoreFormatTest, WritesAreDeterministic) {
+  ASSERT_TRUE(WriteSample().ok());
+  const std::vector<uint8_t> first = ReadAll();
+  ASSERT_TRUE(WriteSample().ok());
+  EXPECT_EQ(ReadAll(), first);
+}
+
+TEST_F(StoreFormatTest, MissingFileIsIOError) {
+  auto file = MappedFile::Open(path_ + ".does-not-exist");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(StoreFormatTest, WrongMagicRejected) {
+  ASSERT_TRUE(WriteSample().ok());
+  auto bytes = ReadAll();
+  bytes[0] = 'X';
+  WriteAll(bytes);
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(StoreFormatTest, WrongKindRejected) {
+  ASSERT_TRUE(WriteSample().ok());
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kSketch);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(StoreFormatTest, TruncatedHeaderRejected) {
+  ASSERT_TRUE(WriteSample().ok());
+  auto bytes = ReadAll();
+  bytes.resize(10);
+  WriteAll(bytes);
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(StoreFormatTest, TruncatedPayloadRejected) {
+  ASSERT_TRUE(WriteSample().ok());
+  auto bytes = ReadAll();
+  bytes.resize(bytes.size() - 4);
+  WriteAll(bytes);
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(StoreFormatTest, NoFlippedByteCorruptsPayloadsSilently) {
+  ASSERT_TRUE(WriteSample().ok());
+  const auto pristine = ReadAll();
+  // Flip each byte in turn. A flip either fails Parse with a clean Status
+  // (header/table/payload corruption) or — for don't-care bytes such as
+  // alignment padding and the reserved header field — leaves every payload
+  // byte-identical. Silently serving corrupted data is never acceptable.
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    auto bytes = pristine;
+    bytes[i] ^= 0xFF;
+    WriteAll(bytes);
+    auto file = MappedFile::Open(path_);
+    ASSERT_TRUE(file.ok());
+    auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+    if (!reader.ok()) continue;
+    auto alpha = reader->Typed<uint32_t>("alpha");
+    auto beta = reader->Typed<double>("beta");
+    ASSERT_TRUE(alpha.ok() && beta.ok()) << "flip at byte " << i;
+    EXPECT_EQ(std::vector<uint32_t>(alpha->begin(), alpha->end()), payload_a_)
+        << "silent corruption from flip at byte " << i;
+    EXPECT_EQ(std::vector<double>(beta->begin(), beta->end()), payload_b_)
+        << "silent corruption from flip at byte " << i;
+  }
+}
+
+TEST_F(StoreFormatTest, UnknownSectionIsNotFound) {
+  ASSERT_TRUE(WriteSample().ok());
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+  ASSERT_TRUE(reader.ok());
+  auto missing = reader->Raw("gamma");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+}
+
+TEST_F(StoreFormatTest, ElementSizeMismatchIsCorruption) {
+  ASSERT_TRUE(WriteSample().ok());
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kGraph);
+  ASSERT_TRUE(reader.ok());
+  // "alpha" holds 20 bytes; not a multiple of sizeof(double).
+  auto typed = reader->Typed<double>("alpha");
+  ASSERT_FALSE(typed.ok());
+  EXPECT_EQ(typed.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(StoreFormatTest, SectionNameTooLongRejectedOnWrite) {
+  std::vector<SectionRef> sections;
+  const uint32_t value = 7;
+  sections.push_back({"this-name-is-way-too-long", &value, sizeof(value)});
+  EXPECT_FALSE(WriteSectionFile(path_, FileKind::kGraph, sections).ok());
+}
+
+}  // namespace
+}  // namespace voteopt::store

@@ -1,0 +1,218 @@
+// Round-trip coverage for the graph and sketch stores, including the
+// acceptance criteria of the persistence subsystem: save -> load -> save is
+// byte-stable for both file kinds, loaded sketches answer queries exactly
+// like freshly built ones, and corrupted/truncated files fail with a clean
+// Status.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/estimated_greedy.h"
+#include "core/sketch.h"
+#include "datasets/synthetic.h"
+#include "opinion/fj_model.h"
+#include "store/graph_store.h"
+#include "store/sketch_store.h"
+#include "voting/evaluator.h"
+
+namespace voteopt {
+namespace {
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+class StoreRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/roundtrip_test.bin";
+    dataset_ = datasets::MakeDataset(datasets::DatasetName::kTwitterMask,
+                                     0.05, /*seed=*/11);
+    model_ = std::make_unique<opinion::FJModel>(dataset_.influence);
+    evaluator_ = std::make_unique<voting::ScoreEvaluator>(
+        *model_, dataset_.state, dataset_.default_target, /*horizon=*/12,
+        voting::ScoreSpec::Cumulative());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::unique_ptr<core::WalkSet> BuildWalks(uint64_t theta) const {
+    core::SketchBuildOptions options;
+    options.num_threads = 2;
+    return core::BuildSketchSet(*evaluator_, theta, /*master_seed=*/99,
+                                options);
+  }
+
+  std::string path_;
+  datasets::Dataset dataset_;
+  std::unique_ptr<opinion::FJModel> model_;
+  std::unique_ptr<voting::ScoreEvaluator> evaluator_;
+};
+
+TEST_F(StoreRoundTripTest, GraphRoundTripsExactly) {
+  const graph::Graph& original = dataset_.influence;
+  ASSERT_TRUE(store::SaveGraph(original, path_).ok());
+  auto loaded = store::LoadGraph(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  for (graph::NodeId v = 0; v < original.num_nodes(); ++v) {
+    const auto expected_out = original.OutNeighbors(v);
+    const auto actual_out = loaded->OutNeighbors(v);
+    ASSERT_EQ(std::vector<graph::NodeId>(actual_out.begin(),
+                                         actual_out.end()),
+              std::vector<graph::NodeId>(expected_out.begin(),
+                                         expected_out.end()));
+    const auto expected_w = original.InWeights(v);
+    const auto actual_w = loaded->InWeights(v);
+    // Binary round trip: weights must be bit-exact, not just close.
+    ASSERT_EQ(std::vector<double>(actual_w.begin(), actual_w.end()),
+              std::vector<double>(expected_w.begin(), expected_w.end()));
+  }
+}
+
+TEST_F(StoreRoundTripTest, GraphSaveLoadSaveIsByteStable) {
+  ASSERT_TRUE(store::SaveGraph(dataset_.influence, path_).ok());
+  const auto first = ReadAll(path_);
+  auto loaded = store::LoadGraph(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(store::SaveGraph(*loaded, path_).ok());
+  EXPECT_EQ(ReadAll(path_), first);
+}
+
+TEST_F(StoreRoundTripTest, SketchSaveLoadSaveIsByteStable) {
+  auto walks = BuildWalks(/*theta=*/4096);
+  const store::SketchMeta meta{4096, 12, dataset_.default_target, 99};
+  ASSERT_TRUE(store::SaveSketch(*walks, meta, path_).ok());
+  const auto first = ReadAll(path_);
+
+  for (const store::SketchLoadMode mode :
+       {store::SketchLoadMode::kMmap, store::SketchLoadMode::kCopy}) {
+    auto loaded = store::LoadSketch(path_, mode);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->meta.theta, meta.theta);
+    EXPECT_EQ(loaded->meta.horizon, meta.horizon);
+    EXPECT_EQ(loaded->meta.target, meta.target);
+    EXPECT_EQ(loaded->meta.master_seed, meta.master_seed);
+    const std::string again = path_ + ".resave";
+    ASSERT_TRUE(store::SaveSketch(*loaded->walks, loaded->meta, again).ok());
+    EXPECT_EQ(ReadAll(again), first);
+    std::remove(again.c_str());
+  }
+}
+
+TEST_F(StoreRoundTripTest, SketchTruncationStateIsNotPersisted) {
+  // Saving must be a pure function of the frozen walks: truncations from a
+  // served query never leak into the file.
+  auto walks = BuildWalks(/*theta=*/2048);
+  const store::SketchMeta meta{2048, 12, dataset_.default_target, 99};
+  ASSERT_TRUE(store::SaveSketch(*walks, meta, path_).ok());
+  const auto clean = ReadAll(path_);
+  walks->Truncate(walks->StartOf(0), [](uint32_t, double) {});
+  ASSERT_TRUE(store::SaveSketch(*walks, meta, path_).ok());
+  EXPECT_EQ(ReadAll(path_), clean);
+}
+
+TEST_F(StoreRoundTripTest, LoadedSketchAnswersQueriesLikeFreshOne) {
+  const uint64_t theta = 8192;
+  auto fresh = BuildWalks(theta);
+  const store::SketchMeta meta{theta, 12, dataset_.default_target, 99};
+  ASSERT_TRUE(store::SaveSketch(*fresh, meta, path_).ok());
+
+  const auto& opinions =
+      dataset_.state.campaigns[dataset_.default_target].initial_opinions;
+  const core::SelectionResult expected =
+      core::EstimatedGreedySelect(*evaluator_, /*k=*/8, fresh.get());
+
+  for (const store::SketchLoadMode mode :
+       {store::SketchLoadMode::kMmap, store::SketchLoadMode::kCopy}) {
+    auto loaded = store::LoadSketch(path_, mode);
+    ASSERT_TRUE(loaded.ok());
+    loaded->walks->ResetValues(opinions);
+    const core::SelectionResult actual =
+        core::EstimatedGreedySelect(*evaluator_, /*k=*/8,
+                                    loaded->walks.get());
+    EXPECT_EQ(actual.seeds, expected.seeds);
+    EXPECT_DOUBLE_EQ(actual.score, expected.score);
+
+    // Reset + requery on the SAME loaded sketch must be deterministic —
+    // this is the reuse path the campaign service exercises per query.
+    loaded->walks->ResetValues(opinions);
+    const core::SelectionResult again =
+        core::EstimatedGreedySelect(*evaluator_, /*k=*/8,
+                                    loaded->walks.get());
+    EXPECT_EQ(again.seeds, expected.seeds);
+  }
+}
+
+TEST_F(StoreRoundTripTest, WalkSetCopyOutlivesItsSource) {
+  // The frozen views of a copy must point at the copy's own storage (owned
+  // sets) or shared pinned storage (adopted sets) — never at the source.
+  // Under the ASan CI job a regression here is a use-after-free.
+  const auto& opinions =
+      dataset_.state.campaigns[dataset_.default_target].initial_opinions;
+  std::unique_ptr<core::WalkSet> owned_copy;
+  std::vector<graph::NodeId> expected_seeds;
+  {
+    auto source = BuildWalks(/*theta=*/2048);
+    expected_seeds =
+        core::EstimatedGreedySelect(*evaluator_, 4, source.get()).seeds;
+    source->ResetValues(opinions);
+    owned_copy = std::make_unique<core::WalkSet>(*source);
+  }  // source destroyed
+  EXPECT_EQ(core::EstimatedGreedySelect(*evaluator_, 4, owned_copy.get())
+                .seeds,
+            expected_seeds);
+
+  auto walks = BuildWalks(/*theta=*/2048);
+  ASSERT_TRUE(
+      store::SaveSketch(*walks, {2048, 12, dataset_.default_target, 99},
+                        path_)
+          .ok());
+  std::unique_ptr<core::WalkSet> adopted_copy;
+  {
+    auto loaded = store::LoadSketch(path_, store::SketchLoadMode::kMmap);
+    ASSERT_TRUE(loaded.ok());
+    loaded->walks->ResetValues(opinions);
+    adopted_copy = std::make_unique<core::WalkSet>(*loaded->walks);
+  }  // loaded WalkSet destroyed; the mapping stays pinned by the copy
+  EXPECT_EQ(core::EstimatedGreedySelect(*evaluator_, 4, adopted_copy.get())
+                .seeds,
+            expected_seeds);
+}
+
+TEST_F(StoreRoundTripTest, SketchFileRejectsGraphLoader) {
+  auto walks = BuildWalks(/*theta=*/512);
+  ASSERT_TRUE(store::SaveSketch(*walks, {512, 12, 0, 99}, path_).ok());
+  auto loaded = store::LoadGraph(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(StoreRoundTripTest, TruncatedSketchFileRejected) {
+  auto walks = BuildWalks(/*theta=*/512);
+  ASSERT_TRUE(store::SaveSketch(*walks, {512, 12, 0, 99}, path_).ok());
+  auto bytes = ReadAll(path_);
+  bytes.resize(bytes.size() / 2);
+  std::ofstream(path_, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  auto loaded = store::LoadSketch(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(StoreRoundTripTest, MissingSketchFileIsIOError) {
+  auto loaded = store::LoadSketch(path_ + ".missing");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace voteopt

@@ -1,0 +1,138 @@
+// voteopt_serve: the online campaign query service driver.
+//
+// Reads newline-delimited JSON requests (serve/protocol.h) from a file or
+// stdin and writes one JSON response per line — the scaffold a real RPC
+// frontend plugs into later. One process loads the dataset bundle and the
+// persisted sketch once and answers every query from them.
+//
+//   # offline: build the sketch once and persist it into the bundle
+//   $ voteopt_serve --bundle=/data/yelp --theta=1048576 --build_only
+//
+//   # online: answer a batch of mixed queries from the persisted store
+//   $ voteopt_serve --bundle=/data/yelp --requests=batch.jsonl
+//   where batch.jsonl holds lines like
+//       {"op": "topk", "k": 10, "rule": "plurality"}
+//       {"op": "minseed", "k_max": 200}
+//       {"op": "evaluate", "seeds": [3, 17], "override": [[5, 0.9]]}
+//
+// Flags:
+//   --bundle=<prefix>    dataset bundle prefix (required unless --demo)
+//   --demo               synthesize a demo bundle + sketch in ./ and serve it
+//   --requests=<path|->  request file (default "-": stdin)
+//   --out=<path|->       response file (default "-": stdout)
+//   --theta=<N>          walks to build when the sketch file is missing
+//   --t=<N>              horizon for a freshly built sketch (default 20)
+//   --threads=<N>        sketch-builder threads (0 = hardware)
+//   --save_sketch=0|1    persist a freshly built sketch (default 1)
+//   --build_only         build + persist the sketch, then exit
+//   --mmap=0|1           mmap the sketch instead of copying (default 1)
+//   --cache=<N>          evaluator LRU capacity (default 4)
+#include <fstream>
+#include <iostream>
+
+#include "datasets/io.h"
+#include "datasets/synthetic.h"
+#include "serve/service.h"
+#include "util/options.h"
+
+using namespace voteopt;
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+
+  std::string bundle = options.GetString("bundle", "");
+  if (bundle.empty() && !options.GetBool("demo", false)) {
+    std::cerr << "usage: voteopt_serve --bundle=<prefix> [--requests=<path>]"
+                 " (or --demo; see the header of tools/voteopt_serve.cc)\n";
+    return 2;
+  }
+  if (bundle.empty()) {
+    bundle = "./voteopt_demo";
+    const datasets::Dataset demo = datasets::MakeDataset(
+        datasets::DatasetName::kTwitterElection, 0.05, /*seed=*/3);
+    if (Status st = datasets::SaveDatasetBundle(demo, bundle); !st.ok()) {
+      std::cerr << "demo bootstrap failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "wrote a demo bundle to " << bundle << ".*\n";
+  }
+
+  serve::ServiceOptions service_options;
+  service_options.bundle_prefix = bundle;
+  service_options.sketch_path = options.GetString("sketch", "");
+  service_options.build_theta =
+      static_cast<uint64_t>(options.GetInt("theta", 1 << 18));
+  service_options.build_horizon =
+      static_cast<uint32_t>(options.GetInt("t", 20));
+  service_options.num_threads =
+      static_cast<uint32_t>(options.GetInt("threads", 0));
+  service_options.save_built_sketch = options.GetBool("save_sketch", true);
+  service_options.sketch_load_mode = options.GetBool("mmap", true)
+                                         ? store::SketchLoadMode::kMmap
+                                         : store::SketchLoadMode::kCopy;
+  service_options.evaluator_cache_capacity =
+      static_cast<uint32_t>(options.GetInt("cache", 4));
+
+  auto service = serve::CampaignService::Open(service_options);
+  if (!service.ok()) {
+    std::cerr << "cannot open service: " << service.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const auto& meta = (*service)->sketch_meta();
+  std::cerr << "serving '" << (*service)->dataset().name
+            << "': n=" << (*service)->dataset().influence.num_nodes()
+            << " r=" << (*service)->dataset().state.num_candidates()
+            << " | sketch: theta=" << meta.theta << " t=" << meta.horizon
+            << " target=" << meta.target
+            << ((*service)->stats().sketch_built ? " (built now)"
+                 : service_options.sketch_load_mode ==
+                         store::SketchLoadMode::kMmap
+                     ? " (loaded, mmap zero-copy)"
+                     : " (loaded, copied)")
+            << "\n";
+  if (options.GetBool("build_only", false)) return 0;
+
+  const std::string requests_path = options.GetString("requests", "-");
+  const std::string out_path = options.GetString("out", "-");
+  std::ifstream request_file;
+  if (requests_path != "-") {
+    request_file.open(requests_path);
+    if (!request_file) {
+      std::cerr << "cannot open " << requests_path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = requests_path == "-" ? std::cin : request_file;
+  std::ofstream out_file;
+  if (out_path != "-") {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+  }
+  std::ostream& out = out_path == "-" ? std::cout : out_file;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto request = serve::ParseRequest(line);
+    if (!request.ok()) {
+      serve::Response response;
+      response.op = "?";
+      response.ok = false;
+      response.error = request.status().ToString();
+      out << response.ToJson() << "\n";
+      continue;
+    }
+    out << (*service)->Handle(*request).ToJson() << "\n";
+  }
+
+  const auto& stats = (*service)->stats();
+  std::cerr << "served " << stats.queries << " queries (" << stats.errors
+            << " errors), evaluator cache " << stats.evaluator_cache_hits
+            << " hits / " << stats.evaluator_cache_misses
+            << " misses, " << stats.sketch_resets << " sketch resets\n";
+  return 0;
+}
