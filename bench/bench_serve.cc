@@ -1,0 +1,219 @@
+// Serve-layer benchmark: throughput and latency of the concurrent
+// CampaignService at 1..N worker threads over one hosted dataset.
+//
+// An offline pass builds + persists the sketch once; each measured
+// configuration then opens a fresh service over the persisted store (mmap)
+// and answers the same deterministic mixed batch — topk selections
+// interleaved with exact evaluations — through HandleBatch, which fans the
+// queries out onto the worker pool. Recorded per thread count: wall-clock
+// batch time, queries/sec, and the per-query service latency distribution.
+// The answers at every thread count are compared against the 1-thread run
+// (modulo the millis field): the "answers match" column is the
+// thread-count-invariance acceptance check of the serving layer.
+//
+//   --theta=<N>          sketch walks (default 2^17)
+//   --queries=<N>        batch size (default 64)
+//   --k=<N>              topk budget inside the mix (default 8)
+//   --serve_threads=<L>  worker counts, e.g. 1,2,4 (default 1,2,4)
+//   --repeats=<N>        best-of-N per configuration (default 3)
+//   --json_out=<p>       dump BENCH_serve.json
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "datasets/io.h"
+#include "serve/service.h"
+#include "util/timer.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+namespace {
+
+/// Deterministic mixed batch: every 4th request a top-k selection (the
+/// truncation-heavy path), the rest exact evaluations under per-request
+/// seed sets and opinion overrides (the cheap read-mostly path).
+std::vector<serve::Request> MakeBatch(size_t queries, uint32_t k,
+                                      uint32_t num_nodes) {
+  std::vector<serve::Request> batch;
+  batch.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    serve::Request request;
+    request.id = "q" + std::to_string(i);
+    if (i % 4 == 0) {
+      request.op = serve::Request::Op::kTopK;
+      request.k = k;
+      request.rule = (i % 8 == 0) ? "cumulative" : "plurality";
+    } else {
+      request.op = serve::Request::Op::kEvaluate;
+      request.seeds = {static_cast<graph::NodeId>(i % num_nodes),
+                       static_cast<graph::NodeId>((i * 7 + 1) % num_nodes)};
+      request.overrides = {
+          {static_cast<graph::NodeId>((i * 3) % num_nodes),
+           static_cast<double>(i % 10) / 10.0}};
+    }
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  BenchEnv env = MakeEnv(options, "tw-mask", /*default_scale=*/0.1);
+  const auto theta = static_cast<uint64_t>(options.GetInt("theta", 1 << 17));
+  const auto queries = static_cast<size_t>(
+      std::max<int64_t>(1, options.GetInt("queries", 64)));
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 8));
+  const int repeats =
+      std::max<int>(1, static_cast<int>(options.GetInt("repeats", 3)));
+  std::vector<int64_t> thread_counts =
+      options.GetIntList("serve_threads", {1, 2, 4});
+  const std::string prefix =
+      options.GetString("store_path", "./bench_serve_bundle");
+
+  if (Status st = datasets::SaveDatasetBundle(env.dataset, prefix);
+      !st.ok()) {
+    std::cerr << "bundle save failed: " << st.ToString() << "\n";
+    return 1;
+  }
+
+  serve::ServiceOptions base;
+  base.load.bundle_prefix = prefix;
+  base.load.build_theta = theta;
+  base.load.build_horizon = env.horizon;
+  base.load.save_built_sketch = true;
+  base.load.build_threads = 0;
+
+  // Offline pass: build + persist the artifact once, outside the timings.
+  WallTimer timer;
+  {
+    auto built = serve::CampaignService::Open(base);
+    if (!built.ok()) {
+      std::cerr << "build failed: " << built.status().ToString() << "\n";
+      return 1;
+    }
+  }
+  const double build_sec = timer.Seconds();
+
+  const std::vector<serve::Request> batch =
+      MakeBatch(queries, k, env.num_nodes());
+
+  struct Row {
+    uint32_t threads = 0;
+    double total_sec = 0.0;
+    double qps = 0.0;
+    double mean_millis = 0.0;
+    double p95_millis = 0.0;
+    bool answers_match = true;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> baseline;  // 1st configuration's stable answers
+  bool all_match = true;
+
+  for (const int64_t threads : thread_counts) {
+    serve::ServiceOptions config = base;
+    config.num_worker_threads = static_cast<uint32_t>(threads);
+    Row row;
+    row.threads = static_cast<uint32_t>(threads);
+    row.total_sec = std::numeric_limits<double>::infinity();
+    for (int trial = 0; trial < repeats; ++trial) {
+      auto service = serve::CampaignService::Open(config);
+      if (!service.ok()) {
+        std::cerr << "open failed: " << service.status().ToString() << "\n";
+        return 1;
+      }
+      timer.Restart();
+      const std::vector<serve::Response> responses =
+          (*service)->HandleBatch(batch);
+      const double total_sec = timer.Seconds();
+
+      std::vector<double> latencies;
+      latencies.reserve(responses.size());
+      double sum = 0.0;
+      bool match = true;
+      std::vector<std::string> stable;
+      stable.reserve(responses.size());
+      for (const serve::Response& response : responses) {
+        if (!response.ok) {
+          std::cerr << "query failed: " << response.error << "\n";
+          return 1;
+        }
+        latencies.push_back(response.millis);
+        sum += response.millis;
+        stable.push_back(response.ToStableJson());
+      }
+      if (baseline.empty()) {
+        baseline = stable;
+      } else {
+        match = stable == baseline;
+      }
+      if (total_sec < row.total_sec) {
+        row.total_sec = total_sec;
+        row.qps = static_cast<double>(responses.size()) / total_sec;
+        row.mean_millis = sum / static_cast<double>(responses.size());
+        std::sort(latencies.begin(), latencies.end());
+        row.p95_millis = latencies[latencies.size() * 95 / 100];
+      }
+      row.answers_match = row.answers_match && match;
+    }
+    all_match = all_match && row.answers_match;
+    rows.push_back(row);
+  }
+
+  for (const char* suffix : {".influence.edges", ".counts.edges",
+                             ".campaigns.tsv", ".meta", ".sketch"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+
+  Table table({"threads", "total sec", "qps", "speedup", "mean ms",
+               "p95 ms", "answers match"});
+  for (const Row& row : rows) {
+    table.Add(std::to_string(row.threads), Table::Num(row.total_sec, 4),
+              Table::Num(row.qps, 1),
+              Table::Num(rows.front().total_sec / row.total_sec, 2),
+              Table::Num(row.mean_millis, 3), Table::Num(row.p95_millis, 3),
+              row.answers_match ? "yes" : "NO");
+  }
+  Emit(env,
+       "Serve: concurrent CampaignService throughput/latency (theta=" +
+           std::to_string(theta) + ", " + std::to_string(queries) +
+           " queries, k=" + std::to_string(k) + ", offline build " +
+           Table::Num(build_sec, 2) + " s)",
+       table);
+
+  if (options.Has("json_out")) {
+    std::ofstream out(options.GetString("json_out", "BENCH_serve.json"));
+    out.precision(6);
+    out << "{\n  \"bench\": \"bench_serve\",\n"
+        << "  \"dataset\": \"" << env.dataset.name << "\",\n"
+        << "  \"n\": " << env.num_nodes()
+        << ",\n  \"m\": " << env.graph().num_edges()
+        << ",\n  \"theta\": " << theta << ",\n  \"queries\": " << queries
+        << ",\n  \"k\": " << k << ",\n  \"horizon\": " << env.horizon
+        << ",\n  \"build_sec\": " << build_sec
+        << ",\n  \"host\": " << HostMetadataJson() << ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      out << "    {\"threads\": " << row.threads << ", \"total_sec\": "
+          << row.total_sec << ", \"qps\": " << row.qps
+          << ", \"mean_query_millis\": " << row.mean_millis
+          << ", \"p95_query_millis\": " << row.p95_millis
+          << ", \"answers_match\": " << (row.answers_match ? "true" : "false")
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"answers_match_all\": " << (all_match ? "true" : "false")
+        << "\n}\n";
+  }
+  if (!all_match) {
+    std::cerr << "ERROR: answers diverged across worker thread counts\n";
+    return 1;
+  }
+  return 0;
+}

@@ -3,7 +3,8 @@
 // sharded builder and persists it into the dataset bundle; the online side
 // opens a CampaignService over the persisted store (mmap, zero-copy) and
 // answers a mixed batch of queries — different budgets and voting rules —
-// from that single artifact.
+// from that single artifact, fanned out over a small worker pool (answers
+// are identical whatever the thread count).
 //
 //   $ ./example_persist_and_serve
 //   $ ./example_persist_and_serve --theta=500000 --k=25
@@ -55,8 +56,9 @@ int main(int argc, char** argv) {
   // --- online: a fresh service loads the store and answers everything
   //     from it. No walk is ever regenerated.
   serve::ServiceOptions service_options;
-  service_options.bundle_prefix = prefix;
-  service_options.build_theta = 0;  // must load, never rebuild
+  service_options.load.bundle_prefix = prefix;
+  service_options.load.build_theta = 0;  // must load, never rebuild
+  service_options.num_worker_threads = 2;
   timer.Restart();
   auto service = serve::CampaignService::Open(service_options);
   if (!service.ok()) {
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
     std::cout << response.ToJson() << "\n";
   }
 
-  const auto& stats = (*service)->stats();
+  const auto stats = (*service)->stats();
   std::cout << "\n" << stats.queries << " queries, "
             << stats.evaluator_cache_misses << " evaluator builds, "
             << stats.sketch_resets << " O(theta) sketch resets — one "

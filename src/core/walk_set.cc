@@ -61,6 +61,15 @@ std::unique_ptr<WalkSet> WalkSet::AdoptFrozen(
   return set;
 }
 
+std::unique_ptr<WalkSet> WalkSet::ShareFrozen(
+    std::shared_ptr<const void> keep_alive) const {
+  assert(finalized_);
+  assert((adopted_ || keep_alive != nullptr) &&
+         "owned frozen data must be pinned by the caller");
+  return AdoptFrozen(num_nodes_, frozen_,
+                     adopted_ ? keep_alive_ : std::move(keep_alive));
+}
+
 void WalkSet::AddWalk(const std::vector<graph::NodeId>& walk_nodes) {
   assert(!finalized_);
   assert(!walk_nodes.empty());

@@ -20,6 +20,14 @@
 //    estimate sums under the current seed set. Always owned, mutated by
 //    Truncate, and rebuildable in O(total walk nodes) with ResetValues so
 //    one frozen sketch can serve many queries.
+//
+// Threading contract (docs/ARCHITECTURE.md): the frozen layer is immutable
+// after Finalize/AdoptFrozen and safe to read from any number of threads;
+// the dynamic state is single-owner and must only be touched by one thread
+// at a time. ShareFrozen clones a WalkSet by aliasing the frozen spans
+// (zero-copy) while giving the clone its own dynamic state — that is how a
+// concurrent server runs independent truncation-heavy queries against one
+// shared sketch without locks.
 #ifndef VOTEOPT_CORE_WALK_SET_H_
 #define VOTEOPT_CORE_WALK_SET_H_
 
@@ -86,6 +94,16 @@ class WalkSet {
   static std::unique_ptr<WalkSet> AdoptFrozen(
       uint32_t num_nodes, const Frozen& frozen,
       std::shared_ptr<const void> keep_alive);
+
+  /// A new WalkSet aliasing this set's frozen layer (zero-copy) with its
+  /// own — initially empty — dynamic state: the cheap per-worker clone
+  /// behind concurrent serving. For an adopted set the existing keep-alive
+  /// (e.g. the mmap) is shared and `keep_alive` may be null; for an owned
+  /// set `keep_alive` must pin this WalkSet (e.g. a shared_ptr aliasing
+  /// it), since the clone's views point into this object's vectors. Call
+  /// ResetValues on the clone before use. Requires Finalize/AdoptFrozen.
+  std::unique_ptr<WalkSet> ShareFrozen(
+      std::shared_ptr<const void> keep_alive = nullptr) const;
 
   /// Appends a walk; `nodes` must be non-empty and nodes[0] is the start.
   void AddWalk(const std::vector<graph::NodeId>& nodes);

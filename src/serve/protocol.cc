@@ -202,6 +202,25 @@ Result<uint32_t> AsU32(const JsonValue& value, const std::string& name) {
   return static_cast<uint32_t>(value.number);
 }
 
+Result<uint64_t> AsU64(const JsonValue& value, const std::string& name) {
+  // Strictly below 2^53: from 2^53 on, distinct JSON integers collapse to
+  // the same double, so accepting them would silently coerce the value.
+  if (value.type != JsonValue::Type::kNumber || value.number < 0 ||
+      value.number != std::floor(value.number) ||
+      value.number >= 9007199254740992.0) {
+    return Status::InvalidArgument("field '" + name +
+                                   "' must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(value.number);
+}
+
+Result<std::string> AsString(const JsonValue& value, const std::string& name) {
+  if (value.type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("field '" + name + "' must be a string");
+  }
+  return value.str;
+}
+
 void AppendJsonString(std::ostringstream* out, const std::string& s) {
   static constexpr char kHex[] = "0123456789abcdef";
   *out << '"';
@@ -233,8 +252,16 @@ const char* OpName(Request::Op op) {
     case Request::Op::kTopK: return "topk";
     case Request::Op::kMinSeed: return "minseed";
     case Request::Op::kEvaluate: return "evaluate";
+    case Request::Op::kLoad: return "load";
+    case Request::Op::kUnload: return "unload";
+    case Request::Op::kList: return "list";
   }
   return "?";
+}
+
+bool IsAdminOp(Request::Op op) {
+  return op == Request::Op::kLoad || op == Request::Op::kUnload ||
+         op == Request::Op::kList;
 }
 
 Result<Request> ParseRequest(const std::string& line) {
@@ -257,21 +284,45 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kMinSeed;
   } else if (op->str == "evaluate") {
     request.op = Request::Op::kEvaluate;
+  } else if (op->str == "load") {
+    request.op = Request::Op::kLoad;
+  } else if (op->str == "unload") {
+    request.op = Request::Op::kUnload;
+  } else if (op->str == "list") {
+    request.op = Request::Op::kList;
   } else {
     return Status::InvalidArgument("unknown op '" + op->str + "'");
   }
 
   if (const JsonValue* id = object.Find("id"); id != nullptr) {
-    if (id->type != JsonValue::Type::kString) {
-      return Status::InvalidArgument("field 'id' must be a string");
-    }
-    request.id = id->str;
+    auto parsed_id = AsString(*id, "id");
+    if (!parsed_id.ok()) return parsed_id.status();
+    request.id = *parsed_id;
+  }
+  if (const JsonValue* dataset = object.Find("dataset"); dataset != nullptr) {
+    auto parsed_dataset = AsString(*dataset, "dataset");
+    if (!parsed_dataset.ok()) return parsed_dataset.status();
+    request.dataset = *parsed_dataset;
+  }
+  if (const JsonValue* bundle = object.Find("bundle"); bundle != nullptr) {
+    auto parsed_bundle = AsString(*bundle, "bundle");
+    if (!parsed_bundle.ok()) return parsed_bundle.status();
+    request.bundle = *parsed_bundle;
+  }
+  if (const JsonValue* sketch = object.Find("sketch"); sketch != nullptr) {
+    auto parsed_sketch = AsString(*sketch, "sketch");
+    if (!parsed_sketch.ok()) return parsed_sketch.status();
+    request.sketch = *parsed_sketch;
+  }
+  if (const JsonValue* theta = object.Find("theta"); theta != nullptr) {
+    auto parsed_theta = AsU64(*theta, "theta");
+    if (!parsed_theta.ok()) return parsed_theta.status();
+    request.theta = *parsed_theta;
   }
   if (const JsonValue* rule = object.Find("rule"); rule != nullptr) {
-    if (rule->type != JsonValue::Type::kString) {
-      return Status::InvalidArgument("field 'rule' must be a string");
-    }
-    request.rule = rule->str;
+    auto parsed_rule = AsString(*rule, "rule");
+    if (!parsed_rule.ok()) return parsed_rule.status();
+    request.rule = *parsed_rule;
   }
   if (const JsonValue* p = object.Find("p"); p != nullptr) {
     auto parsed_p = AsU32(*p, "p");
@@ -353,6 +404,10 @@ std::string Response::ToJson() const {
     out << "}";
     return out.str();
   }
+  if (!dataset.empty()) {
+    out << ", \"dataset\": ";
+    AppendJsonString(&out, dataset);
+  }
   auto append_seeds = [&] {
     out << ", \"seeds\": [";
     for (size_t i = 0; i < seeds.size(); ++i) {
@@ -376,9 +431,33 @@ std::string Response::ToJson() const {
       out << (i == 0 ? "" : ", ") << all_scores[i];
     }
     out << "], \"winner\": " << winner;
+  } else if (op == "load" || op == "list") {
+    out << ", \"datasets\": [";
+    for (size_t i = 0; i < datasets.size(); ++i) {
+      const DatasetInfo& info = datasets[i];
+      out << (i == 0 ? "" : ", ") << "{\"name\": ";
+      AppendJsonString(&out, info.name);
+      out << ", \"n\": " << info.num_nodes << ", \"r\": "
+          << info.num_candidates << ", \"theta\": " << info.theta
+          << ", \"t\": " << info.horizon << ", \"target\": " << info.target
+          << ", \"sketch_built\": " << (info.sketch_built ? "true" : "false")
+          << "}";
+    }
+    out << "]";
   }
   out << ", \"millis\": " << millis << "}";
   return out.str();
+}
+
+std::string Response::ToStableJson() const {
+  std::string json = ToJson();
+  // millis is always the trailing field when present (error responses
+  // carry none).
+  const size_t millis_at = json.rfind(", \"millis\": ");
+  if (millis_at != std::string::npos) {
+    json.erase(millis_at, json.size() - 1 - millis_at);
+  }
+  return json;
 }
 
 }  // namespace voteopt::serve

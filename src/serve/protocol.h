@@ -1,18 +1,26 @@
 // The voteopt_serve wire protocol: newline-delimited JSON requests and
 // responses — the scaffold a real RPC frontend plugs into later. One
 // request object per line, one response object per line, same order.
+// The full request/response reference — every verb, a worked example, and
+// the error-status vocabulary — lives in docs/PROTOCOL.md; this header
+// only sketches the shapes.
 //
-// Request fields (op selects the query; everything else is optional):
+// Query verbs (run against one hosted dataset, in parallel):
 //   {"op": "topk",     "k": 10, "rule": "plurality"}
 //   {"op": "minseed",  "k_max": 100, "rule": "cumulative"}
 //   {"op": "evaluate", "seeds": [3, 17], "rule": "copeland",
 //    "override": [[5, 0.9], [12, 0.1]]}
+// Admin verbs (manage the multi-dataset registry; ordering barriers):
+//   {"op": "load",     "dataset": "yelp", "bundle": "/data/yelp"}
+//   {"op": "unload",   "dataset": "yelp"}
+//   {"op": "list"}
 // Common optional fields:
-//   "id"    — opaque string echoed into the response (request matching)
-//   "rule"  — cumulative (default) | plurality | papproval | positional |
-//             copeland | borda
-//   "p"     — approval depth for papproval
-//   "omega" — positional weights (descending, in [0,1]) for positional
+//   "id"      — opaque string echoed into the response (request matching)
+//   "dataset" — which hosted dataset answers a query ("" = the sole one)
+//   "rule"    — cumulative (default) | plurality | papproval | positional |
+//               copeland | borda
+//   "p"       — approval depth for papproval
+//   "omega"   — positional weights (descending, in [0,1]) for positional
 // "override" entries are (user, opinion) pairs applied to the target
 // campaign's initial opinions before scoring — the "supplied campaign
 // state" of an in-flight campaign.
@@ -33,10 +41,14 @@
 namespace voteopt::serve {
 
 struct Request {
-  enum class Op { kTopK, kMinSeed, kEvaluate };
+  enum class Op { kTopK, kMinSeed, kEvaluate, kLoad, kUnload, kList };
 
   Op op = Op::kTopK;
   std::string id;  // echoed when non-empty
+
+  /// Queries: which hosted dataset answers ("" = the sole loaded one).
+  /// load/unload: the registry name to (de)register.
+  std::string dataset;
 
   // Voting rule selection.
   std::string rule = "cumulative";
@@ -48,20 +60,43 @@ struct Request {
 
   std::vector<graph::NodeId> seeds;                         // evaluate
   std::vector<std::pair<graph::NodeId, double>> overrides;  // evaluate
+
+  std::string bundle;  // load: dataset bundle prefix (required)
+  std::string sketch;  // load: explicit sketch path ("" = bundle member)
+  uint64_t theta = 0;  // load: build-fallback walk count (0 = server default)
 };
 
 const char* OpName(Request::Op op);
+
+/// True for the registry-management verbs (load / unload / list). Admin
+/// verbs act as ordering barriers in a batch: queries ahead of them see the
+/// registry as it was, queries after them see the updated one.
+bool IsAdminOp(Request::Op op);
 
 /// Parses one request line. Unknown fields are ignored (forward compat);
 /// malformed JSON, a missing/unknown "op", or ill-typed fields are
 /// InvalidArgument.
 Result<Request> ParseRequest(const std::string& line);
 
+/// One hosted dataset as reported by `list` and echoed by `load`.
+struct DatasetInfo {
+  std::string name;
+  uint32_t num_nodes = 0;
+  uint32_t num_candidates = 0;
+  uint64_t theta = 0;    // sketch walk count
+  uint32_t horizon = 0;  // sketch horizon t
+  uint32_t target = 0;   // sketch target candidate
+  bool sketch_built = false;  // sketch was built at load (no persisted file)
+};
+
 struct Response {
   std::string id;
   std::string op;
   bool ok = true;
   std::string error;  // set when !ok
+
+  /// Name of the hosted dataset that answered (queries, load, unload).
+  std::string dataset;
 
   // topk / minseed payload.
   std::vector<graph::NodeId> seeds;
@@ -78,11 +113,20 @@ struct Response {
   std::vector<double> all_scores;  // one per candidate
   uint32_t winner = 0;
 
+  // load / list payload: the loaded dataset, resp. every hosted one.
+  std::vector<DatasetInfo> datasets;
+
   double millis = 0.0;  // server-side handling time
 
   static Response Error(const Request& request, const Status& status);
 
   std::string ToJson() const;
+
+  /// ToJson minus the `millis` field — everything that must be invariant
+  /// across runs, worker thread counts, and build-vs-load serving paths.
+  /// The single source of truth for determinism comparisons (tests,
+  /// bench_serve's answers_match check).
+  std::string ToStableJson() const;
 };
 
 }  // namespace voteopt::serve

@@ -1,0 +1,200 @@
+#include "serve/registry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <utility>
+
+#include "core/sketch.h"
+#include "store/format.h"
+
+namespace voteopt::serve {
+
+std::string EvaluatorSpecKey(const voting::ScoreSpec& spec) {
+  std::string key = voting::ScoreKindName(spec.kind);
+  key += "/p=" + std::to_string(spec.p);
+  if (!spec.omega.empty()) {
+    key += "/omega=" + std::to_string(store::Fnv1a64(
+                           spec.omega.data(),
+                           spec.omega.size() * sizeof(double)));
+  }
+  return key;
+}
+
+namespace {
+
+/// Fingerprint of the problem instance a sketch is bound to: every CSR
+/// array of the influence graph plus every campaign's opinions and
+/// stubbornness. A regenerated bundle with the same node count but
+/// different edges/opinions would otherwise silently serve wrong answers
+/// from a stale sketch. (The bundle's default target is deliberately
+/// excluded: the sketch pins its own target in SketchMeta.)
+uint64_t BundleFingerprint(const datasets::Dataset& dataset) {
+  std::vector<uint64_t> digests;
+  auto add = [&digests](const void* data, size_t size) {
+    digests.push_back(store::Fnv1a64(data, size));
+  };
+  const graph::Graph& g = dataset.influence;
+  add(g.OutOffsets().data(), g.OutOffsets().size_bytes());
+  add(g.OutTargets().data(), g.OutTargets().size_bytes());
+  add(g.OutWeightsRaw().data(), g.OutWeightsRaw().size_bytes());
+  add(g.InOffsets().data(), g.InOffsets().size_bytes());
+  add(g.InSources().data(), g.InSources().size_bytes());
+  add(g.InWeightsRaw().data(), g.InWeightsRaw().size_bytes());
+  for (const opinion::Campaign& campaign : dataset.state.campaigns) {
+    add(campaign.initial_opinions.data(),
+        campaign.initial_opinions.size() * sizeof(double));
+    add(campaign.stubbornness.data(),
+        campaign.stubbornness.size() * sizeof(double));
+  }
+  return store::Fnv1a64(digests.data(), digests.size() * sizeof(uint64_t));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Load(
+    const std::string& name, const DatasetLoadOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(name) != 0) {
+      return Status::FailedPrecondition(
+          "dataset '" + name + "' is already loaded — unload it first");
+    }
+  }
+
+  // The expensive part — bundle I/O, sketch load or build — runs outside
+  // the lock so concurrent queries against other datasets keep flowing.
+  auto entry = std::make_shared<DatasetEntry>();
+  entry->name = name;
+  auto bundle = datasets::LoadDatasetBundle(options.bundle_prefix);
+  if (!bundle.ok()) return bundle.status();
+  entry->dataset = std::move(bundle).value();
+  entry->model = std::make_unique<opinion::FJModel>(entry->dataset.influence);
+
+  const uint64_t fingerprint = BundleFingerprint(entry->dataset);
+  const std::string sketch_path =
+      options.sketch_path.empty()
+          ? datasets::BundleSketchPath(options.bundle_prefix)
+          : options.sketch_path;
+  auto loaded = store::LoadSketch(sketch_path, options.sketch_load_mode);
+  if (loaded.ok()) {
+    entry->sketch =
+        std::shared_ptr<const core::WalkSet>(std::move(loaded->walks));
+    entry->meta = loaded->meta;
+    if (entry->meta.bundle_fingerprint != 0 &&
+        entry->meta.bundle_fingerprint != fingerprint) {
+      return Status::FailedPrecondition(
+          sketch_path +
+          ": sketch was built from a different bundle (fingerprint "
+          "mismatch) — rebuild it against the current data");
+    }
+  } else if (loaded.status().code() == Status::Code::kIOError &&
+             options.build_theta > 0) {
+    // No persisted sketch: fall back to the offline build, inline.
+    entry->meta.theta = options.build_theta;
+    entry->meta.horizon = options.build_horizon;
+    entry->meta.target = entry->dataset.default_target;
+    entry->meta.master_seed = options.rng_seed;
+    entry->meta.bundle_fingerprint = fingerprint;
+    const voting::ScoreSpec build_spec = voting::ScoreSpec::Cumulative();
+    auto build_evaluator = std::make_shared<const voting::ScoreEvaluator>(
+        *entry->model, entry->dataset.state, entry->meta.target,
+        entry->meta.horizon, build_spec);
+    core::SketchBuildOptions build_options;
+    build_options.num_threads = options.build_threads;
+    entry->sketch = core::BuildSketchSet(*build_evaluator,
+                                         options.build_theta,
+                                         options.rng_seed, build_options);
+    entry->sketch_built = true;
+    // Keep the evaluator: its horizon propagation was the expensive part,
+    // and every worker state can seed its LRU from it.
+    entry->build_evaluator = std::move(build_evaluator);
+    entry->build_evaluator_key = EvaluatorSpecKey(build_spec);
+    if (options.save_built_sketch) {
+      // Protocol-level loads run concurrently, and two of them may name
+      // the same bundle prefix: write to a unique temp path and rename
+      // into place so the persisted artifact is never a torn mix of two
+      // writers.
+      static std::atomic<uint64_t> save_counter{0};
+      const std::string tmp_path =
+          sketch_path + ".tmp" + std::to_string(save_counter.fetch_add(1));
+      if (Status st = store::SaveSketch(*entry->sketch, entry->meta, tmp_path);
+          !st.ok()) {
+        std::remove(tmp_path.c_str());  // don't leave a partial file behind
+        return st;
+      }
+      if (std::rename(tmp_path.c_str(), sketch_path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return Status::IOError(
+            sketch_path + ": cannot move the freshly built sketch into place");
+      }
+    }
+  } else {
+    return loaded.status();
+  }
+
+  if (entry->sketch->num_nodes() != entry->dataset.influence.num_nodes()) {
+    return Status::FailedPrecondition(
+        sketch_path + ": sketch node universe disagrees with the bundle");
+  }
+  if (entry->meta.target >= entry->dataset.state.num_candidates()) {
+    return Status::FailedPrecondition(
+        sketch_path + ": sketch target candidate not in the bundle");
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.count(name) != 0) {  // lost a race against a concurrent Load
+    return Status::FailedPrecondition(
+        "dataset '" + name + "' is already loaded — unload it first");
+  }
+  entry->generation = next_generation_++;
+  entries_[name] = entry;
+  return std::shared_ptr<const DatasetEntry>(entry);
+}
+
+Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Unload(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("dataset '" + name + "' is not loaded");
+  }
+  std::shared_ptr<const DatasetEntry> removed = std::move(it->second);
+  entries_.erase(it);
+  return removed;
+}
+
+Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Resolve(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (name.empty()) {
+    if (entries_.size() == 1) return entries_.begin()->second;
+    return entries_.empty()
+               ? Status::NotFound("no dataset is loaded")
+               : Status::InvalidArgument(
+                     "several datasets are loaded — name one in 'dataset'");
+  }
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("dataset '" + name + "' is not loaded");
+  }
+  return it->second;
+}
+
+std::vector<std::shared_ptr<const DatasetEntry>> DatasetRegistry::List()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const DatasetEntry>> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  return entries;  // std::map iterates name-sorted
+}
+
+size_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace voteopt::serve

@@ -1,134 +1,20 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <future>
 #include <utility>
 
 #include "core/estimated_greedy.h"
 #include "core/min_seed.h"
-#include "core/sketch.h"
 #include "util/timer.h"
 
 namespace voteopt::serve {
 
 namespace {
 
-/// Fingerprint of the problem instance a sketch is bound to: every CSR
-/// array of the influence graph plus every campaign's opinions and
-/// stubbornness. A regenerated bundle with the same node count but
-/// different edges/opinions would otherwise silently serve wrong answers
-/// from a stale sketch. (The bundle's default target is deliberately
-/// excluded: the sketch pins its own target in SketchMeta.)
-uint64_t BundleFingerprint(const datasets::Dataset& dataset) {
-  std::vector<uint64_t> digests;
-  auto add = [&digests](const void* data, size_t size) {
-    digests.push_back(store::Fnv1a64(data, size));
-  };
-  const graph::Graph& g = dataset.influence;
-  add(g.OutOffsets().data(), g.OutOffsets().size_bytes());
-  add(g.OutTargets().data(), g.OutTargets().size_bytes());
-  add(g.OutWeightsRaw().data(), g.OutWeightsRaw().size_bytes());
-  add(g.InOffsets().data(), g.InOffsets().size_bytes());
-  add(g.InSources().data(), g.InSources().size_bytes());
-  add(g.InWeightsRaw().data(), g.InWeightsRaw().size_bytes());
-  for (const opinion::Campaign& campaign : dataset.state.campaigns) {
-    add(campaign.initial_opinions.data(),
-        campaign.initial_opinions.size() * sizeof(double));
-    add(campaign.stubbornness.data(),
-        campaign.stubbornness.size() * sizeof(double));
-  }
-  return store::Fnv1a64(digests.data(), digests.size() * sizeof(uint64_t));
-}
-
-/// Canonical cache key for a voting rule (omega is hashed; two positional
-/// rules with different weights must not share an evaluator).
-std::string SpecKey(const voting::ScoreSpec& spec) {
-  std::string key = voting::ScoreKindName(spec.kind);
-  key += "/p=" + std::to_string(spec.p);
-  if (!spec.omega.empty()) {
-    key += "/omega=" + std::to_string(store::Fnv1a64(
-                           spec.omega.data(),
-                           spec.omega.size() * sizeof(double)));
-  }
-  return key;
-}
-
-}  // namespace
-
-Result<std::unique_ptr<CampaignService>> CampaignService::Open(
-    const ServiceOptions& options) {
-  auto service = std::unique_ptr<CampaignService>(new CampaignService());
-  service->options_ = options;
-
-  auto bundle = datasets::LoadDatasetBundle(options.bundle_prefix);
-  if (!bundle.ok()) return bundle.status();
-  service->dataset_ = std::move(bundle).value();
-  service->model_ =
-      std::make_unique<opinion::FJModel>(service->dataset_.influence);
-  service->evaluators_ =
-      std::make_unique<LruCache<std::unique_ptr<voting::ScoreEvaluator>>>(
-          options.evaluator_cache_capacity);
-
-  const uint64_t fingerprint = BundleFingerprint(service->dataset_);
-  const std::string sketch_path =
-      options.sketch_path.empty()
-          ? datasets::BundleSketchPath(options.bundle_prefix)
-          : options.sketch_path;
-  auto loaded = store::LoadSketch(sketch_path, options.sketch_load_mode);
-  if (loaded.ok()) {
-    service->walks_ = std::move(loaded->walks);
-    service->meta_ = loaded->meta;
-    if (service->meta_.bundle_fingerprint != 0 &&
-        service->meta_.bundle_fingerprint != fingerprint) {
-      return Status::FailedPrecondition(
-          sketch_path +
-          ": sketch was built from a different bundle (fingerprint "
-          "mismatch) — rebuild it against the current data");
-    }
-  } else if (loaded.status().code() == Status::Code::kIOError &&
-             options.build_theta > 0) {
-    // No persisted sketch: fall back to the offline build, inline.
-    service->meta_.theta = options.build_theta;
-    service->meta_.horizon = options.build_horizon;
-    service->meta_.target = service->dataset_.default_target;
-    service->meta_.master_seed = options.rng_seed;
-    service->meta_.bundle_fingerprint = fingerprint;
-    const voting::ScoreSpec build_spec = voting::ScoreSpec::Cumulative();
-    auto build_evaluator = std::make_unique<voting::ScoreEvaluator>(
-        *service->model_, service->dataset_.state, service->meta_.target,
-        service->meta_.horizon, build_spec);
-    core::SketchBuildOptions build_options;
-    build_options.num_threads = options.num_threads;
-    service->walks_ =
-        core::BuildSketchSet(*build_evaluator, options.build_theta,
-                             options.rng_seed, build_options);
-    service->stats_.sketch_built = true;
-    // The evaluator's horizon propagation is the expensive part of its
-    // construction — seed the cache so the first cumulative query reuses it.
-    service->evaluators_->Put(SpecKey(build_spec),
-                              std::move(build_evaluator));
-    if (options.save_built_sketch) {
-      VOTEOPT_RETURN_IF_ERROR(
-          store::SaveSketch(*service->walks_, service->meta_, sketch_path));
-    }
-  } else {
-    return loaded.status();
-  }
-
-  if (service->walks_->num_nodes() !=
-      service->dataset_.influence.num_nodes()) {
-    return Status::FailedPrecondition(
-        sketch_path + ": sketch node universe disagrees with the bundle");
-  }
-  if (service->meta_.target >= service->dataset_.state.num_candidates()) {
-    return Status::FailedPrecondition(
-        sketch_path + ": sketch target candidate not in the bundle");
-  }
-  return service;
-}
-
-Result<voting::ScoreSpec> CampaignService::ResolveSpec(
-    const Request& request) const {
-  const uint32_t r = dataset_.state.num_candidates();
+/// Resolves a request's voting rule into a validated ScoreSpec.
+Result<voting::ScoreSpec> ResolveSpec(const Request& request,
+                                      uint32_t num_candidates) {
   voting::ScoreSpec spec;
   if (request.rule == "cumulative") {
     spec = voting::ScoreSpec::Cumulative();
@@ -145,75 +31,171 @@ Result<voting::ScoreSpec> CampaignService::ResolveSpec(
   } else if (request.rule == "copeland") {
     spec = voting::ScoreSpec::Copeland();
   } else if (request.rule == "borda") {
-    spec = voting::ScoreSpec::Borda(r);
+    spec = voting::ScoreSpec::Borda(num_candidates);
   } else {
     return Status::InvalidArgument("unknown rule '" + request.rule + "'");
   }
-  VOTEOPT_RETURN_IF_ERROR(spec.Validate(r));
+  VOTEOPT_RETURN_IF_ERROR(spec.Validate(num_candidates));
   return spec;
 }
 
-voting::ScoreEvaluator* CampaignService::EvaluatorFor(
-    const voting::ScoreSpec& spec) {
-  const std::string key = SpecKey(spec);
-  if (auto* cached = evaluators_->Get(key); cached != nullptr) {
-    ++stats_.evaluator_cache_hits;
-    return cached->get();
-  }
-  ++stats_.evaluator_cache_misses;
-  auto evaluator = std::make_unique<voting::ScoreEvaluator>(
-      *model_, dataset_.state, meta_.target, meta_.horizon, spec);
-  return evaluators_->Put(key, std::move(evaluator))->get();
+DatasetInfo InfoOf(const DatasetEntry& entry) {
+  DatasetInfo info;
+  info.name = entry.name;
+  info.num_nodes = entry.dataset.influence.num_nodes();
+  info.num_candidates = entry.dataset.state.num_candidates();
+  info.theta = entry.meta.theta;
+  info.horizon = entry.meta.horizon;
+  info.target = entry.meta.target;
+  info.sketch_built = entry.sketch_built;
+  return info;
 }
 
-void CampaignService::ResetSketch() {
-  walks_->ResetValues(
-      dataset_.state.campaigns[meta_.target].initial_opinions);
-  ++stats_.sketch_resets;
+}  // namespace
+
+CampaignService::CampaignService(const ServiceOptions& options)
+    : options_(options),
+      states_(options.evaluator_cache_capacity),
+      pool_(std::make_unique<ThreadPool>(options.num_worker_threads)) {}
+
+Result<std::unique_ptr<CampaignService>> CampaignService::Open(
+    const ServiceOptions& options) {
+  auto service =
+      std::unique_ptr<CampaignService>(new CampaignService(options));
+  if (!options.load.bundle_prefix.empty()) {
+    auto entry = service->registry_.Load(options.dataset_name, options.load);
+    if (!entry.ok()) return entry.status();
+    service->bootstrap_built_ = (*entry)->sketch_built;
+  }
+  return service;
+}
+
+const datasets::Dataset& CampaignService::dataset() const {
+  return registry_.Resolve("").value()->dataset;
+}
+
+const store::SketchMeta& CampaignService::sketch_meta() const {
+  return registry_.Resolve("").value()->meta;
+}
+
+const core::WalkSet& CampaignService::walks() const {
+  return *registry_.Resolve("").value()->sketch;
+}
+
+CampaignService::Stats CampaignService::stats() const {
+  Stats stats;
+  stats.queries = queries_.load();
+  stats.errors = errors_.load();
+  stats.evaluator_cache_hits = evaluator_cache_hits_.load();
+  stats.evaluator_cache_misses = evaluator_cache_misses_.load();
+  stats.sketch_resets = sketch_resets_.load();
+  stats.worker_states = states_.states_created();
+  stats.sketch_built = bootstrap_built_;
+  return stats;
+}
+
+const voting::ScoreEvaluator* CampaignService::EvaluatorFor(
+    const voting::ScoreSpec& spec, QueryState& state) {
+  bool cache_hit = false;
+  const voting::ScoreEvaluator* evaluator = state.EvaluatorFor(spec, &cache_hit);
+  ++(cache_hit ? evaluator_cache_hits_ : evaluator_cache_misses_);
+  return evaluator;
+}
+
+void CampaignService::ResetSketch(const DatasetEntry& entry,
+                                  QueryState& state) {
+  state.walks->ResetValues(entry.target_opinions());
+  ++sketch_resets_;
 }
 
 Response CampaignService::Handle(const Request& request) {
-  ++stats_.queries;
-  Response response;
-  switch (request.op) {
-    case Request::Op::kTopK:
-      response = HandleTopK(request);
-      break;
-    case Request::Op::kMinSeed:
-      response = HandleMinSeed(request);
-      break;
-    case Request::Op::kEvaluate:
-      response = HandleEvaluate(request);
-      break;
-  }
-  if (!response.ok) ++stats_.errors;
-  return response;
+  return Execute(request);
 }
 
 std::vector<Response> CampaignService::HandleBatch(
     const std::vector<Request>& batch) {
-  std::vector<Response> responses;
-  responses.reserve(batch.size());
-  for (const Request& request : batch) responses.push_back(Handle(request));
+  // A one-request batch (the interactive stdin path) gains nothing from a
+  // pool hand-off; answer inline and skip two cross-thread hops.
+  if (batch.size() == 1) return {Execute(batch[0])};
+  std::vector<Response> responses(batch.size());
+  std::vector<std::pair<size_t, std::future<Response>>> inflight;
+  auto drain = [&] {
+    for (auto& [index, future] : inflight) responses[index] = future.get();
+    inflight.clear();
+  };
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    if (IsAdminOp(request.op)) {
+      // Admin verbs are ordering barriers: every query before them sees
+      // the registry as it was, every query after them the updated one —
+      // exactly the serial semantics, whatever the worker count.
+      drain();
+      responses[i] = Execute(request);
+    } else {
+      inflight.emplace_back(
+          i, pool_->Submit([this, &request] { return Execute(request); }));
+    }
+  }
+  drain();
   return responses;
 }
 
-Response CampaignService::HandleTopK(const Request& request) {
+Response CampaignService::Execute(const Request& request) {
+  ++queries_;
+  Response response;
+  switch (request.op) {
+    case Request::Op::kTopK:
+    case Request::Op::kMinSeed:
+    case Request::Op::kEvaluate:
+      response = ExecuteQuery(request);
+      break;
+    case Request::Op::kLoad:
+      response = HandleLoad(request);
+      break;
+    case Request::Op::kUnload:
+      response = HandleUnload(request);
+      break;
+    case Request::Op::kList:
+      response = HandleList(request);
+      break;
+  }
+  if (!response.ok) ++errors_;
+  return response;
+}
+
+Response CampaignService::ExecuteQuery(const Request& request) {
+  auto entry = registry_.Resolve(request.dataset);
+  if (!entry.ok()) return Response::Error(request, entry.status());
+  StatePool::Lease state = states_.Acquire(*entry);
+  switch (request.op) {
+    case Request::Op::kTopK:
+      return HandleTopK(request, **entry, *state);
+    case Request::Op::kMinSeed:
+      return HandleMinSeed(request, **entry, *state);
+    default:
+      return HandleEvaluate(request, **entry, *state);
+  }
+}
+
+Response CampaignService::HandleTopK(const Request& request,
+                                     const DatasetEntry& entry,
+                                     QueryState& state) {
   WallTimer timer;
-  auto spec = ResolveSpec(request);
+  auto spec = ResolveSpec(request, entry.dataset.state.num_candidates());
   if (!spec.ok()) return Response::Error(request, spec.status());
-  if (request.k == 0 || request.k > dataset_.influence.num_nodes()) {
+  if (request.k == 0 || request.k > entry.dataset.influence.num_nodes()) {
     return Response::Error(
         request, Status::InvalidArgument("k must be in [1, num_nodes]"));
   }
-  voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec);
-  ResetSketch();
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+  ResetSketch(entry, state);
   const core::SelectionResult selection =
-      core::EstimatedGreedySelect(*evaluator, request.k, walks_.get());
+      core::EstimatedGreedySelect(*evaluator, request.k, state.walks.get());
 
   Response response;
   response.id = request.id;
   response.op = OpName(request.op);
+  response.dataset = entry.name;
   response.seeds = selection.seeds;
   response.estimated_score = selection.diagnostics.at("estimated_score");
   response.exact_score = selection.score;
@@ -221,20 +203,23 @@ Response CampaignService::HandleTopK(const Request& request) {
   return response;
 }
 
-Response CampaignService::HandleMinSeed(const Request& request) {
+Response CampaignService::HandleMinSeed(const Request& request,
+                                        const DatasetEntry& entry,
+                                        QueryState& state) {
   WallTimer timer;
-  auto spec = ResolveSpec(request);
+  auto spec = ResolveSpec(request, entry.dataset.state.num_candidates());
   if (!spec.ok()) return Response::Error(request, spec.status());
-  if (request.k_max > dataset_.influence.num_nodes()) {
+  if (request.k_max > entry.dataset.influence.num_nodes()) {
     return Response::Error(
         request, Status::InvalidArgument("k_max exceeds num_nodes"));
   }
-  voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec);
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
   const core::SeedSelector selector =
-      [this](const voting::ScoreEvaluator& evaluator_ref, uint32_t budget) {
-        ResetSketch();
+      [this, &entry, &state](const voting::ScoreEvaluator& evaluator_ref,
+                             uint32_t budget) {
+        ResetSketch(entry, state);
         return core::EstimatedGreedySelect(evaluator_ref, budget,
-                                           walks_.get());
+                                           state.walks.get());
       };
   const core::MinSeedResult result =
       core::MinSeedsToWin(*evaluator, selector, request.k_max);
@@ -242,6 +227,7 @@ Response CampaignService::HandleMinSeed(const Request& request) {
   Response response;
   response.id = request.id;
   response.op = OpName(request.op);
+  response.dataset = entry.name;
   response.achievable = result.achievable;
   response.k_star = result.k_star;
   response.seeds = result.seeds;
@@ -251,11 +237,13 @@ Response CampaignService::HandleMinSeed(const Request& request) {
   return response;
 }
 
-Response CampaignService::HandleEvaluate(const Request& request) {
+Response CampaignService::HandleEvaluate(const Request& request,
+                                         const DatasetEntry& entry,
+                                         QueryState& state) {
   WallTimer timer;
-  auto spec = ResolveSpec(request);
+  auto spec = ResolveSpec(request, entry.dataset.state.num_candidates());
   if (!spec.ok()) return Response::Error(request, spec.status());
-  const uint32_t n = dataset_.influence.num_nodes();
+  const uint32_t n = entry.dataset.influence.num_nodes();
   for (const graph::NodeId seed : request.seeds) {
     if (seed >= n) {
       return Response::Error(request,
@@ -273,26 +261,85 @@ Response CampaignService::HandleEvaluate(const Request& request) {
           Status::InvalidArgument("override opinion must be in [0, 1]"));
     }
   }
-  voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec);
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
 
   // Exact propagation of the (possibly overridden) target campaign; the
   // competitors' horizon opinions come from the cached evaluator state.
-  opinion::Campaign campaign = dataset_.state.campaigns[meta_.target];
+  opinion::Campaign campaign = entry.dataset.state.campaigns[entry.meta.target];
   for (const auto& [user, opinion] : request.overrides) {
     campaign.initial_opinions[user] = opinion;
   }
-  const std::vector<double> target_row =
-      model_->PropagateWithSeeds(campaign, request.seeds, meta_.horizon);
+  const std::vector<double> target_row = entry.model->PropagateWithSeeds(
+      campaign, request.seeds, entry.meta.horizon);
 
   Response response;
   response.id = request.id;
   response.op = OpName(request.op);
+  response.dataset = entry.name;
   response.score = evaluator->ScoreFromTargetOpinions(target_row);
   response.all_scores = evaluator->ScoresAllCandidates(target_row);
   response.winner = static_cast<uint32_t>(
       std::max_element(response.all_scores.begin(),
                        response.all_scores.end()) -
       response.all_scores.begin());
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response CampaignService::HandleLoad(const Request& request) {
+  WallTimer timer;
+  if (request.dataset.empty()) {
+    return Response::Error(
+        request, Status::InvalidArgument("load requires a 'dataset' name"));
+  }
+  if (request.bundle.empty()) {
+    return Response::Error(
+        request, Status::InvalidArgument("load requires a 'bundle' prefix"));
+  }
+  DatasetLoadOptions load = options_.load;  // service defaults
+  load.bundle_prefix = request.bundle;
+  load.sketch_path = request.sketch;
+  if (request.theta > 0) load.build_theta = request.theta;
+  auto entry = registry_.Load(request.dataset, load);
+  if (!entry.ok()) return Response::Error(request, entry.status());
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = (*entry)->name;
+  response.datasets.push_back(InfoOf(**entry));
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response CampaignService::HandleUnload(const Request& request) {
+  WallTimer timer;
+  if (request.dataset.empty()) {
+    return Response::Error(
+        request, Status::InvalidArgument("unload requires a 'dataset' name"));
+  }
+  auto removed = registry_.Unload(request.dataset);
+  if (!removed.ok()) return Response::Error(request, removed.status());
+  // Drop pooled idle states; states leased to in-flight queries are
+  // discarded when they check back in.
+  states_.Evict(request.dataset, (*removed)->generation);
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = request.dataset;
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response CampaignService::HandleList(const Request& request) {
+  WallTimer timer;
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  for (const auto& entry : registry_.List()) {
+    response.datasets.push_back(InfoOf(*entry));
+  }
   response.millis = timer.Millis();
   return response;
 }

@@ -1,7 +1,9 @@
 // CampaignService: the online half of the offline-build → persist → serve
-// split. It owns a loaded problem instance (influence graph + campaign
-// state, from a dataset bundle) and one persisted sketch set (store/), and
-// answers batched queries against them:
+// split — now a concurrent, multi-tenant service.
+//
+// A DatasetRegistry hosts any number of named bundle+sketch pairs; the
+// protocol's load / unload / list verbs manage them at runtime. Query verbs
+// run against one hosted dataset each:
 //
 //   * topk      — budget-k seed selection on the sketch (RS greedy loop)
 //   * minseed   — Problem 2's minimum winning budget (binary search)
@@ -9,105 +11,129 @@
 //                 updated ("override") target opinions — a campaign's
 //                 current state
 //
-// One sketch set serves every query: before each selection the dynamic
-// truncation state is rebuilt in O(theta) by WalkSet::ResetValues — the
-// walks themselves (the expensive artifact) are never regenerated. Per
-// voting rule, the exact-evaluation state (competitor horizon opinions,
-// sorted per-user copies) is kept in an LRU cache of ScoreEvaluators.
+// Concurrency model (docs/ARCHITECTURE.md): HandleBatch fans queries out
+// onto a util::ThreadPool. The frozen WalkSet spans and everything else
+// reachable from a DatasetEntry are immutable and shared across workers;
+// all per-query mutable state — the O(theta) dynamic truncation state that
+// WalkSet::ResetValues rebuilds before each selection, and the per-voting-
+// rule ScoreEvaluator LRU — lives in QueryStates checked out of a
+// StatePool, so concurrent queries never contend on mutable sketch state.
+// Each query is deterministic in isolation; answers are therefore
+// bit-identical whatever the worker count. Admin verbs act as ordering
+// barriers inside a batch, which preserves exact serial semantics.
 //
-// The sketch bakes in the horizon and the target campaign's stubbornness,
-// so the service pins (target, horizon) from the sketch's persisted meta.
+// Each sketch bakes in its horizon and its target campaign's stubbornness,
+// so every entry pins (target, horizon) from the sketch's persisted meta.
 #ifndef VOTEOPT_SERVE_SERVICE_H_
 #define VOTEOPT_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "datasets/io.h"
-#include "datasets/synthetic.h"
-#include "opinion/fj_model.h"
-#include "serve/lru_cache.h"
 #include "serve/protocol.h"
-#include "store/sketch_store.h"
-#include "voting/evaluator.h"
+#include "serve/registry.h"
+#include "serve/state_pool.h"
+#include "util/thread_pool.h"
 
 namespace voteopt::serve {
 
 struct ServiceOptions {
-  /// Dataset bundle prefix (graph + campaigns + meta; datasets/io.h).
-  std::string bundle_prefix;
-  /// Sketch store file; empty means `<bundle_prefix>.sketch`.
-  std::string sketch_path;
-  /// Map the sketch instead of copying it into RAM.
-  store::SketchLoadMode sketch_load_mode = store::SketchLoadMode::kMmap;
+  /// Bootstrap dataset registered at Open under `dataset_name`. Its
+  /// bundle_prefix may be left empty to start with an empty registry —
+  /// datasets then arrive via the protocol's `load` verb. These options
+  /// are also the defaults inherited by protocol-level loads.
+  DatasetLoadOptions load;
+  std::string dataset_name = "default";
 
-  /// Fallback when the sketch file is missing: build this many walks
-  /// (0 = fail instead of building).
-  uint64_t build_theta = uint64_t{1} << 18;
-  /// Horizon for a freshly built sketch (persisted files carry their own).
-  uint32_t build_horizon = 20;
-  /// Persist a freshly built sketch next to the bundle.
-  bool save_built_sketch = false;
-  /// Sketch-builder threads (0 = one per hardware thread).
-  uint32_t num_threads = 0;
-  uint64_t rng_seed = 42;
+  /// Serving worker threads for HandleBatch fan-out (0 = one per hardware
+  /// thread). Answers are identical for every value; this only sets how
+  /// many independent queries run at once.
+  uint32_t num_worker_threads = 1;
 
-  /// Capacity of the per-voting-rule evaluator LRU.
+  /// Capacity of each worker state's per-voting-rule evaluator LRU.
   uint32_t evaluator_cache_capacity = 4;
 };
 
 class CampaignService {
  public:
+  /// Monotonic service-wide counters (a point-in-time snapshot; the live
+  /// counters are atomics updated from every worker).
   struct Stats {
     uint64_t queries = 0;
     uint64_t errors = 0;
     uint64_t evaluator_cache_hits = 0;
     uint64_t evaluator_cache_misses = 0;
     uint64_t sketch_resets = 0;
-    bool sketch_built = false;  // true when Open had to build (no file)
+    /// QueryStates ever constructed — the worker-state churn; stays at the
+    /// worker count in steady single-dataset operation.
+    uint64_t worker_states = 0;
+    bool sketch_built = false;  // the bootstrap Open had to build (no file)
   };
 
-  /// Loads the bundle and the sketch (building + optionally persisting one
-  /// when absent). Fails with a clean Status on any inconsistency — e.g. a
-  /// sketch whose node universe or target disagrees with the bundle.
+  /// Creates the service and, when options.load.bundle_prefix is set,
+  /// loads the bootstrap dataset. Fails with a clean Status on any
+  /// inconsistency (see DatasetRegistry::Load).
   static Result<std::unique_ptr<CampaignService>> Open(
       const ServiceOptions& options);
 
-  /// Answers one query. Never throws; failures come back as error
-  /// responses so a batch keeps flowing.
+  /// Answers one request inline on the calling thread. Never throws;
+  /// failures come back as error responses so a stream keeps flowing.
+  /// Thread-safe: any number of client threads may call concurrently.
   Response Handle(const Request& request);
 
-  /// Answers a batch in order against the same loaded store.
+  /// Answers a batch with responses in request order. Query verbs run
+  /// concurrently on the worker pool; admin verbs (load/unload/list) are
+  /// ordering barriers, so the result is identical to serial execution.
   std::vector<Response> HandleBatch(const std::vector<Request>& batch);
 
-  const datasets::Dataset& dataset() const { return dataset_; }
-  const store::SketchMeta& sketch_meta() const { return meta_; }
-  const core::WalkSet& walks() const { return *walks_; }
-  const Stats& stats() const { return stats_; }
+  DatasetRegistry& registry() { return registry_; }
+  const StatePool& state_pool() const { return states_; }
+  uint32_t num_worker_threads() const { return pool_->num_threads(); }
+
+  // Single-tenant conveniences: the sole hosted dataset (precondition:
+  // the registry hosts exactly one, e.g. right after a bootstrap Open).
+  const datasets::Dataset& dataset() const;
+  const store::SketchMeta& sketch_meta() const;
+  const core::WalkSet& walks() const;
+
+  Stats stats() const;
 
  private:
-  CampaignService() = default;
+  explicit CampaignService(const ServiceOptions& options);
 
-  /// Resolves the request's voting rule into a validated ScoreSpec.
-  Result<voting::ScoreSpec> ResolveSpec(const Request& request) const;
-  /// Cached evaluator for a spec (builds + inserts on miss).
-  voting::ScoreEvaluator* EvaluatorFor(const voting::ScoreSpec& spec);
-  /// Rebuilds the sketch's dynamic state for a fresh selection.
-  void ResetSketch();
+  /// Routes one request (query → pooled state, admin → registry).
+  Response Execute(const Request& request);
+  Response ExecuteQuery(const Request& request);
 
-  Response HandleTopK(const Request& request);
-  Response HandleMinSeed(const Request& request);
-  Response HandleEvaluate(const Request& request);
+  Response HandleTopK(const Request& request, const DatasetEntry& entry,
+                      QueryState& state);
+  Response HandleMinSeed(const Request& request, const DatasetEntry& entry,
+                         QueryState& state);
+  Response HandleEvaluate(const Request& request, const DatasetEntry& entry,
+                          QueryState& state);
+  Response HandleLoad(const Request& request);
+  Response HandleUnload(const Request& request);
+  Response HandleList(const Request& request);
+
+  /// Cached evaluator from the leased state, with hit/miss accounting.
+  const voting::ScoreEvaluator* EvaluatorFor(const voting::ScoreSpec& spec,
+                                             QueryState& state);
+  /// Rebuilds the leased working sketch's dynamic state for a selection.
+  void ResetSketch(const DatasetEntry& entry, QueryState& state);
 
   ServiceOptions options_;
-  datasets::Dataset dataset_;
-  std::unique_ptr<opinion::FJModel> model_;
-  std::unique_ptr<core::WalkSet> walks_;
-  store::SketchMeta meta_;
-  std::unique_ptr<LruCache<std::unique_ptr<voting::ScoreEvaluator>>>
-      evaluators_;
-  Stats stats_;
+  DatasetRegistry registry_;
+  StatePool states_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool bootstrap_built_ = false;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> evaluator_cache_hits_{0};
+  std::atomic<uint64_t> evaluator_cache_misses_{0};
+  std::atomic<uint64_t> sketch_resets_{0};
 };
 
 }  // namespace voteopt::serve

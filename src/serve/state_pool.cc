@@ -1,0 +1,118 @@
+#include "serve/state_pool.h"
+
+#include <string>
+
+namespace voteopt::serve {
+
+QueryState::QueryState(std::shared_ptr<const DatasetEntry> owning_entry,
+                       uint32_t evaluator_cache_capacity)
+    : entry(std::move(owning_entry)),
+      // For a built (owned) sketch the clone's views alias the entry's
+      // vectors, so the keep-alive must pin the WalkSet itself; the entry
+      // shared_ptr does that transitively and also keeps mmap-adopted
+      // storage alive through the sketch member.
+      walks(entry->sketch->ShareFrozen(entry->sketch)),
+      evaluators(evaluator_cache_capacity) {}
+
+const voting::ScoreEvaluator* QueryState::EvaluatorFor(
+    const voting::ScoreSpec& spec, bool* cache_hit) {
+  const std::string key = EvaluatorSpecKey(spec);
+  if (auto* cached = evaluators.Get(key); cached != nullptr) {
+    *cache_hit = true;
+    return cached->get();
+  }
+  // The build fallback already paid for this evaluator's horizon
+  // propagation once — adopt the shared instance instead of rebuilding.
+  if (entry->build_evaluator != nullptr && key == entry->build_evaluator_key) {
+    *cache_hit = true;
+    return evaluators.Put(key, entry->build_evaluator)->get();
+  }
+  *cache_hit = false;
+  auto evaluator = std::make_shared<const voting::ScoreEvaluator>(
+      *entry->model, entry->dataset.state, entry->meta.target,
+      entry->meta.horizon, spec);
+  return evaluators.Put(key, std::move(evaluator))->get();
+}
+
+StatePool::Lease StatePool::Acquire(
+    std::shared_ptr<const DatasetEntry> entry) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_[entry->name];
+    auto it = idle_.find(entry->name);
+    if (it != idle_.end()) {
+      auto& states = it->second;
+      for (size_t i = states.size(); i-- > 0;) {
+        const uint64_t pooled = states[i]->entry->generation;
+        if (pooled == entry->generation) {
+          std::unique_ptr<QueryState> state = std::move(states[i]);
+          states.erase(states.begin() + static_cast<ptrdiff_t>(i));
+          return Lease(this, std::move(state));
+        }
+        // Older generation: the dataset was re-loaded since this state was
+        // pooled; it references dead data — discard. NEWER generation: the
+        // requester itself holds a pre-reload entry; leave the live
+        // dataset's warmed states (and their evaluator caches) alone.
+        if (pooled < entry->generation) {
+          states.erase(states.begin() + static_cast<ptrdiff_t>(i));
+        }
+      }
+    }
+  }
+  // Constructing outside the lock: ShareFrozen is cheap, but the LRU and
+  // dynamic-state allocations need not serialize other workers.
+  auto state =
+      std::make_unique<QueryState>(std::move(entry), evaluator_cache_capacity_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++states_created_;
+  }
+  return Lease(this, std::move(state));
+}
+
+void StatePool::Release(std::unique_ptr<QueryState> state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string& name = state->entry->name;
+  auto retired = retired_upto_.find(state->entry->name);
+  const bool discard = retired != retired_upto_.end() &&
+                       state->entry->generation <= retired->second;
+  if (auto out = outstanding_.find(name);
+      out != outstanding_.end() && --out->second == 0) {
+    // Last lease of this name checked in: no stale check-in can happen
+    // anymore, so the eviction watermark has done its job.
+    outstanding_.erase(out);
+    retired_upto_.erase(name);
+  }
+  if (discard) return;  // the dataset was unloaded while this query ran
+  idle_[state->entry->name].push_back(std::move(state));
+}
+
+void StatePool::Evict(const std::string& name, uint64_t upto_generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The watermark only guards the check-in of leases already in flight;
+  // with none outstanding there is nothing to guard.
+  if (outstanding_.count(name) != 0) {
+    uint64_t& watermark = retired_upto_[name];
+    if (upto_generation > watermark) watermark = upto_generation;
+  }
+  auto it = idle_.find(name);
+  if (it == idle_.end()) return;
+  auto& states = it->second;
+  std::erase_if(states, [&](const std::unique_ptr<QueryState>& state) {
+    return state->entry->generation <= upto_generation;
+  });
+  if (states.empty()) idle_.erase(it);
+}
+
+size_t StatePool::IdleStates(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = idle_.find(name);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+uint64_t StatePool::states_created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return states_created_;
+}
+
+}  // namespace voteopt::serve

@@ -56,6 +56,43 @@ TEST(WalkSetTest, LambdaCountsWalksPerStart) {
   EXPECT_DOUBLE_EQ(walks.EstimatedOpinion(2, 0.123), 0.123);  // fallback
 }
 
+TEST(WalkSetTest, ShareFrozenClonesDynamicStateIndependently) {
+  auto owner = std::make_shared<WalkSet>(4);
+  owner->AddWalk({0, 2, 3});
+  owner->AddWalk({1, 2});
+  owner->AddWalk({0, 1});
+  const std::vector<double> opinions{0.9, 0.8, 0.7, 0.25};
+  owner->Finalize(opinions);
+
+  // The clone aliases the frozen arrays (zero-copy) ...
+  auto clone = owner->ShareFrozen(owner);
+  EXPECT_TRUE(clone->adopted());
+  EXPECT_EQ(clone->frozen().nodes.data(), owner->frozen().nodes.data());
+  EXPECT_EQ(clone->num_walks(), owner->num_walks());
+
+  // ... but owns its dynamic state: truncating in the clone must leave the
+  // owner's values untouched (the concurrent-serving contract).
+  clone->ResetValues(opinions);
+  clone->Truncate(2, [](uint32_t, double) {});
+  EXPECT_DOUBLE_EQ(clone->Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(clone->Value(1), 1.0);
+  EXPECT_DOUBLE_EQ(owner->Value(0), 0.25);
+  EXPECT_DOUBLE_EQ(owner->Value(1), 0.7);  // {1, 2} ends at node 2
+  EXPECT_DOUBLE_EQ(owner->EstimatedOpinion(0), (0.25 + 0.8) / 2);
+
+  // A second clone resets from the pristine frozen data, unaffected by the
+  // first clone's truncations.
+  auto other = owner->ShareFrozen(owner);
+  other->ResetValues(opinions);
+  EXPECT_DOUBLE_EQ(other->Value(0), 0.25);
+
+  // The keep-alive pins the owner: clones outlive the caller's handle.
+  owner.reset();
+  EXPECT_DOUBLE_EQ(other->Value(0), 0.25);
+  other->Truncate(0, [](uint32_t, double) {});
+  EXPECT_DOUBLE_EQ(other->Value(0), 1.0);
+}
+
 TEST(WalkSetTest, TruncationSetsValueToOneAndShortens) {
   WalkSet walks(4);
   walks.AddWalk({0, 1, 2, 3});

@@ -44,6 +44,106 @@ TEST(ParseRequestTest, ParsesPositionalOmega) {
   EXPECT_EQ(request->omega, (std::vector<double>{1.0, 0.5}));
 }
 
+TEST(ParseRequestTest, ParsesAdminVerbs) {
+  auto load = ParseRequest(
+      R"({"op": "load", "dataset": "yelp", "bundle": "/data/yelp", )"
+      R"("sketch": "/data/yelp.big.sketch", "theta": 1048576})");
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  EXPECT_EQ(load->op, Request::Op::kLoad);
+  EXPECT_EQ(load->dataset, "yelp");
+  EXPECT_EQ(load->bundle, "/data/yelp");
+  EXPECT_EQ(load->sketch, "/data/yelp.big.sketch");
+  EXPECT_EQ(load->theta, 1048576u);
+  EXPECT_TRUE(IsAdminOp(load->op));
+
+  auto unload = ParseRequest(R"({"op": "unload", "dataset": "yelp"})");
+  ASSERT_TRUE(unload.ok());
+  EXPECT_EQ(unload->op, Request::Op::kUnload);
+  EXPECT_EQ(unload->dataset, "yelp");
+
+  auto list = ParseRequest(R"({"op": "list"})");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->op, Request::Op::kList);
+
+  EXPECT_FALSE(IsAdminOp(Request::Op::kTopK));
+  EXPECT_FALSE(IsAdminOp(Request::Op::kMinSeed));
+  EXPECT_FALSE(IsAdminOp(Request::Op::kEvaluate));
+}
+
+TEST(ParseRequestTest, ParsesDatasetRoutingOnQueries) {
+  auto request =
+      ParseRequest(R"({"op": "topk", "k": 3, "dataset": "dblp"})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->dataset, "dblp");
+  // Ill-typed routing fields are rejected, not coerced.
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk", "dataset": 7})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op": "load", "bundle": []})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op": "load", "theta": -1})").ok());
+  // From 2^53 on, JSON integers no longer round-trip through double —
+  // reject instead of silently coercing.
+  EXPECT_FALSE(
+      ParseRequest(R"({"op": "load", "theta": 9007199254740992})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op": "load", "theta": 9007199254740993})").ok());
+  EXPECT_TRUE(
+      ParseRequest(R"({"op": "load", "theta": 9007199254740991})").ok());
+}
+
+TEST(ResponseTest, SerializesListShape) {
+  Response response;
+  response.op = "list";
+  DatasetInfo info;
+  info.name = "yelp";
+  info.num_nodes = 100;
+  info.num_candidates = 10;
+  info.theta = 4096;
+  info.horizon = 20;
+  info.target = 3;
+  response.datasets.push_back(info);
+  info.name = "dblp";
+  info.sketch_built = true;
+  response.datasets.push_back(info);
+  const std::string json = response.ToJson();
+  EXPECT_NE(json.find("\"datasets\": [{\"name\": \"yelp\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"theta\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"dblp\""), std::string::npos);
+  EXPECT_NE(json.find("\"sketch_built\": true"), std::string::npos);
+}
+
+TEST(ResponseTest, StableJsonDropsOnlyMillis) {
+  Response response;
+  response.op = "topk";
+  response.dataset = "yelp";
+  response.seeds = {1, 2};
+  response.estimated_score = 3.5;
+  response.millis = 12.25;
+  const std::string stable = response.ToStableJson();
+  EXPECT_EQ(stable.find("millis"), std::string::npos);
+  EXPECT_NE(stable.find("\"seeds\": [1, 2]"), std::string::npos);
+  EXPECT_EQ(stable.back(), '}');
+  // Two runs differing only in timing compare equal.
+  Response slower = response;
+  slower.millis = 99.0;
+  EXPECT_EQ(stable, slower.ToStableJson());
+  EXPECT_NE(response.ToJson(), slower.ToJson());
+
+  // Error responses carry no millis; stable form is the full form.
+  Request request;
+  request.op = Request::Op::kTopK;
+  const Response error = Response::Error(request, Status::NotFound("x"));
+  EXPECT_EQ(error.ToStableJson(), error.ToJson());
+}
+
+TEST(ResponseTest, EchoesDatasetOnSuccess) {
+  Response response;
+  response.op = "topk";
+  response.dataset = "yelp";
+  response.seeds = {1};
+  EXPECT_NE(response.ToJson().find("\"dataset\": \"yelp\""),
+            std::string::npos);
+}
+
 TEST(ParseRequestTest, IgnoresUnknownFieldsForForwardCompat) {
   auto request =
       ParseRequest(R"({"op": "topk", "k": 1, "deadline_ms": 250})");

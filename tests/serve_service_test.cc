@@ -33,11 +33,14 @@ class ServeServiceTest : public ::testing::Test {
 
   ServiceOptions DefaultOptions() const {
     ServiceOptions options;
-    options.bundle_prefix = prefix_;
-    options.build_theta = 20000;
-    options.build_horizon = 10;
-    options.save_built_sketch = true;
-    options.num_threads = 2;
+    options.load.bundle_prefix = prefix_;
+    options.load.build_theta = 20000;
+    options.load.build_horizon = 10;
+    options.load.save_built_sketch = true;
+    options.load.build_threads = 2;
+    // One worker: batches execute sequentially on a single pooled state,
+    // which keeps the evaluator-LRU expectations below deterministic.
+    options.num_worker_threads = 1;
     return options;
   }
 
@@ -95,7 +98,7 @@ TEST_F(ServeServiceTest, BuildsPersistsAndServesMixedBatch) {
   // Forcing user 0's opinion to 1 can only help the target.
   EXPECT_GE(responses[4].score, responses[3].score);
 
-  const auto& stats = (*service)->stats();
+  const auto stats = (*service)->stats();
   EXPECT_EQ(stats.queries, batch.size());
   EXPECT_EQ(stats.errors, 0u);
   // 5 queries over 3 distinct rules: the evaluator LRU must have hits.
@@ -190,14 +193,14 @@ TEST_F(ServeServiceTest, MinSeedMatchesAlgorithmTwo) {
 
 TEST_F(ServeServiceTest, MissingBundleFailsCleanly) {
   ServiceOptions options = DefaultOptions();
-  options.bundle_prefix = prefix_ + "-nope";
+  options.load.bundle_prefix = prefix_ + "-nope";
   auto service = CampaignService::Open(options);
   EXPECT_FALSE(service.ok());
 }
 
 TEST_F(ServeServiceTest, MissingSketchWithoutBuildFallbackFails) {
   ServiceOptions options = DefaultOptions();
-  options.build_theta = 0;  // no fallback build allowed
+  options.load.build_theta = 0;  // no fallback build allowed
   auto service = CampaignService::Open(options);
   ASSERT_FALSE(service.ok());
   EXPECT_EQ(service.status().code(), Status::Code::kIOError);

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link points at an existing file.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+Scans inline links `[text](target)` and image links `![alt](target)`.
+External targets (http/https/mailto) and pure in-page anchors (#...) are
+skipped; everything else is resolved relative to the containing file and
+must exist on disk. Exits non-zero listing every broken link — the CI
+guard that keeps README.md and docs/ from drifting apart.
+"""
+import os
+import re
+import sys
+
+# Inline links; [1] is the target. Deliberately simple: the repo's docs use
+# plain inline links without nested parentheses or angle brackets.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check(path: str) -> list[str]:
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            for target in LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    continue  # in-page anchor
+                resolved = os.path.join(base, target.split("#", 1)[0])
+                if not os.path.exists(resolved):
+                    broken.append(f"{path}:{lineno}: broken link '{target}'")
+    return broken
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for path in sys.argv[1:]:
+        failures.extend(check(path))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    checked = len(sys.argv) - 1
+    if failures:
+        print(f"{len(failures)} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

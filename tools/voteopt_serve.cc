@@ -1,34 +1,30 @@
-// voteopt_serve: the online campaign query service driver.
+// voteopt_serve: the concurrent multi-dataset campaign query service.
 //
-// Reads newline-delimited JSON requests (serve/protocol.h) from a file or
-// stdin and writes one JSON response per line — the scaffold a real RPC
-// frontend plugs into later. One process loads the dataset bundle and the
-// persisted sketch once and answers every query from them.
+// Reads newline-delimited JSON requests (docs/PROTOCOL.md) from a file or
+// stdin and writes one JSON response per line, in request order — the
+// scaffold a real RPC frontend plugs into later. One process hosts any
+// number of dataset bundles with their persisted sketches (loadable and
+// evictable at runtime via the load/unload/list verbs) and fans
+// independent queries out onto a worker pool; answers are bit-identical
+// whatever the thread count.
 //
 //   # offline: build the sketch once and persist it into the bundle
 //   $ voteopt_serve --bundle=/data/yelp --theta=1048576 --build_only
 //
-//   # online: answer a batch of mixed queries from the persisted store
-//   $ voteopt_serve --bundle=/data/yelp --requests=batch.jsonl
-//   where batch.jsonl holds lines like
-//       {"op": "topk", "k": 10, "rule": "plurality"}
-//       {"op": "minseed", "k_max": 200}
-//       {"op": "evaluate", "seeds": [3, 17], "override": [[5, 0.9]]}
-//
-// Flags:
-//   --bundle=<prefix>    dataset bundle prefix (required unless --demo)
-//   --demo               synthesize a demo bundle + sketch in ./ and serve it
-//   --requests=<path|->  request file (default "-": stdin)
-//   --out=<path|->       response file (default "-": stdout)
-//   --theta=<N>          walks to build when the sketch file is missing
-//   --t=<N>              horizon for a freshly built sketch (default 20)
-//   --threads=<N>        sketch-builder threads (0 = hardware)
-//   --save_sketch=0|1    persist a freshly built sketch (default 1)
-//   --build_only         build + persist the sketch, then exit
-//   --mmap=0|1           mmap the sketch instead of copying (default 1)
-//   --cache=<N>          evaluator LRU capacity (default 4)
+//   # online: serve mixed query batches from several persisted stores
+//   $ voteopt_serve --bundle=/data/yelp --load=dblp=/data/dblp
+//       --threads=8 --requests=batch.jsonl
+//   where batch.jsonl holds lines like (with several datasets hosted,
+//   every query names the one it targets)
+//       {"op": "topk", "k": 10, "rule": "plurality", "dataset": "default"}
+//       {"op": "minseed", "k_max": 200, "dataset": "dblp"}
+//       {"op": "evaluate", "seeds": [3, 17], "override": [[5, 0.9]],
+//        "dataset": "default"}
+//       {"op": "list"}
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
@@ -37,16 +33,61 @@
 
 using namespace voteopt;
 
+namespace {
+
+constexpr char kUsage[] = R"(usage: voteopt_serve [flags]
+
+Serves topk / minseed / evaluate / load / unload / list requests
+(newline-delimited JSON; see docs/PROTOCOL.md) against one or more hosted
+dataset bundles and their persisted sketches.
+
+Datasets:
+  --bundle=<prefix>      bundle hosted as "default" (required unless --demo
+                         or --load is given)
+  --load=<n>=<p>[,...]   additional datasets: comma-separated name=prefix
+                         pairs, e.g. --load=yelp=/data/yelp,dblp=/data/dblp
+  --demo                 synthesize a demo bundle + sketch in ./ and serve it
+  --sketch=<path>        sketch file for --bundle (default <prefix>.sketch)
+  --mmap=0|1             mmap sketches instead of copying (default 1)
+
+Sketch build fallback (when a bundle has no persisted sketch):
+  --theta=<N>            walks to build (default 2^18; 0 = fail instead)
+  --t=<N>                horizon for a freshly built sketch (default 20)
+  --build_threads=<N>    sketch-builder threads (0 = one per core)
+  --save_sketch=0|1      persist a freshly built sketch (default 1)
+  --build_only           build + persist the sketch(es), then exit
+
+Serving:
+  --threads=<N>          query worker threads (0 = one per core; default 1;
+                         answers are identical for every value)
+  --batch=<N>            dispatch window: requests read before fanning out
+                         (responses stay in request order; default 128 for
+                         --requests files, 1 — answer every line as it
+                         arrives — when reading stdin, so interactive and
+                         pipe-connected clients never wait on a full window)
+  --cache=<N>            per-worker evaluator LRU capacity (default 4)
+  --requests=<path|->    request file (default "-": stdin)
+  --out=<path|->         response file (default "-": stdout)
+  --help                 print this message and exit
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Options options(argc, argv);
+  if (options.GetBool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
 
   std::string bundle = options.GetString("bundle", "");
-  if (bundle.empty() && !options.GetBool("demo", false)) {
-    std::cerr << "usage: voteopt_serve --bundle=<prefix> [--requests=<path>]"
-                 " (or --demo; see the header of tools/voteopt_serve.cc)\n";
+  const std::string extra_loads = options.GetString("load", "");
+  if (bundle.empty() && extra_loads.empty() &&
+      !options.GetBool("demo", false)) {
+    std::cerr << kUsage;
     return 2;
   }
-  if (bundle.empty()) {
+  if (bundle.empty() && options.GetBool("demo", false)) {
     bundle = "./voteopt_demo";
     const datasets::Dataset demo = datasets::MakeDataset(
         datasets::DatasetName::kTwitterElection, 0.05, /*seed=*/3);
@@ -58,18 +99,21 @@ int main(int argc, char** argv) {
   }
 
   serve::ServiceOptions service_options;
-  service_options.bundle_prefix = bundle;
-  service_options.sketch_path = options.GetString("sketch", "");
-  service_options.build_theta =
+  service_options.load.bundle_prefix = bundle;
+  service_options.load.sketch_path = options.GetString("sketch", "");
+  service_options.load.build_theta =
       static_cast<uint64_t>(options.GetInt("theta", 1 << 18));
-  service_options.build_horizon =
+  service_options.load.build_horizon =
       static_cast<uint32_t>(options.GetInt("t", 20));
-  service_options.num_threads =
-      static_cast<uint32_t>(options.GetInt("threads", 0));
-  service_options.save_built_sketch = options.GetBool("save_sketch", true);
-  service_options.sketch_load_mode = options.GetBool("mmap", true)
-                                         ? store::SketchLoadMode::kMmap
-                                         : store::SketchLoadMode::kCopy;
+  service_options.load.build_threads =
+      static_cast<uint32_t>(options.GetInt("build_threads", 0));
+  service_options.load.save_built_sketch =
+      options.GetBool("save_sketch", true);
+  service_options.load.sketch_load_mode = options.GetBool("mmap", true)
+                                              ? store::SketchLoadMode::kMmap
+                                              : store::SketchLoadMode::kCopy;
+  service_options.num_worker_threads =
+      static_cast<uint32_t>(options.GetInt("threads", 1));
   service_options.evaluator_cache_capacity =
       static_cast<uint32_t>(options.GetInt("cache", 4));
 
@@ -79,18 +123,48 @@ int main(int argc, char** argv) {
               << "\n";
     return 1;
   }
-  const auto& meta = (*service)->sketch_meta();
-  std::cerr << "serving '" << (*service)->dataset().name
-            << "': n=" << (*service)->dataset().influence.num_nodes()
-            << " r=" << (*service)->dataset().state.num_candidates()
-            << " | sketch: theta=" << meta.theta << " t=" << meta.horizon
-            << " target=" << meta.target
-            << ((*service)->stats().sketch_built ? " (built now)"
-                 : service_options.sketch_load_mode ==
-                         store::SketchLoadMode::kMmap
-                     ? " (loaded, mmap zero-copy)"
-                     : " (loaded, copied)")
-            << "\n";
+
+  // Additional datasets from --load=name=prefix[,name=prefix...]. They
+  // inherit the build-fallback defaults (but never an explicit --sketch,
+  // which names one file for one bundle).
+  if (!extra_loads.empty()) {
+    serve::DatasetLoadOptions extra = service_options.load;
+    extra.sketch_path.clear();
+    std::stringstream items(extra_loads);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      const size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+        std::cerr << "bad --load item '" << item
+                  << "' (expected name=prefix)\n";
+        return 2;
+      }
+      extra.bundle_prefix = item.substr(eq + 1);
+      auto entry =
+          (*service)->registry().Load(item.substr(0, eq), extra);
+      if (!entry.ok()) {
+        std::cerr << "cannot load '" << item
+                  << "': " << entry.status().ToString() << "\n";
+        return 1;
+      }
+    }
+  }
+
+  std::cerr << "hosting " << (*service)->registry().size()
+            << " dataset(s) on " << (*service)->num_worker_threads()
+            << " worker thread(s):\n";
+  for (const auto& entry : (*service)->registry().List()) {
+    std::cerr << "  '" << entry->name << "' (" << entry->dataset.name
+              << "): n=" << entry->dataset.influence.num_nodes()
+              << " r=" << entry->dataset.state.num_candidates()
+              << " | sketch: theta=" << entry->meta.theta
+              << " t=" << entry->meta.horizon
+              << " target=" << entry->meta.target
+              << (entry->sketch_built ? " (built now)"
+                  : entry->sketch->adopted() ? " (loaded, mmap zero-copy)"
+                                             : " (loaded, copied)")
+              << "\n";
+  }
   if (options.GetBool("build_only", false)) return 0;
 
   const std::string requests_path = options.GetString("requests", "-");
@@ -114,25 +188,61 @@ int main(int argc, char** argv) {
   }
   std::ostream& out = out_path == "-" ? std::cout : out_file;
 
+  // Requests are read into a dispatch window and answered as one parallel
+  // batch; responses are emitted in request order, with lines that failed
+  // to parse answered in place. On stdin the window defaults to 1 so a
+  // request-response conversation over a pipe never deadlocks waiting for
+  // a full window.
+  const size_t window_size = static_cast<size_t>(std::max<int64_t>(
+      1, options.GetInt("batch", requests_path == "-" ? 1 : 128)));
+  struct Slot {
+    bool parsed = false;
+    serve::Request request;
+    serve::Response error;
+  };
+  std::vector<Slot> window;
+  auto flush = [&] {
+    std::vector<serve::Request> requests;
+    requests.reserve(window.size());
+    for (const Slot& slot : window) {
+      if (slot.parsed) requests.push_back(slot.request);
+    }
+    std::vector<serve::Response> answers = (*service)->HandleBatch(requests);
+    size_t next = 0;
+    for (const Slot& slot : window) {
+      out << (slot.parsed ? answers[next++] : slot.error).ToJson() << "\n";
+    }
+    window.clear();
+  };
+
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    Slot slot;
     auto request = serve::ParseRequest(line);
-    if (!request.ok()) {
-      serve::Response response;
-      response.op = "?";
-      response.ok = false;
-      response.error = request.status().ToString();
-      out << response.ToJson() << "\n";
-      continue;
+    if (request.ok()) {
+      slot.parsed = true;
+      slot.request = *request;
+    } else {
+      slot.error.op = "?";
+      slot.error.ok = false;
+      slot.error.error = request.status().ToString();
     }
-    out << (*service)->Handle(*request).ToJson() << "\n";
+    window.push_back(std::move(slot));
+    if (window.size() >= window_size) {
+      flush();
+      out.flush();
+    }
   }
+  flush();
 
-  const auto& stats = (*service)->stats();
-  std::cerr << "served " << stats.queries << " queries (" << stats.errors
-            << " errors), evaluator cache " << stats.evaluator_cache_hits
-            << " hits / " << stats.evaluator_cache_misses
-            << " misses, " << stats.sketch_resets << " sketch resets\n";
+  const auto stats = (*service)->stats();
+  std::cerr << "served " << stats.queries << " requests (" << stats.errors
+            << " errors) on " << (*service)->num_worker_threads()
+            << " worker(s), " << stats.worker_states
+            << " worker states, evaluator cache "
+            << stats.evaluator_cache_hits << " hits / "
+            << stats.evaluator_cache_misses << " misses, "
+            << stats.sketch_resets << " sketch resets\n";
   return 0;
 }
