@@ -1,0 +1,270 @@
+// Selection hot-path benchmark: the two algorithmic rewrites of the greedy
+// engine, measured against the exact paths they replace on one shared
+// sketch per configuration.
+//
+//  * top-k — CELF lazy greedy (max-heap of stale upper bounds, cumulative
+//    score) vs the exhaustive one-scan-per-iteration baseline. Both paths
+//    must select bit-identical seeds; the win is the collapse in
+//    marginal-gain evaluations.
+//  * min-seed — single-pass Algorithm 2 (one selection at k_max, winning
+//    criterion checked per greedy prefix) vs the binary search that pays a
+//    full ResetValues + reselection per probe. Both must return the same
+//    k*, seeds, and achievability.
+//
+// Every configuration's equality checks roll up into "answers_match" — the
+// acceptance gate recorded in BENCH_select.json and enforced in CI.
+//
+//   --dataset=<name>     synthetic dataset (default tw-mask)
+//   --scales=<list>      node-count multipliers, e.g. 0.1,0.25,0.5
+//   --theta=<N>          sketch walks (default 2^16)
+//   --k=<N>              top-k budget (default 50)
+//   --k_max=<N>          min-seed search bound (default 64)
+//   --repeats=<N>        best-of-N per timing (default 3)
+//   --json_out=<p>       dump BENCH_select.json
+#include "bench_common.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/estimated_greedy.h"
+#include "core/min_seed.h"
+#include "core/sketch.h"
+#include "util/timer.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+namespace {
+
+/// Best-of-N wall-clock of `fn` (the first call's result is kept; repeated
+/// calls must be deterministic, which the equality checks enforce anyway).
+template <typename Fn>
+double BestOf(int repeats, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+struct TopKRow {
+  double exhaustive_sec = 0.0, lazy_sec = 0.0;
+  double exhaustive_evals = 0.0, lazy_evals = 0.0;
+  bool answers_match = false;
+  double speedup() const { return exhaustive_sec / lazy_sec; }
+};
+
+struct MinSeedRow {
+  double search_sec = 0.0, single_pass_sec = 0.0;
+  uint32_t search_calls = 0, single_pass_calls = 0;
+  uint32_t k_star = 0;
+  bool achievable = false;
+  bool answers_match = false;
+  double speedup() const { return search_sec / single_pass_sec; }
+};
+
+struct Row {
+  double scale = 0.0;
+  uint32_t n = 0;
+  uint64_t m = 0;
+  TopKRow topk;
+  MinSeedRow minseed;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  const datasets::DatasetName name =
+      ParseDatasetOrDie(options.GetString("dataset", "tw-mask"));
+  const std::vector<double> scales =
+      options.GetDoubleList("scales", {0.1, 0.25, 0.5});
+  const auto theta = static_cast<uint64_t>(options.GetInt("theta", 1 << 16));
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 50));
+  const uint32_t k_max = static_cast<uint32_t>(options.GetInt("k_max", 64));
+  const int repeats =
+      std::max<int>(1, static_cast<int>(options.GetInt("repeats", 3)));
+  const auto seed = static_cast<uint64_t>(options.GetInt("seed", 1));
+  const double mu = options.GetDouble("mu", 10.0);
+  const auto horizon = static_cast<uint32_t>(options.GetInt("t", 10));
+  const bool csv = options.GetBool("csv", false);
+
+  std::vector<Row> rows;
+  bool all_match = true;
+
+  for (const double scale : scales) {
+    const datasets::Dataset ds = datasets::MakeDataset(name, scale, seed, mu);
+    opinion::FJModel model(ds.influence);
+    Row row;
+    row.scale = scale;
+    row.n = ds.influence.num_nodes();
+    row.m = ds.influence.num_edges();
+
+    // ---- top-k: exhaustive vs CELF on one cumulative sketch -------------
+    {
+      voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
+                                voting::ScoreSpec::Cumulative());
+      core::SketchBuildOptions build;
+      build.num_threads = 0;
+      const auto sketch = core::BuildSketchSet(ev, theta, seed, build);
+      const uint32_t budget = std::min(k, row.n);
+
+      core::SelectionResult exhaustive, lazy;
+      auto run = [&](bool use_lazy, core::SelectionResult* out) {
+        sketch->ResetValues(ev.target_campaign().initial_opinions);
+        core::EstimatedGreedyOptions greedy;
+        greedy.evaluate_exact = false;
+        greedy.lazy = use_lazy;
+        *out = core::EstimatedGreedySelect(ev, budget, sketch.get(), greedy);
+      };
+      row.topk.exhaustive_sec = BestOf(repeats, [&] { run(false, &exhaustive); });
+      row.topk.lazy_sec = BestOf(repeats, [&] { run(true, &lazy); });
+      row.topk.exhaustive_evals = exhaustive.diagnostics.at("gain_evaluations");
+      row.topk.lazy_evals = lazy.diagnostics.at("gain_evaluations");
+      row.topk.answers_match =
+          exhaustive.seeds == lazy.seeds &&
+          exhaustive.diagnostics.at("estimated_score") ==
+              lazy.diagnostics.at("estimated_score");
+    }
+
+    // ---- min-seed: binary search vs single pass on one plurality sketch -
+    {
+      // The paper's Problem 2 scenario needs a trailing target: pick the
+      // underdog at the horizon (cf. bench_min_seeds).
+      opinion::CandidateId target = ds.default_target;
+      {
+        voting::ScoreEvaluator probe(model, ds.state, 0, horizon,
+                                     voting::ScoreSpec::Plurality());
+        const auto scores =
+            probe.ScoresAllCandidates(probe.HorizonOpinions(0));
+        for (opinion::CandidateId q = 1; q < scores.size(); ++q) {
+          if (scores[q] < scores[target]) target = q;
+        }
+      }
+      voting::ScoreEvaluator ev(model, ds.state, target, horizon,
+                                voting::ScoreSpec::Plurality());
+      core::SketchBuildOptions build;
+      build.num_threads = 0;
+      const auto sketch = core::BuildSketchSet(ev, theta, seed, build);
+
+      const core::SeedSelector budget_selector =
+          [&](const core::ScoreEvaluator& ev_ref, uint32_t budget) {
+            sketch->ResetValues(ev_ref.target_campaign().initial_opinions);
+            core::EstimatedGreedyOptions greedy;
+            greedy.evaluate_exact = false;
+            return core::EstimatedGreedySelect(ev_ref, budget, sketch.get(),
+                                               greedy);
+          };
+      const core::PrefixSelector prefix_selector =
+          [&](const core::ScoreEvaluator& ev_ref, uint32_t budget,
+              const core::PrefixCallback& on_prefix) {
+            sketch->ResetValues(ev_ref.target_campaign().initial_opinions);
+            core::EstimatedGreedyOptions greedy;
+            greedy.evaluate_exact = false;
+            greedy.on_prefix = core::ToGreedyPrefixHook(on_prefix);
+            return core::EstimatedGreedySelect(ev_ref, budget, sketch.get(),
+                                               greedy);
+          };
+
+      core::MinSeedResult searched, single;
+      row.minseed.search_sec = BestOf(repeats, [&] {
+        searched = core::MinSeedsToWin(ev, budget_selector, k_max);
+      });
+      row.minseed.single_pass_sec = BestOf(repeats, [&] {
+        single = core::MinSeedsToWinSinglePass(ev, prefix_selector, k_max);
+      });
+      row.minseed.search_calls = searched.selector_calls;
+      row.minseed.single_pass_calls = single.selector_calls;
+      row.minseed.k_star = single.k_star;
+      row.minseed.achievable = single.achievable;
+      row.minseed.answers_match = searched.achievable == single.achievable &&
+                                  searched.k_star == single.k_star &&
+                                  searched.seeds == single.seeds;
+    }
+
+    all_match =
+        all_match && row.topk.answers_match && row.minseed.answers_match;
+    rows.push_back(row);
+  }
+
+  Table table({"scale", "n", "topk exh s", "topk lazy s", "topk speedup",
+               "evals exh", "evals lazy", "ms search s", "ms 1pass s",
+               "ms speedup", "k*", "match"});
+  for (const Row& row : rows) {
+    table.Add(Table::Num(row.scale, 2), std::to_string(row.n),
+              Table::Num(row.topk.exhaustive_sec, 4),
+              Table::Num(row.topk.lazy_sec, 4),
+              Table::Num(row.topk.speedup(), 2),
+              Table::Num(row.topk.exhaustive_evals, 0),
+              Table::Num(row.topk.lazy_evals, 0),
+              Table::Num(row.minseed.search_sec, 4),
+              Table::Num(row.minseed.single_pass_sec, 4),
+              Table::Num(row.minseed.speedup(), 2),
+              (row.minseed.achievable ? "" : ">") +
+                  std::to_string(row.minseed.k_star),
+              row.topk.answers_match && row.minseed.answers_match ? "yes"
+                                                                  : "NO");
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    std::cout << "\n== Selection hot path: CELF lazy greedy and single-pass "
+                 "min-seed vs the exact baselines (dataset="
+              << DatasetShortName(name) << ", theta=" << theta << ", k=" << k
+              << ", k_max=" << k_max << ", t=" << horizon << ") ==\n\n";
+    table.Print(std::cout);
+    std::cout << "\n(identical answers required; the speedup is pure "
+                 "evaluation-order / search-structure savings)\n";
+  }
+
+  if (options.Has("json_out")) {
+    const Row& largest = rows.back();
+    std::ofstream out(options.GetString("json_out", "BENCH_select.json"));
+    out.precision(6);
+    out << "{\n  \"bench\": \"bench_select\",\n"
+        << "  \"dataset\": \"" << DatasetShortName(name) << "\",\n"
+        << "  \"theta\": " << theta << ",\n  \"k\": " << k
+        << ",\n  \"k_max\": " << k_max << ",\n  \"horizon\": " << horizon
+        << ",\n  \"repeats\": " << repeats
+        << ",\n  \"host\": " << HostMetadataJson() << ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      out << "    {\"scale\": " << row.scale << ", \"n\": " << row.n
+          << ", \"m\": " << row.m << ",\n     \"topk\": {\"exhaustive_sec\": "
+          << row.topk.exhaustive_sec << ", \"lazy_sec\": " << row.topk.lazy_sec
+          << ", \"speedup\": " << row.topk.speedup()
+          << ", \"exhaustive_gain_evals\": " << row.topk.exhaustive_evals
+          << ", \"lazy_gain_evals\": " << row.topk.lazy_evals
+          << ", \"answers_match\": "
+          << (row.topk.answers_match ? "true" : "false")
+          << "},\n     \"minseed\": {\"binary_search_sec\": "
+          << row.minseed.search_sec
+          << ", \"single_pass_sec\": " << row.minseed.single_pass_sec
+          << ", \"speedup\": " << row.minseed.speedup()
+          << ", \"binary_search_selector_calls\": " << row.minseed.search_calls
+          << ", \"single_pass_selector_calls\": "
+          << row.minseed.single_pass_calls
+          << ", \"k_star\": " << row.minseed.k_star << ", \"achievable\": "
+          << (row.minseed.achievable ? "true" : "false")
+          << ", \"answers_match\": "
+          << (row.minseed.answers_match ? "true" : "false") << "}}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"largest\": {\"n\": " << largest.n
+        << ", \"topk_speedup\": " << largest.topk.speedup()
+        << ", \"minseed_speedup\": " << largest.minseed.speedup()
+        << "},\n  \"answers_match_all\": " << (all_match ? "true" : "false")
+        << "\n}\n";
+  }
+  if (!all_match) {
+    std::cerr << "ERROR: optimized selection paths diverged from the exact "
+                 "baselines\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/min_seed.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace voteopt::core {
 
@@ -26,7 +27,7 @@ MinSeedResult MinSeedsToWin(const ScoreEvaluator& evaluator,
   }
 
   const uint32_t n = evaluator.num_users();
-  uint32_t upper = (k_max == 0 || k_max > n) ? n : k_max;
+  const uint32_t upper = (k_max == 0 || k_max > n) ? n : k_max;
 
   // Check feasibility at the maximum budget first.
   SelectionResult at_upper = selector(evaluator, upper);
@@ -39,10 +40,12 @@ MinSeedResult MinSeedsToWin(const ScoreEvaluator& evaluator,
   }
   result.achievable = true;
   result.k_star = upper;
-  result.seeds = at_upper.seeds;
+  result.seeds = std::move(at_upper.seeds);
 
   // Binary search: invariant — target loses at `lower`, wins with
-  // result.seeds of size result.k_star <= upper.
+  // result.seeds of size result.k_star <= upper. Correct exactly when the
+  // winning predicate is monotone in the budget, which the greedy
+  // selectors guarantee through prefix nesting (see min_seed.h).
   uint32_t lower = 0;
   while (result.k_star - lower > 1) {
     const uint32_t mid = lower + (result.k_star - lower) / 2;
@@ -54,6 +57,48 @@ MinSeedResult MinSeedsToWin(const ScoreEvaluator& evaluator,
     } else {
       lower = mid;
     }
+  }
+  return result;
+}
+
+MinSeedResult MinSeedsToWinSinglePass(const ScoreEvaluator& evaluator,
+                                      const PrefixSelector& selector,
+                                      uint32_t k_max) {
+  MinSeedResult result;
+  if (TargetWins(evaluator, {})) {
+    result.achievable = true;
+    result.k_star = 0;
+    return result;
+  }
+
+  const uint32_t n = evaluator.num_users();
+  const uint32_t upper = (k_max == 0 || k_max > n) ? n : k_max;
+
+  // One selection at the full budget; prefix nesting means the budget-j
+  // greedy set IS the length-j prefix, so the first winning prefix is the
+  // binary search's k*. The winning prefix is captured here rather than
+  // taken from the returned result, so a selector that keeps selecting
+  // after the stop signal still yields the right seed set.
+  uint32_t winning_len = 0;
+  std::vector<graph::NodeId> winning_seeds;
+  const PrefixCallback on_prefix =
+      [&](uint32_t len, const std::vector<graph::NodeId>& prefix) {
+        if (!TargetWins(evaluator, prefix)) return false;
+        winning_len = len;
+        winning_seeds = prefix;
+        return true;  // stop selecting: this prefix already wins
+      };
+  SelectionResult full = selector(evaluator, upper, on_prefix);
+  ++result.selector_calls;
+
+  if (winning_len > 0) {
+    result.achievable = true;
+    result.k_star = winning_len;
+    result.seeds = std::move(winning_seeds);
+  } else {
+    result.achievable = false;
+    result.k_star = upper;  // reports the exhausted budget, like the search
+    result.seeds = std::move(full.seeds);
   }
   return result;
 }

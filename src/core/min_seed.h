@@ -1,7 +1,22 @@
 // Problem 2 (FJ-Vote-Win, paper Algorithm 2): the smallest seed budget k*
 // for which the target candidate's score at the horizon strictly exceeds
-// every competitor's, found by binary search over k (the scores are
-// non-decreasing in the seed set).
+// every competitor's.
+//
+// Two drivers share the result type:
+//  * MinSeedsToWin — the paper's binary search over k. It treats the
+//    selector as a black box and relies only on the winning predicate being
+//    monotone in the budget: if the selector's k-budget set wins, its
+//    k'-budget set for k' > k must win too. For the greedy selectors this
+//    holds because greedy is PREFIX-NESTED — the seed set at budget k is a
+//    prefix of the seed set at budget k' > k when both selections run over
+//    the same frozen evaluation substrate (the exact evaluator, or one
+//    fixed sketch reset between probes) — and scores are non-decreasing in
+//    the seed set. tests/core_min_seed_test.cc pins the nesting invariant.
+//  * MinSeedsToWinSinglePass — the fast path that makes the invariant
+//    explicit: because greedy budgets nest, ONE selection at k_max visits
+//    every candidate budget as a prefix, so checking the winning criterion
+//    per prefix replaces the per-probe full reselection entirely — one
+//    selector call instead of 1 + O(log k_max).
 #ifndef VOTEOPT_CORE_MIN_SEED_H_
 #define VOTEOPT_CORE_MIN_SEED_H_
 
@@ -17,7 +32,8 @@ struct MinSeedResult {
   std::vector<graph::NodeId> seeds;
   /// False when even the maximum budget cannot make the target win.
   bool achievable = false;
-  /// Number of selector invocations spent by the binary search.
+  /// Number of selector invocations spent: 1 + O(log k_max) for the binary
+  /// search, at most 1 for the single-pass driver.
   uint32_t selector_calls = 0;
 };
 
@@ -26,6 +42,39 @@ struct MinSeedResult {
 /// (paper § III-C Remark 2). `k_max` bounds the search (0 means n).
 MinSeedResult MinSeedsToWin(const ScoreEvaluator& evaluator,
                             const SeedSelector& selector, uint32_t k_max = 0);
+
+/// Invoked by a PrefixSelector after each greedy iteration with the 1-based
+/// prefix length and the seed prefix in selection order; returning true
+/// stops the selection with exactly that prefix.
+using PrefixCallback =
+    std::function<bool(uint32_t, const std::vector<graph::NodeId>&)>;
+
+/// A selection driver for the single-pass fast path: runs ONE greedy
+/// selection at budget `k`, reporting every prefix through `on_prefix`
+/// (e.g. EstimatedGreedySelect with EstimatedGreedyOptions::on_prefix).
+using PrefixSelector = std::function<SelectionResult(
+    const ScoreEvaluator&, uint32_t k, const PrefixCallback& on_prefix)>;
+
+class WalkSet;
+
+/// Adapts a PrefixCallback to the (iteration, prefix, walks) signature of
+/// EstimatedGreedyOptions::on_prefix, dropping the walk-set argument — the
+/// one-line glue every sketch-backed PrefixSelector needs.
+inline std::function<bool(uint32_t, const std::vector<graph::NodeId>&,
+                          const WalkSet&)>
+ToGreedyPrefixHook(const PrefixCallback& on_prefix) {
+  return [on_prefix](uint32_t len, const std::vector<graph::NodeId>& prefix,
+                     const WalkSet&) { return on_prefix(len, prefix); };
+}
+
+/// Single-pass Algorithm 2 for prefix-nested (greedy) selectors: one
+/// selection at the k_max budget, checking TargetWins after every selected
+/// seed and stopping at the first winning prefix. Returns the same k* and
+/// seeds as MinSeedsToWin over the equivalent per-budget selector, with
+/// selector_calls <= 1 (0 when the target already wins seedless).
+MinSeedResult MinSeedsToWinSinglePass(const ScoreEvaluator& evaluator,
+                                      const PrefixSelector& selector,
+                                      uint32_t k_max = 0);
 
 /// True when the target's score strictly exceeds every competitor's score
 /// under the given seed set.

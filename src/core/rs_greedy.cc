@@ -36,15 +36,22 @@ SelectionResult RSGreedySelect(const ScoreEvaluator& evaluator, uint32_t k,
     theta = std::clamp<uint64_t>(theta, 1, options.theta_cap);
   }
 
-  std::unique_ptr<WalkSet> walks;
-  if (options.num_threads == 1) {
-    walks = BuildSketchSet(evaluator, theta, &rng);
-  } else {
-    SketchBuildOptions build_options;
-    build_options.num_threads = options.num_threads;
-    walks = BuildSketchSet(evaluator, theta, rng.Next(), build_options);
-  }
-  SelectionResult result = EstimatedGreedySelect(evaluator, k, walks.get());
+  // Every thread count goes through the sharded fixed-block builder: its
+  // output is a pure function of (master_seed, theta, block_size), so the
+  // sketch — and with it the selected seeds — is identical whether the
+  // blocks are generated inline or on a pool. (A previous num_threads == 1
+  // special case used the legacy serial stream instead, which drew walks
+  // from a different RNG sequence and made --threads=1 answers diverge
+  // from --threads=N; tests/core_sketch_parallel_test.cc pins the
+  // invariance.)
+  SketchBuildOptions build_options;
+  build_options.num_threads = options.num_threads;
+  std::unique_ptr<WalkSet> walks =
+      BuildSketchSet(evaluator, theta, rng.Next(), build_options);
+  EstimatedGreedyOptions greedy_options;
+  greedy_options.num_threads = options.num_threads;
+  SelectionResult result =
+      EstimatedGreedySelect(evaluator, k, walks.get(), greedy_options);
   result.seconds = timer.Seconds();
   result.diagnostics["theta"] = static_cast<double>(theta);
   if (opt_lb > 0.0) result.diagnostics["opt_lower_bound"] = opt_lb;

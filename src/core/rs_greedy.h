@@ -26,10 +26,11 @@ struct RSOptions {
   uint64_t theta_start = 256;
   double convergence_tol = 0.02;
   uint64_t rng_seed = 42;
-  /// Worker threads for sketch construction: 1 = the legacy serial stream,
-  /// 0 = one per hardware thread, N = exactly N workers. Any value other
-  /// than 1 uses the sharded builder, whose output is deterministic in
-  /// (rng_seed, theta) and independent of the thread count.
+  /// Worker threads for sketch construction AND the per-iteration gain
+  /// scan of the rank-sensitive / Copeland selection paths: 0 = one per
+  /// hardware thread, N = exactly N workers (1 runs inline). All counts go
+  /// through the sharded fixed-block builder and the deterministic chunked
+  /// scan, so seeds and scores are identical for every value.
   uint32_t num_threads = 1;
 };
 

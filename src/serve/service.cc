@@ -39,6 +39,18 @@ Result<voting::ScoreSpec> ResolveSpec(const Request& request,
   return spec;
 }
 
+/// Selection options for serve-side greedy runs. Explicit rather than
+/// default-constructed so the service, not the library default, decides the
+/// evaluate_exact semantics: inner selections never pay the extra exact
+/// propagation — HandleTopK and HandleMinSeed score the final answer
+/// exactly themselves, exactly once. Queries already run one-per-worker, so
+/// the gain scan stays single-threaded (num_threads = 1).
+core::EstimatedGreedyOptions ServeSelectionOptions() {
+  core::EstimatedGreedyOptions options;
+  options.evaluate_exact = false;
+  return options;
+}
+
 DatasetInfo InfoOf(const DatasetEntry& entry) {
   DatasetInfo info;
   info.name = entry.name;
@@ -189,8 +201,8 @@ Response CampaignService::HandleTopK(const Request& request,
   }
   const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
   ResetSketch(entry, state);
-  const core::SelectionResult selection =
-      core::EstimatedGreedySelect(*evaluator, request.k, state.walks.get());
+  const core::SelectionResult selection = core::EstimatedGreedySelect(
+      *evaluator, request.k, state.walks.get(), ServeSelectionOptions());
 
   Response response;
   response.id = request.id;
@@ -198,7 +210,7 @@ Response CampaignService::HandleTopK(const Request& request,
   response.dataset = entry.name;
   response.seeds = selection.seeds;
   response.estimated_score = selection.diagnostics.at("estimated_score");
-  response.exact_score = selection.score;
+  response.exact_score = evaluator->EvaluateSeeds(selection.seeds);
   response.millis = timer.Millis();
   return response;
 }
@@ -214,15 +226,22 @@ Response CampaignService::HandleMinSeed(const Request& request,
         request, Status::InvalidArgument("k_max exceeds num_nodes"));
   }
   const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
-  const core::SeedSelector selector =
+  // Single-pass Algorithm 2: greedy on the frozen sketch is prefix-nested,
+  // so ONE selection at k_max — checking the winning criterion per prefix —
+  // replaces the old binary search's per-probe ResetSketch + full
+  // reselection. selector_calls is therefore at most 1 (see PROTOCOL.md).
+  const core::PrefixSelector selector =
       [this, &entry, &state](const voting::ScoreEvaluator& evaluator_ref,
-                             uint32_t budget) {
+                             uint32_t budget,
+                             const core::PrefixCallback& on_prefix) {
         ResetSketch(entry, state);
+        core::EstimatedGreedyOptions options = ServeSelectionOptions();
+        options.on_prefix = core::ToGreedyPrefixHook(on_prefix);
         return core::EstimatedGreedySelect(evaluator_ref, budget,
-                                           state.walks.get());
+                                           state.walks.get(), options);
       };
   const core::MinSeedResult result =
-      core::MinSeedsToWin(*evaluator, selector, request.k_max);
+      core::MinSeedsToWinSinglePass(*evaluator, selector, request.k_max);
 
   Response response;
   response.id = request.id;

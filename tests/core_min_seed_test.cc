@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "core/estimated_greedy.h"
 #include "core/greedy_dm.h"
+#include "core/sketch.h"
 #include "test_fixtures.h"
 
 namespace voteopt::core {
@@ -16,6 +20,43 @@ SeedSelector ExactGreedy() {
     return GreedyDMSelect(ev, k);
   };
 }
+
+/// The serve-style selection substrate: one frozen sketch, reset (not
+/// rebuilt) before every selection. Both min-seed drivers below run over
+/// the same sketch, so their answers must coincide exactly.
+struct SketchSubstrate {
+  std::unique_ptr<WalkSet> sketch;
+
+  explicit SketchSubstrate(const ScoreEvaluator& ev, uint64_t theta,
+                           uint64_t master_seed) {
+    SketchBuildOptions build;
+    build.num_threads = 2;
+    build.block_size = 512;
+    sketch = BuildSketchSet(ev, theta, master_seed, build);
+  }
+
+  /// Per-budget selector for the binary-search driver.
+  SeedSelector BudgetSelector() {
+    return [this](const ScoreEvaluator& ev, uint32_t k) {
+      sketch->ResetValues(ev.target_campaign().initial_opinions);
+      EstimatedGreedyOptions options;
+      options.evaluate_exact = false;
+      return EstimatedGreedySelect(ev, k, sketch.get(), options);
+    };
+  }
+
+  /// Prefix-reporting selector for the single-pass driver.
+  PrefixSelector SinglePassSelector() {
+    return [this](const ScoreEvaluator& ev, uint32_t k,
+                  const PrefixCallback& on_prefix) {
+      sketch->ResetValues(ev.target_campaign().initial_opinions);
+      EstimatedGreedyOptions options;
+      options.evaluate_exact = false;
+      options.on_prefix = ToGreedyPrefixHook(on_prefix);
+      return EstimatedGreedySelect(ev, k, sketch.get(), options);
+    };
+  }
+};
 
 TEST(TargetWinsTest, PaperExample) {
   auto ex = MakePaperExample();
@@ -107,6 +148,97 @@ TEST(MinSeedsTest, BinarySearchUsesLogCalls) {
   const auto result = MinSeedsToWin(ev, ExactGreedy());
   // 1 feasibility call + at most ceil(log2(64)) = 6 bisection steps.
   EXPECT_LE(result.selector_calls, 8u);
+}
+
+TEST(MinSeedsTest, GreedyBudgetsNestOnAFixedSketch) {
+  // The invariant both fast paths stand on: on one frozen sketch, the
+  // greedy seed set at budget k is a PREFIX of the seed set at k' > k.
+  for (const auto kind :
+       {voting::ScoreKind::kCumulative, voting::ScoreKind::kPlurality}) {
+    auto inst = MakeRandomInstance(40, 220, 2, 111);
+    opinion::FJModel model(inst.graph);
+    voting::ScoreSpec spec;
+    spec.kind = kind;
+    ScoreEvaluator ev(model, inst.state, 0, 4, spec);
+    SketchSubstrate substrate(ev, /*theta=*/4096, /*master_seed=*/13);
+    const SeedSelector select = substrate.BudgetSelector();
+
+    const auto at_12 = select(ev, 12).seeds;
+    ASSERT_EQ(at_12.size(), 12u);
+    for (const uint32_t k : {1u, 3u, 7u, 12u}) {
+      const auto at_k = select(ev, k).seeds;
+      ASSERT_EQ(at_k.size(), k) << voting::ScoreKindName(kind);
+      EXPECT_EQ(at_k, std::vector<graph::NodeId>(at_12.begin(),
+                                                 at_12.begin() + k))
+          << voting::ScoreKindName(kind) << " budget " << k;
+    }
+  }
+}
+
+TEST(MinSeedsTest, SinglePassMatchesBinarySearch) {
+  // Same sketch, same greedy: the single-pass driver must return exactly
+  // the binary search's k*, seeds, and achievability — with one selector
+  // call instead of 1 + O(log k).
+  uint32_t covered_achievable = 0;
+  for (const uint64_t seed : {211u, 223u, 227u, 229u, 233u}) {
+    auto inst = MakeRandomInstance(32, 170, 2, seed);
+    opinion::FJModel model(inst.graph);
+    for (const auto kind :
+         {voting::ScoreKind::kCumulative, voting::ScoreKind::kPlurality}) {
+      voting::ScoreSpec spec;
+      spec.kind = kind;
+      ScoreEvaluator ev(model, inst.state, 0, 3, spec);
+      SketchSubstrate substrate(ev, /*theta=*/4096, /*master_seed=*/seed);
+
+      const MinSeedResult searched =
+          MinSeedsToWin(ev, substrate.BudgetSelector());
+      const MinSeedResult single =
+          MinSeedsToWinSinglePass(ev, substrate.SinglePassSelector());
+
+      EXPECT_EQ(single.achievable, searched.achievable)
+          << voting::ScoreKindName(kind) << " seed " << seed;
+      EXPECT_EQ(single.k_star, searched.k_star)
+          << voting::ScoreKindName(kind) << " seed " << seed;
+      EXPECT_EQ(single.seeds, searched.seeds)
+          << voting::ScoreKindName(kind) << " seed " << seed;
+      EXPECT_LE(single.selector_calls, 1u);
+      if (searched.achievable && searched.k_star > 0) {
+        ++covered_achievable;
+        EXPECT_GE(searched.selector_calls, 2u);  // the path being replaced
+      }
+    }
+  }
+  // The sweep must actually exercise non-trivial instances.
+  EXPECT_GT(covered_achievable, 0u);
+}
+
+TEST(MinSeedsTest, SinglePassZeroWhenAlreadyWinning) {
+  auto ex = MakePaperExample();
+  opinion::FJModel model(ex.graph);
+  ScoreEvaluator ev(model, ex.state, 1, 1, voting::ScoreSpec::Cumulative());
+  SketchSubstrate substrate(ev, /*theta=*/2048, /*master_seed=*/5);
+  const auto result =
+      MinSeedsToWinSinglePass(ev, substrate.SinglePassSelector());
+  ASSERT_TRUE(result.achievable);
+  EXPECT_EQ(result.k_star, 0u);
+  EXPECT_TRUE(result.seeds.empty());
+  EXPECT_EQ(result.selector_calls, 0u);
+}
+
+TEST(MinSeedsTest, SinglePassUnachievableReportsExhaustedBudget) {
+  auto inst = MakeRandomInstance(12, 60, 2, 83);
+  for (uint32_t v = 0; v < 12; ++v) {
+    inst.state.campaigns[1].initial_opinions[v] = 1.0;
+    inst.state.campaigns[1].stubbornness[v] = 1.0;
+  }
+  opinion::FJModel model(inst.graph);
+  ScoreEvaluator ev(model, inst.state, 0, 3, voting::ScoreSpec::Cumulative());
+  SketchSubstrate substrate(ev, /*theta=*/2048, /*master_seed=*/7);
+  const auto result = MinSeedsToWinSinglePass(
+      ev, substrate.SinglePassSelector(), /*k_max=*/8);
+  EXPECT_FALSE(result.achievable);
+  EXPECT_EQ(result.k_star, 8u);
+  EXPECT_EQ(result.selector_calls, 1u);
 }
 
 }  // namespace

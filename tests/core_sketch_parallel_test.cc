@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/estimated_greedy.h"
+#include "core/rs_greedy.h"
 #include "core/sketch.h"
 #include "opinion/fj_model.h"
 #include "test_fixtures.h"
@@ -126,6 +127,40 @@ TEST(ParallelSketchTest, GreedyEstimateMatchesSerialWithinEpsilon) {
   EXPECT_NEAR(parallel.score, kExactBest, bound);
   EXPECT_NEAR(parallel.score, serial.score, bound);
   EXPECT_EQ(parallel.seeds, serial.seeds);  // both must pick user 1 (node 0)
+}
+
+TEST(ParallelSketchTest, RSGreedySeedsInvariantAcrossThreadCounts) {
+  // Regression: RSGreedySelect used to take a legacy serial-stream builder
+  // when num_threads == 1 and the sharded fixed-block builder otherwise, so
+  // --threads=1 and --threads=N answered from DIFFERENT sketches and could
+  // return different seed sets. Every thread count (including the
+  // hardware-default 0) must now produce identical seeds and scores.
+  auto inst = MakeRandomInstance(60, 320, 2, 37);
+  opinion::FJModel model(inst.graph);
+  for (const auto kind :
+       {voting::ScoreKind::kCumulative, voting::ScoreKind::kPlurality,
+        voting::ScoreKind::kCopeland}) {
+    voting::ScoreSpec spec;
+    spec.kind = kind;
+    ScoreEvaluator ev(model, inst.state, 0, 5, spec);
+
+    RSOptions base;
+    base.theta_override = 4096;
+    base.rng_seed = 77;
+    base.num_threads = 1;
+    const SelectionResult reference = RSGreedySelect(ev, 6, base);
+    ASSERT_EQ(reference.seeds.size(), 6u) << voting::ScoreKindName(kind);
+
+    for (const uint32_t threads : {2u, 4u, 0u}) {
+      RSOptions options = base;
+      options.num_threads = threads;
+      const SelectionResult result = RSGreedySelect(ev, 6, options);
+      EXPECT_EQ(result.seeds, reference.seeds)
+          << voting::ScoreKindName(kind) << " threads=" << threads;
+      EXPECT_DOUBLE_EQ(result.score, reference.score)
+          << voting::ScoreKindName(kind) << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

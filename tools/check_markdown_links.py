@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Checks that every relative markdown link points at an existing file.
+"""Checks that every relative markdown link points at an existing target.
 
 Usage: check_markdown_links.py FILE.md [FILE.md ...]
 
 Scans inline links `[text](target)` and image links `![alt](target)`.
-External targets (http/https/mailto) and pure in-page anchors (#...) are
-skipped; everything else is resolved relative to the containing file and
-must exist on disk. Exits non-zero listing every broken link — the CI
-guard that keeps README.md and docs/ from drifting apart.
+External targets (http/https/mailto) are skipped; everything else is
+resolved relative to the containing file and must exist on disk.
+
+Fragments are validated too: for `#section` (in-page) and `FILE.md#section`
+links the fragment must match a heading of the referenced markdown file
+under GitHub's slug rules (lowercase, spaces to dashes, punctuation
+dropped), so renaming a section breaks the build, not the reader. This is
+the CI guard that keeps README.md and docs/ from drifting apart.
 """
 import os
 import re
@@ -16,9 +20,46 @@ import sys
 # Inline links; [1] is the target. Deliberately simple: the repo's docs use
 # plain inline links without nested parentheses or angle brackets.
 LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
 
 
-def check(path: str) -> list[str]:
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown emphasis/code marks and
+    punctuation, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.lower().replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set[str]:
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    with open(path, encoding="utf-8") as handle:
+        in_fence = False
+        for line in handle:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING.match(line)
+            if not match:
+                continue
+            slug = slugify(match.group(1))
+            # GitHub de-duplicates repeated headings with -1, -2, ...
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check(path: str, slug_cache: dict[str, set[str]]) -> list[str]:
+    def slugs_of(md_path: str) -> set[str]:
+        key = os.path.abspath(md_path)
+        if key not in slug_cache:
+            slug_cache[key] = heading_slugs(key)
+        return slug_cache[key]
+
     broken = []
     base = os.path.dirname(os.path.abspath(path))
     with open(path, encoding="utf-8") as handle:
@@ -26,11 +67,20 @@ def check(path: str) -> list[str]:
             for target in LINK.findall(line):
                 if target.startswith(("http://", "https://", "mailto:")):
                     continue
-                if target.startswith("#"):
-                    continue  # in-page anchor
-                resolved = os.path.join(base, target.split("#", 1)[0])
+                file_part, _, fragment = target.partition("#")
+                resolved = (
+                    os.path.abspath(path)
+                    if not file_part
+                    else os.path.join(base, file_part)
+                )
                 if not os.path.exists(resolved):
                     broken.append(f"{path}:{lineno}: broken link '{target}'")
+                    continue
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in slugs_of(resolved):
+                        broken.append(
+                            f"{path}:{lineno}: broken anchor '{target}' "
+                            f"(no heading slug '{fragment}')")
     return broken
 
 
@@ -39,8 +89,9 @@ def main() -> int:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failures = []
+    slug_cache: dict[str, set[str]] = {}
     for path in sys.argv[1:]:
-        failures.extend(check(path))
+        failures.extend(check(path, slug_cache))
     for failure in failures:
         print(failure, file=sys.stderr)
     checked = len(sys.argv) - 1
@@ -48,7 +99,7 @@ def main() -> int:
         print(f"{len(failures)} broken link(s) across {checked} file(s)",
               file=sys.stderr)
         return 1
-    print(f"all relative links resolve across {checked} file(s)")
+    print(f"all relative links and anchors resolve across {checked} file(s)")
     return 0
 
 
