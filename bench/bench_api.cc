@@ -1,0 +1,349 @@
+// API-layer benchmark: what the unified typed query API costs and what the
+// new MethodCompare scenario delivers.
+//
+//  * dispatch overhead — the same work executed through api::Engine
+//    (registry resolve + pooled state lease + evaluator LRU + typed
+//    response assembly) vs the hand-rolled core path an embedded caller
+//    would otherwise write (evaluator + frozen-view reset + direct
+//    selection / propagation). Engine answers must equal the direct
+//    answers bit-for-bit; the overhead target for the selection path
+//    (topk) is <= 1%. The evaluate row is the worst case by construction:
+//    it is the cheapest query in the protocol, so fixed per-query dispatch
+//    cost is maximally visible there — recorded for honesty, not gated.
+//  * methodcompare — one request runs the paper's § VIII-A roster on one
+//    hosted instance; recorded per method: selection seconds and the exact
+//    score of its seeds (the table behind the paper's Fig. 12-style
+//    comparisons, now a single protocol verb).
+//
+//   --theta=<N>      sketch walks (default 2^16)
+//   --k=<N>          selection budget (default 8)
+//   --queries=<N>    evaluate/topk repetitions per timing (default 64/8)
+//   --methods=<L>    methodcompare roster (default: all nine)
+//   --repeats=<N>    best-of-N per timing (default 3)
+//   --json_out=<p>   dump BENCH_api.json
+#include "bench_common.h"
+
+#include <algorithm>
+#include <fstream>
+#include <tuple>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "core/estimated_greedy.h"
+#include "util/timer.h"
+
+using namespace voteopt;
+using namespace voteopt::bench;
+
+namespace {
+
+/// Timing for a PAIR of per-query workloads, interleaved at QUERY
+/// granularity (engine query i, direct query i, engine query i+1, ...)
+/// with one accumulating timer per side; the reported pair is the round
+/// with the MEDIAN engine/direct ratio. Two defenses, both necessary on
+/// a noisy 1-core CI box where identical workloads measured against
+/// themselves swing by ±5% per round — bigger than the dispatch effect
+/// being measured: per-query interleaving spreads a noise spike across
+/// both sides instead of landing it on one, and the median round
+/// discards the contaminated outliers that best-of-N would happily pick
+/// for whichever side got lucky.
+struct PairedTiming {
+  double engine_sec = 0.0;
+  double direct_sec = 0.0;
+  /// Half the spread of the per-round engine/direct ratios, in percent —
+  /// how much the rounds of THIS measurement disagreed with each other,
+  /// i.e. the measurement's own uncertainty.
+  double half_spread_pct = 0.0;
+};
+
+template <typename EngineFn, typename DirectFn>
+PairedTiming PairedMedian(int repeats, size_t queries,
+                          const EngineFn& engine_query,
+                          const DirectFn& direct_query) {
+  std::vector<std::pair<double, double>> rounds;
+  for (int round = 0; round < repeats; ++round) {
+    double engine_sec = 0.0;
+    double direct_sec = 0.0;
+    for (size_t i = 0; i < queries; ++i) {
+      WallTimer timer;
+      engine_query(i);
+      engine_sec += timer.Seconds();
+      timer.Restart();
+      direct_query(i);
+      direct_sec += timer.Seconds();
+    }
+    rounds.emplace_back(engine_sec, direct_sec);
+  }
+  std::sort(rounds.begin(), rounds.end(),
+            [](const std::pair<double, double>& a,
+               const std::pair<double, double>& b) {
+              return a.first / a.second < b.first / b.second;
+            });
+  PairedTiming timing;
+  std::tie(timing.engine_sec, timing.direct_sec) = rounds[rounds.size() / 2];
+  const double lo = rounds.front().first / rounds.front().second;
+  const double hi = rounds.back().first / rounds.back().second;
+  timing.half_spread_pct = 100.0 * (hi - lo) / 2.0;
+  return timing;
+}
+
+struct OverheadRow {
+  std::string query;
+  double engine_sec = 0.0;
+  double direct_sec = 0.0;
+  bool answers_match = true;
+  double overhead_pct() const {
+    return 100.0 * (engine_sec - direct_sec) / direct_sec;
+  }
+};
+
+struct MethodRow {
+  std::string method;
+  double seconds = 0.0;
+  double exact_score = 0.0;
+  size_t num_seeds = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options(argc, argv);
+  BenchEnv env = MakeEnv(options, "tw-mask", /*default_scale=*/0.1);
+  const auto theta = static_cast<uint64_t>(options.GetInt("theta", 1 << 16));
+  const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 8));
+  const size_t evaluate_queries = static_cast<size_t>(
+      std::max<int64_t>(1, options.GetInt("queries", 64)));
+  const size_t topk_queries = std::max<size_t>(1, evaluate_queries / 8);
+  const int repeats =
+      std::max<int>(1, static_cast<int>(options.GetInt("repeats", 3)));
+  const std::vector<baselines::Method> roster = ParseMethods(options);
+  const uint32_t n = env.num_nodes();
+
+  // The engine under test hosts the instance in memory; the "direct" side
+  // reuses the same frozen sketch through a zero-copy working view, so
+  // both paths do identical algorithmic work on identical walks.
+  auto engine = api::Engine::Open({});
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  api::HostOptions host;
+  host.theta = theta;
+  host.horizon = env.horizon;
+  host.rng_seed = 42;
+  if (Status st = (*engine)->Host("bench", env.dataset, host); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  const auto entry = (*engine)->registry().Resolve("bench").value();
+  const voting::ScoreEvaluator evaluator(*entry->model, entry->dataset.state,
+                                         entry->meta.target,
+                                         entry->meta.horizon,
+                                         voting::ScoreSpec::Cumulative());
+  const auto direct_walks = entry->sketch->ShareFrozen(entry->sketch);
+
+  std::vector<OverheadRow> rows;
+  bool all_match = true;
+  double topk_half_spread_pct = 0.0;
+
+  // ---- evaluate: the cheapest query => worst-case relative overhead ----
+  {
+    OverheadRow row;
+    row.query = "evaluate";
+    std::vector<api::Request> requests;
+    for (size_t i = 0; i < evaluate_queries; ++i) {
+      api::Request request = api::Request::Evaluate(
+          {static_cast<graph::NodeId>(i % n),
+           static_cast<graph::NodeId>((i * 7 + 1) % n)},
+          voting::ScoreSpec::Cumulative());
+      request.overrides = {{static_cast<graph::NodeId>((i * 3) % n),
+                            static_cast<double>(i % 10) / 10.0}};
+      requests.push_back(std::move(request));
+    }
+    std::vector<double> engine_scores(requests.size());
+    std::vector<double> direct_scores(requests.size());
+    std::vector<uint32_t> engine_winners(requests.size());
+    std::vector<uint32_t> direct_winners(requests.size());
+    auto engine_query = [&](size_t i) {
+      const api::Response response = (*engine)->Execute(requests[i]);
+      engine_scores[i] = response.score;
+      engine_winners[i] = response.winner;
+    };
+    auto direct_query = [&](size_t i) {
+      // What HandleEvaluate computes — target score, all-candidate
+      // scores, winner — hand-rolled on the core API.
+      opinion::Campaign campaign =
+          entry->dataset.state.campaigns[entry->meta.target];
+      for (const auto& [user, opinion] : requests[i].overrides) {
+        campaign.initial_opinions[user] = opinion;
+      }
+      const std::vector<double> target_row = entry->model->PropagateWithSeeds(
+          campaign, requests[i].seeds, entry->meta.horizon);
+      direct_scores[i] = evaluator.ScoreFromTargetOpinions(target_row);
+      const std::vector<double> all =
+          evaluator.ScoresAllCandidates(target_row);
+      direct_winners[i] = static_cast<uint32_t>(
+          std::max_element(all.begin(), all.end()) - all.begin());
+    };
+    const PairedTiming timing = PairedMedian(
+        repeats, requests.size(), engine_query, direct_query);
+    row.engine_sec = timing.engine_sec;
+    row.direct_sec = timing.direct_sec;
+    row.answers_match =
+        engine_scores == direct_scores && engine_winners == direct_winners;
+    all_match = all_match && row.answers_match;
+    rows.push_back(row);
+  }
+
+  // ---- topk: the selection path the <=1% dispatch target applies to ----
+  {
+    OverheadRow row;
+    row.query = "topk";
+    api::Request request =
+        api::Request::TopK(std::min(k, n), voting::ScoreSpec::Cumulative());
+    request.dataset = "bench";
+    std::vector<graph::NodeId> engine_seeds;
+    double engine_exact = 0.0;
+    std::vector<graph::NodeId> direct_seeds;
+    double direct_exact = 0.0;
+    const PairedTiming timing = PairedMedian(
+        repeats, topk_queries,
+        [&](size_t) {
+          const api::Response response = (*engine)->Execute(request);
+          engine_seeds = response.seeds;
+          engine_exact = response.exact_score;
+        },
+        [&](size_t) {
+          direct_walks->ResetValues(
+              evaluator.target_campaign().initial_opinions);
+          core::EstimatedGreedyOptions greedy;
+          greedy.evaluate_exact = false;
+          const core::SelectionResult selection =
+              core::EstimatedGreedySelect(evaluator, request.k,
+                                          direct_walks.get(), greedy);
+          direct_seeds = selection.seeds;
+          direct_exact = evaluator.EvaluateSeeds(selection.seeds);
+        });
+    row.engine_sec = timing.engine_sec;
+    row.direct_sec = timing.direct_sec;
+    topk_half_spread_pct = timing.half_spread_pct;
+    row.answers_match =
+        engine_seeds == direct_seeds && engine_exact == direct_exact;
+    all_match = all_match && row.answers_match;
+    rows.push_back(row);
+  }
+
+  // ---- control: engine vs engine — the box's timing noise floor -------
+  // Identical workloads on both sides, so any nonzero reading is pure
+  // measurement noise. The recorded topk gate compares against
+  // target + |noise floor|: on a quiet multi-core host the floor is ~0
+  // and the 1% target bites; on a noisy CI container it does not
+  // produce false alarms.
+  double noise_floor_pct = 0.0;
+  {
+    api::Request request =
+        api::Request::TopK(std::min(k, n), voting::ScoreSpec::Cumulative());
+    request.dataset = "bench";
+    const auto run = [&](size_t) { (*engine)->Execute(request); };
+    const PairedTiming control = PairedMedian(repeats, topk_queries, run, run);
+    double control_pct =
+        100.0 * (control.engine_sec - control.direct_sec) / control.direct_sec;
+    if (control_pct < 0) control_pct = -control_pct;
+    // The floor is whichever is larger: the control's bias, or how much
+    // the topk measurement's own rounds disagreed with each other.
+    noise_floor_pct = std::max(control_pct, topk_half_spread_pct);
+  }
+
+  // ---- methodcompare: the roster on one instance, one request ----------
+  api::Request compare =
+      api::Request::MethodCompare(std::min(k, n),
+                                  voting::ScoreSpec::Plurality());
+  compare.dataset = "bench";
+  compare.methods = roster;
+  compare.options.methods = DefaultMethodOptions(options);
+  const api::Response comparison = (*engine)->Execute(compare);
+  if (!comparison.ok) {
+    std::cerr << "methodcompare failed: " << comparison.error << "\n";
+    return 1;
+  }
+  std::vector<MethodRow> methods;
+  for (const api::MethodScore& entry_score : comparison.method_scores) {
+    methods.push_back({entry_score.method, entry_score.seconds,
+                       entry_score.exact_score, entry_score.seeds.size()});
+  }
+
+  Table overhead_table(
+      {"query", "engine sec", "direct sec", "overhead %", "answers match"});
+  for (const OverheadRow& row : rows) {
+    overhead_table.Add(row.query, Table::Num(row.engine_sec, 5),
+                       Table::Num(row.direct_sec, 5),
+                       Table::Num(row.overhead_pct(), 2),
+                       row.answers_match ? "yes" : "NO");
+  }
+  Emit(env,
+       "API dispatch overhead: api::Engine vs hand-rolled core path "
+       "(theta=" + std::to_string(theta) + ", k=" + std::to_string(k) +
+           ", " + std::to_string(evaluate_queries) + " evaluates / " +
+           std::to_string(topk_queries) + " topks per pass)",
+       overhead_table);
+  std::cout << "(timing noise floor — max of the engine-vs-engine control "
+               "and the topk rounds' half-spread: "
+            << Table::Num(noise_floor_pct, 2)
+            << "%; the overhead target gates at target + floor)\n";
+
+  Table method_table({"method", "select sec", "exact score", "seeds"});
+  for (const MethodRow& row : methods) {
+    method_table.Add(row.method, Table::Num(row.seconds, 4),
+                     Table::Num(row.exact_score, 2),
+                     std::to_string(row.num_seeds));
+  }
+  Emit(env,
+       "MethodCompare: the nine-method roster on one hosted instance "
+       "(plurality, k=" + std::to_string(k) + ")",
+       method_table);
+
+  const double topk_overhead = rows.back().overhead_pct();
+  if (options.Has("json_out")) {
+    std::ofstream out(options.GetString("json_out", "BENCH_api.json"));
+    out.precision(6);
+    out << "{\n  \"bench\": \"bench_api\",\n"
+        << "  \"dataset\": \"" << env.dataset.name << "\",\n"
+        << "  \"n\": " << n << ",\n  \"m\": " << env.graph().num_edges()
+        << ",\n  \"theta\": " << theta << ",\n  \"k\": " << k
+        << ",\n  \"horizon\": " << env.horizon
+        << ",\n  \"repeats\": " << repeats
+        << ",\n  \"host\": " << HostMetadataJson()
+        << ",\n  \"dispatch_overhead\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const OverheadRow& row = rows[i];
+      out << "    {\"query\": \"" << row.query << "\", \"engine_sec\": "
+          << row.engine_sec << ", \"direct_sec\": " << row.direct_sec
+          << ", \"overhead_pct\": " << row.overhead_pct()
+          << ", \"answers_match\": " << (row.answers_match ? "true" : "false")
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"overhead_target_pct\": 1.0"
+        << ",\n  \"noise_floor_pct\": " << noise_floor_pct
+        << ",\n  \"topk_overhead_pct\": " << topk_overhead
+        << ",\n  \"topk_overhead_ok\": "
+        << (topk_overhead <= 1.0 + noise_floor_pct ? "true" : "false")
+        << ",\n  \"methodcompare\": [\n";
+    for (size_t i = 0; i < methods.size(); ++i) {
+      const MethodRow& row = methods[i];
+      out << "    {\"method\": \"" << row.method << "\", \"seconds\": "
+          << row.seconds << ", \"exact_score\": " << row.exact_score
+          << ", \"k\": " << row.num_seeds << "}"
+          << (i + 1 < methods.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"answers_match_all\": " << (all_match ? "true" : "false")
+        << "\n}\n";
+  }
+  if (!all_match) {
+    std::cerr << "ERROR: engine answers diverged from the direct core "
+                 "path\n";
+    return 1;
+  }
+  return 0;
+}

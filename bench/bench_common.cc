@@ -144,8 +144,8 @@ std::vector<baselines::Method> ParseMethods(const Options& options) {
                                                       : comma - start);
     if (!token.empty()) {
       const auto method = baselines::ParseMethod(token);
-      if (!method) {
-        std::cerr << "unknown method '" << token << "'\n";
+      if (!method.ok()) {
+        std::cerr << method.status().ToString() << "\n";
         std::exit(2);
       }
       methods.push_back(*method);

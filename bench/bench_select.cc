@@ -1,15 +1,19 @@
 // Selection hot-path benchmark: the two algorithmic rewrites of the greedy
-// engine, measured against the exact paths they replace on one shared
-// sketch per configuration.
+// engine, measured against the exact paths they replace — now driven
+// end-to-end through the typed query API (api::Engine), so the numbers are
+// what a serving deployment actually pays and the equalities prove the API
+// path answers exactly what the core algorithms answer.
 //
 //  * top-k — CELF lazy greedy (max-heap of stale upper bounds, cumulative
-//    score) vs the exhaustive one-scan-per-iteration baseline. Both paths
-//    must select bit-identical seeds; the win is the collapse in
-//    marginal-gain evaluations.
+//    score; QueryOptions::lazy = true) vs the exhaustive
+//    one-scan-per-iteration baseline (lazy = false). Both paths must
+//    select bit-identical seeds; the win is the collapse in marginal-gain
+//    evaluations.
 //  * min-seed — single-pass Algorithm 2 (one selection at k_max, winning
-//    criterion checked per greedy prefix) vs the binary search that pays a
-//    full ResetValues + reselection per probe. Both must return the same
-//    k*, seeds, and achievability.
+//    criterion checked per greedy prefix; QueryOptions::single_pass =
+//    true) vs the binary search that pays a full ResetValues + reselection
+//    per probe (single_pass = false). Both must return the same k*,
+//    seeds, and achievability.
 //
 // Every configuration's equality checks roll up into "answers_match" — the
 // acceptance gate recorded in BENCH_select.json and enforced in CI.
@@ -29,9 +33,7 @@
 #include <string>
 #include <vector>
 
-#include "core/estimated_greedy.h"
-#include "core/min_seed.h"
-#include "core/sketch.h"
+#include "api/engine.h"
 #include "util/timer.h"
 
 using namespace voteopt;
@@ -76,6 +78,15 @@ struct Row {
   MinSeedRow minseed;
 };
 
+api::Response MustExecute(api::Engine& engine, const api::Request& request) {
+  api::Response response = engine.Execute(request);
+  if (!response.ok) {
+    std::cerr << "query failed: " << response.error << "\n";
+    std::exit(1);
+  }
+  return response;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,85 +110,81 @@ int main(int argc, char** argv) {
 
   for (const double scale : scales) {
     const datasets::Dataset ds = datasets::MakeDataset(name, scale, seed, mu);
-    opinion::FJModel model(ds.influence);
     Row row;
     row.scale = scale;
     row.n = ds.influence.num_nodes();
     row.m = ds.influence.num_edges();
 
-    // ---- top-k: exhaustive vs CELF on one cumulative sketch -------------
+    // One engine per scale hosting the instance twice: once with the
+    // default target (the top-k scenario) and once targeting the horizon
+    // underdog (Problem 2 needs a trailing candidate; cf. bench_min_seeds).
+    auto engine = api::Engine::Open({});
+    if (!engine.ok()) {
+      std::cerr << engine.status().ToString() << "\n";
+      return 1;
+    }
+    api::HostOptions host;
+    host.theta = theta;
+    host.horizon = horizon;
+    host.rng_seed = seed;
+    if (Status st = (*engine)->Host("topk", ds, host); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
     {
-      voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
-                                voting::ScoreSpec::Cumulative());
-      core::SketchBuildOptions build;
-      build.num_threads = 0;
-      const auto sketch = core::BuildSketchSet(ev, theta, seed, build);
-      const uint32_t budget = std::min(k, row.n);
+      opinion::FJModel model(ds.influence);
+      voting::ScoreEvaluator probe(model, ds.state, 0, horizon,
+                                   voting::ScoreSpec::Plurality());
+      const auto scores = probe.ScoresAllCandidates(probe.HorizonOpinions(0));
+      uint32_t target = ds.default_target;
+      for (opinion::CandidateId q = 1; q < scores.size(); ++q) {
+        if (scores[q] < scores[target]) target = q;
+      }
+      host.target = target;
+    }
+    if (Status st = (*engine)->Host("minseed", ds, host); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
 
-      core::SelectionResult exhaustive, lazy;
-      auto run = [&](bool use_lazy, core::SelectionResult* out) {
-        sketch->ResetValues(ev.target_campaign().initial_opinions);
-        core::EstimatedGreedyOptions greedy;
-        greedy.evaluate_exact = false;
-        greedy.lazy = use_lazy;
-        *out = core::EstimatedGreedySelect(ev, budget, sketch.get(), greedy);
-      };
-      row.topk.exhaustive_sec = BestOf(repeats, [&] { run(false, &exhaustive); });
-      row.topk.lazy_sec = BestOf(repeats, [&] { run(true, &lazy); });
-      row.topk.exhaustive_evals = exhaustive.diagnostics.at("gain_evaluations");
+    // ---- top-k: exhaustive vs CELF on the hosted cumulative sketch ------
+    {
+      const uint32_t budget = std::min(k, row.n);
+      api::Request request =
+          api::Request::TopK(budget, voting::ScoreSpec::Cumulative());
+      request.dataset = "topk";
+      request.options.evaluate_exact = false;  // time pure selection
+
+      api::Response exhaustive, lazy;
+      request.options.lazy = false;
+      row.topk.exhaustive_sec = BestOf(
+          repeats, [&] { exhaustive = MustExecute(**engine, request); });
+      request.options.lazy = true;
+      row.topk.lazy_sec =
+          BestOf(repeats, [&] { lazy = MustExecute(**engine, request); });
+      row.topk.exhaustive_evals =
+          exhaustive.diagnostics.at("gain_evaluations");
       row.topk.lazy_evals = lazy.diagnostics.at("gain_evaluations");
       row.topk.answers_match =
           exhaustive.seeds == lazy.seeds &&
-          exhaustive.diagnostics.at("estimated_score") ==
-              lazy.diagnostics.at("estimated_score");
+          exhaustive.estimated_score == lazy.estimated_score;
     }
 
-    // ---- min-seed: binary search vs single pass on one plurality sketch -
+    // ---- min-seed: binary search vs single pass on the underdog's
+    //      plurality sketch ----------------------------------------------
     {
-      // The paper's Problem 2 scenario needs a trailing target: pick the
-      // underdog at the horizon (cf. bench_min_seeds).
-      opinion::CandidateId target = ds.default_target;
-      {
-        voting::ScoreEvaluator probe(model, ds.state, 0, horizon,
-                                     voting::ScoreSpec::Plurality());
-        const auto scores =
-            probe.ScoresAllCandidates(probe.HorizonOpinions(0));
-        for (opinion::CandidateId q = 1; q < scores.size(); ++q) {
-          if (scores[q] < scores[target]) target = q;
-        }
-      }
-      voting::ScoreEvaluator ev(model, ds.state, target, horizon,
-                                voting::ScoreSpec::Plurality());
-      core::SketchBuildOptions build;
-      build.num_threads = 0;
-      const auto sketch = core::BuildSketchSet(ev, theta, seed, build);
+      api::Request request =
+          api::Request::MinSeed(k_max, voting::ScoreSpec::Plurality());
+      request.dataset = "minseed";
+      request.options.evaluate_exact = false;
 
-      const core::SeedSelector budget_selector =
-          [&](const core::ScoreEvaluator& ev_ref, uint32_t budget) {
-            sketch->ResetValues(ev_ref.target_campaign().initial_opinions);
-            core::EstimatedGreedyOptions greedy;
-            greedy.evaluate_exact = false;
-            return core::EstimatedGreedySelect(ev_ref, budget, sketch.get(),
-                                               greedy);
-          };
-      const core::PrefixSelector prefix_selector =
-          [&](const core::ScoreEvaluator& ev_ref, uint32_t budget,
-              const core::PrefixCallback& on_prefix) {
-            sketch->ResetValues(ev_ref.target_campaign().initial_opinions);
-            core::EstimatedGreedyOptions greedy;
-            greedy.evaluate_exact = false;
-            greedy.on_prefix = core::ToGreedyPrefixHook(on_prefix);
-            return core::EstimatedGreedySelect(ev_ref, budget, sketch.get(),
-                                               greedy);
-          };
-
-      core::MinSeedResult searched, single;
-      row.minseed.search_sec = BestOf(repeats, [&] {
-        searched = core::MinSeedsToWin(ev, budget_selector, k_max);
-      });
-      row.minseed.single_pass_sec = BestOf(repeats, [&] {
-        single = core::MinSeedsToWinSinglePass(ev, prefix_selector, k_max);
-      });
+      api::Response searched, single;
+      request.options.single_pass = false;
+      row.minseed.search_sec = BestOf(
+          repeats, [&] { searched = MustExecute(**engine, request); });
+      request.options.single_pass = true;
+      row.minseed.single_pass_sec =
+          BestOf(repeats, [&] { single = MustExecute(**engine, request); });
       row.minseed.search_calls = searched.selector_calls;
       row.minseed.single_pass_calls = single.selector_calls;
       row.minseed.k_star = single.k_star;
@@ -213,8 +220,9 @@ int main(int argc, char** argv) {
   if (csv) {
     table.PrintCsv(std::cout);
   } else {
-    std::cout << "\n== Selection hot path: CELF lazy greedy and single-pass "
-                 "min-seed vs the exact baselines (dataset="
+    std::cout << "\n== Selection hot path through api::Engine: CELF lazy "
+                 "greedy and single-pass min-seed vs the exact baselines "
+                 "(dataset="
               << DatasetShortName(name) << ", theta=" << theta << ", k=" << k
               << ", k_max=" << k_max << ", t=" << horizon << ") ==\n\n";
     table.Print(std::cout);
@@ -228,6 +236,7 @@ int main(int argc, char** argv) {
     out.precision(6);
     out << "{\n  \"bench\": \"bench_select\",\n"
         << "  \"dataset\": \"" << DatasetShortName(name) << "\",\n"
+        << "  \"path\": \"api_engine\",\n"
         << "  \"theta\": " << theta << ",\n  \"k\": " << k
         << ",\n  \"k_max\": " << k_max << ",\n  \"horizon\": " << horizon
         << ",\n  \"repeats\": " << repeats

@@ -1,15 +1,16 @@
 // Serve-layer benchmark: throughput and latency of the concurrent
-// CampaignService at 1..N worker threads over one hosted dataset.
+// api::Engine (the dispatch path behind CampaignService and the wire
+// protocol) at 1..N worker threads over one hosted dataset.
 //
 // An offline pass builds + persists the sketch once; each measured
-// configuration then opens a fresh service over the persisted store (mmap)
+// configuration then opens a fresh engine over the persisted store (mmap)
 // and answers the same deterministic mixed batch — topk selections
-// interleaved with exact evaluations — through HandleBatch, which fans the
-// queries out onto the worker pool. Recorded per thread count: wall-clock
-// batch time, queries/sec, and the per-query service latency distribution.
-// The answers at every thread count are compared against the 1-thread run
-// (modulo the millis field): the "answers match" column is the
-// thread-count-invariance acceptance check of the serving layer.
+// interleaved with exact evaluations — through ExecuteBatch, which fans
+// the queries out onto the worker pool. Recorded per thread count:
+// wall-clock batch time, queries/sec, and the per-query handling latency
+// distribution. The answers at every thread count are compared against the
+// 1-thread run (modulo the millis field): the "answers match" column is
+// the thread-count-invariance acceptance check of the serving layer.
 //
 //   --theta=<N>          sketch walks (default 2^17)
 //   --queries=<N>        batch size (default 64)
@@ -26,8 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "datasets/io.h"
-#include "serve/service.h"
+#include "serve/protocol.h"
 #include "util/timer.h"
 
 using namespace voteopt;
@@ -38,19 +40,19 @@ namespace {
 /// Deterministic mixed batch: every 4th request a top-k selection (the
 /// truncation-heavy path), the rest exact evaluations under per-request
 /// seed sets and opinion overrides (the cheap read-mostly path).
-std::vector<serve::Request> MakeBatch(size_t queries, uint32_t k,
+std::vector<api::Request> MakeBatch(size_t queries, uint32_t k,
                                       uint32_t num_nodes) {
-  std::vector<serve::Request> batch;
+  std::vector<api::Request> batch;
   batch.reserve(queries);
   for (size_t i = 0; i < queries; ++i) {
-    serve::Request request;
+    api::Request request;
     request.id = "q" + std::to_string(i);
     if (i % 4 == 0) {
-      request.op = serve::Request::Op::kTopK;
+      request.op = api::Request::Op::kTopK;
       request.k = k;
       request.rule = (i % 8 == 0) ? "cumulative" : "plurality";
     } else {
-      request.op = serve::Request::Op::kEvaluate;
+      request.op = api::Request::Op::kEvaluate;
       request.seeds = {static_cast<graph::NodeId>(i % num_nodes),
                        static_cast<graph::NodeId>((i * 7 + 1) % num_nodes)};
       request.overrides = {
@@ -84,7 +86,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  serve::ServiceOptions base;
+  api::EngineOptions base;
   base.load.bundle_prefix = prefix;
   base.load.build_theta = theta;
   base.load.build_horizon = env.horizon;
@@ -94,7 +96,7 @@ int main(int argc, char** argv) {
   // Offline pass: build + persist the artifact once, outside the timings.
   WallTimer timer;
   {
-    auto built = serve::CampaignService::Open(base);
+    auto built = api::Engine::Open(base);
     if (!built.ok()) {
       std::cerr << "build failed: " << built.status().ToString() << "\n";
       return 1;
@@ -102,7 +104,7 @@ int main(int argc, char** argv) {
   }
   const double build_sec = timer.Seconds();
 
-  const std::vector<serve::Request> batch =
+  const std::vector<api::Request> batch =
       MakeBatch(queries, k, env.num_nodes());
 
   struct Row {
@@ -118,20 +120,20 @@ int main(int argc, char** argv) {
   bool all_match = true;
 
   for (const int64_t threads : thread_counts) {
-    serve::ServiceOptions config = base;
+    api::EngineOptions config = base;
     config.num_worker_threads = static_cast<uint32_t>(threads);
     Row row;
     row.threads = static_cast<uint32_t>(threads);
     row.total_sec = std::numeric_limits<double>::infinity();
     for (int trial = 0; trial < repeats; ++trial) {
-      auto service = serve::CampaignService::Open(config);
-      if (!service.ok()) {
-        std::cerr << "open failed: " << service.status().ToString() << "\n";
+      auto engine = api::Engine::Open(config);
+      if (!engine.ok()) {
+        std::cerr << "open failed: " << engine.status().ToString() << "\n";
         return 1;
       }
       timer.Restart();
-      const std::vector<serve::Response> responses =
-          (*service)->HandleBatch(batch);
+      const std::vector<api::Response> responses =
+          (*engine)->ExecuteBatch(batch);
       const double total_sec = timer.Seconds();
 
       std::vector<double> latencies;
@@ -140,7 +142,7 @@ int main(int argc, char** argv) {
       bool match = true;
       std::vector<std::string> stable;
       stable.reserve(responses.size());
-      for (const serve::Response& response : responses) {
+      for (const api::Response& response : responses) {
         if (!response.ok) {
           std::cerr << "query failed: " << response.error << "\n";
           return 1;

@@ -1,13 +1,15 @@
 // Scenario: the paper's § VIII-B case study — the ACM general election on
 // a collaboration network with 7 research domains. Shows where the
 // selected seeds live, which domains swing, and that the seeds mostly
-// convert near-neutral users.
+// convert near-neutral users. Seed selection goes through the typed query
+// API (api::Engine, sketch-backed RS — the paper's recommendation at this
+// scale); the domain analysis keeps a local evaluator for the opinion
+// introspection the case study needs.
 //
 //   $ ./acm_election [--n=3000] [--k=100] [--t=20]
 #include <iostream>
 
-#include "core/rs_greedy.h"
-#include "core/sandwich.h"
+#include "api/engine.h"
 #include "datasets/case_study.h"
 #include "opinion/fj_model.h"
 #include "util/options.h"
@@ -32,16 +34,30 @@ int main(int argc, char** argv) {
   std::cout << "ACM election analog: " << config.num_users
             << " researchers across 7 domains; target candidate is the "
                "HCI/ML-leaning one.\n";
-  // Feasible solution via the sketch method (the paper's recommendation at
-  // this scale); the sandwich still evaluates S_U and S_L.
-  core::SandwichOptions sandwich;
-  sandwich.feasible = [](const voting::ScoreEvaluator& e, uint32_t budget) {
-    core::RSOptions rs;
-    rs.theta_override = 1u << 14;
-    return core::RSGreedySelect(e, budget, rs);
-  };
-  const auto result = core::SandwichSelect(ev, k, sandwich);
-  const auto report = datasets::AnalyzeCaseStudy(data, result.seeds, horizon);
+
+  // Host the instance and select seeds over the typed API — identical to
+  // what a voteopt_serve client would get for {"op": "topk", "k": ...,
+  // "rule": "plurality"}.
+  auto engine = api::Engine::Open({});
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  api::HostOptions host;
+  host.theta = 1u << 14;
+  host.horizon = horizon;
+  if (Status st = (*engine)->Host("acm", data.dataset, host); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  const api::Response response = (*engine)->Execute(
+      api::Request::TopK(k, voting::ScoreSpec::Plurality()));
+  if (!response.ok) {
+    std::cerr << response.error << "\n";
+    return 1;
+  }
+  const auto report =
+      datasets::AnalyzeCaseStudy(data, response.seeds, horizon);
 
   Table table({"domain", "researchers", "votes before", "votes after",
                "seeds"});
@@ -56,7 +72,7 @@ int main(int argc, char** argv) {
   // margin |b_target - b_rival| at the horizon.
   const auto& rival = ev.HorizonOpinions(1 - data.dataset.default_target);
   const auto before = ev.TargetHorizonOpinions({});
-  const auto after = ev.TargetHorizonOpinions(result.seeds);
+  const auto after = ev.TargetHorizonOpinions(response.seeds);
   uint32_t converts = 0, neutral_converts = 0;
   for (uint32_t v = 0; v < config.num_users; ++v) {
     const bool voted_before = before[v] > rival[v];

@@ -2,7 +2,10 @@
 // workflow an adopter would use:
 //   1. an influence graph as a SNAP-style edge list,
 //   2. campaign opinions/stubbornness as a TSV bundle,
-//   3. pick a method + score from the command line, write the seeds out.
+//   3. pick a method + voting rule from the command line, query the engine,
+//      write the seeds out.
+// The loaded bundle is hosted in api::Engine and queried through the typed
+// API — the same dispatch path the voteopt_serve wire protocol executes.
 //
 // Run without arguments it bootstraps a demo bundle first, so it always
 // works out of the box:
@@ -13,13 +16,11 @@
 #include <fstream>
 #include <iostream>
 
-#include "baselines/selector_factory.h"
+#include "api/engine.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
-#include "opinion/fj_model.h"
 #include "util/options.h"
 #include "util/table.h"
-#include "voting/evaluator.h"
 
 using namespace voteopt;
 
@@ -45,47 +46,72 @@ int main(int argc, char** argv) {
               << "': " << loaded.status().ToString() << "\n";
     return 1;
   }
-  const datasets::Dataset& ds = *loaded;
+  datasets::Dataset ds = std::move(loaded).value();
   std::cout << "Loaded '" << ds.name << "': n=" << ds.influence.num_nodes()
             << " m=" << ds.influence.num_edges()
             << " r=" << ds.state.num_candidates() << "\n";
 
+  // Case-insensitive, with an error message enumerating the roster.
   const auto method =
       baselines::ParseMethod(options.GetString("method", "RS"));
-  if (!method) {
-    std::cerr << "unknown --method (use DM|RW|RS|IC|LT|GED-T|PR|RWR|DC)\n";
+  if (!method.ok()) {
+    std::cerr << method.status().ToString() << "\n";
     return 2;
   }
-  voting::ScoreSpec spec = voting::ScoreSpec::Plurality();
-  const std::string score = options.GetString("score", "plurality");
-  if (score == "cumulative") spec = voting::ScoreSpec::Cumulative();
-  if (score == "copeland") spec = voting::ScoreSpec::Copeland();
-  if (score == "borda") {
-    spec = voting::ScoreSpec::Borda(ds.state.num_candidates());
+  // The rule is resolved against the loaded dataset (so "borda" derives
+  // its weights from this bundle's candidate count).
+  const auto spec =
+      api::ResolveRule(options.GetString("score", "plurality"),
+                       static_cast<uint32_t>(options.GetInt("p", 1)), {},
+                       ds.state.num_candidates());
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 2;
   }
 
-  opinion::FJModel model(ds.influence);
-  voting::ScoreEvaluator ev(
-      model, ds.state,
-      static_cast<uint32_t>(options.GetInt("target", ds.default_target)),
-      static_cast<uint32_t>(options.GetInt("t", 20)), spec);
+  auto engine = api::Engine::Open({});
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  api::HostOptions host;
+  // Only the RS method answers from the hosted sketch; for the other
+  // roster methods (which build their own substrate inside the query)
+  // keep the mandatory bootstrap sketch tiny instead of paying --theta
+  // walks that would never be read.
+  host.theta = *method == baselines::Method::kRS
+                   ? static_cast<uint64_t>(options.GetInt("theta", 1 << 16))
+                   : 1024;
+  host.horizon = static_cast<uint32_t>(options.GetInt("t", 20));
+  host.target =
+      static_cast<uint32_t>(options.GetInt("target", ds.default_target));
+  // --threads=0 (default) uses the sharded sketch builder with one worker
+  // per hardware thread; results are thread-count independent.
+  host.num_threads = static_cast<uint32_t>(options.GetInt("threads", 0));
+  if (Status st = (*engine)->Host("mine", std::move(ds), host); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
 
-  baselines::MethodOptions mo;
-  mo.rs.theta_override = static_cast<uint64_t>(options.GetInt("theta", 0));
-  // --threads=0 (default) uses the sharded BuildSketchSet fast path with
-  // one worker per hardware thread; results are thread-count independent.
-  mo.rs.num_threads = static_cast<uint32_t>(options.GetInt("threads", 0));
   const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 25));
-  const auto result = baselines::SelectWithMethod(*method, ev, k, mo);
+  const api::Response baseline =
+      (*engine)->Execute(api::Request::Evaluate({}, *spec));
+  const api::Response response =
+      (*engine)->Execute(api::Request::TopK(k, *spec, *method));
+  if (!response.ok) {
+    std::cerr << response.error << "\n";
+    return 1;
+  }
 
   std::cout << "\n" << baselines::MethodName(*method) << " selected " << k
-            << " seeds in " << Table::Num(result.seconds, 3) << " s\n"
-            << score << " score: " << ev.EvaluateSeeds({}) << " (no seeds) -> "
-            << result.score << " (with seeds)\n";
+            << " seeds in " << Table::Num(response.millis / 1000.0, 3)
+            << " s\n" << options.GetString("score", "plurality")
+            << " score: " << baseline.score << " (no seeds) -> "
+            << response.exact_score << " (with seeds)\n";
 
   const std::string out_path = options.GetString("out", prefix + ".seeds");
   std::ofstream out(out_path);
-  for (graph::NodeId s : result.seeds) out << s << "\n";
+  for (graph::NodeId s : response.seeds) out << s << "\n";
   std::cout << "seed ids written to " << out_path << "\n";
   return 0;
 }

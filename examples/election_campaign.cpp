@@ -1,18 +1,17 @@
 // Scenario: a four-party election on a Twitter-like retweet network (the
 // paper's Twitter US Election setting). A campaign manager for the target
 // party asks: with a budget of k activists, whom do we recruit, and does
-// the answer change with the voting rule?
+// the answer change with the voting rule? One RuleSweep query through the
+// typed API answers all five rules from a single hosted sketch.
 //
 //   $ ./election_campaign [--scale=0.2] [--k=50] [--t=20]
 #include <iostream>
 
-#include "baselines/selector_factory.h"
+#include "api/engine.h"
 #include "datasets/synthetic.h"
-#include "opinion/fj_model.h"
 #include "util/options.h"
 #include "util/stats.h"
 #include "util/table.h"
-#include "voting/evaluator.h"
 
 using namespace voteopt;
 
@@ -22,63 +21,75 @@ int main(int argc, char** argv) {
   const uint32_t k = static_cast<uint32_t>(options.GetInt("k", 50));
   const uint32_t horizon = static_cast<uint32_t>(options.GetInt("t", 20));
 
-  const datasets::Dataset ds = datasets::MakeDataset(
+  datasets::Dataset ds = datasets::MakeDataset(
       datasets::DatasetName::kTwitterElection, scale, /*seed=*/11);
-  opinion::FJModel model(ds.influence);
+  const uint32_t target = ds.default_target;
   std::cout << "Election network: " << ds.influence.num_nodes() << " users, "
             << ds.influence.num_edges() << " retweet edges, "
             << ds.state.num_candidates() << " parties. Target = party "
-            << ds.default_target << ", budget k = " << k << ".\n";
+            << target << ", budget k = " << k << ".\n";
+
+  // Host the instance in a query engine: the sketch is built once, every
+  // rule below queries it (the same Engine::Execute path the
+  // voteopt_serve wire protocol dispatches).
+  auto engine = api::Engine::Open({});
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  api::HostOptions host;
+  host.theta = 1u << 14;
+  host.horizon = horizon;
+  if (Status st = (*engine)->Host("election", std::move(ds), host); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
 
   // How does the winner look with no intervention?
   {
-    voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
-                              voting::ScoreSpec::Plurality());
-    const auto scores = ev.ScoresAllCandidates(ev.TargetHorizonOpinions({}));
+    const api::Response response = (*engine)->Execute(
+        api::Request::Evaluate({}, voting::ScoreSpec::Plurality()));
     std::cout << "\nPlurality votes at t=" << horizon << " with no seeds:";
-    for (size_t q = 0; q < scores.size(); ++q) {
-      std::cout << "  party" << q << "=" << scores[q];
+    for (size_t q = 0; q < response.all_scores.size(); ++q) {
+      std::cout << "  party" << q << "=" << response.all_scores[q];
     }
     std::cout << "\n";
   }
 
-  // Seeds under different voting rules, and how much they overlap.
-  baselines::MethodOptions mo;
-  mo.rs.theta_override = 1u << 14;
-  std::vector<std::pair<std::string, voting::ScoreSpec>> rules = {
-      {"cumulative", voting::ScoreSpec::Cumulative()},
-      {"plurality", voting::ScoreSpec::Plurality()},
-      {"2-approval", voting::ScoreSpec::PApproval(2)},
-      {"copeland", voting::ScoreSpec::Copeland()},
-  };
-  std::vector<std::vector<graph::NodeId>> seed_sets;
+  // Seeds under the five voting rules — ONE RuleSweep query. (Scenarios
+  // like this used to require a bespoke offline program assembling
+  // per-rule evaluators and selections by hand.)
+  api::Request sweep = api::Request::RuleSweep(k);
+  sweep.p = 2;  // the papproval entry scores top-2 approval
+  const api::Response response = (*engine)->Execute(sweep);
+  if (!response.ok) {
+    std::cerr << response.error << "\n";
+    return 1;
+  }
+
   Table table({"voting rule", "score w/o seeds", "score w/ seeds",
                "winner after seeding"});
-  for (const auto& [name, spec] : rules) {
-    voting::ScoreEvaluator ev(model, ds.state, ds.default_target, horizon,
-                              spec);
-    const auto result =
-        baselines::SelectWithMethod(baselines::Method::kRS, ev, k, mo);
-    seed_sets.push_back(result.seeds);
-    const auto all =
-        ev.ScoresAllCandidates(ev.TargetHorizonOpinions(result.seeds));
-    uint32_t winner = 0;
-    for (uint32_t q = 1; q < all.size(); ++q) {
-      if (all[q] > all[winner]) winner = q;
-    }
-    table.Add(name, Table::Num(ev.EvaluateSeeds({}), 1),
-              Table::Num(result.score, 1),
-              winner == ds.default_target ? "target party"
-                                          : "party " + std::to_string(winner));
+  for (const api::RuleScore& rule : response.rule_scores) {
+    // Baseline score of the empty seed set under the same rule.
+    api::Request baseline_request = api::Request::Evaluate({}, {});
+    baseline_request.rule = rule.rule == "positional" ? "borda" : rule.rule;
+    baseline_request.p = sweep.p;
+    const api::Response baseline = (*engine)->Execute(baseline_request);
+    table.Add(rule.rule, Table::Num(baseline.score, 1),
+              Table::Num(rule.exact_score, 1),
+              rule.winner == target ? "target party"
+                                    : "party " + std::to_string(rule.winner));
   }
   std::cout << "\n";
   table.Print(std::cout);
 
   std::cout << "\nSeed overlap across rules (fraction shared):\n";
+  const auto& rules = response.rule_scores;
   for (size_t i = 0; i < rules.size(); ++i) {
     for (size_t j = i + 1; j < rules.size(); ++j) {
-      std::cout << "  " << rules[i].first << " vs " << rules[j].first << ": "
-                << Table::Num(OverlapFraction(seed_sets[i], seed_sets[j]), 2)
+      std::cout << "  " << rules[i].rule << " vs " << rules[j].rule << ": "
+                << Table::Num(OverlapFraction(rules[i].seeds, rules[j].seeds),
+                              2)
                 << "\n";
     }
   }

@@ -1,20 +1,22 @@
 // Scenario: the offline-build -> persist -> serve split, end to end in one
 // file. An offline job builds the expensive sketch artifact once with the
 // sharded builder and persists it into the dataset bundle; the online side
-// opens a CampaignService over the persisted store (mmap, zero-copy) and
-// answers a mixed batch of queries — different budgets and voting rules —
-// from that single artifact, fanned out over a small worker pool (answers
-// are identical whatever the thread count).
+// opens an api::Engine over the persisted store (mmap, zero-copy) and
+// answers a mixed batch of typed queries — different budgets, voting
+// rules, and selection methods — from that single artifact, fanned out
+// over a small worker pool (answers are identical whatever the thread
+// count, and identical to what the voteopt_serve wire protocol returns:
+// both run Engine::Execute).
 //
 //   $ ./example_persist_and_serve
 //   $ ./example_persist_and_serve --theta=500000 --k=25
 #include <iostream>
 
+#include "api/engine.h"
 #include "core/sketch.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
 #include "opinion/fj_model.h"
-#include "serve/service.h"
 #include "store/sketch_store.h"
 #include "util/options.h"
 #include "util/timer.h"
@@ -53,48 +55,47 @@ int main(int argc, char** argv) {
   std::cout << "offline: built " << theta << " walks and persisted "
             << sketch_path << " in " << timer.Seconds() << " s\n";
 
-  // --- online: a fresh service loads the store and answers everything
+  // --- online: a fresh engine loads the store and answers everything
   //     from it. No walk is ever regenerated.
-  serve::ServiceOptions service_options;
-  service_options.load.bundle_prefix = prefix;
-  service_options.load.build_theta = 0;  // must load, never rebuild
-  service_options.num_worker_threads = 2;
+  api::EngineOptions engine_options;
+  engine_options.load.bundle_prefix = prefix;
+  engine_options.load.build_theta = 0;  // must load, never rebuild
+  engine_options.num_worker_threads = 2;
   timer.Restart();
-  auto service = serve::CampaignService::Open(service_options);
-  if (!service.ok()) {
-    std::cerr << service.status().ToString() << "\n";
+  auto engine = api::Engine::Open(engine_options);
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
     return 1;
   }
   std::cout << "online: store loaded in " << timer.Seconds() << " s (mmap)\n\n";
 
-  std::vector<serve::Request> batch;
-  for (const char* rule : {"cumulative", "plurality", "copeland"}) {
-    serve::Request request;
-    request.op = serve::Request::Op::kTopK;
-    request.k = k;
-    request.rule = rule;
-    batch.push_back(request);
+  std::vector<api::Request> batch;
+  for (const auto& spec :
+       {voting::ScoreSpec::Cumulative(), voting::ScoreSpec::Plurality(),
+        voting::ScoreSpec::Copeland()}) {
+    batch.push_back(api::Request::TopK(k, spec));
   }
+  // The degree heuristic over the same wire-visible query surface.
+  batch.push_back(api::Request::TopK(k, voting::ScoreSpec::Plurality(),
+                                     baselines::Method::kDegree));
+  batch.push_back(
+      api::Request::MinSeed(100, voting::ScoreSpec::Cumulative()));
   {
-    serve::Request request;
-    request.op = serve::Request::Op::kMinSeed;
-    request.k_max = 100;
-    batch.push_back(request);
-    request = {};
-    request.op = serve::Request::Op::kEvaluate;
-    request.seeds = {1, 2, 3};
-    request.overrides = {{0, 1.0}};
-    batch.push_back(request);
+    api::Request evaluate =
+        api::Request::Evaluate({1, 2, 3}, voting::ScoreSpec::Cumulative());
+    evaluate.overrides = {{0, 1.0}};
+    batch.push_back(evaluate);
   }
-  for (const serve::Response& response : (*service)->HandleBatch(batch)) {
+  batch.push_back(api::Request::RuleSweep(k));
+  for (const api::Response& response : (*engine)->ExecuteBatch(batch)) {
     std::cout << response.ToJson() << "\n";
   }
 
-  const auto stats = (*service)->stats();
+  const auto stats = (*engine)->stats();
   std::cout << "\n" << stats.queries << " queries, "
             << stats.evaluator_cache_misses << " evaluator builds, "
             << stats.sketch_resets << " O(theta) sketch resets — one "
-            << (static_cast<double>((*service)->walks().memory_bytes()) /
+            << (static_cast<double>((*engine)->walks().memory_bytes()) /
                 (1024.0 * 1024.0))
             << " MiB artifact served them all\n";
   return 0;

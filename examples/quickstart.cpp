@@ -1,18 +1,18 @@
 // Quickstart: build a small influence graph by hand, set up two competing
-// campaigns, and pick seeds for the target under three voting scores.
+// campaigns, and pick seeds for the target under three voting scores —
+// through the typed query API (api::Engine), the same dispatch path the
+// voteopt_serve wire protocol executes.
 //
 //   $ ./quickstart
 //
 // Walks through the full public API: GraphBuilder -> Campaign ->
-// FJModel -> ScoreEvaluator -> seed selection (exact DM and sketch RS).
+// FJModel propagation -> api::Engine::Host -> typed TopK / MethodCompare
+// queries (exact DM vs the paper's sketch-backed RS).
 #include <iostream>
 
-#include "core/greedy_dm.h"
-#include "core/rs_greedy.h"
-#include "core/sandwich.h"
+#include "api/engine.h"
 #include "graph/builder.h"
 #include "opinion/fj_model.h"
-#include "voting/evaluator.h"
 
 using namespace voteopt;
 
@@ -34,7 +34,6 @@ int main() {
               << "\n";
     return 1;
   }
-  const graph::Graph graph = std::move(built).value();
 
   // 2. Two campaigns: initial opinions b0 and stubbornness d per user, both
   //    in [0, 1]. Candidate 0 is our target; candidate 1 the competitor.
@@ -44,49 +43,71 @@ int main() {
   state.campaigns[0].stubbornness = {0.8, 0.3, 0.2, 0.4, 0.3, 0.5};
   state.campaigns[1].initial_opinions = {0.1, 0.7, 0.5, 0.6, 0.5, 0.6};
   state.campaigns[1].stubbornness = {0.5, 0.6, 0.3, 0.5, 0.4, 0.4};
-  if (Status st = state.Validate(graph.num_nodes()); !st.ok()) {
+  if (Status st = state.Validate(built->num_nodes()); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
 
   // 3. Propagate opinions to a horizon and look at the electorate.
-  opinion::FJModel model(graph);
   const uint32_t horizon = 8;
-  const auto opinions = model.Propagate(state.campaigns[0], horizon);
-  std::cout << "target opinions at t=" << horizon << ":";
-  for (double b : opinions) std::cout << " " << b;
-  std::cout << "\n\n";
+  {
+    opinion::FJModel model(*built);
+    const auto opinions = model.Propagate(state.campaigns[0], horizon);
+    std::cout << "target opinions at t=" << horizon << ":";
+    for (double b : opinions) std::cout << " " << b;
+    std::cout << "\n\n";
+  }
 
-  // 4. Select k seeds under each voting score. The evaluator caches the
-  //    competitor's horizon opinions; selection algorithms reuse it.
+  // 4. Host the instance in a query engine. Host() builds the RS sketch
+  //    in memory (no disk round trip); every subsequent query — here and
+  //    over the voteopt_serve wire protocol — runs the identical
+  //    Engine::Execute path.
+  datasets::Dataset dataset;
+  dataset.name = "quickstart";
+  dataset.influence = std::move(built).value();
+  dataset.state = std::move(state);
+  dataset.default_target = 0;
+
+  auto engine = api::Engine::Open({});  // empty registry
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+  api::HostOptions host;
+  host.theta = 2000;
+  host.horizon = horizon;
+  if (Status st = (*engine)->Host("quickstart", std::move(dataset), host);
+      !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  // 5. Select k seeds under each voting score. MethodCompare runs the
+  //    exact greedy (DM) and the paper's recommended sketch method (RS) on
+  //    the same instance; the evaluator behind both is cached per rule.
   const uint32_t k = 2;
   for (const auto& spec :
        {voting::ScoreSpec::Cumulative(), voting::ScoreSpec::Plurality(),
         voting::ScoreSpec::Copeland()}) {
-    voting::ScoreEvaluator evaluator(model, state, /*target=*/0, horizon,
-                                     spec);
-    // Exact greedy (+ sandwich approximation for non-submodular scores).
-    const core::SelectionResult exact =
-        spec.kind == voting::ScoreKind::kCumulative
-            ? core::GreedyDMSelect(evaluator, k)
-            : core::SandwichSelect(evaluator, k);
-    // The paper's recommended sketch-based method, on the supported fast
-    // path: num_threads != 1 routes through the sharded BuildSketchSet
-    // overload (SketchBuildOptions), whose output is deterministic in the
-    // seed and independent of the worker count.
-    core::RSOptions rs;
-    rs.theta_override = 2000;
-    rs.num_threads = 0;  // sharded builder, one worker per hardware thread
-    const core::SelectionResult sketch =
-        core::RSGreedySelect(evaluator, k, rs);
+    api::Request compare = api::Request::MethodCompare(k, spec);
+    compare.methods = {baselines::Method::kDM, baselines::Method::kRS};
+    const api::Response response = (*engine)->Execute(compare);
+    if (!response.ok) {
+      std::cerr << response.error << "\n";
+      return 1;
+    }
+    const api::Response baseline = (*engine)->Execute(
+        api::Request::Evaluate({}, spec));  // score with no seeds
 
     std::cout << voting::ScoreKindName(spec.kind)
-              << ": score without seeds = "
-              << evaluator.EvaluateSeeds({}) << "\n  exact greedy seeds = {";
-    for (auto s : exact.seeds) std::cout << " " << s;
-    std::cout << " } score = " << exact.score << "\n  sketch (RS) seeds = {";
-    for (auto s : sketch.seeds) std::cout << " " << s;
-    std::cout << " } score = " << sketch.score << "\n";
+              << ": score without seeds = " << baseline.score << "\n";
+    for (const api::MethodScore& entry : response.method_scores) {
+      std::cout << "  " << (entry.method == "DM" ? "exact greedy (DM)"
+                                                 : "sketch (RS)")
+                << " seeds = {";
+      for (auto s : entry.seeds) std::cout << " " << s;
+      std::cout << " } score = " << entry.exact_score << "\n";
+    }
   }
   return 0;
 }

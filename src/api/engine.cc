@@ -1,0 +1,512 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "core/estimated_greedy.h"
+#include "core/min_seed.h"
+#include "util/timer.h"
+
+namespace voteopt::api {
+
+namespace {
+
+/// Sketch-selection options for one query. Explicit rather than
+/// default-constructed so the engine, not the library default, decides the
+/// evaluate_exact semantics: inner selections never pay the extra exact
+/// propagation — the topk/minseed handlers score the final answer exactly
+/// themselves, exactly once (when the request asks for it). The lazy /
+/// num_threads knobs come from the request's QueryOptions; their defaults
+/// reproduce the serve layer's historical behavior bit-identically.
+core::EstimatedGreedyOptions SketchSelectionOptions(
+    const QueryOptions& options) {
+  core::EstimatedGreedyOptions greedy;
+  greedy.evaluate_exact = false;
+  greedy.lazy = options.lazy;
+  greedy.num_threads = options.num_threads;
+  return greedy;
+}
+
+DatasetInfo InfoOf(const DatasetEntry& entry) {
+  DatasetInfo info;
+  info.name = entry.name;
+  info.num_nodes = entry.dataset.influence.num_nodes();
+  info.num_candidates = entry.dataset.state.num_candidates();
+  info.theta = entry.meta.theta;
+  info.horizon = entry.meta.horizon;
+  info.target = entry.meta.target;
+  info.sketch_built = entry.sketch_built;
+  return info;
+}
+
+/// The method's own score estimate when it reports one (RW/RS sketch
+/// estimates), else the given fallback (exact methods estimate nothing).
+double EstimateOf(const core::SelectionResult& selection, double fallback) {
+  const auto it = selection.diagnostics.find("estimated_score");
+  return it != selection.diagnostics.end() ? it->second : fallback;
+}
+
+uint32_t ArgMax(const std::vector<double>& scores) {
+  return static_cast<uint32_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+}  // namespace
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options),
+      states_(options.evaluator_cache_capacity),
+      pool_(std::make_unique<ThreadPool>(options.num_worker_threads)) {}
+
+Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
+  auto engine = std::unique_ptr<Engine>(new Engine(options));
+  if (!options.load.bundle_prefix.empty()) {
+    auto entry = engine->registry_.Load(options.dataset_name, options.load);
+    if (!entry.ok()) return entry.status();
+    engine->bootstrap_built_ = (*entry)->sketch_built;
+  }
+  return engine;
+}
+
+Status Engine::Host(const std::string& name, datasets::Dataset dataset,
+                    const HostOptions& host_options) {
+  auto entry = registry_.Host(name, std::move(dataset), host_options);
+  return entry.ok() ? Status::OK() : entry.status();
+}
+
+const datasets::Dataset& Engine::dataset() const {
+  return registry_.Resolve("").value()->dataset;
+}
+
+const store::SketchMeta& Engine::sketch_meta() const {
+  return registry_.Resolve("").value()->meta;
+}
+
+const core::WalkSet& Engine::walks() const {
+  return *registry_.Resolve("").value()->sketch;
+}
+
+Engine::Stats Engine::stats() const {
+  Stats stats;
+  stats.queries = queries_.load();
+  stats.errors = errors_.load();
+  stats.evaluator_cache_hits = evaluator_cache_hits_.load();
+  stats.evaluator_cache_misses = evaluator_cache_misses_.load();
+  stats.sketch_resets = sketch_resets_.load();
+  stats.worker_states = states_.states_created();
+  stats.sketch_built = bootstrap_built_;
+  return stats;
+}
+
+const voting::ScoreEvaluator* Engine::EvaluatorFor(
+    const voting::ScoreSpec& spec, QueryState& state) {
+  bool cache_hit = false;
+  const voting::ScoreEvaluator* evaluator =
+      state.EvaluatorFor(spec, &cache_hit);
+  ++(cache_hit ? evaluator_cache_hits_ : evaluator_cache_misses_);
+  return evaluator;
+}
+
+void Engine::ResetSketch(const DatasetEntry& entry, QueryState& state) {
+  state.walks->ResetValues(entry.target_opinions());
+  ++sketch_resets_;
+}
+
+Response Engine::Execute(const Request& request) {
+  ++queries_;
+  Response response;
+  if (request.v == 0 || request.v > kProtocolVersion) {
+    // The codec rejects these before they reach the engine; typed callers
+    // get the same clean error instead of silently-wrong semantics.
+    response = Response::Error(
+        request, Status::InvalidArgument(
+                     "unsupported protocol version v=" +
+                     std::to_string(request.v) + " (this engine speaks v1-v" +
+                     std::to_string(kProtocolVersion) + ")"));
+  } else {
+    response = Dispatch(request);
+  }
+  if (!response.ok) ++errors_;
+  return response;
+}
+
+Response Engine::Dispatch(const Request& request) {
+  switch (request.op) {
+    case Request::Op::kTopK:
+    case Request::Op::kMinSeed:
+    case Request::Op::kEvaluate:
+    case Request::Op::kMethodCompare:
+    case Request::Op::kRuleSweep:
+      return ExecuteQuery(request);
+    case Request::Op::kLoad:
+      return HandleLoad(request);
+    case Request::Op::kUnload:
+      return HandleUnload(request);
+    case Request::Op::kList:
+      return HandleList(request);
+  }
+  return Response::Error(request, Status::Internal("unroutable op"));
+}
+
+std::vector<Response> Engine::ExecuteBatch(const std::vector<Request>& batch) {
+  // A one-request batch (the interactive stdin path) gains nothing from a
+  // pool hand-off; answer inline and skip two cross-thread hops.
+  if (batch.size() == 1) return {Execute(batch[0])};
+  std::vector<Response> responses(batch.size());
+  std::vector<std::pair<size_t, std::future<Response>>> inflight;
+  auto drain = [&] {
+    for (auto& [index, future] : inflight) responses[index] = future.get();
+    inflight.clear();
+  };
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    if (IsAdminOp(request.op)) {
+      // Admin requests are ordering barriers: every query before them sees
+      // the registry as it was, every query after them the updated one —
+      // exactly the serial semantics, whatever the worker count.
+      drain();
+      responses[i] = Execute(request);
+    } else {
+      inflight.emplace_back(
+          i, pool_->Submit([this, &request] { return Execute(request); }));
+    }
+  }
+  drain();
+  return responses;
+}
+
+Response Engine::ExecuteQuery(const Request& request) {
+  auto entry = registry_.Resolve(request.dataset);
+  if (!entry.ok()) return Response::Error(request, entry.status());
+  StatePool::Lease state = states_.Acquire(*entry);
+  switch (request.op) {
+    case Request::Op::kTopK:
+      return HandleTopK(request, **entry, *state);
+    case Request::Op::kMinSeed:
+      return HandleMinSeed(request, **entry, *state);
+    case Request::Op::kMethodCompare:
+      return HandleMethodCompare(request, **entry, *state);
+    case Request::Op::kRuleSweep:
+      return HandleRuleSweep(request, **entry, *state);
+    default:
+      return HandleEvaluate(request, **entry, *state);
+  }
+}
+
+core::SelectionResult Engine::SelectSeeds(
+    baselines::Method method, const voting::ScoreEvaluator& evaluator,
+    uint32_t k, const QueryOptions& options, const DatasetEntry& entry,
+    QueryState& state) {
+  if (method == baselines::Method::kRS) {
+    // RS answers from the hosted artifact: rebuild the working view's
+    // O(theta) dynamic state, then run the greedy loop on the frozen walks.
+    ResetSketch(entry, state);
+    return core::EstimatedGreedySelect(evaluator, k, state.walks.get(),
+                                       SketchSelectionOptions(options));
+  }
+  // The rest of the roster builds its own substrate per query (walks for
+  // RW, RR sets for IC/LT, score vectors for the heuristics) — exactly the
+  // offline § VIII-A comparison, deterministic in options.methods.rng_seed.
+  return baselines::SelectWithMethod(method, evaluator, k, options.methods);
+}
+
+Response Engine::HandleTopK(const Request& request, const DatasetEntry& entry,
+                            QueryState& state) {
+  WallTimer timer;
+  auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
+  if (!spec.ok()) return Response::Error(request, spec.status());
+  if (request.k == 0 || request.k > entry.dataset.influence.num_nodes()) {
+    return Response::Error(
+        request, Status::InvalidArgument("k must be in [1, num_nodes]"));
+  }
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+  core::SelectionResult selection = SelectSeeds(
+      request.method, *evaluator, request.k, request.options, entry, state);
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = entry.name;
+  if (request.method != baselines::Method::kRS) {
+    response.method = baselines::MethodName(request.method);
+  }
+  if (request.method == baselines::Method::kRS) {
+    response.estimated_score = selection.diagnostics.at("estimated_score");
+    response.exact_score = request.options.evaluate_exact
+                               ? evaluator->EvaluateSeeds(selection.seeds)
+                               : 0.0;
+  } else {
+    // SelectWithMethod scores its answer exactly as part of the contract.
+    response.estimated_score = EstimateOf(selection, selection.score);
+    response.exact_score = selection.score;
+  }
+  response.seeds = std::move(selection.seeds);
+  response.diagnostics = std::move(selection.diagnostics);
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleMinSeed(const Request& request,
+                               const DatasetEntry& entry, QueryState& state) {
+  WallTimer timer;
+  auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
+  if (!spec.ok()) return Response::Error(request, spec.status());
+  if (request.k_max > entry.dataset.influence.num_nodes()) {
+    return Response::Error(
+        request, Status::InvalidArgument("k_max exceeds num_nodes"));
+  }
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+
+  core::MinSeedResult result;
+  if (request.method == baselines::Method::kRS && request.options.single_pass) {
+    // Single-pass Algorithm 2: greedy on the frozen sketch is
+    // prefix-nested, so ONE selection at k_max — checking the winning
+    // criterion per prefix — replaces the binary search's per-probe
+    // ResetSketch + full reselection. selector_calls is therefore at most
+    // 1 (see PROTOCOL.md).
+    const core::PrefixSelector selector =
+        [this, &request, &entry, &state](
+            const voting::ScoreEvaluator& evaluator_ref, uint32_t budget,
+            const core::PrefixCallback& on_prefix) {
+          ResetSketch(entry, state);
+          core::EstimatedGreedyOptions greedy =
+              SketchSelectionOptions(request.options);
+          greedy.on_prefix = core::ToGreedyPrefixHook(on_prefix);
+          return core::EstimatedGreedySelect(evaluator_ref, budget,
+                                             state.walks.get(), greedy);
+        };
+    result = core::MinSeedsToWinSinglePass(*evaluator, selector,
+                                           request.k_max);
+  } else {
+    // The paper's budget binary search — over fresh sketch selections for
+    // RS (the single-pass oracle baseline), or over any other roster
+    // method via its generic SeedSelector adapter.
+    core::SeedSelector selector;
+    if (request.method == baselines::Method::kRS) {
+      selector = [this, &request, &entry, &state](
+                     const voting::ScoreEvaluator& evaluator_ref,
+                     uint32_t budget) {
+        ResetSketch(entry, state);
+        return core::EstimatedGreedySelect(
+            evaluator_ref, budget, state.walks.get(),
+            SketchSelectionOptions(request.options));
+      };
+    } else {
+      selector =
+          baselines::MakeSelector(request.method, request.options.methods);
+    }
+    result = core::MinSeedsToWin(*evaluator, selector, request.k_max);
+  }
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = entry.name;
+  if (request.method != baselines::Method::kRS) {
+    response.method = baselines::MethodName(request.method);
+  }
+  response.achievable = result.achievable;
+  response.k_star = result.k_star;
+  response.seeds = result.seeds;
+  response.selector_calls = result.selector_calls;
+  response.exact_score = request.options.evaluate_exact
+                             ? evaluator->EvaluateSeeds(result.seeds)
+                             : 0.0;
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleEvaluate(const Request& request,
+                                const DatasetEntry& entry, QueryState& state) {
+  WallTimer timer;
+  auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
+  if (!spec.ok()) return Response::Error(request, spec.status());
+  const uint32_t n = entry.dataset.influence.num_nodes();
+  for (const graph::NodeId seed : request.seeds) {
+    if (seed >= n) {
+      return Response::Error(request,
+                             Status::OutOfRange("seed id out of range"));
+    }
+  }
+  for (const auto& [user, opinion] : request.overrides) {
+    if (user >= n) {
+      return Response::Error(request,
+                             Status::OutOfRange("override user out of range"));
+    }
+    if (opinion < 0.0 || opinion > 1.0) {
+      return Response::Error(
+          request,
+          Status::InvalidArgument("override opinion must be in [0, 1]"));
+    }
+  }
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+
+  // Exact propagation of the (possibly overridden) target campaign; the
+  // competitors' horizon opinions come from the cached evaluator state.
+  opinion::Campaign campaign = entry.dataset.state.campaigns[entry.meta.target];
+  for (const auto& [user, opinion] : request.overrides) {
+    campaign.initial_opinions[user] = opinion;
+  }
+  const std::vector<double> target_row = entry.model->PropagateWithSeeds(
+      campaign, request.seeds, entry.meta.horizon);
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = entry.name;
+  response.score = evaluator->ScoreFromTargetOpinions(target_row);
+  response.all_scores = evaluator->ScoresAllCandidates(target_row);
+  response.winner = ArgMax(response.all_scores);
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleMethodCompare(const Request& request,
+                                     const DatasetEntry& entry,
+                                     QueryState& state) {
+  WallTimer timer;
+  auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
+  if (!spec.ok()) return Response::Error(request, spec.status());
+  if (request.k == 0 || request.k > entry.dataset.influence.num_nodes()) {
+    return Response::Error(
+        request, Status::InvalidArgument("k must be in [1, num_nodes]"));
+  }
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+  // Default roster: all nine methods, in the paper's plotting order.
+  const std::vector<baselines::Method> roster =
+      request.methods.empty() ? baselines::AllMethods() : request.methods;
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = entry.name;
+  response.method_scores.reserve(roster.size());
+  for (const baselines::Method method : roster) {
+    const core::SelectionResult selection = SelectSeeds(
+        method, *evaluator, request.k, request.options, entry, state);
+    MethodScore entry_score;
+    entry_score.method = baselines::MethodName(method);
+    entry_score.seeds = selection.seeds;
+    entry_score.exact_score = method == baselines::Method::kRS
+                                  ? evaluator->EvaluateSeeds(selection.seeds)
+                                  : selection.score;
+    entry_score.estimated_score =
+        EstimateOf(selection, entry_score.exact_score);
+    entry_score.seconds = selection.seconds;
+    response.method_scores.push_back(std::move(entry_score));
+  }
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleRuleSweep(const Request& request,
+                                 const DatasetEntry& entry,
+                                 QueryState& state) {
+  WallTimer timer;
+  const uint32_t r = entry.dataset.state.num_candidates();
+  if (request.k == 0 || request.k > entry.dataset.influence.num_nodes()) {
+    return Response::Error(
+        request, Status::InvalidArgument("k must be in [1, num_nodes]"));
+  }
+  // The paper's five voting rules (§ II-B). The positional entry uses the
+  // request's omega when supplied and the Borda weight vector otherwise
+  // (the natural r-rank default; requires r >= 2 like rule=borda).
+  std::vector<std::pair<std::string, Result<voting::ScoreSpec>>> rules;
+  rules.emplace_back("cumulative",
+                     ResolveRule("cumulative", 1, {}, r));
+  rules.emplace_back("plurality", ResolveRule("plurality", 1, {}, r));
+  rules.emplace_back("papproval", ResolveRule("papproval", request.p, {}, r));
+  rules.emplace_back("positional",
+                     request.omega.empty()
+                         ? ResolveRule("borda", 1, {}, r)
+                         : ResolveRule("positional", request.p, request.omega,
+                                       r));
+  rules.emplace_back("copeland", ResolveRule("copeland", 1, {}, r));
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = entry.name;
+  response.rule_scores.reserve(rules.size());
+  for (const auto& [name, spec] : rules) {
+    if (!spec.ok()) return Response::Error(request, spec.status());
+    const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+    const core::SelectionResult selection = SelectSeeds(
+        request.method, *evaluator, request.k, request.options, entry, state);
+    RuleScore rule_score;
+    rule_score.rule = name;
+    rule_score.seeds = selection.seeds;
+    // One exact propagation yields the target's score, every candidate's
+    // score, and the post-seeding winner under this rule.
+    const std::vector<double> target_row =
+        evaluator->TargetHorizonOpinions(selection.seeds);
+    rule_score.exact_score = evaluator->ScoreFromTargetOpinions(target_row);
+    rule_score.estimated_score =
+        EstimateOf(selection, rule_score.exact_score);
+    rule_score.winner = ArgMax(evaluator->ScoresAllCandidates(target_row));
+    response.rule_scores.push_back(std::move(rule_score));
+  }
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleLoad(const Request& request) {
+  WallTimer timer;
+  if (request.dataset.empty()) {
+    return Response::Error(
+        request, Status::InvalidArgument("load requires a 'dataset' name"));
+  }
+  if (request.bundle.empty()) {
+    return Response::Error(
+        request, Status::InvalidArgument("load requires a 'bundle' prefix"));
+  }
+  DatasetLoadOptions load = options_.load;  // engine defaults
+  load.bundle_prefix = request.bundle;
+  load.sketch_path = request.sketch;
+  if (request.theta > 0) load.build_theta = request.theta;
+  auto entry = registry_.Load(request.dataset, load);
+  if (!entry.ok()) return Response::Error(request, entry.status());
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = (*entry)->name;
+  response.datasets.push_back(InfoOf(**entry));
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleUnload(const Request& request) {
+  WallTimer timer;
+  if (request.dataset.empty()) {
+    return Response::Error(
+        request, Status::InvalidArgument("unload requires a 'dataset' name"));
+  }
+  auto removed = registry_.Unload(request.dataset);
+  if (!removed.ok()) return Response::Error(request, removed.status());
+  // Drop pooled idle states; states leased to in-flight queries are
+  // discarded when they check back in.
+  states_.Evict(request.dataset, (*removed)->generation);
+
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  response.dataset = request.dataset;
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleList(const Request& request) {
+  WallTimer timer;
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  for (const auto& entry : registry_.List()) {
+    response.datasets.push_back(InfoOf(*entry));
+  }
+  response.millis = timer.Millis();
+  return response;
+}
+
+}  // namespace voteopt::api

@@ -1,0 +1,60 @@
+// Tiny string-keyed LRU cache used by api::Engine's per-worker QueryStates
+// to retain the most recently used per-voting-rule evaluator states (each
+// one caches the competitors' propagated horizon opinions — the expensive
+// part).
+#ifndef VOTEOPT_API_LRU_CACHE_H_
+#define VOTEOPT_API_LRU_CACHE_H_
+
+#include <cassert>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace voteopt::api {
+
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the cached value and marks it most recently used, or nullptr.
+  V* Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    items_.splice(items_.begin(), items_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or replaces) a value, evicting the least recently used entry
+  /// when over capacity. Returns the stored value.
+  V* Put(const std::string& key, V value) {
+    if (auto it = index_.find(key); it != index_.end()) {
+      it->second->second = std::move(value);
+      items_.splice(items_.begin(), items_, it->second);
+      return &it->second->second;
+    }
+    items_.emplace_front(key, std::move(value));
+    index_[key] = items_.begin();
+    if (items_.size() > capacity_) {
+      index_.erase(items_.back().first);
+      items_.pop_back();
+    }
+    assert(items_.size() == index_.size());
+    return &items_.front().second;
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, V>> items_;  // front = most recent
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, V>>::iterator>
+      index_;
+};
+
+}  // namespace voteopt::api
+
+#endif  // VOTEOPT_API_LRU_CACHE_H_

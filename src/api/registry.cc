@@ -1,4 +1,4 @@
-#include "serve/registry.h"
+#include "api/registry.h"
 
 #include <atomic>
 #include <cstdio>
@@ -7,7 +7,7 @@
 #include "core/sketch.h"
 #include "store/format.h"
 
-namespace voteopt::serve {
+namespace voteopt::api {
 
 std::string EvaluatorSpecKey(const voting::ScoreSpec& spec) {
   std::string key = voting::ScoreKindName(spec.kind);
@@ -47,6 +47,38 @@ uint64_t BundleFingerprint(const datasets::Dataset& dataset) {
         campaign.stubbornness.size() * sizeof(double));
   }
   return store::Fnv1a64(digests.data(), digests.size() * sizeof(uint64_t));
+}
+
+/// The inline sketch build shared by Load's build fallback and Host: fills
+/// the entry's meta/sketch/build_evaluator from the recipe. The evaluator's
+/// horizon propagation is the expensive part, so it is retained on the
+/// entry and seeds every worker state's LRU.
+Status BuildSketchInline(DatasetEntry* entry, uint64_t theta, uint32_t horizon,
+                         uint32_t target, uint32_t num_threads,
+                         uint64_t rng_seed, uint64_t fingerprint) {
+  if (target >= entry->dataset.state.num_candidates()) {
+    return Status::InvalidArgument(
+        "target candidate " + std::to_string(target) +
+        " not in the dataset (r = " +
+        std::to_string(entry->dataset.state.num_candidates()) + ")");
+  }
+  entry->meta.theta = theta;
+  entry->meta.horizon = horizon;
+  entry->meta.target = target;
+  entry->meta.master_seed = rng_seed;
+  entry->meta.bundle_fingerprint = fingerprint;
+  const voting::ScoreSpec build_spec = voting::ScoreSpec::Cumulative();
+  auto build_evaluator = std::make_shared<const voting::ScoreEvaluator>(
+      *entry->model, entry->dataset.state, entry->meta.target,
+      entry->meta.horizon, build_spec);
+  core::SketchBuildOptions build_options;
+  build_options.num_threads = num_threads;
+  entry->sketch =
+      core::BuildSketchSet(*build_evaluator, theta, rng_seed, build_options);
+  entry->sketch_built = true;
+  entry->build_evaluator = std::move(build_evaluator);
+  entry->build_evaluator_key = EvaluatorSpecKey(build_spec);
+  return Status::OK();
 }
 
 }  // namespace
@@ -93,25 +125,13 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Load(
   } else if (loaded.status().code() == Status::Code::kIOError &&
              options.build_theta > 0) {
     // No persisted sketch: fall back to the offline build, inline.
-    entry->meta.theta = options.build_theta;
-    entry->meta.horizon = options.build_horizon;
-    entry->meta.target = entry->dataset.default_target;
-    entry->meta.master_seed = options.rng_seed;
-    entry->meta.bundle_fingerprint = fingerprint;
-    const voting::ScoreSpec build_spec = voting::ScoreSpec::Cumulative();
-    auto build_evaluator = std::make_shared<const voting::ScoreEvaluator>(
-        *entry->model, entry->dataset.state, entry->meta.target,
-        entry->meta.horizon, build_spec);
-    core::SketchBuildOptions build_options;
-    build_options.num_threads = options.build_threads;
-    entry->sketch = core::BuildSketchSet(*build_evaluator,
-                                         options.build_theta,
-                                         options.rng_seed, build_options);
-    entry->sketch_built = true;
-    // Keep the evaluator: its horizon propagation was the expensive part,
-    // and every worker state can seed its LRU from it.
-    entry->build_evaluator = std::move(build_evaluator);
-    entry->build_evaluator_key = EvaluatorSpecKey(build_spec);
+    if (Status st = BuildSketchInline(
+            entry.get(), options.build_theta, options.build_horizon,
+            entry->dataset.default_target, options.build_threads,
+            options.rng_seed, fingerprint);
+        !st.ok()) {
+      return st;
+    }
     if (options.save_built_sketch) {
       // Protocol-level loads run concurrently, and two of them may name
       // the same bundle prefix: write to a unique temp path and rename
@@ -144,13 +164,43 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Load(
         sketch_path + ": sketch target candidate not in the bundle");
   }
 
+  return Publish(std::move(entry));
+}
+
+Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Host(
+    const std::string& name, datasets::Dataset dataset,
+    const HostOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (options.theta == 0) {
+    return Status::InvalidArgument("hosting requires theta > 0 sketch walks");
+  }
+  auto entry = std::make_shared<DatasetEntry>();
+  entry->name = name;
+  entry->dataset = std::move(dataset);
+  entry->model = std::make_unique<opinion::FJModel>(entry->dataset.influence);
+  const uint32_t target =
+      options.target.value_or(entry->dataset.default_target);
+  if (Status st = BuildSketchInline(
+          entry.get(), options.theta, options.horizon, target,
+          options.num_threads, options.rng_seed,
+          BundleFingerprint(entry->dataset));
+      !st.ok()) {
+    return st;
+  }
+  return Publish(std::move(entry));
+}
+
+Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Publish(
+    std::shared_ptr<DatasetEntry> entry) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.count(name) != 0) {  // lost a race against a concurrent Load
+  if (entries_.count(entry->name) != 0) {  // also catches a lost Load race
     return Status::FailedPrecondition(
-        "dataset '" + name + "' is already loaded — unload it first");
+        "dataset '" + entry->name + "' is already loaded — unload it first");
   }
   entry->generation = next_generation_++;
-  entries_[name] = entry;
+  entries_[entry->name] = entry;
   return std::shared_ptr<const DatasetEntry>(entry);
 }
 
@@ -197,4 +247,4 @@ size_t DatasetRegistry::size() const {
   return entries_.size();
 }
 
-}  // namespace voteopt::serve
+}  // namespace voteopt::api

@@ -1,8 +1,8 @@
-#include "serve/state_pool.h"
+#include "api/state_pool.h"
 
 #include <string>
 
-namespace voteopt::serve {
+namespace voteopt::api {
 
 QueryState::QueryState(std::shared_ptr<const DatasetEntry> owning_entry,
                        uint32_t evaluator_cache_capacity)
@@ -16,22 +16,36 @@ QueryState::QueryState(std::shared_ptr<const DatasetEntry> owning_entry,
 
 const voting::ScoreEvaluator* QueryState::EvaluatorFor(
     const voting::ScoreSpec& spec, bool* cache_hit) {
+  // Same rule as the previous query on this state (the common serving
+  // pattern): skip the string key and the LRU splice entirely. The memo
+  // always names the LRU's most-recently-used entry, which is never the
+  // eviction victim, so the pointer cannot dangle.
+  if (last_evaluator_ != nullptr && spec.kind == last_spec_.kind &&
+      spec.p == last_spec_.p && spec.omega == last_spec_.omega) {
+    *cache_hit = true;
+    return last_evaluator_;
+  }
+  const voting::ScoreEvaluator* found = nullptr;
   const std::string key = EvaluatorSpecKey(spec);
   if (auto* cached = evaluators.Get(key); cached != nullptr) {
     *cache_hit = true;
-    return cached->get();
-  }
-  // The build fallback already paid for this evaluator's horizon
-  // propagation once — adopt the shared instance instead of rebuilding.
-  if (entry->build_evaluator != nullptr && key == entry->build_evaluator_key) {
+    found = cached->get();
+  } else if (entry->build_evaluator != nullptr &&
+             key == entry->build_evaluator_key) {
+    // The build fallback already paid for this evaluator's horizon
+    // propagation once — adopt the shared instance instead of rebuilding.
     *cache_hit = true;
-    return evaluators.Put(key, entry->build_evaluator)->get();
+    found = evaluators.Put(key, entry->build_evaluator)->get();
+  } else {
+    *cache_hit = false;
+    auto evaluator = std::make_shared<const voting::ScoreEvaluator>(
+        *entry->model, entry->dataset.state, entry->meta.target,
+        entry->meta.horizon, spec);
+    found = evaluators.Put(key, std::move(evaluator))->get();
   }
-  *cache_hit = false;
-  auto evaluator = std::make_shared<const voting::ScoreEvaluator>(
-      *entry->model, entry->dataset.state, entry->meta.target,
-      entry->meta.horizon, spec);
-  return evaluators.Put(key, std::move(evaluator))->get();
+  last_spec_ = spec;
+  last_evaluator_ = found;
+  return found;
 }
 
 StatePool::Lease StatePool::Acquire(
@@ -115,4 +129,4 @@ uint64_t StatePool::states_created() const {
   return states_created_;
 }
 
-}  // namespace voteopt::serve
+}  // namespace voteopt::api

@@ -1,5 +1,7 @@
 #include "baselines/selector_factory.h"
 
+#include <cctype>
+
 #include "baselines/degree.h"
 #include "baselines/ged_t.h"
 #include "baselines/imm.h"
@@ -35,11 +37,29 @@ const char* MethodName(Method method) {
   return "?";
 }
 
-std::optional<Method> ParseMethod(const std::string& name) {
+Result<Method> ParseMethod(const std::string& name) {
+  auto lowered = [](const std::string& s) {
+    std::string out = s;
+    for (char& c : out) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+  };
+  const std::string wanted = lowered(name);
   for (Method m : AllMethods()) {
-    if (name == MethodName(m)) return m;
+    if (wanted == lowered(MethodName(m))) return m;
   }
-  return std::nullopt;
+  return Status::InvalidArgument("unknown method '" + name +
+                                 "' (valid: " + ValidMethodNames() + ")");
+}
+
+std::string ValidMethodNames() {
+  std::string names;
+  for (Method m : AllMethods()) {
+    if (!names.empty()) names += ", ";
+    names += MethodName(m);
+  }
+  return names;
 }
 
 std::vector<Method> AllMethods() {

@@ -6,13 +6,13 @@
 #ifndef VOTEOPT_BASELINES_SELECTOR_FACTORY_H_
 #define VOTEOPT_BASELINES_SELECTOR_FACTORY_H_
 
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/problem.h"
 #include "core/rs_greedy.h"
 #include "core/rw_greedy.h"
+#include "util/status.h"
 
 namespace voteopt::baselines {
 
@@ -29,7 +29,12 @@ enum class Method {
 };
 
 const char* MethodName(Method method);
-std::optional<Method> ParseMethod(const std::string& name);
+/// Parses a method name, case-insensitively ("rs", "RS", "ged-t", "GED-T"
+/// all resolve). Unknown names fail with an InvalidArgument enumerating
+/// the valid spellings (mirrors the protocol's `rule` field behavior).
+Result<Method> ParseMethod(const std::string& name);
+/// "DM, RW, RS, IC, LT, GED-T, PR, RWR, DC" — for usage strings.
+std::string ValidMethodNames();
 /// The full method roster in the paper's plotting order.
 std::vector<Method> AllMethods();
 

@@ -5,15 +5,15 @@
 #include <cmath>
 #include <sstream>
 
-namespace voteopt::serve {
+namespace voteopt {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// A minimal JSON reader — just enough for the flat request objects above
-// (objects, arrays, strings, numbers, booleans, null; no \uXXXX escapes).
-// Kept dependency-free on purpose: the serving scaffold must not pull a
-// JSON library into the core build.
+// A minimal JSON reader — just enough for the flat request/response objects
+// of this protocol (objects, arrays, strings, numbers, booleans, null; no
+// \uXXXX escapes). Kept dependency-free on purpose: the serving scaffold
+// must not pull a JSON library into the core build.
 // ---------------------------------------------------------------------------
 
 struct JsonValue {
@@ -214,6 +214,13 @@ Result<uint64_t> AsU64(const JsonValue& value, const std::string& name) {
   return static_cast<uint64_t>(value.number);
 }
 
+Result<double> AsNumber(const JsonValue& value, const std::string& name) {
+  if (value.type != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument("field '" + name + "' must be a number");
+  }
+  return value.number;
+}
+
 Result<std::string> AsString(const JsonValue& value, const std::string& name) {
   if (value.type != JsonValue::Type::kString) {
     return Status::InvalidArgument("field '" + name + "' must be a string");
@@ -245,24 +252,18 @@ void AppendJsonString(std::ostringstream* out, const std::string& s) {
   *out << '"';
 }
 
+template <typename T>
+void AppendNumberArray(std::ostringstream* out, const std::vector<T>& items) {
+  *out << "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    *out << (i == 0 ? "" : ", ") << items[i];
+  }
+  *out << "]";
+}
+
 }  // namespace
 
-const char* OpName(Request::Op op) {
-  switch (op) {
-    case Request::Op::kTopK: return "topk";
-    case Request::Op::kMinSeed: return "minseed";
-    case Request::Op::kEvaluate: return "evaluate";
-    case Request::Op::kLoad: return "load";
-    case Request::Op::kUnload: return "unload";
-    case Request::Op::kList: return "list";
-  }
-  return "?";
-}
-
-bool IsAdminOp(Request::Op op) {
-  return op == Request::Op::kLoad || op == Request::Op::kUnload ||
-         op == Request::Op::kList;
-}
+namespace serve {
 
 Result<Request> ParseRequest(const std::string& line) {
   JsonParser parser(line);
@@ -274,6 +275,25 @@ Result<Request> ParseRequest(const std::string& line) {
   const JsonValue& object = *parsed;
 
   Request request;
+  // The version gate runs BEFORE the op dispatch: a future-major request
+  // whose verb this server has never heard of must fail with the version
+  // message (telling the client what this server speaks), not with
+  // "unknown op".
+  if (const JsonValue* v = object.Find("v"); v != nullptr) {
+    auto parsed_v = AsU32(*v, "v");
+    if (!parsed_v.ok()) return parsed_v.status();
+    // v1 and v2 parse identically (v2 is a strict superset); an unknown
+    // major means the client wants semantics this server does not speak,
+    // so fail clean instead of answering something subtly different
+    // (docs/PROTOCOL.md).
+    if (*parsed_v == 0 || *parsed_v > api::kProtocolVersion) {
+      return Status::InvalidArgument(
+          "unsupported protocol version v=" + std::to_string(*parsed_v) +
+          " (this server speaks v1-v" +
+          std::to_string(api::kProtocolVersion) + ")");
+    }
+    request.v = *parsed_v;
+  }
   const JsonValue* op = object.Find("op");
   if (op == nullptr || op->type != JsonValue::Type::kString) {
     return Status::InvalidArgument("missing string field 'op'");
@@ -284,6 +304,10 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kMinSeed;
   } else if (op->str == "evaluate") {
     request.op = Request::Op::kEvaluate;
+  } else if (op->str == "methodcompare") {
+    request.op = Request::Op::kMethodCompare;
+  } else if (op->str == "rulesweep") {
+    request.op = Request::Op::kRuleSweep;
   } else if (op->str == "load") {
     request.op = Request::Op::kLoad;
   } else if (op->str == "unload") {
@@ -323,6 +347,25 @@ Result<Request> ParseRequest(const std::string& line) {
     auto parsed_rule = AsString(*rule, "rule");
     if (!parsed_rule.ok()) return parsed_rule.status();
     request.rule = *parsed_rule;
+  }
+  if (const JsonValue* method = object.Find("method"); method != nullptr) {
+    auto parsed_name = AsString(*method, "method");
+    if (!parsed_name.ok()) return parsed_name.status();
+    auto parsed_method = baselines::ParseMethod(*parsed_name);
+    if (!parsed_method.ok()) return parsed_method.status();
+    request.method = *parsed_method;
+  }
+  if (const JsonValue* methods = object.Find("methods"); methods != nullptr) {
+    if (methods->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'methods' must be an array");
+    }
+    for (const JsonValue& item : methods->items) {
+      auto parsed_name = AsString(item, "methods");
+      if (!parsed_name.ok()) return parsed_name.status();
+      auto parsed_method = baselines::ParseMethod(*parsed_name);
+      if (!parsed_method.ok()) return parsed_method.status();
+      request.methods.push_back(*parsed_method);
+    }
   }
   if (const JsonValue* p = object.Find("p"); p != nullptr) {
     auto parsed_p = AsU32(*p, "p");
@@ -379,14 +422,287 @@ Result<Request> ParseRequest(const std::string& line) {
   return request;
 }
 
-Response Response::Error(const Request& request, const Status& status) {
+std::string RequestToJson(const Request& request) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"op\": ";
+  AppendJsonString(&out, OpName(request.op));
+  // Canonical form: fields at their defaults are omitted, so a v1 request
+  // encodes exactly as a v1 client would have written it.
+  if (request.v != 1) out << ", \"v\": " << request.v;
+  if (!request.id.empty()) {
+    out << ", \"id\": ";
+    AppendJsonString(&out, request.id);
+  }
+  if (!request.dataset.empty()) {
+    out << ", \"dataset\": ";
+    AppendJsonString(&out, request.dataset);
+  }
+  const bool is_query = !IsAdminOp(request.op);
+  if (is_query && request.rule != "cumulative") {
+    out << ", \"rule\": ";
+    AppendJsonString(&out, request.rule);
+  }
+  if (is_query && request.p != 1) out << ", \"p\": " << request.p;
+  if (!request.omega.empty()) {
+    out << ", \"omega\": ";
+    AppendNumberArray(&out, request.omega);
+  }
+  if (is_query && request.method != baselines::Method::kRS) {
+    out << ", \"method\": ";
+    AppendJsonString(&out, baselines::MethodName(request.method));
+  }
+  if (!request.methods.empty()) {
+    out << ", \"methods\": [";
+    for (size_t i = 0; i < request.methods.size(); ++i) {
+      out << (i == 0 ? "" : ", ");
+      AppendJsonString(&out, baselines::MethodName(request.methods[i]));
+    }
+    out << "]";
+  }
+  if (request.op == Request::Op::kTopK ||
+      request.op == Request::Op::kMethodCompare ||
+      request.op == Request::Op::kRuleSweep) {
+    out << ", \"k\": " << request.k;
+  }
+  if (request.op == Request::Op::kMinSeed) {
+    out << ", \"k_max\": " << request.k_max;
+  }
+  if (request.op == Request::Op::kEvaluate) {
+    out << ", \"seeds\": ";
+    AppendNumberArray(&out, request.seeds);
+    if (!request.overrides.empty()) {
+      out << ", \"override\": [";
+      for (size_t i = 0; i < request.overrides.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << "[" << request.overrides[i].first
+            << ", " << request.overrides[i].second << "]";
+      }
+      out << "]";
+    }
+  }
+  if (!request.bundle.empty()) {
+    out << ", \"bundle\": ";
+    AppendJsonString(&out, request.bundle);
+  }
+  if (!request.sketch.empty()) {
+    out << ", \"sketch\": ";
+    AppendJsonString(&out, request.sketch);
+  }
+  if (request.theta != 0) out << ", \"theta\": " << request.theta;
+  out << "}";
+  return out.str();
+}
+
+Result<Response> ParseResponse(const std::string& line) {
+  JsonParser parser(line);
+  auto parsed = parser.Parse();
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->type != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  const JsonValue& object = *parsed;
+
   Response response;
-  response.id = request.id;
-  response.op = OpName(request.op);
-  response.ok = false;
-  response.error = status.ToString();
+  const JsonValue* op = object.Find("op");
+  if (op == nullptr || op->type != JsonValue::Type::kString) {
+    return Status::InvalidArgument("missing string field 'op'");
+  }
+  response.op = op->str;
+  const JsonValue* ok = object.Find("ok");
+  if (ok == nullptr || ok->type != JsonValue::Type::kBool) {
+    return Status::InvalidArgument("missing bool field 'ok'");
+  }
+  response.ok = ok->boolean;
+
+  // Field readers shared by the flat payload and the nested entries.
+  auto read_string = [&object](const char* name,
+                               std::string* into) -> Status {
+    if (const JsonValue* v = object.Find(name); v != nullptr) {
+      auto parsed_value = AsString(*v, name);
+      if (!parsed_value.ok()) return parsed_value.status();
+      *into = *parsed_value;
+    }
+    return Status::OK();
+  };
+  auto read_seeds = [](const JsonValue& array, const char* name,
+                       std::vector<graph::NodeId>* into) -> Status {
+    if (array.type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument(std::string("field '") + name +
+                                     "' must be an array");
+    }
+    for (const JsonValue& item : array.items) {
+      auto id = AsU32(item, name);
+      if (!id.ok()) return id.status();
+      into->push_back(*id);
+    }
+    return Status::OK();
+  };
+
+  VOTEOPT_RETURN_IF_ERROR(read_string("id", &response.id));
+  VOTEOPT_RETURN_IF_ERROR(read_string("error", &response.error));
+  VOTEOPT_RETURN_IF_ERROR(read_string("dataset", &response.dataset));
+  VOTEOPT_RETURN_IF_ERROR(read_string("method", &response.method));
+  if (const JsonValue* seeds = object.Find("seeds"); seeds != nullptr) {
+    VOTEOPT_RETURN_IF_ERROR(read_seeds(*seeds, "seeds", &response.seeds));
+  }
+  struct NumberField {
+    const char* name;
+    double* into;
+  };
+  double k_star = 0, selector_calls = 0, winner = 0;
+  for (const NumberField field :
+       {NumberField{"estimated_score", &response.estimated_score},
+        NumberField{"exact_score", &response.exact_score},
+        NumberField{"score", &response.score},
+        NumberField{"k_star", &k_star},
+        NumberField{"selector_calls", &selector_calls},
+        NumberField{"winner", &winner},
+        NumberField{"millis", &response.millis}}) {
+    if (const JsonValue* v = object.Find(field.name); v != nullptr) {
+      auto number = AsNumber(*v, field.name);
+      if (!number.ok()) return number.status();
+      *field.into = *number;
+    }
+  }
+  response.k_star = static_cast<uint32_t>(k_star);
+  response.selector_calls = static_cast<uint32_t>(selector_calls);
+  response.winner = static_cast<uint32_t>(winner);
+  if (const JsonValue* achievable = object.Find("achievable");
+      achievable != nullptr) {
+    if (achievable->type != JsonValue::Type::kBool) {
+      return Status::InvalidArgument("field 'achievable' must be a bool");
+    }
+    response.achievable = achievable->boolean;
+  }
+  if (const JsonValue* scores = object.Find("scores"); scores != nullptr) {
+    if (scores->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'scores' must be an array");
+    }
+    for (const JsonValue& item : scores->items) {
+      auto number = AsNumber(item, "scores");
+      if (!number.ok()) return number.status();
+      response.all_scores.push_back(*number);
+    }
+  }
+  if (const JsonValue* methods = object.Find("methods"); methods != nullptr) {
+    if (methods->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'methods' must be an array");
+    }
+    for (const JsonValue& item : methods->items) {
+      if (item.type != JsonValue::Type::kObject) {
+        return Status::InvalidArgument("'methods' entries must be objects");
+      }
+      MethodScore entry;
+      const JsonValue* name = item.Find("method");
+      if (name == nullptr || name->type != JsonValue::Type::kString) {
+        return Status::InvalidArgument("'methods' entry missing 'method'");
+      }
+      entry.method = name->str;
+      if (const JsonValue* seeds = item.Find("seeds"); seeds != nullptr) {
+        VOTEOPT_RETURN_IF_ERROR(read_seeds(*seeds, "seeds", &entry.seeds));
+      }
+      if (const JsonValue* v = item.Find("estimated_score"); v != nullptr) {
+        auto number = AsNumber(*v, "estimated_score");
+        if (!number.ok()) return number.status();
+        entry.estimated_score = *number;
+      }
+      if (const JsonValue* v = item.Find("exact_score"); v != nullptr) {
+        auto number = AsNumber(*v, "exact_score");
+        if (!number.ok()) return number.status();
+        entry.exact_score = *number;
+      }
+      response.method_scores.push_back(std::move(entry));
+    }
+  }
+  if (const JsonValue* rules = object.Find("rules"); rules != nullptr) {
+    if (rules->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'rules' must be an array");
+    }
+    for (const JsonValue& item : rules->items) {
+      if (item.type != JsonValue::Type::kObject) {
+        return Status::InvalidArgument("'rules' entries must be objects");
+      }
+      RuleScore entry;
+      const JsonValue* name = item.Find("rule");
+      if (name == nullptr || name->type != JsonValue::Type::kString) {
+        return Status::InvalidArgument("'rules' entry missing 'rule'");
+      }
+      entry.rule = name->str;
+      if (const JsonValue* seeds = item.Find("seeds"); seeds != nullptr) {
+        VOTEOPT_RETURN_IF_ERROR(read_seeds(*seeds, "seeds", &entry.seeds));
+      }
+      if (const JsonValue* v = item.Find("estimated_score"); v != nullptr) {
+        auto number = AsNumber(*v, "estimated_score");
+        if (!number.ok()) return number.status();
+        entry.estimated_score = *number;
+      }
+      if (const JsonValue* v = item.Find("exact_score"); v != nullptr) {
+        auto number = AsNumber(*v, "exact_score");
+        if (!number.ok()) return number.status();
+        entry.exact_score = *number;
+      }
+      if (const JsonValue* v = item.Find("winner"); v != nullptr) {
+        auto id = AsU32(*v, "winner");
+        if (!id.ok()) return id.status();
+        entry.winner = *id;
+      }
+      response.rule_scores.push_back(std::move(entry));
+    }
+  }
+  if (const JsonValue* datasets = object.Find("datasets");
+      datasets != nullptr) {
+    if (datasets->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'datasets' must be an array");
+    }
+    for (const JsonValue& item : datasets->items) {
+      if (item.type != JsonValue::Type::kObject) {
+        return Status::InvalidArgument("'datasets' entries must be objects");
+      }
+      DatasetInfo info;
+      if (const JsonValue* v = item.Find("name"); v != nullptr) {
+        auto name = AsString(*v, "name");
+        if (!name.ok()) return name.status();
+        info.name = *name;
+      }
+      struct U32Field {
+        const char* name;
+        uint32_t* into;
+      };
+      for (const U32Field field :
+           {U32Field{"n", &info.num_nodes}, U32Field{"r", &info.num_candidates},
+            U32Field{"t", &info.horizon}, U32Field{"target", &info.target}}) {
+        if (const JsonValue* v = item.Find(field.name); v != nullptr) {
+          auto number = AsU32(*v, field.name);
+          if (!number.ok()) return number.status();
+          *field.into = *number;
+        }
+      }
+      if (const JsonValue* v = item.Find("theta"); v != nullptr) {
+        auto number = AsU64(*v, "theta");
+        if (!number.ok()) return number.status();
+        info.theta = *number;
+      }
+      if (const JsonValue* v = item.Find("sketch_built"); v != nullptr) {
+        if (v->type != JsonValue::Type::kBool) {
+          return Status::InvalidArgument("field 'sketch_built' must be a bool");
+        }
+        info.sketch_built = v->boolean;
+      }
+      response.datasets.push_back(std::move(info));
+    }
+  }
   return response;
 }
+
+}  // namespace serve
+
+// ---------------------------------------------------------------------------
+// The encoder half of the codec. Declared on api::Response (every front
+// door shares one canonical rendering); implemented here because the JSON
+// vocabulary — field names, ordering, number formatting — belongs to the
+// wire protocol, not the typed API.
+// ---------------------------------------------------------------------------
+namespace api {
 
 std::string Response::ToJson() const {
   std::ostringstream out;
@@ -408,12 +724,14 @@ std::string Response::ToJson() const {
     out << ", \"dataset\": ";
     AppendJsonString(&out, dataset);
   }
+  if (!method.empty()) {
+    // Only set for non-RS selections, so v1 answers stay byte-identical.
+    out << ", \"method\": ";
+    AppendJsonString(&out, method);
+  }
   auto append_seeds = [&] {
-    out << ", \"seeds\": [";
-    for (size_t i = 0; i < seeds.size(); ++i) {
-      out << (i == 0 ? "" : ", ") << seeds[i];
-    }
-    out << "]";
+    out << ", \"seeds\": ";
+    AppendNumberArray(&out, seeds);
   };
   if (op == "topk") {
     append_seeds();
@@ -426,11 +744,37 @@ std::string Response::ToJson() const {
     out << ", \"exact_score\": " << exact_score
         << ", \"selector_calls\": " << selector_calls;
   } else if (op == "evaluate") {
-    out << ", \"score\": " << score << ", \"scores\": [";
-    for (size_t i = 0; i < all_scores.size(); ++i) {
-      out << (i == 0 ? "" : ", ") << all_scores[i];
+    out << ", \"score\": " << score << ", \"scores\": ";
+    AppendNumberArray(&out, all_scores);
+    out << ", \"winner\": " << winner;
+  } else if (op == "methodcompare") {
+    out << ", \"methods\": [";
+    for (size_t i = 0; i < method_scores.size(); ++i) {
+      const MethodScore& entry = method_scores[i];
+      out << (i == 0 ? "" : ", ") << "{\"method\": ";
+      AppendJsonString(&out, entry.method);
+      out << ", \"seeds\": ";
+      AppendNumberArray(&out, entry.seeds);
+      // Per-entry selection seconds are deliberately NOT serialized: the
+      // wire form must be reproducible run-to-run (only the top-level
+      // millis may vary, and ToStableJson strips it).
+      out << ", \"estimated_score\": " << entry.estimated_score
+          << ", \"exact_score\": " << entry.exact_score << "}";
     }
-    out << "], \"winner\": " << winner;
+    out << "]";
+  } else if (op == "rulesweep") {
+    out << ", \"rules\": [";
+    for (size_t i = 0; i < rule_scores.size(); ++i) {
+      const RuleScore& entry = rule_scores[i];
+      out << (i == 0 ? "" : ", ") << "{\"rule\": ";
+      AppendJsonString(&out, entry.rule);
+      out << ", \"seeds\": ";
+      AppendNumberArray(&out, entry.seeds);
+      out << ", \"estimated_score\": " << entry.estimated_score
+          << ", \"exact_score\": " << entry.exact_score
+          << ", \"winner\": " << entry.winner << "}";
+    }
+    out << "]";
   } else if (op == "load" || op == "list") {
     out << ", \"datasets\": [";
     for (size_t i = 0; i < datasets.size(); ++i) {
@@ -460,4 +804,5 @@ std::string Response::ToStableJson() const {
   return json;
 }
 
-}  // namespace voteopt::serve
+}  // namespace api
+}  // namespace voteopt

@@ -1,133 +1,77 @@
-// The voteopt_serve wire protocol: newline-delimited JSON requests and
-// responses — the scaffold a real RPC frontend plugs into later. One
-// request object per line, one response object per line, same order.
-// The full request/response reference — every verb, a worked example, and
-// the error-status vocabulary — lives in docs/PROTOCOL.md; this header
-// only sketches the shapes.
+// The voteopt_serve wire codec: newline-delimited JSON over the typed
+// api::Request / api::Response vocabulary (api/query.h). This layer is a
+// PURE codec — parse a line into a typed request, render a typed response
+// (or request) back to JSON — with no business logic: every request is
+// executed by api::Engine, the one dispatch component, so wire clients and
+// embedded C++ callers run the identical code path.
+//
+// One request object per line, one response object per line, same order.
+// The full reference — every verb, the protocol-version negotiation rule,
+// worked examples, and the error-status vocabulary — lives in
+// docs/PROTOCOL.md; this header only sketches the shapes.
 //
 // Query verbs (run against one hosted dataset, in parallel):
-//   {"op": "topk",     "k": 10, "rule": "plurality"}
+//   {"op": "topk",     "k": 10, "rule": "plurality", "method": "RS"}
 //   {"op": "minseed",  "k_max": 100, "rule": "cumulative"}
 //   {"op": "evaluate", "seeds": [3, 17], "rule": "copeland",
 //    "override": [[5, 0.9], [12, 0.1]]}
+//   {"op": "methodcompare", "v": 2, "k": 10, "methods": ["DM", "RS", "DC"]}
+//   {"op": "rulesweep",     "v": 2, "k": 10}
 // Admin verbs (manage the multi-dataset registry; ordering barriers):
 //   {"op": "load",     "dataset": "yelp", "bundle": "/data/yelp"}
 //   {"op": "unload",   "dataset": "yelp"}
 //   {"op": "list"}
 // Common optional fields:
+//   "v"       — protocol major version (absent = 1; see api::kProtocolVersion)
 //   "id"      — opaque string echoed into the response (request matching)
 //   "dataset" — which hosted dataset answers a query ("" = the sole one)
 //   "rule"    — cumulative (default) | plurality | papproval | positional |
 //               copeland | borda
 //   "p"       — approval depth for papproval
 //   "omega"   — positional weights (descending, in [0,1]) for positional
+//   "method"  — seed-selection method for topk / minseed (default RS;
+//               case-insensitive: DM, RW, RS, IC, LT, GED-T, PR, RWR, DC)
 // "override" entries are (user, opinion) pairs applied to the target
 // campaign's initial opinions before scoring — the "supplied campaign
 // state" of an in-flight campaign.
 //
 // Responses always carry "op", "ok", and the echoed "id"; on failure only
-// "error" is added, on success the op-specific payload (see ToJson).
+// "error" is added, on success the op-specific payload (see
+// api::Response::ToJson, implemented here).
 #ifndef VOTEOPT_SERVE_PROTOCOL_H_
 #define VOTEOPT_SERVE_PROTOCOL_H_
 
-#include <cstdint>
 #include <string>
-#include <utility>
-#include <vector>
 
-#include "graph/graph.h"
+#include "api/query.h"
 #include "util/status.h"
 
 namespace voteopt::serve {
 
-struct Request {
-  enum class Op { kTopK, kMinSeed, kEvaluate, kLoad, kUnload, kList };
-
-  Op op = Op::kTopK;
-  std::string id;  // echoed when non-empty
-
-  /// Queries: which hosted dataset answers ("" = the sole loaded one).
-  /// load/unload: the registry name to (de)register.
-  std::string dataset;
-
-  // Voting rule selection.
-  std::string rule = "cumulative";
-  uint32_t p = 1;
-  std::vector<double> omega;
-
-  uint32_t k = 1;      // topk: budget
-  uint32_t k_max = 0;  // minseed: search bound (0 = num nodes)
-
-  std::vector<graph::NodeId> seeds;                         // evaluate
-  std::vector<std::pair<graph::NodeId, double>> overrides;  // evaluate
-
-  std::string bundle;  // load: dataset bundle prefix (required)
-  std::string sketch;  // load: explicit sketch path ("" = bundle member)
-  uint64_t theta = 0;  // load: build-fallback walk count (0 = server default)
-};
-
-const char* OpName(Request::Op op);
-
-/// True for the registry-management verbs (load / unload / list). Admin
-/// verbs act as ordering barriers in a batch: queries ahead of them see the
-/// registry as it was, queries after them see the updated one.
-bool IsAdminOp(Request::Op op);
+// The typed vocabulary is the api layer's; the serve spellings remain for
+// existing callers (serve::Request etc.).
+using Request = api::Request;
+using Response = api::Response;
+using DatasetInfo = api::DatasetInfo;
+using MethodScore = api::MethodScore;
+using RuleScore = api::RuleScore;
+using api::IsAdminOp;
+using api::OpName;
 
 /// Parses one request line. Unknown fields are ignored (forward compat);
-/// malformed JSON, a missing/unknown "op", or ill-typed fields are
-/// InvalidArgument.
+/// malformed JSON, a missing/unknown "op", an unsupported "v" major, or
+/// ill-typed fields are InvalidArgument.
 Result<Request> ParseRequest(const std::string& line);
 
-/// One hosted dataset as reported by `list` and echoed by `load`.
-struct DatasetInfo {
-  std::string name;
-  uint32_t num_nodes = 0;
-  uint32_t num_candidates = 0;
-  uint64_t theta = 0;    // sketch walk count
-  uint32_t horizon = 0;  // sketch horizon t
-  uint32_t target = 0;   // sketch target candidate
-  bool sketch_built = false;  // sketch was built at load (no persisted file)
-};
+/// Canonical JSON encoding of a request — what a well-behaved client
+/// sends. Fields at their default values are omitted; "v" is emitted only
+/// for requests written against a version > 1. Round trip:
+/// ParseRequest(RequestToJson(r)) parses every field RequestToJson emits.
+std::string RequestToJson(const Request& request);
 
-struct Response {
-  std::string id;
-  std::string op;
-  bool ok = true;
-  std::string error;  // set when !ok
-
-  /// Name of the hosted dataset that answered (queries, load, unload).
-  std::string dataset;
-
-  // topk / minseed payload.
-  std::vector<graph::NodeId> seeds;
-  double estimated_score = 0.0;
-  double exact_score = 0.0;
-
-  // minseed payload.
-  uint32_t k_star = 0;
-  bool achievable = false;
-  uint32_t selector_calls = 0;
-
-  // evaluate payload.
-  double score = 0.0;
-  std::vector<double> all_scores;  // one per candidate
-  uint32_t winner = 0;
-
-  // load / list payload: the loaded dataset, resp. every hosted one.
-  std::vector<DatasetInfo> datasets;
-
-  double millis = 0.0;  // server-side handling time
-
-  static Response Error(const Request& request, const Status& status);
-
-  std::string ToJson() const;
-
-  /// ToJson minus the `millis` field — everything that must be invariant
-  /// across runs, worker thread counts, and build-vs-load serving paths.
-  /// The single source of truth for determinism comparisons (tests,
-  /// bench_serve's answers_match check).
-  std::string ToStableJson() const;
-};
+/// Parses one response line back into the typed form (for clients and the
+/// codec round-trip tests). Accepts exactly what Response::ToJson emits.
+Result<Response> ParseResponse(const std::string& line);
 
 }  // namespace voteopt::serve
 

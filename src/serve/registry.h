@@ -1,128 +1,18 @@
-// DatasetRegistry: the multi-tenant heart of the serving layer. Each entry
-// hosts one immutable problem instance — dataset bundle + diffusion model +
-// frozen sketch — under a runtime-chosen name, so a single process serves
-// several campaigns (or several model variants of one campaign, cf. the
-// varying-susceptibility line of work) side by side, and datasets can be
-// loaded and evicted while queries are in flight via the protocol's
-// load / unload / list verbs.
-//
-// Entries are published as shared_ptr<const DatasetEntry>: a query resolves
-// its dataset name to an entry once and holds the shared_ptr for the
-// request's duration, so Unload never pulls data out from under an in-flight
-// query — the entry (and the mmap behind its sketch) is freed when the last
-// reference drops. The registry itself is a small mutex-guarded map;
-// everything reachable from a published entry is immutable (the threading
-// contract is documented in docs/ARCHITECTURE.md).
+// Compatibility shim: the dataset registry moved into the api layer
+// (api/registry.h) when query dispatch was unified behind api::Engine.
+// serve code and existing callers keep the voteopt::serve spellings.
 #ifndef VOTEOPT_SERVE_REGISTRY_H_
 #define VOTEOPT_SERVE_REGISTRY_H_
 
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <vector>
-
-#include "core/walk_set.h"
-#include "datasets/io.h"
-#include "datasets/synthetic.h"
-#include "opinion/fj_model.h"
-#include "store/sketch_store.h"
-#include "util/status.h"
-#include "voting/evaluator.h"
+#include "api/registry.h"
 
 namespace voteopt::serve {
 
-/// Canonical cache key for a voting rule (omega is hashed; two positional
-/// rules with different weights must not share an evaluator).
-std::string EvaluatorSpecKey(const voting::ScoreSpec& spec);
-
-/// How to materialize one dataset: where the bundle lives and what to do
-/// when its sketch member is missing.
-struct DatasetLoadOptions {
-  /// Dataset bundle prefix (graph + campaigns + meta; datasets/io.h).
-  std::string bundle_prefix;
-  /// Sketch store file; empty means `<bundle_prefix>.sketch`.
-  std::string sketch_path;
-  /// Map the sketch instead of copying it into RAM.
-  store::SketchLoadMode sketch_load_mode = store::SketchLoadMode::kMmap;
-
-  /// Fallback when the sketch file is missing: build this many walks
-  /// (0 = fail instead of building).
-  uint64_t build_theta = uint64_t{1} << 18;
-  /// Horizon for a freshly built sketch (persisted files carry their own).
-  uint32_t build_horizon = 20;
-  /// Persist a freshly built sketch next to the bundle.
-  bool save_built_sketch = false;
-  /// Sketch-builder threads (0 = one per hardware thread).
-  uint32_t build_threads = 0;
-  uint64_t rng_seed = 42;
-};
-
-/// One hosted problem instance. Immutable once published by Load; shared
-/// with every in-flight query through shared_ptr<const DatasetEntry>.
-struct DatasetEntry {
-  std::string name;
-  /// Unique per successful Load. Pooled per-worker state is tagged with the
-  /// generation it was built against, so state for an unloaded or re-loaded
-  /// name is detected as stale and discarded instead of reused.
-  uint64_t generation = 0;
-
-  datasets::Dataset dataset;
-  std::unique_ptr<opinion::FJModel> model;
-  /// The frozen sketch layer. Never mutated after publication; queries run
-  /// on per-worker WalkSet::ShareFrozen clones instead.
-  std::shared_ptr<const core::WalkSet> sketch;
-  store::SketchMeta meta;
-  bool sketch_built = false;  // Load had to build (no persisted file)
-
-  /// The evaluator the sketch-build fallback had to construct anyway. Its
-  /// horizon propagation is the expensive part, so it is kept (immutable,
-  /// const-only methods — safe to share across workers) and seeds every
-  /// QueryState's LRU under `build_evaluator_key` instead of being rebuilt
-  /// once per worker. Null when the sketch was loaded from disk.
-  std::shared_ptr<const voting::ScoreEvaluator> build_evaluator;
-  std::string build_evaluator_key;
-
-  /// The target campaign's initial opinions — what each query's
-  /// WalkSet::ResetValues rebuilds the dynamic truncation state from.
-  const std::vector<double>& target_opinions() const {
-    return dataset.state.campaigns[meta.target].initial_opinions;
-  }
-};
-
-class DatasetRegistry {
- public:
-  /// Loads a bundle (and its sketch — building one inline when the file is
-  /// absent and `build_theta > 0`) and publishes it under `name`. Fails
-  /// with a clean Status on any inconsistency — e.g. a sketch whose node
-  /// universe, target, or bundle fingerprint disagrees with the bundle —
-  /// and with FailedPrecondition when the name is already taken.
-  Result<std::shared_ptr<const DatasetEntry>> Load(
-      const std::string& name, const DatasetLoadOptions& options);
-
-  /// Removes `name` and returns the removed entry (so the caller can evict
-  /// dependent per-worker state by generation). In-flight queries holding
-  /// the entry finish unharmed; its memory is freed when the last reference
-  /// drops. NotFound when absent.
-  Result<std::shared_ptr<const DatasetEntry>> Unload(const std::string& name);
-
-  /// Resolves a query's dataset name. "" means "the sole hosted dataset" —
-  /// a convenience for single-tenant deployments; an error when the
-  /// registry hosts zero or several datasets.
-  Result<std::shared_ptr<const DatasetEntry>> Resolve(
-      const std::string& name) const;
-
-  /// Every hosted entry, name-sorted.
-  std::vector<std::shared_ptr<const DatasetEntry>> List() const;
-
-  size_t size() const;
-
- private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const DatasetEntry>> entries_;
-  uint64_t next_generation_ = 1;
-};
+using DatasetLoadOptions = api::DatasetLoadOptions;
+using DatasetEntry = api::DatasetEntry;
+using DatasetRegistry = api::DatasetRegistry;
+using HostOptions = api::HostOptions;
+using api::EvaluatorSpecKey;
 
 }  // namespace voteopt::serve
 

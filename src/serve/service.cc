@@ -1,366 +1,13 @@
 #include "serve/service.h"
 
-#include <algorithm>
-#include <future>
-#include <utility>
-
-#include "core/estimated_greedy.h"
-#include "core/min_seed.h"
-#include "util/timer.h"
-
 namespace voteopt::serve {
-
-namespace {
-
-/// Resolves a request's voting rule into a validated ScoreSpec.
-Result<voting::ScoreSpec> ResolveSpec(const Request& request,
-                                      uint32_t num_candidates) {
-  voting::ScoreSpec spec;
-  if (request.rule == "cumulative") {
-    spec = voting::ScoreSpec::Cumulative();
-  } else if (request.rule == "plurality") {
-    spec = voting::ScoreSpec::Plurality();
-  } else if (request.rule == "papproval" || request.rule == "p-approval") {
-    spec = voting::ScoreSpec::PApproval(request.p);
-  } else if (request.rule == "positional") {
-    if (request.omega.empty()) {
-      return Status::InvalidArgument(
-          "rule 'positional' requires the 'omega' weights");
-    }
-    spec = voting::ScoreSpec::PositionalPApproval(request.omega);
-  } else if (request.rule == "copeland") {
-    spec = voting::ScoreSpec::Copeland();
-  } else if (request.rule == "borda") {
-    spec = voting::ScoreSpec::Borda(num_candidates);
-  } else {
-    return Status::InvalidArgument("unknown rule '" + request.rule + "'");
-  }
-  VOTEOPT_RETURN_IF_ERROR(spec.Validate(num_candidates));
-  return spec;
-}
-
-/// Selection options for serve-side greedy runs. Explicit rather than
-/// default-constructed so the service, not the library default, decides the
-/// evaluate_exact semantics: inner selections never pay the extra exact
-/// propagation — HandleTopK and HandleMinSeed score the final answer
-/// exactly themselves, exactly once. Queries already run one-per-worker, so
-/// the gain scan stays single-threaded (num_threads = 1).
-core::EstimatedGreedyOptions ServeSelectionOptions() {
-  core::EstimatedGreedyOptions options;
-  options.evaluate_exact = false;
-  return options;
-}
-
-DatasetInfo InfoOf(const DatasetEntry& entry) {
-  DatasetInfo info;
-  info.name = entry.name;
-  info.num_nodes = entry.dataset.influence.num_nodes();
-  info.num_candidates = entry.dataset.state.num_candidates();
-  info.theta = entry.meta.theta;
-  info.horizon = entry.meta.horizon;
-  info.target = entry.meta.target;
-  info.sketch_built = entry.sketch_built;
-  return info;
-}
-
-}  // namespace
-
-CampaignService::CampaignService(const ServiceOptions& options)
-    : options_(options),
-      states_(options.evaluator_cache_capacity),
-      pool_(std::make_unique<ThreadPool>(options.num_worker_threads)) {}
 
 Result<std::unique_ptr<CampaignService>> CampaignService::Open(
     const ServiceOptions& options) {
-  auto service =
-      std::unique_ptr<CampaignService>(new CampaignService(options));
-  if (!options.load.bundle_prefix.empty()) {
-    auto entry = service->registry_.Load(options.dataset_name, options.load);
-    if (!entry.ok()) return entry.status();
-    service->bootstrap_built_ = (*entry)->sketch_built;
-  }
-  return service;
-}
-
-const datasets::Dataset& CampaignService::dataset() const {
-  return registry_.Resolve("").value()->dataset;
-}
-
-const store::SketchMeta& CampaignService::sketch_meta() const {
-  return registry_.Resolve("").value()->meta;
-}
-
-const core::WalkSet& CampaignService::walks() const {
-  return *registry_.Resolve("").value()->sketch;
-}
-
-CampaignService::Stats CampaignService::stats() const {
-  Stats stats;
-  stats.queries = queries_.load();
-  stats.errors = errors_.load();
-  stats.evaluator_cache_hits = evaluator_cache_hits_.load();
-  stats.evaluator_cache_misses = evaluator_cache_misses_.load();
-  stats.sketch_resets = sketch_resets_.load();
-  stats.worker_states = states_.states_created();
-  stats.sketch_built = bootstrap_built_;
-  return stats;
-}
-
-const voting::ScoreEvaluator* CampaignService::EvaluatorFor(
-    const voting::ScoreSpec& spec, QueryState& state) {
-  bool cache_hit = false;
-  const voting::ScoreEvaluator* evaluator = state.EvaluatorFor(spec, &cache_hit);
-  ++(cache_hit ? evaluator_cache_hits_ : evaluator_cache_misses_);
-  return evaluator;
-}
-
-void CampaignService::ResetSketch(const DatasetEntry& entry,
-                                  QueryState& state) {
-  state.walks->ResetValues(entry.target_opinions());
-  ++sketch_resets_;
-}
-
-Response CampaignService::Handle(const Request& request) {
-  return Execute(request);
-}
-
-std::vector<Response> CampaignService::HandleBatch(
-    const std::vector<Request>& batch) {
-  // A one-request batch (the interactive stdin path) gains nothing from a
-  // pool hand-off; answer inline and skip two cross-thread hops.
-  if (batch.size() == 1) return {Execute(batch[0])};
-  std::vector<Response> responses(batch.size());
-  std::vector<std::pair<size_t, std::future<Response>>> inflight;
-  auto drain = [&] {
-    for (auto& [index, future] : inflight) responses[index] = future.get();
-    inflight.clear();
-  };
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const Request& request = batch[i];
-    if (IsAdminOp(request.op)) {
-      // Admin verbs are ordering barriers: every query before them sees
-      // the registry as it was, every query after them the updated one —
-      // exactly the serial semantics, whatever the worker count.
-      drain();
-      responses[i] = Execute(request);
-    } else {
-      inflight.emplace_back(
-          i, pool_->Submit([this, &request] { return Execute(request); }));
-    }
-  }
-  drain();
-  return responses;
-}
-
-Response CampaignService::Execute(const Request& request) {
-  ++queries_;
-  Response response;
-  switch (request.op) {
-    case Request::Op::kTopK:
-    case Request::Op::kMinSeed:
-    case Request::Op::kEvaluate:
-      response = ExecuteQuery(request);
-      break;
-    case Request::Op::kLoad:
-      response = HandleLoad(request);
-      break;
-    case Request::Op::kUnload:
-      response = HandleUnload(request);
-      break;
-    case Request::Op::kList:
-      response = HandleList(request);
-      break;
-  }
-  if (!response.ok) ++errors_;
-  return response;
-}
-
-Response CampaignService::ExecuteQuery(const Request& request) {
-  auto entry = registry_.Resolve(request.dataset);
-  if (!entry.ok()) return Response::Error(request, entry.status());
-  StatePool::Lease state = states_.Acquire(*entry);
-  switch (request.op) {
-    case Request::Op::kTopK:
-      return HandleTopK(request, **entry, *state);
-    case Request::Op::kMinSeed:
-      return HandleMinSeed(request, **entry, *state);
-    default:
-      return HandleEvaluate(request, **entry, *state);
-  }
-}
-
-Response CampaignService::HandleTopK(const Request& request,
-                                     const DatasetEntry& entry,
-                                     QueryState& state) {
-  WallTimer timer;
-  auto spec = ResolveSpec(request, entry.dataset.state.num_candidates());
-  if (!spec.ok()) return Response::Error(request, spec.status());
-  if (request.k == 0 || request.k > entry.dataset.influence.num_nodes()) {
-    return Response::Error(
-        request, Status::InvalidArgument("k must be in [1, num_nodes]"));
-  }
-  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
-  ResetSketch(entry, state);
-  const core::SelectionResult selection = core::EstimatedGreedySelect(
-      *evaluator, request.k, state.walks.get(), ServeSelectionOptions());
-
-  Response response;
-  response.id = request.id;
-  response.op = OpName(request.op);
-  response.dataset = entry.name;
-  response.seeds = selection.seeds;
-  response.estimated_score = selection.diagnostics.at("estimated_score");
-  response.exact_score = evaluator->EvaluateSeeds(selection.seeds);
-  response.millis = timer.Millis();
-  return response;
-}
-
-Response CampaignService::HandleMinSeed(const Request& request,
-                                        const DatasetEntry& entry,
-                                        QueryState& state) {
-  WallTimer timer;
-  auto spec = ResolveSpec(request, entry.dataset.state.num_candidates());
-  if (!spec.ok()) return Response::Error(request, spec.status());
-  if (request.k_max > entry.dataset.influence.num_nodes()) {
-    return Response::Error(
-        request, Status::InvalidArgument("k_max exceeds num_nodes"));
-  }
-  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
-  // Single-pass Algorithm 2: greedy on the frozen sketch is prefix-nested,
-  // so ONE selection at k_max — checking the winning criterion per prefix —
-  // replaces the old binary search's per-probe ResetSketch + full
-  // reselection. selector_calls is therefore at most 1 (see PROTOCOL.md).
-  const core::PrefixSelector selector =
-      [this, &entry, &state](const voting::ScoreEvaluator& evaluator_ref,
-                             uint32_t budget,
-                             const core::PrefixCallback& on_prefix) {
-        ResetSketch(entry, state);
-        core::EstimatedGreedyOptions options = ServeSelectionOptions();
-        options.on_prefix = core::ToGreedyPrefixHook(on_prefix);
-        return core::EstimatedGreedySelect(evaluator_ref, budget,
-                                           state.walks.get(), options);
-      };
-  const core::MinSeedResult result =
-      core::MinSeedsToWinSinglePass(*evaluator, selector, request.k_max);
-
-  Response response;
-  response.id = request.id;
-  response.op = OpName(request.op);
-  response.dataset = entry.name;
-  response.achievable = result.achievable;
-  response.k_star = result.k_star;
-  response.seeds = result.seeds;
-  response.selector_calls = result.selector_calls;
-  response.exact_score = evaluator->EvaluateSeeds(result.seeds);
-  response.millis = timer.Millis();
-  return response;
-}
-
-Response CampaignService::HandleEvaluate(const Request& request,
-                                         const DatasetEntry& entry,
-                                         QueryState& state) {
-  WallTimer timer;
-  auto spec = ResolveSpec(request, entry.dataset.state.num_candidates());
-  if (!spec.ok()) return Response::Error(request, spec.status());
-  const uint32_t n = entry.dataset.influence.num_nodes();
-  for (const graph::NodeId seed : request.seeds) {
-    if (seed >= n) {
-      return Response::Error(request,
-                             Status::OutOfRange("seed id out of range"));
-    }
-  }
-  for (const auto& [user, opinion] : request.overrides) {
-    if (user >= n) {
-      return Response::Error(request,
-                             Status::OutOfRange("override user out of range"));
-    }
-    if (opinion < 0.0 || opinion > 1.0) {
-      return Response::Error(
-          request,
-          Status::InvalidArgument("override opinion must be in [0, 1]"));
-    }
-  }
-  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
-
-  // Exact propagation of the (possibly overridden) target campaign; the
-  // competitors' horizon opinions come from the cached evaluator state.
-  opinion::Campaign campaign = entry.dataset.state.campaigns[entry.meta.target];
-  for (const auto& [user, opinion] : request.overrides) {
-    campaign.initial_opinions[user] = opinion;
-  }
-  const std::vector<double> target_row = entry.model->PropagateWithSeeds(
-      campaign, request.seeds, entry.meta.horizon);
-
-  Response response;
-  response.id = request.id;
-  response.op = OpName(request.op);
-  response.dataset = entry.name;
-  response.score = evaluator->ScoreFromTargetOpinions(target_row);
-  response.all_scores = evaluator->ScoresAllCandidates(target_row);
-  response.winner = static_cast<uint32_t>(
-      std::max_element(response.all_scores.begin(),
-                       response.all_scores.end()) -
-      response.all_scores.begin());
-  response.millis = timer.Millis();
-  return response;
-}
-
-Response CampaignService::HandleLoad(const Request& request) {
-  WallTimer timer;
-  if (request.dataset.empty()) {
-    return Response::Error(
-        request, Status::InvalidArgument("load requires a 'dataset' name"));
-  }
-  if (request.bundle.empty()) {
-    return Response::Error(
-        request, Status::InvalidArgument("load requires a 'bundle' prefix"));
-  }
-  DatasetLoadOptions load = options_.load;  // service defaults
-  load.bundle_prefix = request.bundle;
-  load.sketch_path = request.sketch;
-  if (request.theta > 0) load.build_theta = request.theta;
-  auto entry = registry_.Load(request.dataset, load);
-  if (!entry.ok()) return Response::Error(request, entry.status());
-
-  Response response;
-  response.id = request.id;
-  response.op = OpName(request.op);
-  response.dataset = (*entry)->name;
-  response.datasets.push_back(InfoOf(**entry));
-  response.millis = timer.Millis();
-  return response;
-}
-
-Response CampaignService::HandleUnload(const Request& request) {
-  WallTimer timer;
-  if (request.dataset.empty()) {
-    return Response::Error(
-        request, Status::InvalidArgument("unload requires a 'dataset' name"));
-  }
-  auto removed = registry_.Unload(request.dataset);
-  if (!removed.ok()) return Response::Error(request, removed.status());
-  // Drop pooled idle states; states leased to in-flight queries are
-  // discarded when they check back in.
-  states_.Evict(request.dataset, (*removed)->generation);
-
-  Response response;
-  response.id = request.id;
-  response.op = OpName(request.op);
-  response.dataset = request.dataset;
-  response.millis = timer.Millis();
-  return response;
-}
-
-Response CampaignService::HandleList(const Request& request) {
-  WallTimer timer;
-  Response response;
-  response.id = request.id;
-  response.op = OpName(request.op);
-  for (const auto& entry : registry_.List()) {
-    response.datasets.push_back(InfoOf(*entry));
-  }
-  response.millis = timer.Millis();
-  return response;
+  auto engine = api::Engine::Open(options);
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<CampaignService>(
+      new CampaignService(std::move(engine).value()));
 }
 
 }  // namespace voteopt::serve

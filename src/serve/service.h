@@ -1,76 +1,37 @@
-// CampaignService: the online half of the offline-build → persist → serve
-// split — now a concurrent, multi-tenant service.
+// CampaignService: the wire-transport shim of the serving layer. All query
+// dispatch — registry resolution, pooled per-worker state, method routing,
+// batch fan-out with admin barriers — lives in api::Engine (api/engine.h),
+// the ONE component that executes queries; CampaignService merely owns an
+// engine and forwards, keeping the historical serve-layer surface for the
+// CLI, tests, and benches. Because the shim adds nothing to the path, a
+// wire client and an embedded api::Engine caller get bit-identical answers
+// by construction.
 //
-// A DatasetRegistry hosts any number of named bundle+sketch pairs; the
-// protocol's load / unload / list verbs manage them at runtime. Query verbs
-// run against one hosted dataset each:
-//
-//   * topk      — budget-k seed selection on the sketch (RS greedy loop)
-//   * minseed   — Problem 2's minimum winning budget (binary search)
-//   * evaluate  — exact score of a supplied seed set, optionally under
-//                 updated ("override") target opinions — a campaign's
-//                 current state
-//
-// Concurrency model (docs/ARCHITECTURE.md): HandleBatch fans queries out
-// onto a util::ThreadPool. The frozen WalkSet spans and everything else
-// reachable from a DatasetEntry are immutable and shared across workers;
-// all per-query mutable state — the O(theta) dynamic truncation state that
-// WalkSet::ResetValues rebuilds before each selection, and the per-voting-
-// rule ScoreEvaluator LRU — lives in QueryStates checked out of a
-// StatePool, so concurrent queries never contend on mutable sketch state.
-// Each query is deterministic in isolation; answers are therefore
-// bit-identical whatever the worker count. Admin verbs act as ordering
-// barriers inside a batch, which preserves exact serial semantics.
-//
-// Each sketch bakes in its horizon and its target campaign's stubbornness,
-// so every entry pins (target, horizon) from the sketch's persisted meta.
+// The concurrency model (frozen shared entries, per-query mutable state,
+// admin verbs as batch barriers, thread-count-invariant answers) is
+// documented in docs/ARCHITECTURE.md and implemented by the engine.
 #ifndef VOTEOPT_SERVE_SERVICE_H_
 #define VOTEOPT_SERVE_SERVICE_H_
 
-#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/state_pool.h"
-#include "util/thread_pool.h"
 
 namespace voteopt::serve {
 
-struct ServiceOptions {
-  /// Bootstrap dataset registered at Open under `dataset_name`. Its
-  /// bundle_prefix may be left empty to start with an empty registry —
-  /// datasets then arrive via the protocol's `load` verb. These options
-  /// are also the defaults inherited by protocol-level loads.
-  DatasetLoadOptions load;
-  std::string dataset_name = "default";
-
-  /// Serving worker threads for HandleBatch fan-out (0 = one per hardware
-  /// thread). Answers are identical for every value; this only sets how
-  /// many independent queries run at once.
-  uint32_t num_worker_threads = 1;
-
-  /// Capacity of each worker state's per-voting-rule evaluator LRU.
-  uint32_t evaluator_cache_capacity = 4;
-};
+/// The engine's options under their historical serve-layer name: bootstrap
+/// dataset load options, worker-pool width, evaluator-LRU capacity.
+using ServiceOptions = api::EngineOptions;
 
 class CampaignService {
  public:
-  /// Monotonic service-wide counters (a point-in-time snapshot; the live
-  /// counters are atomics updated from every worker).
-  struct Stats {
-    uint64_t queries = 0;
-    uint64_t errors = 0;
-    uint64_t evaluator_cache_hits = 0;
-    uint64_t evaluator_cache_misses = 0;
-    uint64_t sketch_resets = 0;
-    /// QueryStates ever constructed — the worker-state churn; stays at the
-    /// worker count in steady single-dataset operation.
-    uint64_t worker_states = 0;
-    bool sketch_built = false;  // the bootstrap Open had to build (no file)
-  };
+  /// Monotonic service-wide counters (snapshot of the engine's atomics).
+  using Stats = api::Engine::Stats;
 
   /// Creates the service and, when options.load.bundle_prefix is set,
   /// loads the bootstrap dataset. Fails with a clean Status on any
@@ -81,59 +42,38 @@ class CampaignService {
   /// Answers one request inline on the calling thread. Never throws;
   /// failures come back as error responses so a stream keeps flowing.
   /// Thread-safe: any number of client threads may call concurrently.
-  Response Handle(const Request& request);
+  Response Handle(const Request& request) { return engine_->Execute(request); }
 
   /// Answers a batch with responses in request order. Query verbs run
   /// concurrently on the worker pool; admin verbs (load/unload/list) are
   /// ordering barriers, so the result is identical to serial execution.
-  std::vector<Response> HandleBatch(const std::vector<Request>& batch);
+  std::vector<Response> HandleBatch(const std::vector<Request>& batch) {
+    return engine_->ExecuteBatch(batch);
+  }
 
-  DatasetRegistry& registry() { return registry_; }
-  const StatePool& state_pool() const { return states_; }
-  uint32_t num_worker_threads() const { return pool_->num_threads(); }
+  /// The engine behind the shim — the typed API surface for callers that
+  /// outgrow the wire protocol.
+  api::Engine& engine() { return *engine_; }
+
+  DatasetRegistry& registry() { return engine_->registry(); }
+  const StatePool& state_pool() const { return engine_->state_pool(); }
+  uint32_t num_worker_threads() const { return engine_->num_worker_threads(); }
 
   // Single-tenant conveniences: the sole hosted dataset (precondition:
   // the registry hosts exactly one, e.g. right after a bootstrap Open).
-  const datasets::Dataset& dataset() const;
-  const store::SketchMeta& sketch_meta() const;
-  const core::WalkSet& walks() const;
+  const datasets::Dataset& dataset() const { return engine_->dataset(); }
+  const store::SketchMeta& sketch_meta() const {
+    return engine_->sketch_meta();
+  }
+  const core::WalkSet& walks() const { return engine_->walks(); }
 
-  Stats stats() const;
+  Stats stats() const { return engine_->stats(); }
 
  private:
-  explicit CampaignService(const ServiceOptions& options);
+  explicit CampaignService(std::unique_ptr<api::Engine> engine)
+      : engine_(std::move(engine)) {}
 
-  /// Routes one request (query → pooled state, admin → registry).
-  Response Execute(const Request& request);
-  Response ExecuteQuery(const Request& request);
-
-  Response HandleTopK(const Request& request, const DatasetEntry& entry,
-                      QueryState& state);
-  Response HandleMinSeed(const Request& request, const DatasetEntry& entry,
-                         QueryState& state);
-  Response HandleEvaluate(const Request& request, const DatasetEntry& entry,
-                          QueryState& state);
-  Response HandleLoad(const Request& request);
-  Response HandleUnload(const Request& request);
-  Response HandleList(const Request& request);
-
-  /// Cached evaluator from the leased state, with hit/miss accounting.
-  const voting::ScoreEvaluator* EvaluatorFor(const voting::ScoreSpec& spec,
-                                             QueryState& state);
-  /// Rebuilds the leased working sketch's dynamic state for a selection.
-  void ResetSketch(const DatasetEntry& entry, QueryState& state);
-
-  ServiceOptions options_;
-  DatasetRegistry registry_;
-  StatePool states_;
-  std::unique_ptr<ThreadPool> pool_;
-  bool bootstrap_built_ = false;
-
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> errors_{0};
-  std::atomic<uint64_t> evaluator_cache_hits_{0};
-  std::atomic<uint64_t> evaluator_cache_misses_{0};
-  std::atomic<uint64_t> sketch_resets_{0};
+  std::unique_ptr<api::Engine> engine_;
 };
 
 }  // namespace voteopt::serve

@@ -39,7 +39,7 @@ struct SketchMeta {
   uint32_t target = 0;       // candidate whose campaign drove the walks
   uint64_t master_seed = 0;  // sharded-builder seed (0 = unknown/serial)
   /// Fingerprint of the problem instance (graph + campaign state) the
-  /// walks were generated from — see serve::CampaignService, which refuses
+  /// walks were generated from — see api::DatasetRegistry, which refuses
   /// to serve a sketch against a bundle with a different fingerprint. A
   /// regenerated bundle with the same node count would otherwise silently
   /// produce wrong answers. 0 = unknown (no check).

@@ -1,0 +1,329 @@
+// The unified typed query API, pinned four ways:
+//  * engine equivalence — api::Engine answers TopK / MinSeed / Evaluate
+//    byte-identically to the PR-4 CampaignService surface across worker
+//    thread counts 1/2/4 (and to the direct core selection path), so the
+//    redesign provably changed the plumbing, not one answer;
+//  * the full nine-method roster is invocable through the engine AND
+//    through parsed wire requests (the protocol's "method" field);
+//  * the new MethodCompare / RuleSweep scenarios return one scored entry
+//    per method (paper plotting order) resp. per voting rule;
+//  * QueryOptions toggles (lazy, single_pass, evaluate_exact) and the
+//    rule/version validation behave as documented.
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/estimated_greedy.h"
+#include "core/sketch.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace voteopt::api {
+namespace {
+
+class ApiEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/api_engine_bundle";
+    dataset_ = datasets::MakeDataset(datasets::DatasetName::kTwitterMask,
+                                     0.05, /*seed=*/7);
+    ASSERT_TRUE(datasets::SaveDatasetBundle(dataset_, prefix_).ok());
+  }
+  void TearDown() override {
+    for (const char* suffix : {".influence.edges", ".counts.edges",
+                               ".campaigns.tsv", ".meta", ".sketch"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  EngineOptions Options(uint32_t worker_threads = 1) const {
+    EngineOptions options;
+    options.load.bundle_prefix = prefix_;
+    options.load.build_theta = 20000;
+    options.load.build_horizon = 10;
+    options.load.save_built_sketch = true;
+    options.load.build_threads = 2;
+    options.num_worker_threads = worker_threads;
+    return options;
+  }
+
+  /// The mixed batch the equivalence test pins: every PR-4 query verb,
+  /// several voting rules, and one deliberate error.
+  static std::vector<Request> Pr4Batch() {
+    std::vector<Request> batch;
+    batch.push_back(Request::TopK(5, voting::ScoreSpec::Cumulative()));
+    batch.push_back(Request::TopK(4, voting::ScoreSpec::Plurality()));
+    batch.push_back(Request::TopK(3, voting::ScoreSpec::Copeland()));
+    batch.push_back(Request::MinSeed(24, voting::ScoreSpec::Cumulative()));
+    batch.push_back(Request::Evaluate({1, 2, 3},
+                                      voting::ScoreSpec::Cumulative()));
+    {
+      Request evaluate =
+          Request::Evaluate({4, 5}, voting::ScoreSpec::Plurality());
+      evaluate.rule = "borda";
+      evaluate.overrides = {{0, 1.0}, {1, 0.25}};
+      batch.push_back(evaluate);
+    }
+    batch.push_back(Request::TopK(0, voting::ScoreSpec::Cumulative()));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].id = "q" + std::to_string(i);
+    }
+    return batch;
+  }
+
+  std::string prefix_;
+  datasets::Dataset dataset_;
+};
+
+TEST_F(ApiEngineTest, EngineEqualsServiceAcrossThreadCounts) {
+  const std::vector<Request> batch = Pr4Batch();
+
+  // Reference: the PR-4 serving surface on one worker.
+  auto reference = serve::CampaignService::Open(Options(1));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  std::vector<std::string> expected;
+  for (const Response& response : (*reference)->HandleBatch(batch)) {
+    expected.push_back(response.ToStableJson());
+  }
+
+  for (const uint32_t threads : {1u, 2u, 4u}) {
+    auto engine = Engine::Open(Options(threads));
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const std::vector<Response> responses = (*engine)->ExecuteBatch(batch);
+    ASSERT_EQ(responses.size(), expected.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      EXPECT_EQ(responses[i].ToStableJson(), expected[i])
+          << "request " << i << " diverged at --threads " << threads;
+    }
+  }
+}
+
+TEST_F(ApiEngineTest, TopKMatchesDirectCoreSelection) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const Response response = (*engine)->Execute(
+      Request::TopK(6, voting::ScoreSpec::Cumulative()));
+  ASSERT_TRUE(response.ok) << response.error;
+
+  // Reference: the same sketch built directly from the persisted recipe
+  // and consumed by the same greedy loop — the PR-4 semantics.
+  opinion::FJModel model(dataset_.influence);
+  voting::ScoreEvaluator evaluator(model, dataset_.state,
+                                   dataset_.default_target, /*horizon=*/10,
+                                   voting::ScoreSpec::Cumulative());
+  core::SketchBuildOptions build_options;
+  build_options.num_threads = 2;
+  auto walks = core::BuildSketchSet(evaluator, 20000, /*master_seed=*/42,
+                                    build_options);
+  const core::SelectionResult expected =
+      core::EstimatedGreedySelect(evaluator, 6, walks.get());
+  EXPECT_EQ(response.seeds, expected.seeds);
+  EXPECT_DOUBLE_EQ(response.exact_score, expected.score);
+}
+
+TEST_F(ApiEngineTest, AllNineMethodsInvocableOverTheWire) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  for (const baselines::Method method : baselines::AllMethods()) {
+    // Lower-case method spelling: the codec parses case-insensitively.
+    std::string name = baselines::MethodName(method);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    const std::string line = std::string("{\"op\": \"topk\", \"v\": 2, ") +
+                             "\"k\": 3, \"rule\": \"plurality\", " +
+                             "\"method\": \"" + name + "\"}";
+    auto request = serve::ParseRequest(line);
+    ASSERT_TRUE(request.ok()) << line << ": " << request.status().ToString();
+    EXPECT_EQ(request->method, method);
+    const Response response = (*engine)->Execute(*request);
+    ASSERT_TRUE(response.ok)
+        << baselines::MethodName(method) << ": " << response.error;
+    EXPECT_EQ(response.seeds.size(), 3u) << baselines::MethodName(method);
+    EXPECT_GT(response.exact_score, 0.0) << baselines::MethodName(method);
+    // Non-RS answers name the method; the RS default stays off the wire.
+    if (method == baselines::Method::kRS) {
+      EXPECT_TRUE(response.method.empty());
+      EXPECT_EQ(response.ToJson().find("\"method\""), std::string::npos);
+    } else {
+      EXPECT_EQ(response.method, baselines::MethodName(method));
+      EXPECT_NE(response.ToJson().find("\"method\""), std::string::npos);
+    }
+  }
+}
+
+TEST_F(ApiEngineTest, MethodCompareReturnsRosterInPaperOrder) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  const Response response = (*engine)->Execute(
+      Request::MethodCompare(2, voting::ScoreSpec::Plurality()));
+  ASSERT_TRUE(response.ok) << response.error;
+  const auto roster = baselines::AllMethods();
+  ASSERT_EQ(response.method_scores.size(), roster.size());
+  for (size_t i = 0; i < roster.size(); ++i) {
+    const MethodScore& entry = response.method_scores[i];
+    EXPECT_EQ(entry.method, baselines::MethodName(roster[i]))
+        << "entry " << i << " out of paper order";
+    EXPECT_EQ(entry.seeds.size(), 2u) << entry.method;
+    EXPECT_GT(entry.exact_score, 0.0) << entry.method;
+  }
+  // The wire form carries one object per method.
+  const std::string json = response.ToJson();
+  for (const baselines::Method method : roster) {
+    EXPECT_NE(json.find("{\"method\": \"" +
+                        std::string(baselines::MethodName(method)) + "\""),
+              std::string::npos);
+  }
+}
+
+TEST_F(ApiEngineTest, MethodCompareHonorsExplicitRoster) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  Request request = Request::MethodCompare(3, voting::ScoreSpec::Cumulative());
+  request.methods = {baselines::Method::kDegree, baselines::Method::kRS};
+  const Response response = (*engine)->Execute(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_EQ(response.method_scores.size(), 2u);
+  EXPECT_EQ(response.method_scores[0].method, "DC");
+  EXPECT_EQ(response.method_scores[1].method, "RS");
+  // The RS entry must equal a plain RS topk on the same instance.
+  const Response topk = (*engine)->Execute(
+      Request::TopK(3, voting::ScoreSpec::Cumulative()));
+  EXPECT_EQ(response.method_scores[1].seeds, topk.seeds);
+  EXPECT_DOUBLE_EQ(response.method_scores[1].exact_score, topk.exact_score);
+}
+
+TEST_F(ApiEngineTest, RuleSweepScoresAllFiveRules) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  const Response response = (*engine)->Execute(Request::RuleSweep(4));
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_EQ(response.rule_scores.size(), 5u);
+  const char* expected_order[] = {"cumulative", "plurality", "papproval",
+                                  "positional", "copeland"};
+  const uint32_t r = dataset_.state.num_candidates();
+  for (size_t i = 0; i < 5; ++i) {
+    const RuleScore& entry = response.rule_scores[i];
+    EXPECT_EQ(entry.rule, expected_order[i]);
+    EXPECT_EQ(entry.seeds.size(), 4u) << entry.rule;
+    EXPECT_LT(entry.winner, r) << entry.rule;
+  }
+  // Each rule's entry pins the same answer a dedicated topk returns.
+  const Response cumulative = (*engine)->Execute(
+      Request::TopK(4, voting::ScoreSpec::Cumulative()));
+  EXPECT_EQ(response.rule_scores[0].seeds, cumulative.seeds);
+  EXPECT_DOUBLE_EQ(response.rule_scores[0].exact_score,
+                   cumulative.exact_score);
+}
+
+TEST_F(ApiEngineTest, QueryOptionTogglesPreserveAnswers) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+
+  // CELF lazy vs exhaustive: bit-identical seeds and estimate.
+  Request topk = Request::TopK(8, voting::ScoreSpec::Cumulative());
+  const Response lazy = (*engine)->Execute(topk);
+  topk.options.lazy = false;
+  const Response exhaustive = (*engine)->Execute(topk);
+  ASSERT_TRUE(lazy.ok && exhaustive.ok);
+  EXPECT_EQ(lazy.seeds, exhaustive.seeds);
+  EXPECT_DOUBLE_EQ(lazy.estimated_score, exhaustive.estimated_score);
+  EXPECT_GT(exhaustive.diagnostics.at("gain_evaluations"),
+            lazy.diagnostics.at("gain_evaluations"));
+
+  // Single-pass vs binary-search min-seed: identical k*, seeds, outcome.
+  Request minseed = Request::MinSeed(24, voting::ScoreSpec::Cumulative());
+  const Response single = (*engine)->Execute(minseed);
+  minseed.options.single_pass = false;
+  const Response searched = (*engine)->Execute(minseed);
+  ASSERT_TRUE(single.ok && searched.ok);
+  EXPECT_EQ(single.achievable, searched.achievable);
+  EXPECT_EQ(single.k_star, searched.k_star);
+  EXPECT_EQ(single.seeds, searched.seeds);
+  EXPECT_LE(single.selector_calls, 1u);
+  EXPECT_GE(searched.selector_calls, single.selector_calls);
+
+  // evaluate_exact=false skips the final exact propagation.
+  topk.options.lazy = true;
+  topk.options.evaluate_exact = false;
+  const Response estimated_only = (*engine)->Execute(topk);
+  ASSERT_TRUE(estimated_only.ok);
+  EXPECT_EQ(estimated_only.seeds, lazy.seeds);
+  EXPECT_DOUBLE_EQ(estimated_only.exact_score, 0.0);
+}
+
+TEST_F(ApiEngineTest, ResolveRuleValidatesBordaAndEnumeratesRules) {
+  // Borda weights are undefined for a single-candidate walkover.
+  const auto walkover = ResolveRule("borda", 1, {}, /*num_candidates=*/1);
+  ASSERT_FALSE(walkover.ok());
+  EXPECT_EQ(walkover.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(walkover.status().message().find("borda"), std::string::npos);
+
+  const auto two = ResolveRule("borda", 1, {}, /*num_candidates=*/2);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->kind, voting::ScoreKind::kPositionalPApproval);
+  EXPECT_EQ(two->omega, (std::vector<double>{1.0, 0.0}));
+
+  // Unknown rules enumerate the vocabulary.
+  const auto unknown = ResolveRule("frobnicate", 1, {}, 4);
+  ASSERT_FALSE(unknown.ok());
+  for (const char* rule : {"cumulative", "plurality", "papproval",
+                           "positional", "copeland", "borda"}) {
+    EXPECT_NE(unknown.status().message().find(rule), std::string::npos);
+  }
+}
+
+TEST_F(ApiEngineTest, BordaOverTheWireUsesTheDatasetCandidateCount) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  auto request = serve::ParseRequest(
+      R"({"op": "topk", "k": 3, "rule": "borda"})");
+  ASSERT_TRUE(request.ok());
+  const Response response = (*engine)->Execute(*request);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.seeds.size(), 3u);
+  // r = 2 here, so borda == plurality: identical selections.
+  const Response plurality = (*engine)->Execute(
+      Request::TopK(3, voting::ScoreSpec::Plurality()));
+  EXPECT_EQ(response.seeds, plurality.seeds);
+}
+
+TEST_F(ApiEngineTest, UnsupportedVersionFailsCleanly) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  Request request = Request::TopK(2, voting::ScoreSpec::Cumulative());
+  request.v = kProtocolVersion + 1;
+  const Response response = (*engine)->Execute(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("unsupported protocol version"),
+            std::string::npos);
+  request.v = kProtocolVersion;
+  EXPECT_TRUE((*engine)->Execute(request).ok);
+}
+
+TEST_F(ApiEngineTest, HostsInMemoryDatasetsWithTargetOverride) {
+  auto engine = Engine::Open({});  // empty registry, no bootstrap
+  ASSERT_TRUE(engine.ok());
+  HostOptions host;
+  host.theta = 5000;
+  host.horizon = 10;
+  host.target = 1;
+  ASSERT_TRUE((*engine)->Host("mem", dataset_, host).ok());
+  EXPECT_EQ((*engine)->sketch_meta().target, 1u);
+  EXPECT_EQ((*engine)->sketch_meta().theta, 5000u);
+
+  const Response response = (*engine)->Execute(
+      Request::TopK(3, voting::ScoreSpec::Cumulative()));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.dataset, "mem");
+  EXPECT_EQ(response.seeds.size(), 3u);
+
+  // Same name twice: FailedPrecondition, like a double protocol load.
+  EXPECT_FALSE((*engine)->Host("mem", dataset_, host).ok());
+  // Out-of-range target override: clean error, no assert.
+  host.target = 99;
+  EXPECT_FALSE((*engine)->Host("mem2", dataset_, host).ok());
+}
+
+}  // namespace
+}  // namespace voteopt::api

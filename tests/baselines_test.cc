@@ -253,11 +253,30 @@ TEST(GedTTest, OptimizesCumulativeEvenUnderPluralitySpec) {
 TEST(FactoryTest, NamesRoundTrip) {
   for (Method m : AllMethods()) {
     const auto parsed = ParseMethod(MethodName(m));
-    ASSERT_TRUE(parsed.has_value()) << MethodName(m);
+    ASSERT_TRUE(parsed.ok()) << MethodName(m);
     EXPECT_EQ(*parsed, m);
   }
-  EXPECT_FALSE(ParseMethod("bogus").has_value());
+  EXPECT_FALSE(ParseMethod("bogus").ok());
   EXPECT_EQ(AllMethods().size(), 9u);
+}
+
+TEST(FactoryTest, ParseMethodIsCaseInsensitive) {
+  for (const char* spelling : {"rs", "RS", "Rs"}) {
+    const auto parsed = ParseMethod(spelling);
+    ASSERT_TRUE(parsed.ok()) << spelling;
+    EXPECT_EQ(*parsed, Method::kRS);
+  }
+  EXPECT_EQ(*ParseMethod("ged-t"), Method::kGedT);
+  EXPECT_EQ(*ParseMethod("rwr"), Method::kRWR);
+  EXPECT_EQ(*ParseMethod("dc"), Method::kDegree);
+  // Unknown names enumerate the valid roster in the error message.
+  const auto unknown = ParseMethod("frobnicate");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), Status::Code::kInvalidArgument);
+  for (Method m : AllMethods()) {
+    EXPECT_NE(unknown.status().message().find(MethodName(m)),
+              std::string::npos);
+  }
 }
 
 TEST(FactoryTest, EveryMethodReturnsKSeeds) {

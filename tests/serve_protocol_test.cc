@@ -150,6 +150,46 @@ TEST(ParseRequestTest, IgnoresUnknownFieldsForForwardCompat) {
   EXPECT_TRUE(request.ok());
 }
 
+TEST(ParseRequestTest, VersionDefaultsToOneAndGatesUnknownMajors) {
+  auto v1 = ParseRequest(R"({"op": "topk", "k": 1})");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->v, 1u);
+  auto v2 = ParseRequest(R"({"op": "rulesweep", "v": 2, "k": 3})");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->v, 2u);
+  EXPECT_EQ(v2->op, Request::Op::kRuleSweep);
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk", "v": 9, "k": 1})").ok());
+}
+
+TEST(ParseRequestTest, ParsesMethodFieldCaseInsensitively) {
+  auto request = ParseRequest(
+      R"({"op": "topk", "k": 2, "method": "ged-t"})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->method, baselines::Method::kGedT);
+  // Absent method defaults to RS, the paper's recommendation.
+  EXPECT_EQ(ParseRequest(R"({"op": "topk", "k": 2})")->method,
+            baselines::Method::kRS);
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk", "method": "nope"})").ok());
+}
+
+TEST(ParseRequestTest, ParsesMethodCompareAndRuleSweep) {
+  auto compare = ParseRequest(
+      R"({"op": "methodcompare", "v": 2, "k": 6, "methods": ["dm", "RS"]})");
+  ASSERT_TRUE(compare.ok()) << compare.status().ToString();
+  EXPECT_EQ(compare->op, Request::Op::kMethodCompare);
+  EXPECT_EQ(compare->k, 6u);
+  EXPECT_EQ(compare->methods,
+            (std::vector<baselines::Method>{baselines::Method::kDM,
+                                            baselines::Method::kRS}));
+  EXPECT_FALSE(IsAdminOp(compare->op));
+
+  auto sweep = ParseRequest(R"({"op": "rulesweep", "k": 5, "p": 2})");
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->op, Request::Op::kRuleSweep);
+  EXPECT_EQ(sweep->p, 2u);
+  EXPECT_FALSE(IsAdminOp(sweep->op));
+}
+
 TEST(ParseRequestTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseRequest("").ok());
   EXPECT_FALSE(ParseRequest("not json").ok());

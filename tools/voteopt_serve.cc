@@ -1,4 +1,6 @@
-// voteopt_serve: the concurrent multi-dataset campaign query service.
+// voteopt_serve: the concurrent multi-dataset campaign query service — a
+// JSON-line transport in front of api::Engine, the single query-dispatch
+// component (embedded C++ callers execute the identical code path).
 //
 // Reads newline-delimited JSON requests (docs/PROTOCOL.md) from a file or
 // stdin and writes one JSON response per line, in request order — the
@@ -17,18 +19,22 @@
 //   where batch.jsonl holds lines like (with several datasets hosted,
 //   every query names the one it targets)
 //       {"op": "topk", "k": 10, "rule": "plurality", "dataset": "default"}
+//       {"op": "topk", "k": 10, "method": "DC", "dataset": "default"}
 //       {"op": "minseed", "k_max": 200, "dataset": "dblp"}
 //       {"op": "evaluate", "seeds": [3, 17], "override": [[5, 0.9]],
 //        "dataset": "default"}
+//       {"op": "methodcompare", "v": 2, "k": 10, "dataset": "default"}
+//       {"op": "rulesweep", "v": 2, "k": 10, "dataset": "dblp"}
 //       {"op": "list"}
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
+#include "api/engine.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
-#include "serve/service.h"
+#include "serve/protocol.h"
 #include "util/options.h"
 
 using namespace voteopt;
@@ -37,9 +43,16 @@ namespace {
 
 constexpr char kUsage[] = R"(usage: voteopt_serve [flags]
 
-Serves topk / minseed / evaluate / load / unload / list requests
-(newline-delimited JSON; see docs/PROTOCOL.md) against one or more hosted
-dataset bundles and their persisted sketches.
+Serves topk / minseed / evaluate / methodcompare / rulesweep and the
+load / unload / list admin verbs (newline-delimited JSON; see
+docs/PROTOCOL.md) against one or more hosted dataset bundles and their
+persisted sketches. Every request dispatches through api::Engine, the same
+code path embedded C++ callers use.
+
+Queries take "rule" = cumulative | plurality | papproval | positional |
+copeland | borda (borda derives its weights from the loaded dataset's
+candidate count) and "method" = DM | RW | RS | IC | LT | GED-T | PR | RWR |
+DC (case-insensitive; default RS, the sketch-backed recommendation).
 
 Datasets:
   --bundle=<prefix>      bundle hosted as "default" (required unless --demo
@@ -65,7 +78,8 @@ Serving:
                          --requests files, 1 — answer every line as it
                          arrives — when reading stdin, so interactive and
                          pipe-connected clients never wait on a full window)
-  --cache=<N>            per-worker evaluator LRU capacity (default 4)
+  --cache=<N>            per-worker evaluator LRU capacity (default 6 —
+                         holds rulesweep's five rules plus one more)
   --requests=<path|->    request file (default "-": stdin)
   --out=<path|->         response file (default "-": stdout)
   --help                 print this message and exit
@@ -98,29 +112,28 @@ int main(int argc, char** argv) {
     std::cerr << "wrote a demo bundle to " << bundle << ".*\n";
   }
 
-  serve::ServiceOptions service_options;
-  service_options.load.bundle_prefix = bundle;
-  service_options.load.sketch_path = options.GetString("sketch", "");
-  service_options.load.build_theta =
+  api::EngineOptions engine_options;
+  engine_options.load.bundle_prefix = bundle;
+  engine_options.load.sketch_path = options.GetString("sketch", "");
+  engine_options.load.build_theta =
       static_cast<uint64_t>(options.GetInt("theta", 1 << 18));
-  service_options.load.build_horizon =
+  engine_options.load.build_horizon =
       static_cast<uint32_t>(options.GetInt("t", 20));
-  service_options.load.build_threads =
+  engine_options.load.build_threads =
       static_cast<uint32_t>(options.GetInt("build_threads", 0));
-  service_options.load.save_built_sketch =
+  engine_options.load.save_built_sketch =
       options.GetBool("save_sketch", true);
-  service_options.load.sketch_load_mode = options.GetBool("mmap", true)
-                                              ? store::SketchLoadMode::kMmap
-                                              : store::SketchLoadMode::kCopy;
-  service_options.num_worker_threads =
+  engine_options.load.sketch_load_mode = options.GetBool("mmap", true)
+                                             ? store::SketchLoadMode::kMmap
+                                             : store::SketchLoadMode::kCopy;
+  engine_options.num_worker_threads =
       static_cast<uint32_t>(options.GetInt("threads", 1));
-  service_options.evaluator_cache_capacity =
-      static_cast<uint32_t>(options.GetInt("cache", 4));
+  engine_options.evaluator_cache_capacity = static_cast<uint32_t>(
+      options.GetInt("cache", engine_options.evaluator_cache_capacity));
 
-  auto service = serve::CampaignService::Open(service_options);
-  if (!service.ok()) {
-    std::cerr << "cannot open service: " << service.status().ToString()
-              << "\n";
+  auto engine = api::Engine::Open(engine_options);
+  if (!engine.ok()) {
+    std::cerr << "cannot open engine: " << engine.status().ToString() << "\n";
     return 1;
   }
 
@@ -128,7 +141,7 @@ int main(int argc, char** argv) {
   // inherit the build-fallback defaults (but never an explicit --sketch,
   // which names one file for one bundle).
   if (!extra_loads.empty()) {
-    serve::DatasetLoadOptions extra = service_options.load;
+    api::DatasetLoadOptions extra = engine_options.load;
     extra.sketch_path.clear();
     std::stringstream items(extra_loads);
     std::string item;
@@ -141,7 +154,7 @@ int main(int argc, char** argv) {
       }
       extra.bundle_prefix = item.substr(eq + 1);
       auto entry =
-          (*service)->registry().Load(item.substr(0, eq), extra);
+          (*engine)->registry().Load(item.substr(0, eq), extra);
       if (!entry.ok()) {
         std::cerr << "cannot load '" << item
                   << "': " << entry.status().ToString() << "\n";
@@ -150,10 +163,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cerr << "hosting " << (*service)->registry().size()
-            << " dataset(s) on " << (*service)->num_worker_threads()
+  std::cerr << "hosting " << (*engine)->registry().size()
+            << " dataset(s) on " << (*engine)->num_worker_threads()
             << " worker thread(s):\n";
-  for (const auto& entry : (*service)->registry().List()) {
+  for (const auto& entry : (*engine)->registry().List()) {
     std::cerr << "  '" << entry->name << "' (" << entry->dataset.name
               << "): n=" << entry->dataset.influence.num_nodes()
               << " r=" << entry->dataset.state.num_candidates()
@@ -197,17 +210,17 @@ int main(int argc, char** argv) {
       1, options.GetInt("batch", requests_path == "-" ? 1 : 128)));
   struct Slot {
     bool parsed = false;
-    serve::Request request;
-    serve::Response error;
+    api::Request request;
+    api::Response error;
   };
   std::vector<Slot> window;
   auto flush = [&] {
-    std::vector<serve::Request> requests;
+    std::vector<api::Request> requests;
     requests.reserve(window.size());
     for (const Slot& slot : window) {
       if (slot.parsed) requests.push_back(slot.request);
     }
-    std::vector<serve::Response> answers = (*service)->HandleBatch(requests);
+    std::vector<api::Response> answers = (*engine)->ExecuteBatch(requests);
     size_t next = 0;
     for (const Slot& slot : window) {
       out << (slot.parsed ? answers[next++] : slot.error).ToJson() << "\n";
@@ -236,9 +249,9 @@ int main(int argc, char** argv) {
   }
   flush();
 
-  const auto stats = (*service)->stats();
+  const auto stats = (*engine)->stats();
   std::cerr << "served " << stats.queries << " requests (" << stats.errors
-            << " errors) on " << (*service)->num_worker_threads()
+            << " errors) on " << (*engine)->num_worker_threads()
             << " worker(s), " << stats.worker_states
             << " worker states, evaluator cache "
             << stats.evaluator_cache_hits << " hits / "
