@@ -16,6 +16,8 @@
 #include <tuple>
 
 #include "core/sketch.h"
+#include "core/walk_engine.h"
+#include "sketch_ooc/ooc_builder.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -165,6 +167,101 @@ int main(int argc, char** argv) {
                   std::to_string(theta) + ")",
          sketch_table);
 
+    // --- Out-of-core tier: a separate, larger instance built through the
+    // block-sharded engine (sketch_ooc/), with a sampled bit-identity spot
+    // check against the per-walk RNG-stream definition. Defaults to the
+    // paper-scale n = 10^6 tw-dist analog; CI runs it smaller via flags.
+    //   --ooc_bench=0            skip the tier
+    //   --ooc_nodes=<int>        instance size (default 1,000,000)
+    //   --ooc_theta=<int>        walks (default 2^20)
+    //   --ooc_block_budget_kb=N  per-block resident budget (default 8192,
+    //                            i.e. 8 MiB -> 6 blocks at n = 10^6)
+    //   --ooc_sample=<int>       walks regenerated for the spot check
+    //   --ooc_scratch=<prefix>   block-file scratch location
+    std::ostringstream ooc_json;
+    if (options.GetBool("ooc_bench", true)) {
+      const auto ooc_nodes =
+          static_cast<uint32_t>(options.GetInt("ooc_nodes", 1000000));
+      const auto ooc_theta =
+          static_cast<uint64_t>(options.GetInt("ooc_theta", 1 << 20));
+      const uint64_t budget_bytes =
+          static_cast<uint64_t>(options.GetInt("ooc_block_budget_kb", 8192))
+          << 10;
+      const auto sample_walks =
+          static_cast<uint64_t>(options.GetInt("ooc_sample", 512));
+      const std::string scratch = options.GetString(
+          "ooc_scratch", "/tmp/voteopt_bench_ooc");
+      const double ooc_scale =
+          static_cast<double>(ooc_nodes) /
+          datasets::DefaultNumNodes(datasets::DatasetName::kTwitterDistancing);
+      datasets::Dataset big = datasets::MakeDataset(
+          datasets::DatasetName::kTwitterDistancing, ooc_scale, env.seed,
+          env.mu);
+      const auto& campaign = big.state.campaigns[big.default_target];
+      constexpr uint64_t kOocMasterSeed = 7;
+
+      sketch_ooc::OocBuildStats stats;
+      WallTimer timer;
+      auto walks = sketch_ooc::BuildSketchSetOocFromGraph(
+          big.influence, campaign, env.horizon, ooc_theta, kOocMasterSeed,
+          budget_bytes, scratch, {}, &stats);
+      const double ooc_seconds = timer.Seconds();
+      if (!walks.ok()) {
+        std::cerr << "ooc tier failed: " << walks.status().ToString() << "\n";
+        return 1;
+      }
+
+      // Spot check: regenerate a sample of walks from their per-walk RNG
+      // streams (the definition both engines implement) and compare the
+      // stored trajectories byte-for-byte.
+      graph::AliasSampler alias(big.influence);
+      core::WalkEngine engine(big.influence, campaign, alias);
+      const auto& frozen = (*walks)->frozen();
+      bool answers_match = true;
+      Rng sample_rng(13);
+      core::WalkBuffer regen;
+      for (uint64_t s = 0; s < sample_walks && answers_match; ++s) {
+        const uint64_t j = sample_rng.UniformInt(ooc_theta);
+        regen.nodes.clear();
+        regen.lengths.clear();
+        engine.GenerateSeeded(j, 1, env.horizon, kOocMasterSeed, &regen);
+        const uint64_t begin = frozen.offsets[j], end = frozen.offsets[j + 1];
+        answers_match = regen.lengths[0] == end - begin;
+        for (uint64_t i = begin; answers_match && i < end; ++i) {
+          answers_match = frozen.nodes[i] == regen.nodes[i - begin];
+        }
+      }
+
+      Table ooc_table({"n", "m", "theta", "blocks", "sec", "walks/sec",
+                       "boundary hops", "answers_match"});
+      ooc_table.Add(big.influence.num_nodes(), big.influence.num_edges(),
+                    ooc_theta, stats.num_blocks, Table::Num(ooc_seconds, 3),
+                    Table::Num(static_cast<double>(ooc_theta) / ooc_seconds,
+                               0),
+                    stats.boundary_hops, answers_match ? "true" : "false");
+      Emit(env,
+           "Out-of-core sketch tier (tw-dist analog, block budget " +
+               std::to_string(budget_bytes >> 10) + " KiB)",
+           ooc_table);
+      ooc_json << ",\n  \"ooc\": {\"n\": " << big.influence.num_nodes()
+               << ", \"m\": " << big.influence.num_edges()
+               << ", \"theta\": " << ooc_theta
+               << ", \"blocks\": " << stats.num_blocks
+               << ", \"block_budget_kb\": " << (budget_bytes >> 10)
+               << ", \"seconds\": " << ooc_seconds
+               << ", \"walks_per_sec\": "
+               << static_cast<double>(ooc_theta) / ooc_seconds
+               << ", \"boundary_hops\": " << stats.boundary_hops
+               << ", \"sampled_walks\": " << sample_walks
+               << ", \"answers_match\": " << (answers_match ? "true" : "false")
+               << "}";
+      if (!answers_match) {
+        std::cerr << "ooc tier: sampled walks DIVERGED from the per-walk "
+                     "RNG-stream definition\n";
+        return 1;
+      }
+    }
+
     if (options.Has("json_out")) {
       std::ofstream out(options.GetString("json_out", "BENCH_sketch.json"));
       out << "{\n  \"bench\": \"bench_scalability/sketch_engine\",\n"
@@ -173,7 +270,8 @@ int main(int argc, char** argv) {
           << ",\n  \"m\": " << env.graph().num_edges()
           << ",\n  \"theta\": " << theta << ",\n  \"horizon\": "
           << env.horizon << ",\n  \"host\": " << HostMetadataJson()
-          << ",\n  \"rows\": [\n" << json_rows.str() << "\n  ]\n}\n";
+          << ",\n  \"rows\": [\n" << json_rows.str() << "\n  ]"
+          << ooc_json.str() << "\n}\n";
     }
   }
   return 0;

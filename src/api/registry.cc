@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "core/sketch.h"
+#include "sketch_ooc/ooc_builder.h"
 #include "store/format.h"
 
 namespace voteopt::api {
@@ -49,13 +51,28 @@ uint64_t BundleFingerprint(const datasets::Dataset& dataset) {
   return store::Fnv1a64(digests.data(), digests.size() * sizeof(uint64_t));
 }
 
+/// A collision-free scratch prefix for one OOC build: concurrent loads may
+/// share a base prefix, so each build gets a unique numbered sibling.
+std::string UniqueScratchPrefix(std::string base) {
+  static std::atomic<uint64_t> scratch_counter{0};
+  if (base.empty()) {
+    base = (std::filesystem::temp_directory_path() / "voteopt_ooc").string();
+  }
+  return base + "." + std::to_string(scratch_counter.fetch_add(1));
+}
+
 /// The inline sketch build shared by Load's build fallback and Host: fills
 /// the entry's meta/sketch/build_evaluator from the recipe. The evaluator's
 /// horizon propagation is the expensive part, so it is retained on the
-/// entry and seeds every worker state's LRU.
+/// entry and seeds every worker state's LRU. When `block_budget_bytes > 0`
+/// the walks are generated out of core (sketch_ooc/) — bit-identical to
+/// the in-memory path by determinism ledger entry #7, so callers cannot
+/// tell the difference except in peak memory.
 Status BuildSketchInline(DatasetEntry* entry, uint64_t theta, uint32_t horizon,
                          uint32_t target, uint32_t num_threads,
-                         uint64_t rng_seed, uint64_t fingerprint) {
+                         uint64_t rng_seed, uint64_t fingerprint,
+                         uint64_t block_budget_bytes = 0,
+                         const std::string& ooc_scratch_prefix = "") {
   if (target >= entry->dataset.state.num_candidates()) {
     return Status::InvalidArgument(
         "target candidate " + std::to_string(target) +
@@ -71,10 +88,21 @@ Status BuildSketchInline(DatasetEntry* entry, uint64_t theta, uint32_t horizon,
   auto build_evaluator = std::make_shared<const voting::ScoreEvaluator>(
       *entry->model, entry->dataset.state, entry->meta.target,
       entry->meta.horizon, build_spec);
-  core::SketchBuildOptions build_options;
-  build_options.num_threads = num_threads;
-  entry->sketch =
-      core::BuildSketchSet(*build_evaluator, theta, rng_seed, build_options);
+  if (block_budget_bytes > 0) {
+    sketch_ooc::OocBuildOptions ooc_options;
+    ooc_options.num_threads = num_threads;
+    auto built = sketch_ooc::BuildSketchSetOocFromGraph(
+        entry->dataset.influence, entry->dataset.state.campaigns[target],
+        horizon, theta, rng_seed, block_budget_bytes,
+        UniqueScratchPrefix(ooc_scratch_prefix), ooc_options);
+    if (!built.ok()) return built.status();
+    entry->sketch = std::move(built).value();
+  } else {
+    core::SketchBuildOptions build_options;
+    build_options.num_threads = num_threads;
+    entry->sketch =
+        core::BuildSketchSet(*build_evaluator, theta, rng_seed, build_options);
+  }
   entry->sketch_built = true;
   entry->build_evaluator = std::move(build_evaluator);
   entry->build_evaluator_key = EvaluatorSpecKey(build_spec);
@@ -125,10 +153,14 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Load(
   } else if (loaded.status().code() == Status::Code::kIOError &&
              options.build_theta > 0) {
     // No persisted sketch: fall back to the offline build, inline.
+    const std::string scratch = options.ooc_scratch_prefix.empty()
+                                    ? options.bundle_prefix + ".oocblk"
+                                    : options.ooc_scratch_prefix;
     if (Status st = BuildSketchInline(
             entry.get(), options.build_theta, options.build_horizon,
             entry->dataset.default_target, options.build_threads,
-            options.rng_seed, fingerprint);
+            options.rng_seed, fingerprint, options.block_budget_bytes,
+            scratch);
         !st.ok()) {
       return st;
     }
@@ -185,7 +217,8 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Host(
   if (Status st = BuildSketchInline(
           entry.get(), options.theta, options.horizon, target,
           options.num_threads, options.rng_seed,
-          BundleFingerprint(entry->dataset));
+          BundleFingerprint(entry->dataset), options.block_budget_bytes,
+          options.ooc_scratch_prefix);
       !st.ok()) {
     return st;
   }

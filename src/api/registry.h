@@ -59,6 +59,16 @@ struct DatasetLoadOptions {
   /// Sketch-builder threads (0 = one per hardware thread).
   uint32_t build_threads = 0;
   uint64_t rng_seed = 42;
+
+  /// When > 0, a build fallback runs OUT OF CORE: the graph is partitioned
+  /// into node-range blocks of at most this many resident bytes
+  /// (sketch_ooc/), built block-at-a-time, and — by determinism ledger
+  /// entry #7 — yields the exact WalkSet the in-memory builder would.
+  /// 0 keeps the in-memory sharded builder.
+  uint64_t block_budget_bytes = 0;
+  /// Where the OOC build parks its scratch block files; empty means next
+  /// to the bundle (`<bundle_prefix>.oocblk`). Cleaned up after the build.
+  std::string ooc_scratch_prefix;
 };
 
 /// One hosted problem instance. Immutable once published by Load; shared
@@ -105,6 +115,14 @@ struct HostOptions {
   /// Sketch-builder threads (0 = one per hardware thread).
   uint32_t num_threads = 0;
   uint64_t rng_seed = 42;
+
+  /// When > 0, the inline build runs out of core under this per-block
+  /// resident-byte budget (see DatasetLoadOptions::block_budget_bytes);
+  /// the resulting sketch is bit-identical either way.
+  uint64_t block_budget_bytes = 0;
+  /// Scratch prefix for the OOC block files; empty means a unique prefix
+  /// under the system temp directory. Cleaned up after the build.
+  std::string ooc_scratch_prefix;
 };
 
 class DatasetRegistry {

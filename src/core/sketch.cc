@@ -10,24 +10,12 @@
 
 namespace voteopt::core {
 
-namespace {
-
-// Eq. 35/42/47 weighting: a start sampled lambda_v times represents
-// n * lambda_v / theta users. Call after Finalize.
 void ApplySketchWeights(WalkSet* walks, uint32_t n, uint64_t theta) {
   const double scale = static_cast<double>(n) / static_cast<double>(theta);
   for (graph::NodeId v = 0; v < n; ++v) {
     walks->SetStartWeight(v, scale * static_cast<double>(walks->Lambda(v)));
   }
 }
-
-// Independent per-block stream: the Rng constructor runs the seed through
-// splitmix64, which decorrelates consecutive block seeds.
-Rng BlockRng(uint64_t master_seed, uint64_t block) {
-  return Rng(master_seed + (block + 1) * 0x9E3779B97F4A7C15ULL);
-}
-
-}  // namespace
 
 std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
                                         uint64_t theta, Rng* rng) {
@@ -63,9 +51,8 @@ std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
   auto run_block = [&](uint64_t b) {
     const uint64_t begin = b * block_size;
     const uint64_t count = std::min(block_size, theta - begin);
-    Rng rng = BlockRng(master_seed, b);
     buffers[b].nodes.reserve(count * (horizon / 4 + 1));
-    engine.GenerateBatch(count, horizon, &rng, &buffers[b]);
+    engine.GenerateSeeded(begin, count, horizon, master_seed, &buffers[b]);
   };
 
   uint32_t threads = options.num_threads == 0 ? ThreadPool::DefaultThreadCount()

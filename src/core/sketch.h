@@ -24,23 +24,32 @@ std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
 struct SketchBuildOptions {
   /// Worker threads: 0 = one per hardware thread, 1 = run inline (no pool).
   uint32_t num_threads = 0;
-  /// Walks per deterministic RNG block (the sharding granule). Smaller
-  /// blocks balance load better; larger blocks amortize dispatch.
+  /// Walks per dispatch unit. A pure scheduling knob: walk j always draws
+  /// from SketchWalkRng(master_seed, j), so block size never changes the
+  /// output. Smaller blocks balance load better; larger blocks amortize
+  /// dispatch.
   uint64_t block_size = 8192;
 };
 
-/// Sharded BuildSketchSet: the `theta` walks are split into fixed-size
-/// blocks, block i draws from its own Rng derived from (master_seed, i),
-/// and blocks are merged in index order. The output is therefore a pure
-/// function of (master_seed, theta, block_size) — bit-identical across runs
-/// AND across thread counts — while the blocks themselves are generated on
-/// a thread pool. Estimates follow the same Eq. 35 / 42 / 47 weighting as
-/// the serial builder and agree with it within the Thm. 13 epsilon bound.
+/// Sharded BuildSketchSet: walk j draws its start and trajectory from its
+/// own per-walk stream SketchWalkRng(master_seed, j) (see walk_engine.h),
+/// walks are generated in block-sized batches on a thread pool, and batches
+/// are merged in walk-index order. The output is therefore a pure function
+/// of (master_seed, theta) — bit-identical across runs, thread counts, AND
+/// block sizes, and bit-identical to the out-of-core block engine
+/// (sketch_ooc/) given the same seed. Estimates follow the same
+/// Eq. 35 / 42 / 47 weighting as the serial builder and agree with it
+/// within the Thm. 13 epsilon bound.
 /// `options` is deliberately not defaulted: a literal-0 seed with a
 /// defaulted options argument would be ambiguous against the Rng* overload.
 std::unique_ptr<WalkSet> BuildSketchSet(const ScoreEvaluator& evaluator,
                                         uint64_t theta, uint64_t master_seed,
                                         const SketchBuildOptions& options);
+
+/// Eq. 35/42/47 weighting: a start sampled lambda_v times represents
+/// n * lambda_v / theta users. Call after WalkSet::Finalize. Shared by the
+/// in-memory builders above and the out-of-core builder (sketch_ooc/).
+void ApplySketchWeights(WalkSet* walks, uint32_t n, uint64_t theta);
 
 /// Lower bound on OPT for the cumulative score. By monotonicity
 /// OPT >= F(empty set), which the evaluator has already computed exactly;

@@ -34,6 +34,20 @@ void WalkEngine::GenerateBatch(uint64_t count, uint32_t horizon, Rng* rng,
   }
 }
 
+void WalkEngine::GenerateSeeded(uint64_t first_walk, uint64_t count,
+                                uint32_t horizon, uint64_t master_seed,
+                                WalkBuffer* out) const {
+  const uint64_t n = graph_->num_nodes();
+  for (uint64_t j = 0; j < count; ++j) {
+    Rng rng = SketchWalkRng(master_seed, first_walk + j);
+    const auto start = static_cast<graph::NodeId>(rng.UniformInt(n));
+    const size_t before = out->nodes.size();
+    out->nodes.push_back(start);
+    Extend(start, horizon, &rng, &out->nodes);
+    out->lengths.push_back(static_cast<uint32_t>(out->nodes.size() - before));
+  }
+}
+
 double WalkEngine::GenerateWithSeeds(graph::NodeId start, uint32_t horizon,
                                      const std::vector<bool>& is_seed,
                                      Rng* rng) const {

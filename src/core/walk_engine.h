@@ -20,6 +20,19 @@
 
 namespace voteopt::core {
 
+/// The per-walk RNG stream of the sharded (and out-of-core) sketch
+/// builders: walk `walk_index` of a sketch keyed by `master_seed` draws
+/// every random number — its start node and every transition — from
+/// Rng(master_seed + (walk_index + 1) * golden-ratio). The Rng constructor
+/// runs the seed through splitmix64, which decorrelates consecutive walk
+/// seeds. Because each walk owns its whole stream, a scheduler may suspend
+/// and resume walks in ANY order (e.g. at out-of-core block boundaries,
+/// carrying the Rng in the walk state) and still reproduce the exact bytes
+/// of an in-memory build.
+inline Rng SketchWalkRng(uint64_t master_seed, uint64_t walk_index) {
+  return Rng(master_seed + (walk_index + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
 class WalkEngine {
  public:
   /// `graph`, `campaign` and `alias` must outlive the engine; `alias` must
@@ -43,6 +56,17 @@ class WalkEngine {
   /// sketch builder shards across a thread pool.
   void GenerateBatch(uint64_t count, uint32_t horizon, Rng* rng,
                      WalkBuffer* out) const;
+
+  /// Generates walks `first_walk .. first_walk + count - 1` of the sketch
+  /// keyed by `master_seed`, appending them to `out`. Walk j draws its
+  /// start (UniformInt(n)) and its whole trajectory from
+  /// SketchWalkRng(master_seed, j) — per-walk independent streams — so the
+  /// output depends only on (master_seed, first_walk, count, horizon),
+  /// never on batching or scheduling. This is the unit of work of BOTH the
+  /// in-memory sharded builder and the out-of-core block engine; their
+  /// bit-identity rests on sharing this walk definition.
+  void GenerateSeeded(uint64_t first_walk, uint64_t count, uint32_t horizon,
+                      uint64_t master_seed, WalkBuffer* out) const;
 
   /// Direct Generation (paper § V-A) with a seed set applied: seeds are
   /// fully stubborn, so the walk is absorbed on reaching one. Returns the

@@ -1,0 +1,83 @@
+#include "datasets/convert.h"
+
+#include <fstream>
+#include <vector>
+
+#include "datasets/io.h"
+#include "store/format.h"
+#include "store/graph_store.h"
+#include "util/rng.h"
+
+namespace voteopt::datasets {
+
+namespace {
+
+/// FNV-1a of a whole file (for the conversion report / golden fixtures).
+Result<uint64_t> FileFnv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  return store::Fnv1a64(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+Result<ConvertReport> ConvertEdgeListToBundle(const std::string& edge_path,
+                                              const std::string& prefix,
+                                              const ConvertOptions& options) {
+  if (options.num_candidates < 2) {
+    return Status::InvalidArgument("a voting instance needs >= 2 candidates");
+  }
+  if (options.target >= options.num_candidates) {
+    return Status::InvalidArgument("target candidate out of range");
+  }
+
+  ConvertReport report;
+  graph::EdgeStreamOptions stream = options.stream;
+  stream.normalize_incoming = false;  // counts stay raw; mu pipeline below
+  auto counts = graph::StreamEdgeList(edge_path, stream, &report.parse);
+  if (!counts.ok()) return counts.status();
+  report.num_nodes = counts->num_nodes();
+  report.num_edges = counts->num_edges();
+
+  Dataset dataset;
+  dataset.name = options.name;
+  dataset.counts = std::move(counts).value();
+  dataset.influence = ReweightWithMu(dataset.counts, options.mu);
+  dataset.default_target = options.target;
+
+  // Synthetic campaigns: crawls carry no opinion signal, so draw the same
+  // U[0,1] opinions/stubbornness recipe as the synthetic Twitter datasets,
+  // deterministically in opinion_seed.
+  Rng rng(options.opinion_seed);
+  const uint32_t n = dataset.influence.num_nodes();
+  dataset.state.campaigns.resize(options.num_candidates);
+  for (auto& campaign : dataset.state.campaigns) {
+    campaign.initial_opinions.resize(n);
+    campaign.stubbornness.resize(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      campaign.initial_opinions[v] = rng.Uniform();
+      campaign.stubbornness[v] = rng.Uniform();
+    }
+  }
+
+  const std::string influence_path = prefix + ".influence.graphbin";
+  VOTEOPT_RETURN_IF_ERROR(store::SaveGraph(dataset.influence, influence_path));
+  VOTEOPT_RETURN_IF_ERROR(
+      store::SaveGraph(dataset.counts, prefix + ".counts.graphbin"));
+  VOTEOPT_RETURN_IF_ERROR(
+      SaveCampaigns(dataset.state, prefix + ".campaigns.tsv"));
+  std::ofstream meta(prefix + ".meta");
+  if (!meta) return Status::IOError("cannot open " + prefix + ".meta");
+  meta << "name " << dataset.name << "\n"
+       << "target " << dataset.default_target << "\n";
+  if (!meta) return Status::IOError("write failed for " + prefix + ".meta");
+
+  auto fnv = FileFnv(influence_path);
+  if (!fnv.ok()) return fnv.status();
+  report.influence_file_fnv = *fnv;
+  return report;
+}
+
+}  // namespace voteopt::datasets

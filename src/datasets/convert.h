@@ -1,0 +1,59 @@
+// Real-dataset ingestion (the back half of tools/voteopt_convert): a
+// SNAP-style edge list streams through graph::StreamEdgeList, runs the
+// paper's w = 1 - e^{-a/mu} weight pipeline, gains deterministic synthetic
+// campaigns (real opinion data rarely ships with crawls), and lands as a
+// standard dataset bundle whose graph members are BINARY CSR files
+// (store/graph_store.h) — byte-stable, mmap-parseable, and orders of
+// magnitude faster to reload than the text edge lists of synthetic
+// bundles. datasets::LoadDatasetBundle prefers the binary members when
+// both exist.
+#ifndef VOTEOPT_DATASETS_CONVERT_H_
+#define VOTEOPT_DATASETS_CONVERT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datasets/synthetic.h"
+#include "graph/edge_stream.h"
+#include "util/status.h"
+
+namespace voteopt::datasets {
+
+struct ConvertOptions {
+  /// Parser behavior (undirected, self-loops, id compaction, caps).
+  /// normalize_incoming is ignored: the counts graph is kept raw and the
+  /// influence graph always goes through the mu pipeline below.
+  graph::EdgeStreamOptions stream;
+  /// The paper's interaction-count decay: w = 1 - e^{-a/mu} (App. D).
+  double mu = 10.0;
+  /// Synthetic campaign recipe: r candidates with U[0,1] opinions and
+  /// stubbornness drawn from Rng(opinion_seed) — deterministic.
+  uint32_t num_candidates = 2;
+  uint64_t opinion_seed = 7;
+  uint32_t target = 0;
+  /// Display name recorded in the bundle meta.
+  std::string name = "converted";
+};
+
+struct ConvertReport {
+  graph::EdgeStreamStats parse;
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  /// FNV-1a of the written influence .graphbin file bytes: the format is a
+  /// pure function of its sections, so this hash pins the whole conversion
+  /// (tests/golden fixtures assert it exactly).
+  uint64_t influence_file_fnv = 0;
+};
+
+/// Streams `edge_path` into a bundle at `prefix`:
+///   <prefix>.influence.graphbin   normalized influence CSR (binary)
+///   <prefix>.counts.graphbin      raw interaction counts CSR (binary)
+///   <prefix>.campaigns.tsv        synthetic campaigns
+///   <prefix>.meta                 display name + default target
+Result<ConvertReport> ConvertEdgeListToBundle(const std::string& edge_path,
+                                              const std::string& prefix,
+                                              const ConvertOptions& options);
+
+}  // namespace voteopt::datasets
+
+#endif  // VOTEOPT_DATASETS_CONVERT_H_

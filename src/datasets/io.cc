@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "graph/io.h"
+#include "store/graph_store.h"
 
 namespace voteopt::datasets {
 
@@ -77,17 +78,36 @@ Status SaveDatasetBundle(const Dataset& dataset, const std::string& prefix) {
   return Status::OK();
 }
 
+namespace {
+
+/// A bundle graph member: the binary CSR written by voteopt_convert
+/// (`<prefix>.<member>.graphbin`, already normalized where applicable) is
+/// preferred; synthetic bundles fall back to the text edge list.
+Result<graph::Graph> LoadGraphMember(const std::string& prefix,
+                                     const std::string& member,
+                                     bool normalize_incoming) {
+  auto binary = store::LoadGraph(prefix + "." + member + ".graphbin");
+  if (binary.ok()) return binary;
+  if (binary.status().code() != Status::Code::kIOError) {
+    return binary.status();  // present but unreadable: surface it
+  }
+  return graph::LoadEdgeList(prefix + "." + member + ".edges",
+                             {.normalize_incoming = normalize_incoming});
+}
+
+}  // namespace
+
 Result<Dataset> LoadDatasetBundle(const std::string& prefix) {
   Dataset dataset;
   {
-    auto influence = graph::LoadEdgeList(prefix + ".influence.edges",
-                                         {.normalize_incoming = true});
+    auto influence =
+        LoadGraphMember(prefix, "influence", /*normalize_incoming=*/true);
     if (!influence.ok()) return influence.status();
     dataset.influence = std::move(influence).value();
   }
   {
-    auto counts = graph::LoadEdgeList(prefix + ".counts.edges",
-                                      {.normalize_incoming = false});
+    auto counts =
+        LoadGraphMember(prefix, "counts", /*normalize_incoming=*/false);
     if (!counts.ok()) return counts.status();
     dataset.counts = std::move(counts).value();
   }

@@ -11,6 +11,9 @@
 // A dataset bundle under <prefix> consists of:
 //   <prefix>.influence.edges   normalized influence graph
 //   <prefix>.counts.edges      raw interaction counts (for mu sweeps)
+//   — or, for converted real datasets (tools/voteopt_convert), binary CSR
+//   members <prefix>.influence.graphbin / <prefix>.counts.graphbin
+//   (store/graph_store.h), which LoadDatasetBundle prefers when present —
 //   <prefix>.campaigns.tsv     the campaign state
 //   <prefix>.meta              "name <display name>\ntarget <id>"
 //   <prefix>.sketch            OPTIONAL persisted sketch set (binary,

@@ -5,6 +5,49 @@
 
 namespace voteopt::graph {
 
+namespace internal {
+
+void BuildAliasRow(std::span<const double> weights, double* prob,
+                   uint32_t* alias, std::vector<double>* scaled,
+                   std::vector<uint32_t>* small,
+                   std::vector<uint32_t>* large) {
+  const size_t deg = weights.size();
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(sum > 0.0);
+
+  // Vose's algorithm on the node's slice.
+  scaled->assign(deg, 0.0);
+  small->clear();
+  large->clear();
+  for (size_t i = 0; i < deg; ++i) {
+    (*scaled)[i] = weights[i] / sum * static_cast<double>(deg);
+    ((*scaled)[i] < 1.0 ? *small : *large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small->empty() && !large->empty()) {
+    const uint32_t s = small->back();
+    small->pop_back();
+    const uint32_t l = large->back();
+    prob[s] = (*scaled)[s];
+    alias[s] = l;
+    (*scaled)[l] = ((*scaled)[l] + (*scaled)[s]) - 1.0;
+    if ((*scaled)[l] < 1.0) {
+      large->pop_back();
+      small->push_back(l);
+    }
+  }
+  // Residual buckets saturate to probability 1 (they alias to themselves).
+  for (uint32_t l : *large) {
+    prob[l] = 1.0;
+    alias[l] = l;
+  }
+  for (uint32_t s : *small) {
+    prob[s] = 1.0;
+    alias[s] = s;
+  }
+}
+
+}  // namespace internal
+
 AliasSampler::AliasSampler(const Graph& graph) : graph_(&graph) {
   const uint64_t m = graph.num_edges();
   prob_.assign(m, 1.0);
@@ -15,41 +58,32 @@ AliasSampler::AliasSampler(const Graph& graph) : graph_(&graph) {
   std::vector<double> scaled;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     const auto weights = graph.InWeights(v);
-    const size_t deg = weights.size();
-    if (deg == 0) continue;
+    if (weights.empty()) continue;
     const uint64_t base = graph.InEdgeBegin(v);
-    const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
-    assert(sum > 0.0);
+    internal::BuildAliasRow(weights, prob_.data() + base, alias_.data() + base,
+                            &scaled, &small, &large);
+  }
+}
 
-    // Vose's algorithm on the node's slice.
-    scaled.assign(deg, 0.0);
-    small.clear();
-    large.clear();
-    for (size_t i = 0; i < deg; ++i) {
-      scaled[i] = weights[i] / sum * static_cast<double>(deg);
-      (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
-    }
-    while (!small.empty() && !large.empty()) {
-      const uint32_t s = small.back();
-      small.pop_back();
-      const uint32_t l = large.back();
-      prob_[base + s] = scaled[s];
-      alias_[base + s] = l;
-      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-      if (scaled[l] < 1.0) {
-        large.pop_back();
-        small.push_back(l);
-      }
-    }
-    // Residual buckets saturate to probability 1 (they alias to themselves).
-    for (uint32_t l : large) {
-      prob_[base + l] = 1.0;
-      alias_[base + l] = l;
-    }
-    for (uint32_t s : small) {
-      prob_[base + s] = 1.0;
-      alias_[base + s] = s;
-    }
+AliasSlice::AliasSlice(std::span<const uint64_t> offsets,
+                       std::span<const NodeId> sources,
+                       std::span<const double> weights)
+    : offsets_(offsets), sources_(sources) {
+  assert(!offsets.empty());
+  assert(sources.size() == weights.size());
+  assert(offsets.back() == weights.size());
+  prob_.assign(weights.size(), 1.0);
+  alias_.assign(weights.size(), 0);
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  std::vector<double> scaled;
+  for (uint64_t row = 0; row + 1 < offsets.size(); ++row) {
+    const uint64_t begin = offsets[row], end = offsets[row + 1];
+    if (begin == end) continue;
+    internal::BuildAliasRow(weights.subspan(begin, end - begin),
+                            prob_.data() + begin, alias_.data() + begin,
+                            &scaled, &small, &large);
   }
 }
 

@@ -9,12 +9,26 @@
 #define VOTEOPT_GRAPH_ALIAS_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/rng.h"
 
 namespace voteopt::graph {
+
+namespace internal {
+/// Vose's algorithm on one node's in-edge weight slice: fills
+/// prob[0..deg) with acceptance probabilities and alias[0..deg) with
+/// within-slice alias indices. `scaled`, `small`, `large` are caller-owned
+/// scratch (cleared here) so tight loops don't reallocate. Deterministic:
+/// the tables are a pure function of the weight slice, so any two samplers
+/// built over the same slice — full-graph or block-local — hold identical
+/// entries and consume an Rng identically.
+void BuildAliasRow(std::span<const double> weights, double* prob,
+                   uint32_t* alias, std::vector<double>* scaled,
+                   std::vector<uint32_t>* small, std::vector<uint32_t>* large);
+}  // namespace internal
 
 /// Per-node alias tables over the in-adjacency of a graph.
 ///
@@ -44,6 +58,48 @@ class AliasSampler {
   const Graph* graph_;
   // Parallel to the graph's in-edge arrays: acceptance probability and
   // within-slice alias index.
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+/// Per-row alias tables over a rebased local CSR slice — the in-adjacency
+/// of a node range [lo, hi) of a partitioned graph, with row r standing for
+/// global node lo + r. Vose construction is per-node, depending only on
+/// that node's weight slice, so an AliasSlice holds exactly the same
+/// prob/alias entries as the full-graph AliasSampler over those rows, and
+/// SampleInNeighbor consumes the Rng identically (one UniformInt, one
+/// Uniform). This is the keystone of the out-of-core engine's bit-identity
+/// with the in-memory builder (determinism ledger entry #7).
+class AliasSlice {
+ public:
+  static constexpr NodeId kNoNeighbor = AliasSampler::kNoNeighbor;
+
+  /// `offsets` has num_rows + 1 entries with offsets[0] == 0 (local,
+  /// rebased); `sources` / `weights` are the concatenated local in-edge
+  /// arrays, offsets.back() long. The spans must outlive the slice (the
+  /// tables are owned, the CSR arrays are not).
+  AliasSlice(std::span<const uint64_t> offsets, std::span<const NodeId> sources,
+             std::span<const double> weights);
+
+  /// Draws an in-neighbor (a GLOBAL node id) of local row `row`, or
+  /// kNoNeighbor when the row has no in-edges. O(1).
+  NodeId SampleInNeighbor(uint64_t row, Rng* rng) const {
+    const uint64_t begin = offsets_[row], end = offsets_[row + 1];
+    if (begin == end) return kNoNeighbor;
+    const uint64_t slot = rng->UniformInt(end - begin);
+    if (rng->Uniform() < prob_[begin + slot]) return sources_[begin + slot];
+    return sources_[begin + alias_[begin + slot]];
+  }
+
+  uint64_t num_rows() const { return offsets_.size() - 1; }
+
+  size_t memory_bytes() const {
+    return prob_.size() * sizeof(double) + alias_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  std::span<const uint64_t> offsets_;
+  std::span<const NodeId> sources_;
   std::vector<double> prob_;
   std::vector<uint32_t> alias_;
 };

@@ -1,0 +1,274 @@
+#include "graph/edge_stream.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+namespace voteopt::graph {
+
+namespace {
+
+struct ParsedEdge {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  double weight = 1.0;
+  bool is_edge = false;  // false: blank or comment line
+};
+
+const char* SkipSpace(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+/// One line of a SNAP-style file: blank / '#' / '%' lines are skipped;
+/// otherwise "<src> <dst> [weight]" with any horizontal whitespace.
+Status ParseLine(const char* begin, const char* end, ParsedEdge* out) {
+  const char* p = SkipSpace(begin, end);
+  if (p == end || *p == '#' || *p == '%') {
+    out->is_edge = false;
+    return Status::OK();
+  }
+  auto src = std::from_chars(p, end, out->src);
+  if (src.ec != std::errc()) {
+    return Status::InvalidArgument("bad source id");
+  }
+  p = SkipSpace(src.ptr, end);
+  auto dst = std::from_chars(p, end, out->dst);
+  if (dst.ec != std::errc()) {
+    return Status::InvalidArgument("bad destination id");
+  }
+  p = SkipSpace(dst.ptr, end);
+  out->weight = 1.0;
+  if (p != end) {
+    auto weight = std::from_chars(p, end, out->weight);
+    if (weight.ec != std::errc()) {
+      return Status::InvalidArgument("bad edge weight");
+    }
+    if (!std::isfinite(out->weight) || out->weight <= 0.0) {
+      return Status::InvalidArgument("edge weight must be finite and > 0");
+    }
+    p = SkipSpace(weight.ptr, end);
+    if (p != end) {
+      return Status::InvalidArgument("trailing tokens after edge");
+    }
+  }
+  out->is_edge = true;
+  return Status::OK();
+}
+
+/// Growth with explicit geometric capacity: repeated resize-to-max-id would
+/// otherwise reallocate linearly per new high id.
+template <typename T>
+void GrowTo(std::vector<T>& vec, size_t size) {
+  if (size <= vec.size()) return;
+  if (size > vec.capacity()) {
+    vec.reserve(std::max(size, vec.capacity() * 2));
+  }
+  vec.resize(size, T{});
+}
+
+Status LineError(const std::string& path, uint64_t line, const Status& st) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line) + ": " +
+                                 st.message());
+}
+
+}  // namespace
+
+Result<Graph> StreamEdgeList(const std::string& path,
+                             const EdgeStreamOptions& options,
+                             EdgeStreamStats* stats) {
+  EdgeStreamStats local;
+
+  // --- pass 1: degrees and the id universe --------------------------------
+  std::vector<uint32_t> out_deg;
+  std::vector<uint32_t> in_deg;
+  uint64_t max_id = 0;
+  bool any_node = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open " + path);
+    std::string line;
+    uint64_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      ++local.lines;
+      ParsedEdge edge;
+      if (Status st =
+              ParseLine(line.data(), line.data() + line.size(), &edge);
+          !st.ok()) {
+        return LineError(path, line_number, st);
+      }
+      if (!edge.is_edge) {
+        ++local.comment_lines;
+        continue;
+      }
+      if (edge.src > options.max_node_id || edge.dst > options.max_node_id) {
+        return LineError(path, line_number,
+                         Status::InvalidArgument(
+                             "node id exceeds max_node_id cap of " +
+                             std::to_string(options.max_node_id)));
+      }
+      max_id = std::max({max_id, edge.src, edge.dst});
+      any_node = true;
+      if (edge.src == edge.dst && options.drop_self_loops) {
+        ++local.self_loops_dropped;
+        continue;
+      }
+      ++local.edge_records;
+      GrowTo(out_deg, max_id + 1);
+      GrowTo(in_deg, max_id + 1);
+      ++out_deg[edge.src];
+      ++in_deg[edge.dst];
+      if (options.undirected && edge.src != edge.dst) {
+        ++out_deg[edge.dst];
+        ++in_deg[edge.src];
+      }
+    }
+  }
+  if (!any_node) {
+    return Status::InvalidArgument(path + ": contains no edges or nodes");
+  }
+  GrowTo(out_deg, max_id + 1);
+  GrowTo(in_deg, max_id + 1);
+
+  // Optional compaction: present ids -> [0, n) in ascending id order.
+  const size_t universe = max_id + 1;
+  std::vector<NodeId> remap;
+  uint32_t n = 0;
+  if (options.compact_ids) {
+    remap.assign(universe, 0);
+    for (size_t id = 0; id < universe; ++id) {
+      if (out_deg[id] > 0 || in_deg[id] > 0) remap[id] = n++;
+    }
+    if (n == 0) {
+      // Only self-loops, all dropped: the surviving universe is empty.
+      return Status::InvalidArgument(path + ": contains no edges or nodes");
+    }
+  } else {
+    if (universe > static_cast<size_t>(UINT32_MAX)) {
+      return Status::InvalidArgument(path + ": node universe exceeds 2^32");
+    }
+    n = static_cast<uint32_t>(universe);
+  }
+  auto node_of = [&](uint64_t id) -> NodeId {
+    return options.compact_ids ? remap[id] : static_cast<NodeId>(id);
+  };
+
+  // Out-CSR skeleton from the degree counts.
+  std::vector<uint64_t> out_offsets(n + 1, 0);
+  for (size_t id = 0; id < universe; ++id) {
+    if (out_deg[id] > 0) out_offsets[node_of(id) + 1] = out_deg[id];
+  }
+  for (uint32_t v = 0; v < n; ++v) out_offsets[v + 1] += out_offsets[v];
+  const uint64_t m = out_offsets[n];
+  local.num_edges = m;
+  local.num_nodes = n;
+
+  std::vector<NodeId> out_targets(m);
+  std::vector<double> out_weights(m);
+
+  // --- pass 2: fill the out-CSR in file order -----------------------------
+  {
+    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot reopen " + path);
+    std::string line;
+    uint64_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      ParsedEdge edge;
+      if (Status st =
+              ParseLine(line.data(), line.data() + line.size(), &edge);
+          !st.ok()) {
+        // The file changed between passes — treat it as corruption, the
+        // counts above no longer describe it.
+        return Status::Corruption(path + ":" + std::to_string(line_number) +
+                                  ": file changed mid-conversion");
+      }
+      if (!edge.is_edge) continue;
+      if (edge.src == edge.dst && options.drop_self_loops) continue;
+      if (edge.src > max_id || edge.dst > max_id) {
+        return Status::Corruption(path + ": file changed mid-conversion");
+      }
+      const NodeId u = node_of(edge.src);
+      const NodeId v = node_of(edge.dst);
+      out_targets[cursor[u]] = v;
+      out_weights[cursor[u]] = edge.weight;
+      ++cursor[u];
+      if (options.undirected && u != v) {
+        out_targets[cursor[v]] = u;
+        out_weights[cursor[v]] = edge.weight;
+        ++cursor[v];
+      }
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+      if (cursor[v] != out_offsets[v + 1]) {
+        return Status::Corruption(path + ": file changed mid-conversion");
+      }
+    }
+  }
+
+  // --- derive the in-CSR by counting sort over the out-CSR ----------------
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  for (uint64_t i = 0; i < m; ++i) ++in_offsets[out_targets[i] + 1];
+  for (uint32_t v = 0; v < n; ++v) in_offsets[v + 1] += in_offsets[v];
+  std::vector<NodeId> in_sources(m);
+  std::vector<double> in_weights(m);
+  {
+    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (uint32_t u = 0; u < n; ++u) {
+      for (uint64_t i = out_offsets[u]; i < out_offsets[u + 1]; ++i) {
+        const NodeId v = out_targets[i];
+        in_sources[cursor[v]] = u;
+        in_weights[cursor[v]] = out_weights[i];
+        ++cursor[v];
+      }
+    }
+  }
+
+  // Duplicate (parallel) edge census for the stats: in-rows are grouped by
+  // destination and ordered by source, so repeats sit adjacent after a
+  // per-row sort of a scratch copy.
+  {
+    std::vector<NodeId> row;
+    for (uint32_t v = 0; v < n; ++v) {
+      const uint64_t begin = in_offsets[v], end = in_offsets[v + 1];
+      if (end - begin < 2) continue;
+      row.assign(in_sources.begin() + begin, in_sources.begin() + end);
+      std::sort(row.begin(), row.end());
+      for (size_t i = 1; i < row.size(); ++i) {
+        if (row[i] == row[i - 1]) ++local.duplicate_edges;
+      }
+    }
+  }
+
+  if (options.normalize_incoming) {
+    std::vector<double> in_sum(n, 0.0);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint64_t i = in_offsets[v]; i < in_offsets[v + 1]; ++i) {
+        in_sum[v] += in_weights[i];
+      }
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint64_t i = in_offsets[v]; i < in_offsets[v + 1]; ++i) {
+        in_weights[i] /= in_sum[v];
+      }
+    }
+    for (uint64_t i = 0; i < m; ++i) {
+      out_weights[i] /= in_sum[out_targets[i]];
+    }
+  }
+
+  auto built = Graph::FromCsr(n, std::move(out_offsets),
+                              std::move(out_targets), std::move(out_weights),
+                              std::move(in_offsets), std::move(in_sources),
+                              std::move(in_weights));
+  if (!built.ok()) return built.status();
+  if (stats) *stats = local;
+  return std::move(built).value();
+}
+
+}  // namespace voteopt::graph

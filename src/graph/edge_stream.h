@@ -1,0 +1,61 @@
+// Streaming two-pass edge-list -> CSR parser for real datasets (SNAP and
+// friends), the front half of tools/voteopt_convert.
+//
+// Unlike graph::LoadEdgeList (io.h), which buffers an edge vector and
+// rebuilds through GraphBuilder, this parser streams the file twice —
+// pass 1 counts degrees, pass 2 fills the CSR arrays in place — so peak
+// memory is the output CSR plus O(n) counters, never O(file). It is also
+// deliberately forgiving about real-world files: arbitrary whitespace,
+// '#'/'%' comment lines, blank lines, duplicate edges (kept as parallel
+// edges), self-loops (dropped by default), and out-of-order ids all parse;
+// anything else — malformed numbers, ids beyond the configured cap, bad
+// weights — fails with a clean Status naming the line, never a crash.
+// The output is a pure function of (file bytes, options).
+#ifndef VOTEOPT_GRAPH_EDGE_STREAM_H_
+#define VOTEOPT_GRAPH_EDGE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace voteopt::graph {
+
+struct EdgeStreamOptions {
+  /// Emit both directions for every input line.
+  bool undirected = false;
+  /// Drop u -> u edges (random-walk transitions to self carry no
+  /// information; SNAP crawls contain plenty).
+  bool drop_self_loops = true;
+  /// Relabel the ids that actually occur to [0, n), in ascending id order
+  /// (deterministic). When false the node universe is [0, max_id].
+  bool compact_ids = false;
+  /// Column-stochastic normalization: scale every edge weight so each
+  /// node's INCOMING weights sum to 1 (paper § II semantics).
+  bool normalize_incoming = false;
+  /// Reject ids above this cap before sizing any per-node array — a guard
+  /// against a corrupt line conjuring a multi-terabyte allocation.
+  uint64_t max_node_id = (uint64_t{1} << 28) - 1;
+};
+
+struct EdgeStreamStats {
+  uint64_t lines = 0;              // physical lines read
+  uint64_t comment_lines = 0;      // '#'/'%' and blank lines
+  uint64_t edge_records = 0;       // edge lines kept from the input
+  uint64_t self_loops_dropped = 0;
+  uint64_t duplicate_edges = 0;    // parallel (u, v) repeats in the CSR
+  uint64_t num_edges = 0;          // directed edges in the output graph
+  uint32_t num_nodes = 0;
+};
+
+/// Parses `path` into a Graph (both CSR directions). InvalidArgument with
+/// the offending line number on malformed input; InvalidArgument when the
+/// file holds no nodes at all.
+Result<Graph> StreamEdgeList(const std::string& path,
+                             const EdgeStreamOptions& options = {},
+                             EdgeStreamStats* stats = nullptr);
+
+}  // namespace voteopt::graph
+
+#endif  // VOTEOPT_GRAPH_EDGE_STREAM_H_

@@ -1,0 +1,223 @@
+#include "sketch_ooc/ooc_builder.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "core/sketch.h"
+#include "core/walk_engine.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace voteopt::sketch_ooc {
+
+namespace {
+
+/// A suspended walk parked on a block queue. Carrying the Rng (4x uint64 +
+/// a cached normal; trivially copyable) is what lets a walk resume on any
+/// block, thread, and round with its stream intact.
+struct WalkTask {
+  uint64_t local;          // walk index within the wave
+  graph::NodeId current;   // walk head; already recorded in the slab
+  uint32_t steps_left;     // transitions the walk may still take
+  Rng rng;
+};
+
+/// Where an advanced walk went: terminated, or parked on another block.
+struct Moved {
+  uint32_t dest_block;
+  WalkTask task;
+};
+
+/// Advances one walk inside `block` until it terminates (absorbed, no
+/// in-edges, or horizon exhausted) or its head leaves the block's node
+/// range with steps remaining. Replicates core::WalkEngine::Extend's RNG
+/// consumption exactly: per step, the stubbornness draw (skipped when
+/// d >= 1), then AliasSlice sampling — one UniformInt + one Uniform when
+/// the row has in-edges, nothing when it does not.
+/// Returns true when the walk crossed (out->dest_block / out->task set).
+bool AdvanceInBlock(WalkTask task, const GraphBlock& block,
+                    const opinion::Campaign& campaign,
+                    const PartitionPlan& plan, graph::NodeId* slab_row,
+                    uint32_t* length, Moved* out) {
+  while (task.steps_left > 0) {
+    const double d = campaign.stubbornness[task.current];
+    if (d >= 1.0 || (d > 0.0 && task.rng.Uniform() < d)) return false;
+    const graph::NodeId next =
+        block.alias->SampleInNeighbor(task.current - block.lo, &task.rng);
+    if (next == graph::AliasSlice::kNoNeighbor) return false;
+    slab_row[(*length)++] = next;
+    --task.steps_left;
+    task.current = next;
+    if ((next < block.lo || next >= block.hi) && task.steps_left > 0) {
+      out->dest_block = plan.BlockOf(next);
+      out->task = task;
+      return true;
+    }
+    if (next < block.lo || next >= block.hi) return false;  // done anyway
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
+    const BlockSet& blocks, const opinion::Campaign& campaign,
+    uint32_t horizon, uint64_t theta, uint64_t master_seed,
+    const OocBuildOptions& options, OocBuildStats* stats) {
+  const uint32_t n = blocks.num_nodes();
+  VOTEOPT_RETURN_IF_ERROR(campaign.Validate(n));
+  const PartitionPlan& plan = blocks.plan();
+  const uint32_t num_blocks = plan.num_blocks();
+
+  OocBuildStats local_stats;
+  local_stats.num_blocks = num_blocks;
+
+  uint32_t threads = options.num_threads == 0
+                         ? ThreadPool::DefaultThreadCount()
+                         : options.num_threads;
+  threads = std::max<uint32_t>(threads, 1);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  auto walks = std::make_unique<core::WalkSet>(n);
+  const uint64_t wave_walks = std::max<uint64_t>(options.wave_walks, 1);
+  const uint64_t stride = static_cast<uint64_t>(horizon) + 1;
+
+  std::vector<graph::NodeId> slab;
+  std::vector<uint32_t> lengths;
+  std::vector<std::vector<WalkTask>> queues(num_blocks);
+  core::WalkBuffer assembled;
+
+  for (uint64_t wave_begin = 0; wave_begin < theta; wave_begin += wave_walks) {
+    const uint64_t wave_count = std::min(wave_walks, theta - wave_begin);
+    ++local_stats.waves;
+    slab.resize(wave_count * stride);
+    lengths.assign(wave_count, 0);
+
+    // Seed: walk j opens its own stream, draws its start, and parks on the
+    // block owning that node.
+    uint64_t remaining = wave_count;
+    for (uint64_t local = 0; local < wave_count; ++local) {
+      Rng rng = core::SketchWalkRng(master_seed, wave_begin + local);
+      const auto start = static_cast<graph::NodeId>(rng.UniformInt(n));
+      slab[local * stride] = start;
+      lengths[local] = 1;
+      if (horizon == 0) {
+        --remaining;
+        continue;
+      }
+      queues[plan.BlockOf(start)].push_back({local, start, horizon, rng});
+    }
+
+    // Rounds: sweep blocks in the fixed order 0..P-1, draining each queue
+    // with at most one block resident at a time. Any processing order
+    // yields the same slab bytes (per-walk streams), so the order is
+    // chosen purely for locality: a walk crossing forward continues within
+    // the same sweep.
+    std::vector<WalkTask> active;
+    while (remaining > 0) {
+      ++local_stats.rounds;
+      for (uint32_t b = 0; b < num_blocks; ++b) {
+        if (queues[b].empty()) continue;
+        auto block = blocks.LoadBlock(b);
+        if (!block.ok()) return block.status();
+        ++local_stats.block_loads;
+
+        active.swap(queues[b]);
+        queues[b].clear();
+        // Walks crossing back into b during this drain start a fresh batch
+        // in queues[b]; they are picked up next sweep (self-loops within
+        // the range continue inline and never enqueue).
+        const size_t chunk_size =
+            pool ? std::max<size_t>(256, active.size() / (threads * 4) + 1)
+                 : active.size();
+        const size_t num_chunks =
+            (active.size() + chunk_size - 1) / chunk_size;
+        std::vector<std::vector<Moved>> moved(num_chunks);
+        std::vector<uint64_t> terminated(num_chunks, 0);
+        auto run_chunk = [&](size_t c) {
+          const size_t begin = c * chunk_size;
+          const size_t end = std::min(active.size(), begin + chunk_size);
+          for (size_t i = begin; i < end; ++i) {
+            const WalkTask& task = active[i];
+            Moved out;
+            if (AdvanceInBlock(task, *block, campaign, plan,
+                               slab.data() + task.local * stride,
+                               &lengths[task.local], &out)) {
+              moved[c].push_back(out);
+            } else {
+              ++terminated[c];
+            }
+          }
+        };
+        if (pool && num_chunks > 1) {
+          std::vector<std::future<void>> done;
+          done.reserve(num_chunks);
+          for (size_t c = 0; c < num_chunks; ++c) {
+            done.push_back(pool->Submit([&run_chunk, c] { run_chunk(c); }));
+          }
+          for (auto& f : done) f.get();
+        } else {
+          for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+        }
+        // Merge in chunk order (determinism of the stats and of queue
+        // order; the walk bytes never depended on it).
+        for (size_t c = 0; c < num_chunks; ++c) {
+          for (const Moved& m : moved[c]) {
+            queues[m.dest_block].push_back(m.task);
+            ++local_stats.boundary_hops;
+          }
+          remaining -= terminated[c];
+        }
+        active.clear();
+      }
+    }
+
+    // Reassemble the wave in walk-index order — the in-memory builder's
+    // append order, hence bit-identity of the WalkSet.
+    assembled.nodes.clear();
+    assembled.lengths.clear();
+    uint64_t total = 0;
+    for (uint64_t local = 0; local < wave_count; ++local) total += lengths[local];
+    assembled.nodes.reserve(total);
+    assembled.lengths.reserve(wave_count);
+    for (uint64_t local = 0; local < wave_count; ++local) {
+      const graph::NodeId* row = slab.data() + local * stride;
+      assembled.nodes.insert(assembled.nodes.end(), row, row + lengths[local]);
+      assembled.lengths.push_back(lengths[local]);
+    }
+    walks->AddWalks(assembled);
+  }
+
+  walks->Finalize(campaign.initial_opinions);
+  core::ApplySketchWeights(walks.get(), n, theta);
+  if (stats) *stats = local_stats;
+  return walks;
+}
+
+Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOocFromGraph(
+    const graph::Graph& graph, const opinion::Campaign& campaign,
+    uint32_t horizon, uint64_t theta, uint64_t master_seed,
+    uint64_t block_budget_bytes, const std::string& scratch_prefix,
+    const OocBuildOptions& options, OocBuildStats* stats) {
+  auto plan = PlanByBudget(graph, block_budget_bytes);
+  if (!plan.ok()) return plan.status();
+  const uint32_t num_blocks = plan->num_blocks();
+  if (Status st = WriteBlocks(graph, *plan, scratch_prefix); !st.ok()) {
+    RemoveBlocks(scratch_prefix, num_blocks);
+    return st;
+  }
+  auto blocks = BlockSet::Open(scratch_prefix);
+  if (!blocks.ok()) {
+    RemoveBlocks(scratch_prefix, num_blocks);
+    return blocks.status();
+  }
+  auto result = BuildSketchSetOoc(*blocks, campaign, horizon, theta,
+                                  master_seed, options, stats);
+  RemoveBlocks(scratch_prefix, num_blocks);
+  return result;
+}
+
+}  // namespace voteopt::sketch_ooc

@@ -1,0 +1,81 @@
+// The out-of-core sketch builder (ROADMAP item 1): generates the theta
+// reverse walks of a sketch over a partitioned graph whose blocks are
+// loaded one at a time, and produces a WalkSet BIT-IDENTICAL to the
+// in-memory core::BuildSketchSet for the same (master_seed, theta) —
+// determinism ledger entry #7 in docs/ARCHITECTURE.md.
+//
+// Why bit-identity holds: walk j draws its start and every transition from
+// its own stream core::SketchWalkRng(master_seed, j) (walk_engine.h), and
+// the block-local AliasSlice tables consume that stream exactly as the
+// full-graph AliasSampler does. A walk's trajectory is therefore a pure
+// function of (master_seed, j) — the scheduler may suspend a walk at a
+// partition boundary, park it on the destination block's queue, and resume
+// it whenever that block is resident, in any order, on any thread, without
+// changing a single byte of the result. Walks are reassembled in walk-index
+// order, which is the in-memory builder's order.
+//
+// Scheduling: walks are seeded in waves (bounding resident trajectory
+// memory), each wave's walks are parked on the block owning their current
+// node, and rounds sweep the blocks in the fixed order 0 .. P-1, advancing
+// every parked walk until it terminates or crosses into another block.
+// Campaign arrays (stubbornness, initial opinions) are n-sized and stay in
+// core; the graph's in-CSR + alias tables — the scale-dominant state — page
+// in per block.
+#ifndef VOTEOPT_SKETCH_OOC_OOC_BUILDER_H_
+#define VOTEOPT_SKETCH_OOC_OOC_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/walk_set.h"
+#include "opinion/opinion_state.h"
+#include "sketch_ooc/block_store.h"
+#include "sketch_ooc/partition.h"
+#include "util/status.h"
+
+namespace voteopt::sketch_ooc {
+
+struct OocBuildOptions {
+  /// Worker threads for within-block advancement: 0 = one per hardware
+  /// thread, 1 = run inline. Never changes the output.
+  uint32_t num_threads = 0;
+  /// Walks seeded per wave. Resident walk state is
+  /// wave_walks * (horizon + 2) node ids plus O(wave_walks) task records,
+  /// independent of theta. A pure scheduling knob.
+  uint64_t wave_walks = 1 << 16;
+};
+
+/// Diagnostics of one OOC build (scheduling-dependent; the WalkSet is not).
+struct OocBuildStats {
+  uint32_t num_blocks = 0;
+  uint64_t waves = 0;
+  uint64_t rounds = 0;         // block sweeps across all waves
+  uint64_t block_loads = 0;    // block file map + validate + alias compile
+  uint64_t boundary_hops = 0;  // walk suspensions at partition boundaries
+};
+
+/// Builds the sketch over an opened block set. `campaign` must match the
+/// graph the blocks were cut from (n nodes). The returned WalkSet has been
+/// finalized and carries the Eq. 35/42/47 start weights — byte-for-byte
+/// what core::BuildSketchSet(evaluator, theta, master_seed, options)
+/// produces for any thread count or block size.
+Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
+    const BlockSet& blocks, const opinion::Campaign& campaign,
+    uint32_t horizon, uint64_t theta, uint64_t master_seed,
+    const OocBuildOptions& options, OocBuildStats* stats = nullptr);
+
+/// One-call convenience for callers holding an in-memory graph (the
+/// registry's `block_budget_bytes` path): plans a budget-driven partition,
+/// writes the block files under `scratch_prefix`, builds, and removes the
+/// scratch files (kept on failure for post-mortems only when writing
+/// succeeded but the build failed).
+Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOocFromGraph(
+    const graph::Graph& graph, const opinion::Campaign& campaign,
+    uint32_t horizon, uint64_t theta, uint64_t master_seed,
+    uint64_t block_budget_bytes, const std::string& scratch_prefix,
+    const OocBuildOptions& options, OocBuildStats* stats = nullptr);
+
+}  // namespace voteopt::sketch_ooc
+
+#endif  // VOTEOPT_SKETCH_OOC_OOC_BUILDER_H_

@@ -1,0 +1,76 @@
+#include "sketch_ooc/partition.h"
+
+#include <algorithm>
+
+namespace voteopt::sketch_ooc {
+
+uint32_t PartitionPlan::BlockOf(graph::NodeId v) const {
+  // First bound strictly greater than v, minus one, is v's range.
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<uint32_t>(it - bounds.begin()) - 1;
+}
+
+Status PartitionPlan::Validate(uint32_t expected_num_nodes) const {
+  if (bounds.size() < 2) {
+    return Status::InvalidArgument("partition plan needs >= 1 block");
+  }
+  if (bounds.front() != 0) {
+    return Status::InvalidArgument("partition bounds must start at 0");
+  }
+  if (bounds.back() != expected_num_nodes) {
+    return Status::InvalidArgument("partition bounds must end at num_nodes");
+  }
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      return Status::InvalidArgument("partition bounds must strictly increase");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t NodeResidentBytes(const graph::Graph& graph, graph::NodeId v) {
+  const uint64_t deg = graph.InNeighbors(v).size();
+  return sizeof(uint64_t) +
+         deg * (sizeof(graph::NodeId) + sizeof(double) +  // CSR slice
+                sizeof(double) + sizeof(uint32_t));       // alias rows
+}
+
+Result<PartitionPlan> PlanByBudget(const graph::Graph& graph,
+                                   uint64_t block_budget_bytes) {
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("cannot partition an empty graph");
+  if (block_budget_bytes == 0) {
+    return Status::InvalidArgument("block_budget_bytes must be > 0");
+  }
+  PartitionPlan plan;
+  plan.bounds.push_back(0);
+  uint64_t used = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const uint64_t bytes = NodeResidentBytes(graph, v);
+    if (used > 0 && used + bytes > block_budget_bytes) {
+      plan.bounds.push_back(v);
+      used = 0;
+    }
+    used += bytes;
+  }
+  plan.bounds.push_back(n);
+  return plan;
+}
+
+Result<PartitionPlan> PlanByCount(const graph::Graph& graph,
+                                  uint32_t num_blocks) {
+  const uint32_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("cannot partition an empty graph");
+  const uint32_t p = std::clamp<uint32_t>(num_blocks, 1, n);
+  PartitionPlan plan;
+  plan.bounds.reserve(p + 1);
+  for (uint32_t b = 0; b < p; ++b) {
+    // Even split with the remainder spread over the first n % p blocks.
+    plan.bounds.push_back(static_cast<graph::NodeId>(
+        (static_cast<uint64_t>(n) * b) / p));
+  }
+  plan.bounds.push_back(n);
+  return plan;
+}
+
+}  // namespace voteopt::sketch_ooc

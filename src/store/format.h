@@ -36,6 +36,11 @@ inline constexpr size_t kMaxSectionName = 15;  // + NUL inside 16 bytes
 enum class FileKind : uint32_t {
   kGraph = 1,
   kSketch = 2,
+  /// One node-range partition of a graph's in-CSR (sketch_ooc/block_store).
+  kGraphBlock = 3,
+  /// The manifest tying a set of kGraphBlock files together; written last,
+  /// so its presence certifies a complete block set (crash consistency).
+  kBlockManifest = 4,
 };
 
 /// FNV-1a 64-bit over a byte range (the format's checksum primitive).

@@ -325,5 +325,34 @@ TEST_F(ApiEngineTest, HostsInMemoryDatasetsWithTargetOverride) {
   EXPECT_FALSE((*engine)->Host("mem2", dataset_, host).ok());
 }
 
+TEST_F(ApiEngineTest, HostBuildsIdenticalSketchThroughOocPath) {
+  // block_budget_bytes routes the inline build through sketch_ooc/; every
+  // answer must match the in-memory build bit-for-bit (ledger entry 7
+  // surfaced at the api layer).
+  auto mem_engine = Engine::Open({});
+  auto ooc_engine = Engine::Open({});
+  ASSERT_TRUE(mem_engine.ok() && ooc_engine.ok());
+  HostOptions host;
+  host.theta = 8000;
+  host.horizon = 8;
+  ASSERT_TRUE((*mem_engine)->Host("mem", dataset_, host).ok());
+  host.block_budget_bytes = 4096;  // forces several blocks at this scale
+  host.ooc_scratch_prefix = ::testing::TempDir() + "/api_ooc_scratch";
+  ASSERT_TRUE((*ooc_engine)->Host("mem", dataset_, host).ok());
+
+  // Server-side timing is the one legitimately nondeterministic field.
+  const auto strip_millis = [](std::string json) {
+    const size_t at = json.find(", \"millis\":");
+    if (at != std::string::npos) json.resize(at);
+    return json;
+  };
+  for (const auto& request : Pr4Batch()) {
+    const Response a = (*mem_engine)->Execute(request);
+    const Response b = (*ooc_engine)->Execute(request);
+    EXPECT_EQ(strip_millis(a.ToJson()), strip_millis(b.ToJson()))
+        << "request " << request.id;
+  }
+}
+
 }  // namespace
 }  // namespace voteopt::api

@@ -223,6 +223,81 @@ TEST(WalkEngineTest, PostGenerationTruncationMatchesDirectGeneration) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-walk RNG streams (GenerateSeeded): the walk definition both the
+// in-memory sharded builder and the out-of-core block engine reproduce.
+// These pins are load-bearing for determinism-ledger entry #7 — a change
+// here silently breaks OOC == in-memory bit-identity.
+// ---------------------------------------------------------------------------
+
+TEST(WalkEngineTest, GenerateSeededMatchesManualPerWalkStreams) {
+  auto inst = MakeRandomInstance(40, 200, 2, 3);
+  graph::AliasSampler alias(inst.graph);
+  WalkEngine engine(inst.graph, inst.state.campaigns[0], alias);
+  const uint32_t horizon = 5;
+  const uint64_t master_seed = 77;
+  const uint64_t count = 500;
+
+  WalkBuffer batch;
+  engine.GenerateSeeded(0, count, horizon, master_seed, &batch);
+  ASSERT_EQ(batch.lengths.size(), count);
+
+  // Walk j must equal: draw start from SketchWalkRng(seed, j), then the
+  // single-walk Generate() on the SAME stream.
+  size_t cursor = 0;
+  std::vector<graph::NodeId> walk;
+  for (uint64_t j = 0; j < count; ++j) {
+    Rng rng = SketchWalkRng(master_seed, j);
+    const auto start =
+        static_cast<graph::NodeId>(rng.UniformInt(inst.graph.num_nodes()));
+    engine.Generate(start, horizon, &rng, &walk);
+    ASSERT_EQ(batch.lengths[j], walk.size()) << "walk " << j;
+    for (size_t i = 0; i < walk.size(); ++i) {
+      ASSERT_EQ(batch.nodes[cursor + i], walk[i]) << "walk " << j;
+    }
+    cursor += walk.size();
+  }
+  EXPECT_EQ(cursor, batch.nodes.size());
+}
+
+TEST(WalkEngineTest, GenerateSeededIsBatchSplitInvariant) {
+  // Splitting the walk range across calls (any scheduling) concatenates to
+  // the same bytes: the property that lets sketch shards and OOC waves
+  // carve up walks arbitrarily.
+  auto inst = MakeRandomInstance(30, 160, 2, 13);
+  graph::AliasSampler alias(inst.graph);
+  WalkEngine engine(inst.graph, inst.state.campaigns[0], alias);
+  const uint64_t master_seed = 4242;
+
+  WalkBuffer whole;
+  engine.GenerateSeeded(0, 300, 6, master_seed, &whole);
+
+  WalkBuffer pieces;
+  for (const auto& [first, n] :
+       std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 1}, {1, 99}, {100, 150}, {250, 50}}) {
+    engine.GenerateSeeded(first, n, 6, master_seed, &pieces);
+  }
+  EXPECT_EQ(pieces.nodes, whole.nodes);
+  EXPECT_EQ(pieces.lengths, whole.lengths);
+}
+
+TEST(WalkEngineTest, GenerateSeededPinnedTrajectories) {
+  // Golden pin on the paper example: exact trajectories for a fixed
+  // (master_seed, horizon). If this changes, every persisted sketch and
+  // the OOC equivalence guarantee changed with it — do not re-pin without
+  // bumping the sketch store's compatibility story.
+  auto ex = MakePaperExample();
+  graph::AliasSampler alias(ex.graph);
+  WalkEngine engine(ex.graph, ex.state.campaigns[0], alias);
+  WalkBuffer out;
+  engine.GenerateSeeded(0, 6, 4, /*master_seed=*/1, &out);
+  const std::vector<uint32_t> kGoldenLengths = {2, 2, 1, 1, 2, 1};
+  const std::vector<graph::NodeId> kGoldenNodes = {3, 2, 2, 0, 3, 1, 2, 1, 3};
+  EXPECT_EQ(out.lengths, kGoldenLengths);
+  EXPECT_EQ(out.nodes, kGoldenNodes);
+}
+
+// ---------------------------------------------------------------------------
 // Accuracy bounds (Thms. 10-12).
 // ---------------------------------------------------------------------------
 

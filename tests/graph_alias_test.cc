@@ -91,6 +91,95 @@ TEST(AliasSamplerTest, ProbabilitiesSumToOnePerNode) {
   }
 }
 
+// --- AliasSlice: the block-local alias tables backing sketch_ooc/ must be
+// bit-identical in behavior to the full-graph AliasSampler, because the
+// determinism ledger's OOC == in-memory guarantee (entry #7) rests on the
+// two consuming the same RNG stream identically. ---
+
+TEST(AliasSliceTest, SliceSamplesBitIdenticalToFullSampler) {
+  Rng graph_rng(123);
+  InteractionCounts counts;
+  Graph g = ErdosRenyiDigraph(60, 500, counts, &graph_rng).NormalizedIncoming();
+  AliasSampler full(g);
+
+  // Slice over an arbitrary node range [lo, hi): rebase the in-CSR spans
+  // exactly as sketch_ooc::WriteBlocks does.
+  const NodeId lo = 13, hi = 47;
+  const auto offsets = g.InOffsets();
+  const uint64_t edge_begin = offsets[lo];
+  std::vector<uint64_t> local_offsets(hi - lo + 1);
+  for (NodeId v = lo; v <= hi; ++v) {
+    local_offsets[v - lo] = offsets[v] - edge_begin;
+  }
+  const uint64_t num_local = local_offsets.back();
+  AliasSlice slice(local_offsets,
+                   g.InSources().subspan(edge_begin, num_local),
+                   g.InWeightsRaw().subspan(edge_begin, num_local));
+
+  // Same RNG stream through both samplers: every draw must agree exactly,
+  // including the empty-row sentinel.
+  for (NodeId v = lo; v < hi; ++v) {
+    Rng full_rng(v * 7919 + 1);
+    Rng slice_rng(v * 7919 + 1);
+    for (int i = 0; i < 200; ++i) {
+      const NodeId expect = full.SampleInNeighbor(v, &full_rng);
+      const NodeId got = slice.SampleInNeighbor(v - lo, &slice_rng);
+      ASSERT_EQ(got, expect == AliasSampler::kNoNeighbor
+                         ? AliasSlice::kNoNeighbor
+                         : expect)
+          << "node " << v << " draw " << i;
+    }
+    // And the streams themselves stay in lockstep (same number of draws).
+    ASSERT_EQ(full_rng.Next(), slice_rng.Next()) << "node " << v;
+  }
+}
+
+TEST(AliasSliceTest, WholeGraphSliceMatchesEverywhere) {
+  // Degenerate single-block plan: the slice covers all of [0, n).
+  Rng graph_rng(7);
+  InteractionCounts counts;
+  Graph g = ErdosRenyiDigraph(40, 250, counts, &graph_rng).NormalizedIncoming();
+  AliasSampler full(g);
+  AliasSlice slice(g.InOffsets(), g.InSources(), g.InWeightsRaw());
+  Rng a(42), b(42);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int i = 0; i < 50; ++i) {
+      const NodeId expect = full.SampleInNeighbor(v, &a);
+      const NodeId got = slice.SampleInNeighbor(v, &b);
+      ASSERT_EQ(got, expect == AliasSampler::kNoNeighbor
+                         ? AliasSlice::kNoNeighbor
+                         : expect);
+    }
+  }
+}
+
+TEST(AliasSliceTest, SingleNodeSliceMatches) {
+  // The pathological one-node-per-block partition reduces every slice to
+  // one row; it must still agree with the full sampler.
+  GraphBuilder b(4);
+  b.AddEdge(0, 3, 0.1);
+  b.AddEdge(1, 3, 0.3);
+  b.AddEdge(2, 3, 0.6);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  AliasSampler full(*g);
+  const auto offsets = g->InOffsets();
+  for (NodeId v = 0; v < 4; ++v) {
+    const uint64_t begin = offsets[v], end = offsets[v + 1];
+    const std::vector<uint64_t> local = {0, end - begin};
+    AliasSlice slice(local, g->InSources().subspan(begin, end - begin),
+                     g->InWeightsRaw().subspan(begin, end - begin));
+    Rng x(v + 1), y(v + 1);
+    for (int i = 0; i < 100; ++i) {
+      const NodeId expect = full.SampleInNeighbor(v, &x);
+      const NodeId got = slice.SampleInNeighbor(0, &y);
+      ASSERT_EQ(got, expect == AliasSampler::kNoNeighbor
+                         ? AliasSlice::kNoNeighbor
+                         : expect);
+    }
+  }
+}
+
 TEST(AliasSamplerTest, MemoryAccounting) {
   GraphBuilder b(3);
   b.AddEdge(0, 2, 1.0);

@@ -169,6 +169,89 @@ TEST_F(StoreFormatTest, ElementSizeMismatchIsCorruption) {
   EXPECT_EQ(typed.status().code(), Status::Code::kCorruption);
 }
 
+// --- The out-of-core block kinds (kGraphBlock, kBlockManifest) go through
+// the same container validation as every other kind; these pin the
+// negative paths the sketch_ooc crash-consistency story relies on. ---
+
+class BlockKindFormatTest : public StoreFormatTest {
+ protected:
+  Status WriteAs(FileKind kind) {
+    payload_ = {10, 20, 30};
+    std::vector<SectionRef> sections;
+    sections.push_back(
+        MakeSection("blockmeta", std::span<const uint64_t>(payload_)));
+    return WriteSectionFile(path_, kind, sections);
+  }
+  std::vector<uint64_t> payload_;
+};
+
+TEST_F(BlockKindFormatTest, BlockAndManifestKindsAreNotInterchangeable) {
+  ASSERT_TRUE(WriteAs(FileKind::kGraphBlock).ok());
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  // A block file is only a block file: every other expectation fails with
+  // InvalidArgument (wrong kind), not Corruption (the file is intact).
+  for (const FileKind other :
+       {FileKind::kBlockManifest, FileKind::kGraph, FileKind::kSketch}) {
+    auto reader = SectionReader::Parse(*file, other);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), Status::Code::kInvalidArgument);
+  }
+  EXPECT_TRUE(SectionReader::Parse(*file, FileKind::kGraphBlock).ok());
+}
+
+TEST_F(BlockKindFormatTest, ManifestKindIsAlsoExclusive) {
+  ASSERT_TRUE(WriteAs(FileKind::kBlockManifest).ok());
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto as_block = SectionReader::Parse(*file, FileKind::kGraphBlock);
+  ASSERT_FALSE(as_block.ok());
+  EXPECT_EQ(as_block.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(SectionReader::Parse(*file, FileKind::kBlockManifest).ok());
+}
+
+TEST_F(BlockKindFormatTest, WrongMagicRejected) {
+  ASSERT_TRUE(WriteAs(FileKind::kGraphBlock).ok());
+  auto bytes = ReadAll();
+  bytes[3] ^= 0xFF;
+  WriteAll(bytes);
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kGraphBlock);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(BlockKindFormatTest, VersionSkewRejected) {
+  ASSERT_TRUE(WriteAs(FileKind::kBlockManifest).ok());
+  auto bytes = ReadAll();
+  // The format version is the uint32 at bytes [8, 12) of the header; a
+  // future-version file must be rejected, never half-parsed.
+  bytes[8] = static_cast<uint8_t>(kFormatVersion + 1);
+  WriteAll(bytes);
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kBlockManifest);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), Status::Code::kCorruption);
+  EXPECT_NE(reader.status().ToString().find("version"), std::string::npos);
+}
+
+TEST_F(BlockKindFormatTest, PayloadChecksumMismatchRejected) {
+  ASSERT_TRUE(WriteAs(FileKind::kGraphBlock).ok());
+  const auto pristine = ReadAll();
+  // Flip the last payload byte (the header and section table sit at the
+  // front; the final bytes of the file are always payload).
+  auto bytes = pristine;
+  bytes[bytes.size() - 1] ^= 0xFF;
+  WriteAll(bytes);
+  auto file = MappedFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto reader = SectionReader::Parse(*file, FileKind::kGraphBlock);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), Status::Code::kCorruption);
+}
+
 TEST_F(StoreFormatTest, SectionNameTooLongRejectedOnWrite) {
   std::vector<SectionRef> sections;
   const uint32_t value = 7;

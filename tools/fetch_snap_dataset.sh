@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Fetches a SNAP dataset archive and unpacks the edge list, ready for
+# voteopt_convert. Usage:
+#
+#   tools/fetch_snap_dataset.sh --download soc-LiveJournal1 [dest_dir]
+#   tools/fetch_snap_dataset.sh --list
+#
+# then:
+#
+#   voteopt_convert --edges=<dest>/soc-LiveJournal1.txt --out=<dest>/lj \
+#       --compact_ids
+set -euo pipefail
+
+# name -> URL of the gzipped edge list on snap.stanford.edu.
+declare -A SNAP_URLS=(
+  [soc-LiveJournal1]="https://snap.stanford.edu/data/soc-LiveJournal1.txt.gz"
+  [soc-pokec]="https://snap.stanford.edu/data/soc-pokec-relationships.txt.gz"
+  [wiki-Talk]="https://snap.stanford.edu/data/wiki-Talk.txt.gz"
+  [web-Google]="https://snap.stanford.edu/data/web-Google.txt.gz"
+  [cit-Patents]="https://snap.stanford.edu/data/cit-Patents.txt.gz"
+  [twitter-combined]="https://snap.stanford.edu/data/twitter_combined.txt.gz"
+)
+
+usage() {
+  echo "usage: $0 --download <name> [dest_dir]   (default dest: .)" >&2
+  echo "       $0 --list" >&2
+  exit 2
+}
+
+[[ $# -ge 1 ]] || usage
+
+case "$1" in
+  --list)
+    for name in "${!SNAP_URLS[@]}"; do
+      echo "$name  ${SNAP_URLS[$name]}"
+    done | sort
+    ;;
+  --download)
+    [[ $# -ge 2 ]] || usage
+    name="$2"
+    dest="${3:-.}"
+    url="${SNAP_URLS[$name]:-}"
+    if [[ -z "$url" ]]; then
+      echo "unknown dataset '$name' — try --list" >&2
+      exit 1
+    fi
+    mkdir -p "$dest"
+    out="$dest/$name.txt"
+    if [[ -s "$out" ]]; then
+      echo "$out already exists, skipping download" >&2
+      exit 0
+    fi
+    tmp="$out.gz.part"
+    trap 'rm -f "$tmp"' EXIT
+    if command -v curl >/dev/null; then
+      curl -L --fail -o "$tmp" "$url"
+    elif command -v wget >/dev/null; then
+      wget -O "$tmp" "$url"
+    else
+      echo "need curl or wget" >&2
+      exit 1
+    fi
+    gunzip -c "$tmp" > "$out"
+    rm -f "$tmp"
+    trap - EXIT
+    echo "wrote $out" >&2
+    ;;
+  *)
+    usage
+    ;;
+esac

@@ -69,6 +69,10 @@ Sketch build fallback (when a bundle has no persisted sketch):
   --build_threads=<N>    sketch-builder threads (0 = one per core)
   --save_sketch=0|1      persist a freshly built sketch (default 1)
   --build_only           build + persist the sketch(es), then exit
+  --block_budget_bytes=<N>  build out of core: partition the graph into
+                         node-range blocks of at most N resident bytes and
+                         stream walks block-at-a-time (0 = in-memory build;
+                         the sketch is bit-identical either way)
 
 Serving:
   --threads=<N>          query worker threads (0 = one per core; default 1;
@@ -123,6 +127,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(options.GetInt("build_threads", 0));
   engine_options.load.save_built_sketch =
       options.GetBool("save_sketch", true);
+  engine_options.load.block_budget_bytes =
+      static_cast<uint64_t>(options.GetInt("block_budget_bytes", 0));
   engine_options.load.sketch_load_mode = options.GetBool("mmap", true)
                                              ? store::SketchLoadMode::kMmap
                                              : store::SketchLoadMode::kCopy;
