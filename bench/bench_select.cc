@@ -41,19 +41,6 @@ using namespace voteopt::bench;
 
 namespace {
 
-/// Best-of-N wall-clock of `fn` (the first call's result is kept; repeated
-/// calls must be deterministic, which the equality checks enforce anyway).
-template <typename Fn>
-double BestOf(int repeats, const Fn& fn) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < repeats; ++i) {
-    WallTimer timer;
-    fn();
-    best = std::min(best, timer.Seconds());
-  }
-  return best;
-}
-
 struct TopKRow {
   double exhaustive_sec = 0.0, lazy_sec = 0.0;
   double exhaustive_evals = 0.0, lazy_evals = 0.0;
@@ -157,11 +144,11 @@ int main(int argc, char** argv) {
 
       api::Response exhaustive, lazy;
       request.options.lazy = false;
-      row.topk.exhaustive_sec = BestOf(
+      row.topk.exhaustive_sec = BestOfSeconds(
           repeats, [&] { exhaustive = MustExecute(**engine, request); });
       request.options.lazy = true;
       row.topk.lazy_sec =
-          BestOf(repeats, [&] { lazy = MustExecute(**engine, request); });
+          BestOfSeconds(repeats, [&] { lazy = MustExecute(**engine, request); });
       row.topk.exhaustive_evals =
           exhaustive.diagnostics.at("gain_evaluations");
       row.topk.lazy_evals = lazy.diagnostics.at("gain_evaluations");
@@ -180,11 +167,11 @@ int main(int argc, char** argv) {
 
       api::Response searched, single;
       request.options.single_pass = false;
-      row.minseed.search_sec = BestOf(
+      row.minseed.search_sec = BestOfSeconds(
           repeats, [&] { searched = MustExecute(**engine, request); });
       request.options.single_pass = true;
       row.minseed.single_pass_sec =
-          BestOf(repeats, [&] { single = MustExecute(**engine, request); });
+          BestOfSeconds(repeats, [&] { single = MustExecute(**engine, request); });
       row.minseed.search_calls = searched.selector_calls;
       row.minseed.single_pass_calls = single.selector_calls;
       row.minseed.k_star = single.k_star;

@@ -169,6 +169,41 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
+  // ---- observability overhead: the identical batch with the metrics
+  // registry + counters live (the default) vs enable_metrics=false. The
+  // instrumentation is a handful of relaxed atomics per query, so the
+  // wall-clock delta must stay within noise (<= 2% is the recorded gate);
+  // answers must stay bit-identical either way (additive side channel).
+  double metrics_on_sec = std::numeric_limits<double>::infinity();
+  double metrics_off_sec = std::numeric_limits<double>::infinity();
+  bool metrics_match = true;
+  {
+    api::EngineOptions config = base;
+    config.num_worker_threads = static_cast<uint32_t>(thread_counts.back());
+    for (const bool enabled : {false, true}) {
+      config.enable_metrics = enabled;
+      double& best_sec = enabled ? metrics_on_sec : metrics_off_sec;
+      for (int trial = 0; trial < repeats; ++trial) {
+        auto engine = api::Engine::Open(config);
+        if (!engine.ok()) {
+          std::cerr << "open failed: " << engine.status().ToString() << "\n";
+          return 1;
+        }
+        std::vector<api::Response> responses;
+        best_sec = std::min(best_sec, TimeSeconds([&] {
+                              responses = (*engine)->ExecuteBatch(batch);
+                            }));
+        for (size_t i = 0; i < responses.size(); ++i) {
+          metrics_match =
+              metrics_match && responses[i].ToStableJson() == baseline[i];
+        }
+      }
+    }
+  }
+  const double metrics_overhead_pct =
+      (metrics_on_sec - metrics_off_sec) / metrics_off_sec * 100.0;
+  all_match = all_match && metrics_match;
+
   for (const char* suffix : {".influence.edges", ".counts.edges",
                              ".campaigns.tsv", ".meta", ".sketch"}) {
     std::remove((prefix + suffix).c_str());
@@ -190,6 +225,15 @@ int main(int argc, char** argv) {
            Table::Num(build_sec, 2) + " s)",
        table);
 
+  Table overhead_table({"metrics", "total sec", "overhead %", "answers match"});
+  overhead_table.Add("off", Table::Num(metrics_off_sec, 4), "-",
+                     metrics_match ? "yes" : "NO");
+  overhead_table.Add("on", Table::Num(metrics_on_sec, 4),
+                     Table::Num(metrics_overhead_pct, 2),
+                     metrics_match ? "yes" : "NO");
+  Emit(env, "Serve: observability overhead (registry + counters on vs off)",
+       overhead_table);
+
   if (options.Has("json_out")) {
     std::ofstream out(options.GetString("json_out", "BENCH_serve.json"));
     out.precision(6);
@@ -210,7 +254,11 @@ int main(int argc, char** argv) {
           << ", \"answers_match\": " << (row.answers_match ? "true" : "false")
           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ],\n  \"answers_match_all\": " << (all_match ? "true" : "false")
+    out << "  ],\n  \"metrics\": {\"enabled_sec\": " << metrics_on_sec
+        << ", \"disabled_sec\": " << metrics_off_sec
+        << ", \"overhead_pct\": " << metrics_overhead_pct
+        << ", \"answers_match\": " << (metrics_match ? "true" : "false")
+        << "},\n  \"answers_match_all\": " << (all_match ? "true" : "false")
         << "\n}\n";
   }
   if (!all_match) {

@@ -57,7 +57,31 @@ uint32_t ArgMax(const std::vector<double>& scores) {
 Engine::Engine(const EngineOptions& options)
     : options_(options),
       states_(options.evaluator_cache_capacity),
-      pool_(std::make_unique<ThreadPool>(options.num_worker_threads)) {}
+      pool_(std::make_unique<ThreadPool>(options.num_worker_threads)) {
+  if (!options_.enable_metrics) return;
+  mx_ = &metrics_;
+  registry_.set_metrics(mx_);
+  states_.set_metrics(mx_);
+  m_evaluator_hits_ = metrics_.GetCounter(
+      "voteopt_evaluator_cache_hits_total", {},
+      "Evaluator-LRU hits across all worker states (incl. last-used-memo "
+      "hits and build-evaluator adoptions)");
+  m_evaluator_misses_ = metrics_.GetCounter(
+      "voteopt_evaluator_cache_misses_total", {},
+      "Evaluator-LRU misses: a ScoreEvaluator (horizon propagation) had "
+      "to be constructed");
+  m_sketch_resets_ = metrics_.GetCounter(
+      "voteopt_sketch_resets_total", {},
+      "Working-sketch ResetValues rebuilds (one per RS selection)");
+  m_batch_size_ = metrics_.GetHistogram(
+      "voteopt_batch_requests", {},
+      "Requests per ExecuteBatch call (batch occupancy)",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  m_batch_inflight_ = metrics_.GetGauge(
+      "voteopt_batch_inflight", {},
+      "Queries of the current batch submitted to the worker pool and not "
+      "yet drained (queue depth; 0 between batches)");
+}
 
 Result<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options) {
   auto engine = std::unique_ptr<Engine>(new Engine(options));
@@ -100,21 +124,61 @@ Engine::Stats Engine::stats() const {
 }
 
 const voting::ScoreEvaluator* Engine::EvaluatorFor(
-    const voting::ScoreSpec& spec, QueryState& state) {
+    const voting::ScoreSpec& spec, QueryState& state, obs::Trace* trace) {
   bool cache_hit = false;
+  // A miss constructs the evaluator (a horizon propagation — the costly
+  // part); that lands in the `evaluation` stage. Hits stop the span in
+  // nanoseconds and add noise-floor time only.
+  obs::Trace::Span span(trace, "evaluation");
   const voting::ScoreEvaluator* evaluator =
       state.EvaluatorFor(spec, &cache_hit);
+  span.Stop();
   ++(cache_hit ? evaluator_cache_hits_ : evaluator_cache_misses_);
+  if (cache_hit) {
+    if (m_evaluator_hits_ != nullptr) m_evaluator_hits_->Increment();
+    trace->AddWork("evaluator_cache_hits", 1);
+  } else {
+    if (m_evaluator_misses_ != nullptr) m_evaluator_misses_->Increment();
+    trace->AddWork("evaluator_cache_misses", 1);
+  }
   return evaluator;
 }
 
-void Engine::ResetSketch(const DatasetEntry& entry, QueryState& state) {
+void Engine::ResetSketch(const DatasetEntry& entry, QueryState& state,
+                         obs::Trace* trace) {
   state.walks->ResetValues(entry.target_opinions());
   ++sketch_resets_;
+  if (m_sketch_resets_ != nullptr) m_sketch_resets_->Increment();
+  trace->AddWork("sketch_resets", 1);
+}
+
+void Engine::AttachTrace(const obs::Trace& trace, Response* response) {
+  std::map<std::string, double> merged;
+  for (const auto& [name, value] : response->diagnostics) {
+    if (name == "estimated_score") continue;  // already a response field
+    merged["work." + name] = value;
+  }
+  // gain_evaluations predates the work. schema (PR 4); the bare spelling
+  // stays as an alias for one protocol version (see docs/PROTOCOL.md).
+  if (auto legacy = response->diagnostics.find("gain_evaluations");
+      legacy != response->diagnostics.end()) {
+    merged["gain_evaluations"] = legacy->second;
+  }
+  for (const auto& [name, value] : trace.entries()) merged[name] += value;
+  response->diagnostics = std::move(merged);
+  response->traced = true;
 }
 
 Response Engine::Execute(const Request& request) {
   ++queries_;
+  WallTimer timer;
+  // The trace records when the client opted in OR the slow-query log is
+  // armed (a slow line without its stage breakdown would be useless);
+  // it reaches the wire only on client opt-in.
+  obs::Trace trace(request.trace || options_.slow_query_millis >= 0);
+  if (request.parse_millis > 0) {
+    trace.AddStageMillis("parse", request.parse_millis);
+  }
   Response response;
   if (request.v == 0 || request.v > kProtocolVersion) {
     // The codec rejects these before they reach the engine; typed callers
@@ -125,31 +189,60 @@ Response Engine::Execute(const Request& request) {
                      std::to_string(request.v) + " (this engine speaks v1-v" +
                      std::to_string(kProtocolVersion) + ")"));
   } else {
-    response = Dispatch(request);
+    response = Dispatch(request, &trace);
   }
   if (!response.ok) ++errors_;
+  const double seconds = timer.Seconds();
+  if (mx_ != nullptr) {
+    const char* op = OpName(request.op);
+    mx_->GetCounter("voteopt_queries_total",
+                    {{"op", op},
+                     {"method", baselines::MethodName(request.method)},
+                     {"rule", request.rule}},
+                    "Requests answered, labeled by the request's verb, "
+                    "method, and rule fields")
+        ->Increment();
+    if (!response.ok) {
+      mx_->GetCounter("voteopt_errors_total", {{"op", op}},
+                      "Error responses, by verb")
+          ->Increment();
+    }
+    mx_->GetHistogram("voteopt_query_seconds",
+                      {{"op", op}, {"dataset", response.dataset}},
+                      "Server-side handling seconds, by verb and answering "
+                      "dataset")
+        ->Observe(seconds);
+  }
+  if (request.trace) AttachTrace(trace, &response);
+  obs::MaybeLogSlowQuery(OpName(request.op), response.dataset, request.id,
+                         seconds * 1e3, options_.slow_query_millis, trace);
   return response;
 }
 
-Response Engine::Dispatch(const Request& request) {
+Response Engine::Dispatch(const Request& request, obs::Trace* trace) {
   switch (request.op) {
     case Request::Op::kTopK:
     case Request::Op::kMinSeed:
     case Request::Op::kEvaluate:
     case Request::Op::kMethodCompare:
     case Request::Op::kRuleSweep:
-      return ExecuteQuery(request);
+      return ExecuteQuery(request, trace);
     case Request::Op::kLoad:
       return HandleLoad(request);
     case Request::Op::kUnload:
       return HandleUnload(request);
     case Request::Op::kList:
       return HandleList(request);
+    case Request::Op::kStats:
+      return HandleStats(request);
   }
   return Response::Error(request, Status::Internal("unroutable op"));
 }
 
 std::vector<Response> Engine::ExecuteBatch(const std::vector<Request>& batch) {
+  if (m_batch_size_ != nullptr) {
+    m_batch_size_->Observe(static_cast<double>(batch.size()));
+  }
   // A one-request batch (the interactive stdin path) gains nothing from a
   // pool hand-off; answer inline and skip two cross-thread hops.
   if (batch.size() == 1) return {Execute(batch[0])};
@@ -158,50 +251,69 @@ std::vector<Response> Engine::ExecuteBatch(const std::vector<Request>& batch) {
   auto drain = [&] {
     for (auto& [index, future] : inflight) responses[index] = future.get();
     inflight.clear();
+    if (m_batch_inflight_ != nullptr) m_batch_inflight_->Set(0);
   };
   for (size_t i = 0; i < batch.size(); ++i) {
     const Request& request = batch[i];
     if (IsAdminOp(request.op)) {
       // Admin requests are ordering barriers: every query before them sees
       // the registry as it was, every query after them the updated one —
-      // exactly the serial semantics, whatever the worker count.
+      // exactly the serial semantics, whatever the worker count. (The
+      // stats verb is admin for the same reason: its counters are exact
+      // with respect to its position in the batch.)
       drain();
       responses[i] = Execute(request);
     } else {
       inflight.emplace_back(
           i, pool_->Submit([this, &request] { return Execute(request); }));
+      if (m_batch_inflight_ != nullptr) {
+        m_batch_inflight_->Set(static_cast<double>(inflight.size()));
+      }
     }
   }
   drain();
   return responses;
 }
 
-Response Engine::ExecuteQuery(const Request& request) {
+Response Engine::ExecuteQuery(const Request& request, obs::Trace* trace) {
+  obs::Trace::Span dispatch_span(trace, "dispatch");
   auto entry = registry_.Resolve(request.dataset);
   if (!entry.ok()) return Response::Error(request, entry.status());
+  dispatch_span.Stop();
+  obs::Trace::Span lease_span(trace, "state_lease");
   StatePool::Lease state = states_.Acquire(*entry);
+  lease_span.Stop();
   switch (request.op) {
     case Request::Op::kTopK:
-      return HandleTopK(request, **entry, *state);
+      return HandleTopK(request, **entry, *state, trace);
     case Request::Op::kMinSeed:
-      return HandleMinSeed(request, **entry, *state);
+      return HandleMinSeed(request, **entry, *state, trace);
     case Request::Op::kMethodCompare:
-      return HandleMethodCompare(request, **entry, *state);
+      return HandleMethodCompare(request, **entry, *state, trace);
     case Request::Op::kRuleSweep:
-      return HandleRuleSweep(request, **entry, *state);
+      return HandleRuleSweep(request, **entry, *state, trace);
     default:
-      return HandleEvaluate(request, **entry, *state);
+      return HandleEvaluate(request, **entry, *state, trace);
   }
 }
 
 core::SelectionResult Engine::SelectSeeds(
     baselines::Method method, const voting::ScoreEvaluator& evaluator,
     uint32_t k, const QueryOptions& options, const DatasetEntry& entry,
-    QueryState& state) {
+    QueryState& state, obs::Trace* trace) {
+  obs::Trace::Span span(trace, "selection");
+  if (mx_ != nullptr) {
+    mx_->GetCounter("voteopt_selections_total",
+                    {{"method", baselines::MethodName(method)},
+                     {"dataset", entry.name}},
+                    "Seed selections run, by method and dataset (a "
+                    "methodcompare query runs one per roster entry)")
+        ->Increment();
+  }
   if (method == baselines::Method::kRS) {
     // RS answers from the hosted artifact: rebuild the working view's
     // O(theta) dynamic state, then run the greedy loop on the frozen walks.
-    ResetSketch(entry, state);
+    ResetSketch(entry, state, trace);
     return core::EstimatedGreedySelect(evaluator, k, state.walks.get(),
                                        SketchSelectionOptions(options));
   }
@@ -212,7 +324,7 @@ core::SelectionResult Engine::SelectSeeds(
 }
 
 Response Engine::HandleTopK(const Request& request, const DatasetEntry& entry,
-                            QueryState& state) {
+                            QueryState& state, obs::Trace* trace) {
   WallTimer timer;
   auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
   if (!spec.ok()) return Response::Error(request, spec.status());
@@ -220,9 +332,10 @@ Response Engine::HandleTopK(const Request& request, const DatasetEntry& entry,
     return Response::Error(
         request, Status::InvalidArgument("k must be in [1, num_nodes]"));
   }
-  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
-  core::SelectionResult selection = SelectSeeds(
-      request.method, *evaluator, request.k, request.options, entry, state);
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state, trace);
+  core::SelectionResult selection =
+      SelectSeeds(request.method, *evaluator, request.k, request.options,
+                  entry, state, trace);
 
   Response response;
   response.id = request.id;
@@ -233,6 +346,7 @@ Response Engine::HandleTopK(const Request& request, const DatasetEntry& entry,
   }
   if (request.method == baselines::Method::kRS) {
     response.estimated_score = selection.diagnostics.at("estimated_score");
+    obs::Trace::Span eval_span(trace, "evaluation");
     response.exact_score = request.options.evaluate_exact
                                ? evaluator->EvaluateSeeds(selection.seeds)
                                : 0.0;
@@ -248,7 +362,8 @@ Response Engine::HandleTopK(const Request& request, const DatasetEntry& entry,
 }
 
 Response Engine::HandleMinSeed(const Request& request,
-                               const DatasetEntry& entry, QueryState& state) {
+                               const DatasetEntry& entry, QueryState& state,
+                               obs::Trace* trace) {
   WallTimer timer;
   auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
   if (!spec.ok()) return Response::Error(request, spec.status());
@@ -256,8 +371,9 @@ Response Engine::HandleMinSeed(const Request& request,
     return Response::Error(
         request, Status::InvalidArgument("k_max exceeds num_nodes"));
   }
-  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state, trace);
 
+  obs::Trace::Span selection_span(trace, "selection");
   core::MinSeedResult result;
   if (request.method == baselines::Method::kRS && request.options.single_pass) {
     // Single-pass Algorithm 2: greedy on the frozen sketch is
@@ -266,10 +382,10 @@ Response Engine::HandleMinSeed(const Request& request,
     // ResetSketch + full reselection. selector_calls is therefore at most
     // 1 (see PROTOCOL.md).
     const core::PrefixSelector selector =
-        [this, &request, &entry, &state](
+        [this, &request, &entry, &state, trace](
             const voting::ScoreEvaluator& evaluator_ref, uint32_t budget,
             const core::PrefixCallback& on_prefix) {
-          ResetSketch(entry, state);
+          ResetSketch(entry, state, trace);
           core::EstimatedGreedyOptions greedy =
               SketchSelectionOptions(request.options);
           greedy.on_prefix = core::ToGreedyPrefixHook(on_prefix);
@@ -284,10 +400,10 @@ Response Engine::HandleMinSeed(const Request& request,
     // method via its generic SeedSelector adapter.
     core::SeedSelector selector;
     if (request.method == baselines::Method::kRS) {
-      selector = [this, &request, &entry, &state](
+      selector = [this, &request, &entry, &state, trace](
                      const voting::ScoreEvaluator& evaluator_ref,
                      uint32_t budget) {
-        ResetSketch(entry, state);
+        ResetSketch(entry, state, trace);
         return core::EstimatedGreedySelect(
             evaluator_ref, budget, state.walks.get(),
             SketchSelectionOptions(request.options));
@@ -298,6 +414,7 @@ Response Engine::HandleMinSeed(const Request& request,
     }
     result = core::MinSeedsToWin(*evaluator, selector, request.k_max);
   }
+  selection_span.Stop();
 
   Response response;
   response.id = request.id;
@@ -310,15 +427,20 @@ Response Engine::HandleMinSeed(const Request& request,
   response.k_star = result.k_star;
   response.seeds = result.seeds;
   response.selector_calls = result.selector_calls;
-  response.exact_score = request.options.evaluate_exact
-                             ? evaluator->EvaluateSeeds(result.seeds)
-                             : 0.0;
+  trace->AddWork("selector_calls", result.selector_calls);
+  {
+    obs::Trace::Span eval_span(trace, "evaluation");
+    response.exact_score = request.options.evaluate_exact
+                               ? evaluator->EvaluateSeeds(result.seeds)
+                               : 0.0;
+  }
   response.millis = timer.Millis();
   return response;
 }
 
 Response Engine::HandleEvaluate(const Request& request,
-                                const DatasetEntry& entry, QueryState& state) {
+                                const DatasetEntry& entry, QueryState& state,
+                                obs::Trace* trace) {
   WallTimer timer;
   auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
   if (!spec.ok()) return Response::Error(request, spec.status());
@@ -340,8 +462,9 @@ Response Engine::HandleEvaluate(const Request& request,
           Status::InvalidArgument("override opinion must be in [0, 1]"));
     }
   }
-  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state, trace);
 
+  obs::Trace::Span eval_span(trace, "evaluation");
   // Exact propagation of the (possibly overridden) target campaign; the
   // competitors' horizon opinions come from the cached evaluator state.
   opinion::Campaign campaign = entry.dataset.state.campaigns[entry.meta.target];
@@ -358,13 +481,14 @@ Response Engine::HandleEvaluate(const Request& request,
   response.score = evaluator->ScoreFromTargetOpinions(target_row);
   response.all_scores = evaluator->ScoresAllCandidates(target_row);
   response.winner = ArgMax(response.all_scores);
+  eval_span.Stop();
   response.millis = timer.Millis();
   return response;
 }
 
 Response Engine::HandleMethodCompare(const Request& request,
                                      const DatasetEntry& entry,
-                                     QueryState& state) {
+                                     QueryState& state, obs::Trace* trace) {
   WallTimer timer;
   auto spec = ResolveRule(request, entry.dataset.state.num_candidates());
   if (!spec.ok()) return Response::Error(request, spec.status());
@@ -372,7 +496,7 @@ Response Engine::HandleMethodCompare(const Request& request,
     return Response::Error(
         request, Status::InvalidArgument("k must be in [1, num_nodes]"));
   }
-  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
+  const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state, trace);
   // Default roster: all nine methods, in the paper's plotting order.
   const std::vector<baselines::Method> roster =
       request.methods.empty() ? baselines::AllMethods() : request.methods;
@@ -384,13 +508,15 @@ Response Engine::HandleMethodCompare(const Request& request,
   response.method_scores.reserve(roster.size());
   for (const baselines::Method method : roster) {
     const core::SelectionResult selection = SelectSeeds(
-        method, *evaluator, request.k, request.options, entry, state);
+        method, *evaluator, request.k, request.options, entry, state, trace);
     MethodScore entry_score;
     entry_score.method = baselines::MethodName(method);
     entry_score.seeds = selection.seeds;
+    obs::Trace::Span eval_span(trace, "evaluation");
     entry_score.exact_score = method == baselines::Method::kRS
                                   ? evaluator->EvaluateSeeds(selection.seeds)
                                   : selection.score;
+    eval_span.Stop();
     entry_score.estimated_score =
         EstimateOf(selection, entry_score.exact_score);
     entry_score.seconds = selection.seconds;
@@ -402,7 +528,7 @@ Response Engine::HandleMethodCompare(const Request& request,
 
 Response Engine::HandleRuleSweep(const Request& request,
                                  const DatasetEntry& entry,
-                                 QueryState& state) {
+                                 QueryState& state, obs::Trace* trace) {
   WallTimer timer;
   const uint32_t r = entry.dataset.state.num_candidates();
   if (request.k == 0 || request.k > entry.dataset.influence.num_nodes()) {
@@ -431,20 +557,23 @@ Response Engine::HandleRuleSweep(const Request& request,
   response.rule_scores.reserve(rules.size());
   for (const auto& [name, spec] : rules) {
     if (!spec.ok()) return Response::Error(request, spec.status());
-    const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state);
-    const core::SelectionResult selection = SelectSeeds(
-        request.method, *evaluator, request.k, request.options, entry, state);
+    const voting::ScoreEvaluator* evaluator = EvaluatorFor(*spec, state, trace);
+    const core::SelectionResult selection =
+        SelectSeeds(request.method, *evaluator, request.k, request.options,
+                    entry, state, trace);
     RuleScore rule_score;
     rule_score.rule = name;
     rule_score.seeds = selection.seeds;
     // One exact propagation yields the target's score, every candidate's
     // score, and the post-seeding winner under this rule.
+    obs::Trace::Span eval_span(trace, "evaluation");
     const std::vector<double> target_row =
         evaluator->TargetHorizonOpinions(selection.seeds);
     rule_score.exact_score = evaluator->ScoreFromTargetOpinions(target_row);
     rule_score.estimated_score =
         EstimateOf(selection, rule_score.exact_score);
     rule_score.winner = ArgMax(evaluator->ScoresAllCandidates(target_row));
+    eval_span.Stop();
     response.rule_scores.push_back(std::move(rule_score));
   }
   response.millis = timer.Millis();
@@ -505,6 +634,23 @@ Response Engine::HandleList(const Request& request) {
   for (const auto& entry : registry_.List()) {
     response.datasets.push_back(InfoOf(*entry));
   }
+  response.millis = timer.Millis();
+  return response;
+}
+
+Response Engine::HandleStats(const Request& request) {
+  WallTimer timer;
+  Response response;
+  response.id = request.id;
+  response.op = OpName(request.op);
+  // The flat registry snapshot ("name{labels}" -> value), plus the
+  // engine's core atomics as engine_* entries — present even when
+  // enable_metrics is false, so `stats` always answers something.
+  response.stats = metrics_.Snapshot();
+  response.stats.emplace("engine_queries_total",
+                         static_cast<double>(queries_.load()));
+  response.stats.emplace("engine_errors_total",
+                         static_cast<double>(errors_.load()));
   response.millis = timer.Millis();
   return response;
 }

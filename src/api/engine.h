@@ -39,6 +39,8 @@
 #include "api/query.h"
 #include "api/registry.h"
 #include "api/state_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace voteopt::api {
@@ -62,6 +64,19 @@ struct EngineOptions {
   /// each evaluator just before reusing it, rebuilding all five horizon
   /// propagations per sweep.
   uint32_t evaluator_cache_capacity = 6;
+
+  /// Record engine/registry/state-pool metrics into the engine's
+  /// obs::Registry. Metrics are a strictly additive side channel — they
+  /// never feed back into execution, so answers are bit-identical on or
+  /// off; the toggle exists so bench_serve can price the instrumentation
+  /// (gated at <= 2% on the serve batch).
+  bool enable_metrics = true;
+
+  /// Slow-query log threshold in wall milliseconds: a query whose
+  /// handling time reaches it emits one structured JSON line to stderr
+  /// (obs::MaybeLogSlowQuery) carrying its stage spans. Negative disables
+  /// the log (the default).
+  double slow_query_millis = -1.0;
 };
 
 class Engine {
@@ -105,6 +120,12 @@ class Engine {
   const StatePool& state_pool() const { return states_; }
   uint32_t num_worker_threads() const { return pool_->num_threads(); }
 
+  /// The engine's metrics registry: what the `stats` verb snapshots and
+  /// voteopt_serve's --metrics_out renders as Prometheus text. Always
+  /// present; empty when EngineOptions::enable_metrics is false.
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
+
   // Single-tenant conveniences: the sole hosted dataset (precondition:
   // the registry hosts exactly one, e.g. right after a bootstrap Open).
   const datasets::Dataset& dataset() const;
@@ -116,39 +137,57 @@ class Engine {
  private:
   explicit Engine(const EngineOptions& options);
 
-  /// Routes one request (query → pooled state, admin → registry).
-  Response Dispatch(const Request& request);
-  Response ExecuteQuery(const Request& request);
+  /// Routes one request (query → pooled state, admin → registry). The
+  /// trace rides along the whole query (never null; disabled unless the
+  /// request set `trace`) collecting stage spans and work counts.
+  Response Dispatch(const Request& request, obs::Trace* trace);
+  Response ExecuteQuery(const Request& request, obs::Trace* trace);
 
   Response HandleTopK(const Request& request, const DatasetEntry& entry,
-                      QueryState& state);
+                      QueryState& state, obs::Trace* trace);
   Response HandleMinSeed(const Request& request, const DatasetEntry& entry,
-                         QueryState& state);
+                         QueryState& state, obs::Trace* trace);
   Response HandleEvaluate(const Request& request, const DatasetEntry& entry,
-                          QueryState& state);
+                          QueryState& state, obs::Trace* trace);
   Response HandleMethodCompare(const Request& request,
-                               const DatasetEntry& entry, QueryState& state);
+                               const DatasetEntry& entry, QueryState& state,
+                               obs::Trace* trace);
   Response HandleRuleSweep(const Request& request, const DatasetEntry& entry,
-                           QueryState& state);
+                           QueryState& state, obs::Trace* trace);
   Response HandleLoad(const Request& request);
   Response HandleUnload(const Request& request);
   Response HandleList(const Request& request);
+  Response HandleStats(const Request& request);
 
   /// One method's selection on the shared instance: the hosted sketch for
-  /// RS, baselines::SelectWithMethod for everything else.
+  /// RS, baselines::SelectWithMethod for everything else. Wraps itself in
+  /// the trace's `selection` span.
   core::SelectionResult SelectSeeds(baselines::Method method,
                                     const voting::ScoreEvaluator& evaluator,
                                     uint32_t k, const QueryOptions& options,
                                     const DatasetEntry& entry,
-                                    QueryState& state);
+                                    QueryState& state, obs::Trace* trace);
 
-  /// Cached evaluator from the leased state, with hit/miss accounting.
+  /// Cached evaluator from the leased state, with hit/miss accounting
+  /// (engine atomics, metrics counters, and trace work counts; a miss's
+  /// construction time lands in the `evaluation` stage span).
   const voting::ScoreEvaluator* EvaluatorFor(const voting::ScoreSpec& spec,
-                                             QueryState& state);
+                                             QueryState& state,
+                                             obs::Trace* trace);
   /// Rebuilds the leased working sketch's dynamic state for a selection.
-  void ResetSketch(const DatasetEntry& entry, QueryState& state);
+  void ResetSketch(const DatasetEntry& entry, QueryState& state,
+                   obs::Trace* trace);
+
+  /// Folds the trace into the response's diagnostics and flags it for
+  /// serialization; promotes selector work counts into the `work.` schema
+  /// (keeping `gain_evaluations` as its one-version legacy alias).
+  static void AttachTrace(const obs::Trace& trace, Response* response);
 
   EngineOptions options_;
+  /// Declared before the components that hold a pointer to it (registry,
+  /// state pool): members destroy in reverse order, so the instruments
+  /// outlive every writer.
+  obs::Registry metrics_;
   DatasetRegistry registry_;
   StatePool states_;
   std::unique_ptr<ThreadPool> pool_;
@@ -159,6 +198,15 @@ class Engine {
   std::atomic<uint64_t> evaluator_cache_hits_{0};
   std::atomic<uint64_t> evaluator_cache_misses_{0};
   std::atomic<uint64_t> sketch_resets_{0};
+
+  // Cached instrument pointers (stable for the registry's lifetime);
+  // null when EngineOptions::enable_metrics is false.
+  obs::Registry* mx_ = nullptr;  // &metrics_ when enabled
+  obs::Counter* m_evaluator_hits_ = nullptr;
+  obs::Counter* m_evaluator_misses_ = nullptr;
+  obs::Counter* m_sketch_resets_ = nullptr;
+  obs::Histogram* m_batch_size_ = nullptr;
+  obs::Gauge* m_batch_inflight_ = nullptr;
 };
 
 }  // namespace voteopt::api

@@ -12,13 +12,14 @@ const char* OpName(Request::Op op) {
     case Request::Op::kLoad: return "load";
     case Request::Op::kUnload: return "unload";
     case Request::Op::kList: return "list";
+    case Request::Op::kStats: return "stats";
   }
   return "?";
 }
 
 bool IsAdminOp(Request::Op op) {
   return op == Request::Op::kLoad || op == Request::Op::kUnload ||
-         op == Request::Op::kList;
+         op == Request::Op::kList || op == Request::Op::kStats;
 }
 
 Result<voting::ScoreSpec> ResolveRule(const std::string& rule, uint32_t p,

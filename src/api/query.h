@@ -15,8 +15,10 @@
 //                     one instance, one scored entry per method in the
 //                     paper's plotting order
 //   * RuleSweep     — one seed budget scored under all five voting rules
-// Admin kinds (manage the registry; ordering barriers in a batch):
+// Admin kinds (manage/inspect the engine; ordering barriers in a batch):
 //   * Load / Unload / List
+//   * Stats — a flat snapshot of the engine's obs::Registry (admin so the
+//     counters it reports are exact at its barrier point in a batch)
 //
 // Requests are a flat tagged struct rather than a std::variant so the wire
 // codec, which sees untyped JSON fields before it knows the op, can fill
@@ -40,10 +42,12 @@ namespace voteopt::api {
 
 /// Highest protocol major version this engine speaks. Version 1 is the
 /// PR-2..4 protocol (topk/minseed/evaluate/load/unload/list, RS only);
-/// version 2 adds `method`, `methodcompare`, and `rulesweep`. Requests
-/// omitting "v" are treated as v1; v1 and v2 parse identically (v2 is a
-/// strict superset); higher majors are rejected with InvalidArgument.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// version 2 adds `method`, `methodcompare`, and `rulesweep`; version 3
+/// adds the `stats` verb and the per-request `trace` field. Requests
+/// omitting "v" are treated as v1; v1, v2, and v3 parse identically (each
+/// is a strict superset of the last); higher majors are rejected with
+/// InvalidArgument.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Per-query selection knobs — the one options surface consolidating what
 /// used to be scattered across RSOptions / RWOptions /
@@ -90,6 +94,7 @@ struct Request {
     kLoad,
     kUnload,
     kList,
+    kStats,
   };
 
   Op op = Op::kTopK;
@@ -126,6 +131,18 @@ struct Request {
 
   /// Selection knobs; defaults reproduce the wire protocol's behavior.
   QueryOptions options;
+
+  /// v3: opt into per-query stage tracing — the response carries its
+  /// `diagnostics` map (stage timings + work counts) on the wire. Traced
+  /// and untraced requests produce byte-identical STABLE answers:
+  /// ToStableJson strips the traced block alongside millis.
+  bool trace = false;
+
+  /// Transport-side parse time in milliseconds, recorded by the wire
+  /// codec caller (voteopt_serve) before Execute so the engine can fold a
+  /// `stage.parse_ms` span into the trace. NOT a wire field — embedded
+  /// callers leave it 0.
+  double parse_millis = 0.0;
 
   // Typed constructors for embedded callers: the ScoreSpec is translated
   // into the same rule/p/omega wire fields the codec produces, so a built
@@ -233,10 +250,21 @@ struct Response {
   // load / list payload: the loaded dataset, resp. every hosted one.
   std::vector<DatasetInfo> datasets;
 
-  /// Selection diagnostics of the answering algorithm (e.g.
-  /// "gain_evaluations", "walks"). Embedded-caller telemetry only — never
-  /// serialized.
+  /// stats payload: a flat point-in-time metrics snapshot
+  /// ("name{labels}" -> value) from the engine's obs::Registry.
+  std::map<std::string, double> stats;
+
+  /// Selection diagnostics of the answering algorithm: stage timings
+  /// (`stage.<name>_ms`) and work counts (`work.<name>`, plus the legacy
+  /// `gain_evaluations` alias of `work.gain_evaluations`). Serialized on
+  /// the wire only when the request set `trace` (v3) — ToStableJson
+  /// strips them, so traced answers stay bit-identical to untraced ones.
   std::map<std::string, double> diagnostics;
+
+  /// True when the request opted into tracing: diagnostics go on the
+  /// wire. Like millis, a volatile side channel — stripped by
+  /// ToStableJson.
+  bool traced = false;
 
   double millis = 0.0;  // server-side handling time
 
@@ -247,10 +275,11 @@ struct Response {
   /// owns the JSON vocabulary end to end.
   std::string ToJson() const;
 
-  /// ToJson minus the `millis` field — everything that must be invariant
-  /// across runs, worker thread counts, and build-vs-load serving paths.
-  /// The single source of truth for determinism comparisons (tests,
-  /// bench_serve's answers_match check).
+  /// ToJson minus the volatile tail (`millis`, and the traced
+  /// `diagnostics` block when present) — everything that must be
+  /// invariant across runs, worker thread counts, build-vs-load serving
+  /// paths, and trace on/off. The single source of truth for determinism
+  /// comparisons (tests, bench_serve's answers_match check).
   std::string ToStableJson() const;
 };
 

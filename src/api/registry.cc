@@ -8,6 +8,7 @@
 #include "core/sketch.h"
 #include "sketch_ooc/ooc_builder.h"
 #include "store/format.h"
+#include "util/timer.h"
 
 namespace voteopt::api {
 
@@ -72,7 +73,8 @@ Status BuildSketchInline(DatasetEntry* entry, uint64_t theta, uint32_t horizon,
                          uint32_t target, uint32_t num_threads,
                          uint64_t rng_seed, uint64_t fingerprint,
                          uint64_t block_budget_bytes = 0,
-                         const std::string& ooc_scratch_prefix = "") {
+                         const std::string& ooc_scratch_prefix = "",
+                         obs::Registry* metrics = nullptr) {
   if (target >= entry->dataset.state.num_candidates()) {
     return Status::InvalidArgument(
         "target candidate " + std::to_string(target) +
@@ -88,20 +90,57 @@ Status BuildSketchInline(DatasetEntry* entry, uint64_t theta, uint32_t horizon,
   auto build_evaluator = std::make_shared<const voting::ScoreEvaluator>(
       *entry->model, entry->dataset.state, entry->meta.target,
       entry->meta.horizon, build_spec);
+  WallTimer build_timer;
   if (block_budget_bytes > 0) {
     sketch_ooc::OocBuildOptions ooc_options;
     ooc_options.num_threads = num_threads;
+    sketch_ooc::OocBuildStats ooc_stats;
     auto built = sketch_ooc::BuildSketchSetOocFromGraph(
         entry->dataset.influence, entry->dataset.state.campaigns[target],
         horizon, theta, rng_seed, block_budget_bytes,
-        UniqueScratchPrefix(ooc_scratch_prefix), ooc_options);
+        UniqueScratchPrefix(ooc_scratch_prefix), ooc_options, &ooc_stats);
     if (!built.ok()) return built.status();
     entry->sketch = std::move(built).value();
+    if (metrics != nullptr) {
+      metrics
+          ->GetCounter("voteopt_ooc_block_loads_total", {},
+                       "OOC sketch-build block loads (file map + validate + "
+                       "alias-table compile)")
+          ->Increment(ooc_stats.block_loads);
+      metrics
+          ->GetCounter("voteopt_ooc_boundary_hops_total", {},
+                       "OOC sketch-build walk suspensions at partition "
+                       "boundaries")
+          ->Increment(ooc_stats.boundary_hops);
+      metrics
+          ->GetGauge("voteopt_ooc_blocks", {{"dataset", entry->name}},
+                     "Blocks of the last OOC sketch build for this dataset")
+          ->Set(static_cast<double>(ooc_stats.num_blocks));
+    }
   } else {
     core::SketchBuildOptions build_options;
     build_options.num_threads = num_threads;
     entry->sketch =
         core::BuildSketchSet(*build_evaluator, theta, rng_seed, build_options);
+  }
+  if (metrics != nullptr) {
+    const double seconds = build_timer.Seconds();
+    metrics
+        ->GetCounter("voteopt_sketch_builds_total",
+                     {{"mode", block_budget_bytes > 0 ? "ooc" : "inline"}},
+                     "Inline sketch builds (load fallback or Host)")
+        ->Increment();
+    metrics
+        ->GetGauge("voteopt_sketch_build_seconds",
+                   {{"dataset", entry->name}},
+                   "Wall seconds of this dataset's last inline sketch build")
+        ->Set(seconds);
+    metrics
+        ->GetGauge("voteopt_sketch_build_walks_per_second",
+                   {{"dataset", entry->name}},
+                   "Walk-generation throughput of this dataset's last "
+                   "inline sketch build")
+        ->Set(seconds > 0 ? static_cast<double>(theta) / seconds : 0.0);
   }
   entry->sketch_built = true;
   entry->build_evaluator = std::move(build_evaluator);
@@ -160,7 +199,7 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Load(
             entry.get(), options.build_theta, options.build_horizon,
             entry->dataset.default_target, options.build_threads,
             options.rng_seed, fingerprint, options.block_budget_bytes,
-            scratch);
+            scratch, metrics_);
         !st.ok()) {
       return st;
     }
@@ -218,7 +257,7 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Host(
           entry.get(), options.theta, options.horizon, target,
           options.num_threads, options.rng_seed,
           BundleFingerprint(entry->dataset), options.block_budget_bytes,
-          options.ooc_scratch_prefix);
+          options.ooc_scratch_prefix, metrics_);
       !st.ok()) {
     return st;
   }
@@ -234,6 +273,24 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Publish(
   }
   entry->generation = next_generation_++;
   entries_[entry->name] = entry;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("voteopt_dataset_loads_total",
+                     {{"source", entry->sketch_built ? "built" : "file"}},
+                     "Datasets published into the registry, by sketch "
+                     "provenance (file = persisted sketch, built = inline "
+                     "build incl. Host)")
+        ->Increment();
+    metrics_
+        ->GetGauge("voteopt_datasets_hosted", {},
+                   "Datasets currently hosted by the registry")
+        ->Set(static_cast<double>(entries_.size()));
+    metrics_
+        ->GetGauge("voteopt_dataset_generation", {{"dataset", entry->name}},
+                   "Generation stamp of this dataset's current entry "
+                   "(bumps on every re-load under the same name)")
+        ->Set(static_cast<double>(entry->generation));
+  }
   return std::shared_ptr<const DatasetEntry>(entry);
 }
 
@@ -246,6 +303,16 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Unload(
   }
   std::shared_ptr<const DatasetEntry> removed = std::move(it->second);
   entries_.erase(it);
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("voteopt_dataset_unloads_total", {},
+                     "Datasets removed from the registry")
+        ->Increment();
+    metrics_
+        ->GetGauge("voteopt_datasets_hosted", {},
+                   "Datasets currently hosted by the registry")
+        ->Set(static_cast<double>(entries_.size()));
+  }
   return removed;
 }
 

@@ -28,6 +28,7 @@
 #include "core/walk_set.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
+#include "obs/metrics.h"
 #include "opinion/fj_model.h"
 #include "store/sketch_store.h"
 #include "util/status.h"
@@ -161,6 +162,13 @@ class DatasetRegistry {
 
   size_t size() const;
 
+  /// Wires the registry's lifecycle metrics (loads/builds/unloads,
+  /// hosted-dataset and generation gauges, sketch-build timing incl. the
+  /// walks/s gauge and the OOC block counters) into `metrics`. Null (the
+  /// default) disables instrumentation; `metrics` must outlive the
+  /// registry. Set before concurrent use (api::Engine wires it at Open).
+  void set_metrics(obs::Registry* metrics) { metrics_ = metrics; }
+
  private:
   /// Final step shared by Load and Host: generation-stamps the entry and
   /// inserts it under its name (FailedPrecondition when taken).
@@ -170,6 +178,7 @@ class DatasetRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const DatasetEntry>> entries_;
   uint64_t next_generation_ = 1;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace voteopt::api

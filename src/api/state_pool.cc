@@ -48,8 +48,25 @@ const voting::ScoreEvaluator* QueryState::EvaluatorFor(
   return found;
 }
 
+void StatePool::set_metrics(obs::Registry* metrics) {
+  if (metrics == nullptr) {
+    lease_wait_seconds_ = nullptr;
+    states_created_total_ = nullptr;
+    return;
+  }
+  lease_wait_seconds_ = metrics->GetHistogram(
+      "voteopt_state_lease_wait_seconds", {},
+      "Wall seconds a query spends checking a QueryState out of the pool "
+      "(lock wait plus fresh-state construction on a pool miss)");
+  states_created_total_ = metrics->GetCounter(
+      "voteopt_worker_states_total", {},
+      "QueryStates ever constructed (worker-state churn; stays at the "
+      "worker count in steady single-dataset operation)");
+}
+
 StatePool::Lease StatePool::Acquire(
     std::shared_ptr<const DatasetEntry> entry) {
+  WallTimer timer;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++outstanding_[entry->name];
@@ -61,6 +78,9 @@ StatePool::Lease StatePool::Acquire(
         if (pooled == entry->generation) {
           std::unique_ptr<QueryState> state = std::move(states[i]);
           states.erase(states.begin() + static_cast<ptrdiff_t>(i));
+          if (lease_wait_seconds_ != nullptr) {
+            lease_wait_seconds_->Observe(timer.Seconds());
+          }
           return Lease(this, std::move(state));
         }
         // Older generation: the dataset was re-loaded since this state was
@@ -80,6 +100,10 @@ StatePool::Lease StatePool::Acquire(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++states_created_;
+  }
+  if (states_created_total_ != nullptr) states_created_total_->Increment();
+  if (lease_wait_seconds_ != nullptr) {
+    lease_wait_seconds_->Observe(timer.Seconds());
   }
   return Lease(this, std::move(state));
 }

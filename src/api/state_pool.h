@@ -30,6 +30,8 @@
 #include "core/walk_set.h"
 #include "api/lru_cache.h"
 #include "api/registry.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 #include "voting/evaluator.h"
 
 namespace voteopt::api {
@@ -108,10 +110,18 @@ class StatePool {
   /// Total QueryStates ever constructed (telemetry: worker-state churn).
   uint64_t states_created() const;
 
+  /// Wires lease metrics (acquire-wait histogram, state-churn counter)
+  /// into `metrics`, which must outlive the pool. Null disables (the
+  /// default). Set before concurrent use (api::Engine wires it at Open).
+  void set_metrics(obs::Registry* metrics);
+
  private:
   void Release(std::unique_ptr<QueryState> state);
 
   const uint32_t evaluator_cache_capacity_;
+  /// Resolved once by set_metrics — the Acquire hot path just bumps them.
+  obs::Histogram* lease_wait_seconds_ = nullptr;
+  obs::Counter* states_created_total_ = nullptr;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::vector<std::unique_ptr<QueryState>>>
       idle_;

@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+
+namespace voteopt::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Number rendering shared by the text exposition and the snapshot keys:
+/// integers print without a trailing ".0" (what Prometheus scrapers and
+/// the golden codec tests expect), +Inf prints as "+Inf".
+std::string RenderNumber(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // Branchless-enough: bounds are few (tens) and sorted; a linear scan
+  // beats binary search at this size and keeps the path trivially
+  // predictable.
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::LatencyBoundsSeconds() {
+  static const std::vector<double> kBounds = {
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+  return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry::Series* Registry::GetSeries(const std::string& name, Labels&& labels,
+                                      Kind kind, const std::string& help,
+                                      const std::vector<double>& bounds) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = RenderLabels(labels);
+  {
+    // Fast path: the family and series already exist (every call after
+    // the first for a given instrument) — a shared lock and two probes.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto family = families_.find(name);
+    if (family != families_.end()) {
+      auto series = family->second.series.find(key);
+      if (series != family->second.series.end()) return &series->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help;
+    family.bounds =
+        bounds.empty() ? Histogram::LatencyBoundsSeconds() : bounds;
+  } else if (!help.empty() && family.help.empty()) {
+    family.help = help;
+  }
+  Series& series = family.series[key];  // may already exist (lost race)
+  if (series.counter == nullptr && series.gauge == nullptr &&
+      series.histogram == nullptr) {
+    series.labels = std::move(labels);
+    switch (family.kind) {
+      case Kind::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        series.histogram = std::make_unique<Histogram>(family.bounds);
+        break;
+    }
+  }
+  return &series;
+}
+
+Counter* Registry::GetCounter(const std::string& name, Labels labels,
+                              const std::string& help) {
+  return GetSeries(name, std::move(labels), Kind::kCounter, help, {})
+      ->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, Labels labels,
+                          const std::string& help) {
+  return GetSeries(name, std::move(labels), Kind::kGauge, help, {})
+      ->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, Labels labels,
+                                  const std::string& help,
+                                  const std::vector<double>& upper_bounds) {
+  return GetSeries(name, std::move(labels), Kind::kHistogram, help,
+                   upper_bounds)
+      ->histogram.get();
+}
+
+std::string Registry::ToPrometheusText() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out << "# HELP " << name << " " << family.help << "\n";
+    }
+    out << "# TYPE " << name << " "
+        << (family.kind == Kind::kCounter
+                ? "counter"
+                : family.kind == Kind::kGauge ? "gauge" : "histogram")
+        << "\n";
+    for (const auto& [key, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out << name << key << " " << series.counter->Value() << "\n";
+          break;
+        case Kind::kGauge:
+          out << name << key << " " << RenderNumber(series.gauge->Value())
+              << "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          // Prometheus buckets are cumulative and always end at +Inf;
+          // _bucket carries the extra `le` label next to the series' own.
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            cumulative += h.BucketCount(i);
+            Labels with_le = series.labels;
+            with_le.emplace_back(
+                "le", i < h.bounds().size() ? RenderNumber(h.bounds()[i])
+                                            : "+Inf");
+            out << name << "_bucket" << RenderLabels(with_le) << " "
+                << cumulative << "\n";
+          }
+          out << name << "_sum" << key << " " << RenderNumber(h.Sum())
+              << "\n";
+          out << name << "_count" << key << " " << h.Count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::map<std::string, double> Registry::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::map<std::string, double> snapshot;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          snapshot[name + key] =
+              static_cast<double>(series.counter->Value());
+          break;
+        case Kind::kGauge:
+          snapshot[name + key] = series.gauge->Value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          snapshot[name + "_count" + key] =
+              static_cast<double>(h.Count());
+          snapshot[name + "_sum" + key] = h.Sum();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            cumulative += h.BucketCount(i);
+            Labels with_le = series.labels;
+            with_le.emplace_back(
+                "le", i < h.bounds().size() ? RenderNumber(h.bounds()[i])
+                                            : "+Inf");
+            snapshot[name + "_bucket" + RenderLabels(with_le)] =
+                static_cast<double>(cumulative);
+          }
+          break;
+        }
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace voteopt::obs

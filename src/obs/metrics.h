@@ -1,0 +1,159 @@
+// obs::Registry — the dependency-free metrics substrate of the serving
+// stack (ISSUE 7 / ROADMAP item 1: no latency SLO or admission-control
+// work is possible without measurement). Three instrument kinds:
+//
+//  * Counter   — monotonic uint64, lock-free relaxed atomics on the hot
+//                path (one fetch_add per bump);
+//  * Gauge     — a settable double (last-write-wins), same atomics;
+//  * Histogram — fixed upper-bound buckets (cumulative, Prometheus
+//                semantics) plus running sum/count; one relaxed
+//                fetch_add per observation.
+//
+// Instruments live in named FAMILIES, each family holding one series per
+// label set (e.g. voteopt_queries_total{op="topk",dataset="default"}).
+// Looking an instrument up takes a shared lock and a map probe — callers
+// on a hot path should resolve the pointer once and keep it: instrument
+// pointers are STABLE for the registry's lifetime (series are never
+// erased), so a cached Counter* may be bumped forever without touching
+// the registry again.
+//
+// Snapshots render two ways, both deterministic (name-sorted):
+//  * ToPrometheusText() — the text exposition format (# HELP / # TYPE /
+//    series lines), what voteopt_serve's --metrics_out dumps;
+//  * Snapshot() — a flat name{labels} -> value map, what the protocol's
+//    `stats` verb returns (histograms flatten to _count/_sum/_bucket
+//    entries).
+//
+// Everything here is an ADDITIVE side channel: metrics never feed back
+// into query execution, so answers stay bit-identical with metrics on,
+// off, or absent (the determinism ledger in docs/ARCHITECTURE.md).
+// Timing sources must be util/timer.h's WallTimer (steady_clock) — never
+// system_clock, which steps under NTP.
+#ifndef VOTEOPT_OBS_METRICS_H_
+#define VOTEOPT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace voteopt::obs {
+
+/// One series' label set, e.g. {{"op", "topk"}, {"rule", "plurality"}}.
+/// Stored name-sorted so {a=1,b=2} and {b=2,a=1} are the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. All methods are safe to call from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus cumulative-bucket semantics:
+/// bucket i counts observations <= bounds[i], plus an implicit +Inf
+/// bucket. Bounds are fixed at construction; Observe is one relaxed
+/// fetch_add per call (plus sum/count), never a lock.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  /// Latency buckets for query handling times, 100us .. 10s (seconds).
+  static const std::vector<double>& LatencyBoundsSeconds();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Registry {
+ public:
+  /// Looks an instrument up by (family, labels), creating it on first
+  /// use. The returned pointer is stable for the registry's lifetime.
+  /// `help` is recorded on the first call for a family (Prometheus
+  /// # HELP); later calls may pass "".
+  Counter* GetCounter(const std::string& name, Labels labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, Labels labels = {},
+                  const std::string& help = "");
+  /// Histograms of one family share the first caller's bucket bounds.
+  /// Empty `upper_bounds` means Histogram::LatencyBoundsSeconds().
+  Histogram* GetHistogram(const std::string& name, Labels labels = {},
+                          const std::string& help = "",
+                          const std::vector<double>& upper_bounds = {});
+
+  /// Prometheus text exposition format, families name-sorted, series
+  /// label-sorted within a family — byte-deterministic for fixed values.
+  std::string ToPrometheusText() const;
+
+  /// Flat point-in-time snapshot: "name{labels}" -> value, name-sorted.
+  /// Histograms flatten to name_count, name_sum, and cumulative
+  /// name_bucket{le="..."} entries — the `stats` verb's payload.
+  std::map<std::string, double> Snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    /// Keyed by the canonical label rendering; std::map iterates sorted,
+    /// which is what makes snapshots deterministic.
+    std::map<std::string, Series> series;
+  };
+
+  Series* GetSeries(const std::string& name, Labels&& labels, Kind kind,
+                    const std::string& help,
+                    const std::vector<double>& bounds);
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// Canonical label rendering: {op="topk",rule="plurality"} — "" for no
+/// labels. Label values are escaped per the Prometheus text format.
+std::string RenderLabels(const Labels& labels);
+
+}  // namespace voteopt::obs
+
+#endif  // VOTEOPT_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace voteopt::obs {
+
+namespace {
+
+/// Minimal JSON string escaping for the slow-query log (op/dataset/id are
+/// server-controlled or echoed client bytes).
+void AppendEscaped(std::ostringstream* out, const std::string& s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  *out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      case '\r': *out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+void MaybeLogSlowQuery(const std::string& op, const std::string& dataset,
+                       const std::string& id, double total_millis,
+                       double threshold_millis, const Trace& trace) {
+  if (threshold_millis < 0 || total_millis < threshold_millis) return;
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"slow_query\": true, \"op\": ";
+  AppendEscaped(&out, op);
+  if (!dataset.empty()) {
+    out << ", \"dataset\": ";
+    AppendEscaped(&out, dataset);
+  }
+  if (!id.empty()) {
+    out << ", \"id\": ";
+    AppendEscaped(&out, id);
+  }
+  out << ", \"millis\": " << total_millis
+      << ", \"threshold_millis\": " << threshold_millis << ", \"stages\": {";
+  bool first = true;
+  for (const auto& [name, value] : trace.entries()) {
+    out << (first ? "" : ", ");
+    AppendEscaped(&out, name);
+    out << ": " << value;
+    first = false;
+  }
+  out << "}}\n";
+  // One write call per line: concurrent workers must not interleave
+  // fragments, and stderr is unbuffered by default.
+  const std::string line = out.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace voteopt::obs

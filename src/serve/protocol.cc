@@ -282,10 +282,10 @@ Result<Request> ParseRequest(const std::string& line) {
   if (const JsonValue* v = object.Find("v"); v != nullptr) {
     auto parsed_v = AsU32(*v, "v");
     if (!parsed_v.ok()) return parsed_v.status();
-    // v1 and v2 parse identically (v2 is a strict superset); an unknown
-    // major means the client wants semantics this server does not speak,
-    // so fail clean instead of answering something subtly different
-    // (docs/PROTOCOL.md).
+    // v1, v2, and v3 parse identically (each a strict superset of the
+    // last); an unknown major means the client wants semantics this server
+    // does not speak, so fail clean instead of answering something subtly
+    // different (docs/PROTOCOL.md).
     if (*parsed_v == 0 || *parsed_v > api::kProtocolVersion) {
       return Status::InvalidArgument(
           "unsupported protocol version v=" + std::to_string(*parsed_v) +
@@ -314,6 +314,8 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kUnload;
   } else if (op->str == "list") {
     request.op = Request::Op::kList;
+  } else if (op->str == "stats") {
+    request.op = Request::Op::kStats;
   } else {
     return Status::InvalidArgument("unknown op '" + op->str + "'");
   }
@@ -403,6 +405,12 @@ Result<Request> ParseRequest(const std::string& line) {
       request.seeds.push_back(*id);
     }
   }
+  if (const JsonValue* trace = object.Find("trace"); trace != nullptr) {
+    if (trace->type != JsonValue::Type::kBool) {
+      return Status::InvalidArgument("field 'trace' must be a bool");
+    }
+    request.trace = trace->boolean;
+  }
   if (const JsonValue* overrides = object.Find("override");
       overrides != nullptr) {
     if (overrides->type != JsonValue::Type::kArray) {
@@ -489,6 +497,7 @@ std::string RequestToJson(const Request& request) {
     AppendJsonString(&out, request.sketch);
   }
   if (request.theta != 0) out << ", \"theta\": " << request.theta;
+  if (request.trace) out << ", \"trace\": true";
   out << "}";
   return out.str();
 }
@@ -649,6 +658,29 @@ Result<Response> ParseResponse(const std::string& line) {
       response.rule_scores.push_back(std::move(entry));
     }
   }
+  if (const JsonValue* stats = object.Find("stats"); stats != nullptr) {
+    if (stats->type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("field 'stats' must be an object");
+    }
+    for (const auto& [name, value] : stats->fields) {
+      auto number = AsNumber(value, "stats");
+      if (!number.ok()) return number.status();
+      response.stats[name] = *number;
+    }
+  }
+  if (const JsonValue* diagnostics = object.Find("diagnostics");
+      diagnostics != nullptr) {
+    if (diagnostics->type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("field 'diagnostics' must be an object");
+    }
+    for (const auto& [name, value] : diagnostics->fields) {
+      auto number = AsNumber(value, "diagnostics");
+      if (!number.ok()) return number.status();
+      response.diagnostics[name] = *number;
+    }
+    // Only traced responses carry diagnostics on the wire.
+    response.traced = true;
+  }
   if (const JsonValue* datasets = object.Find("datasets");
       datasets != nullptr) {
     if (datasets->type != JsonValue::Type::kArray) {
@@ -788,15 +820,41 @@ std::string Response::ToJson() const {
           << "}";
     }
     out << "]";
+  } else if (op == "stats") {
+    out << ", \"stats\": {";
+    bool first = true;
+    for (const auto& [name, value] : stats) {
+      out << (first ? "" : ", ");
+      AppendJsonString(&out, name);
+      out << ": " << value;
+      first = false;
+    }
+    out << "}";
   }
-  out << ", \"millis\": " << millis << "}";
+  out << ", \"millis\": " << millis;
+  if (traced) {
+    // The traced diagnostics ride BEHIND millis by contract: ToStableJson
+    // strips everything from millis on, so traced and untraced answers
+    // compare byte-identical.
+    out << ", \"diagnostics\": {";
+    bool first = true;
+    for (const auto& [name, value] : diagnostics) {
+      out << (first ? "" : ", ");
+      AppendJsonString(&out, name);
+      out << ": " << value;
+      first = false;
+    }
+    out << "}";
+  }
+  out << "}";
   return out.str();
 }
 
 std::string Response::ToStableJson() const {
   std::string json = ToJson();
-  // millis is always the trailing field when present (error responses
-  // carry none).
+  // millis is always the first field of the volatile tail when present
+  // (error responses carry none); erasing from it to the closing brace
+  // also drops the traced diagnostics block that may follow it.
   const size_t millis_at = json.rfind(", \"millis\": ");
   if (millis_at != std::string::npos) {
     json.erase(millis_at, json.size() - 1 - millis_at);

@@ -17,10 +17,11 @@
 //    "override": [[5, 0.9], [12, 0.1]]}
 //   {"op": "methodcompare", "v": 2, "k": 10, "methods": ["DM", "RS", "DC"]}
 //   {"op": "rulesweep",     "v": 2, "k": 10}
-// Admin verbs (manage the multi-dataset registry; ordering barriers):
+// Admin verbs (manage/inspect the engine; ordering barriers):
 //   {"op": "load",     "dataset": "yelp", "bundle": "/data/yelp"}
 //   {"op": "unload",   "dataset": "yelp"}
 //   {"op": "list"}
+//   {"op": "stats", "v": 3}   — flat metrics snapshot ("name{labels}" -> value)
 // Common optional fields:
 //   "v"       — protocol major version (absent = 1; see api::kProtocolVersion)
 //   "id"      — opaque string echoed into the response (request matching)
@@ -31,6 +32,9 @@
 //   "omega"   — positional weights (descending, in [0,1]) for positional
 //   "method"  — seed-selection method for topk / minseed (default RS;
 //               case-insensitive: DM, RW, RS, IC, LT, GED-T, PR, RWR, DC)
+//   "trace"   — v3: bool; attach per-query stage timings and work counts
+//               as a "diagnostics" object behind "millis" (stripped by
+//               ToStableJson — traced answers stay bit-identical)
 // "override" entries are (user, opinion) pairs applied to the target
 // campaign's initial opinions before scoring — the "supplied campaign
 // state" of an in-flight campaign.

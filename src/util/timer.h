@@ -1,4 +1,7 @@
-// Wall-clock timing for the benchmark harness.
+// Wall-clock timing. The ONE timing source of the codebase: benches, the
+// api engine's per-query handling times, and the obs:: metrics/trace
+// subsystem all read this steady_clock stopwatch — never system_clock,
+// which steps under NTP and would corrupt latency measurements.
 #ifndef VOTEOPT_UTIL_TIMER_H_
 #define VOTEOPT_UTIL_TIMER_H_
 
@@ -24,6 +27,28 @@ class WallTimer {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// Wall seconds of one call — the `timer.Restart(); fn(); timer.Seconds()`
+/// idiom the bench drivers repeat.
+template <typename Fn>
+double TimeSeconds(const Fn& fn) {
+  WallTimer timer;
+  fn();
+  return timer.Seconds();
+}
+
+/// Best-of-N wall seconds of `fn` (side effects of every call are kept;
+/// repeated calls must be deterministic — which the benches' equality
+/// checks enforce anyway). The bench-wide convention for noisy hosts.
+template <typename Fn>
+double BestOfSeconds(int repeats, const Fn& fn) {
+  double best = TimeSeconds(fn);
+  for (int i = 1; i < repeats; ++i) {
+    const double seconds = TimeSeconds(fn);
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
 
 }  // namespace voteopt
 

@@ -301,6 +301,82 @@ TEST_F(ApiEngineTest, UnsupportedVersionFailsCleanly) {
   EXPECT_TRUE((*engine)->Execute(request).ok);
 }
 
+TEST_F(ApiEngineTest, TraceIsAnAdditiveSideChannel) {
+  auto engine = Engine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+
+  // The determinism ledger: a traced request and its untraced twin return
+  // byte-identical stable answers — tracing observes, it never perturbs.
+  for (Request request : Pr4Batch()) {
+    request.trace = false;
+    const Response untraced = (*engine)->Execute(request);
+    request.trace = true;
+    const Response traced = (*engine)->Execute(request);
+    EXPECT_EQ(traced.ToStableJson(), untraced.ToStableJson())
+        << "request " << request.id << " diverged under trace";
+    EXPECT_FALSE(untraced.traced);
+    EXPECT_EQ(untraced.ToJson().find("diagnostics"), std::string::npos);
+    if (traced.ok) {
+      EXPECT_TRUE(traced.traced);
+    }
+  }
+
+  // A traced RS topk reports the stage schema and the work counts.
+  Request topk = Request::TopK(5, voting::ScoreSpec::Cumulative());
+  topk.trace = true;
+  const Response response = (*engine)->Execute(topk);
+  ASSERT_TRUE(response.ok) << response.error;
+  for (const char* stage :
+       {"stage.dispatch_ms", "stage.state_lease_ms", "stage.selection_ms",
+        "stage.evaluation_ms"}) {
+    ASSERT_TRUE(response.diagnostics.count(stage)) << stage;
+    EXPECT_GE(response.diagnostics.at(stage), 0.0) << stage;
+  }
+  EXPECT_TRUE(response.diagnostics.count("work.sketch_resets"));
+  EXPECT_TRUE(response.diagnostics.count("work.gain_evaluations"));
+  // The pre-PR-7 bare spelling stays as an alias for one protocol version.
+  EXPECT_EQ(response.diagnostics.at("gain_evaluations"),
+            response.diagnostics.at("work.gain_evaluations"));
+
+  // A traced minseed reports its selector-call work count.
+  Request minseed = Request::MinSeed(24, voting::ScoreSpec::Cumulative());
+  minseed.trace = true;
+  const Response min_response = (*engine)->Execute(minseed);
+  ASSERT_TRUE(min_response.ok) << min_response.error;
+  EXPECT_EQ(min_response.diagnostics.at("work.selector_calls"),
+            static_cast<double>(min_response.selector_calls));
+}
+
+TEST_F(ApiEngineTest, SlowQueryLogFiresAtThresholdWithStages) {
+  EngineOptions options = Options();
+  options.slow_query_millis = 0.0;  // every query is "slow"
+  auto engine = Engine::Open(options);
+  ASSERT_TRUE(engine.ok());
+
+  ::testing::internal::CaptureStderr();
+  Request request = Request::TopK(3, voting::ScoreSpec::Cumulative());
+  request.id = "slowq";
+  const Response response = (*engine)->Execute(request);
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  ASSERT_TRUE(response.ok) << response.error;
+
+  // One structured line: identity, timing, and the stage breakdown — even
+  // though the client did not opt into wire-level tracing.
+  EXPECT_NE(log.find("\"slow_query\": true"), std::string::npos) << log;
+  EXPECT_NE(log.find("\"op\": \"topk\""), std::string::npos);
+  EXPECT_NE(log.find("\"id\": \"slowq\""), std::string::npos);
+  EXPECT_NE(log.find("\"threshold_millis\": 0"), std::string::npos);
+  EXPECT_NE(log.find("stage.selection_ms"), std::string::npos);
+  EXPECT_FALSE(response.traced);  // the log is not the wire side channel
+
+  // Disarmed (the default -1): silence.
+  auto quiet = Engine::Open(Options());
+  ASSERT_TRUE(quiet.ok());
+  ::testing::internal::CaptureStderr();
+  ASSERT_TRUE((*quiet)->Execute(request).ok);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
 TEST_F(ApiEngineTest, HostsInMemoryDatasetsWithTargetOverride) {
   auto engine = Engine::Open({});  // empty registry, no bootstrap
   ASSERT_TRUE(engine.ok());

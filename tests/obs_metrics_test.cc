@@ -1,0 +1,197 @@
+// Unit coverage for the observability substrate (obs/): instrument
+// semantics, stable-pointer lookups, the two deterministic renderings
+// (Prometheus text / flat snapshot), label canonicalization and escaping,
+// trace span accumulation, and the slow-query log line.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace voteopt::obs {
+namespace {
+
+TEST(MetricsTest, CounterGaugeHistogramSemantics) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("c_total");
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->Value(), 42u);
+
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5);
+  gauge->Add(-0.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.0);
+  gauge->Set(7.0);  // last write wins
+  EXPECT_DOUBLE_EQ(gauge->Value(), 7.0);
+
+  Histogram* histogram =
+      registry.GetHistogram("h_seconds", {}, "", {0.1, 1.0, 10.0});
+  histogram->Observe(0.05);   // bucket 0 (<= 0.1)
+  histogram->Observe(0.1);    // bucket 0 (bounds are inclusive)
+  histogram->Observe(0.5);    // bucket 1
+  histogram->Observe(100.0);  // +Inf bucket
+  EXPECT_EQ(histogram->Count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 100.65);
+  EXPECT_EQ(histogram->BucketCount(0), 2u);
+  EXPECT_EQ(histogram->BucketCount(1), 1u);
+  EXPECT_EQ(histogram->BucketCount(2), 0u);
+  EXPECT_EQ(histogram->BucketCount(3), 1u);  // +Inf
+}
+
+TEST(MetricsTest, LookupsReturnStablePointersAndCanonicalizeLabels) {
+  Registry registry;
+  Counter* a = registry.GetCounter("c", {{"op", "topk"}, {"rule", "borda"}});
+  // Label order does not matter: both spellings name the same series.
+  Counter* b = registry.GetCounter("c", {{"rule", "borda"}, {"op", "topk"}});
+  EXPECT_EQ(a, b);
+  // A different label set is a different series in the same family.
+  Counter* c = registry.GetCounter("c", {{"op", "list"}});
+  EXPECT_NE(a, c);
+  a->Increment(3);
+  c->Increment(1);
+  const auto snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.at(R"(c{op="topk",rule="borda"})"), 3.0);
+  EXPECT_DOUBLE_EQ(snapshot.at(R"(c{op="list"})"), 1.0);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("stress_total");
+  Histogram* histogram = registry.GetHistogram("stress_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(0.001);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram->Count(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, PrometheusTextRendering) {
+  Registry registry;
+  registry.GetCounter("app_requests_total", {{"op", "topk"}}, "Requests")
+      ->Increment(5);
+  registry.GetGauge("app_inflight", {}, "In-flight")->Set(2);
+  Histogram* h = registry.GetHistogram("app_seconds", {{"op", "topk"}},
+                                       "Latency", {0.5, 1.0});
+  h->Observe(0.25);
+  h->Observe(0.75);
+  h->Observe(3.0);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP app_requests_total Requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_requests_total{op=\"topk\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_inflight gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("app_inflight 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE app_seconds histogram\n"), std::string::npos);
+  // Buckets are cumulative, carry `le` next to the series labels, and end
+  // at +Inf; _sum and _count close the series.
+  EXPECT_NE(text.find("app_seconds_bucket{op=\"topk\",le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_seconds_bucket{op=\"topk\",le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_seconds_bucket{op=\"topk\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("app_seconds_sum{op=\"topk\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("app_seconds_count{op=\"topk\"} 3\n"),
+            std::string::npos);
+  // Deterministic: a second render is byte-identical.
+  EXPECT_EQ(registry.ToPrometheusText(), text);
+}
+
+TEST(MetricsTest, LabelValuesAreEscaped) {
+  Registry registry;
+  registry.GetCounter("esc_total", {{"path", "a\\b\"c\nd"}})->Increment();
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find(R"(esc_total{path="a\\b\"c\nd"} 1)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsTest, SnapshotFlattensHistograms) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram("s", {{"op", "x"}}, "", {1.0});
+  h->Observe(0.5);
+  h->Observe(2.0);
+  const auto snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.at(R"(s_count{op="x"})"), 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.at(R"(s_sum{op="x"})"), 2.5);
+  EXPECT_DOUBLE_EQ(snapshot.at(R"(s_bucket{op="x",le="1"})"), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.at(R"(s_bucket{op="x",le="+Inf"})"), 2.0);
+}
+
+TEST(TraceTest, SpansAccumulateUnderTheStageSchema) {
+  Trace trace(/*enabled=*/true);
+  {
+    Trace::Span span(&trace, "selection");
+  }
+  {
+    // A second entry for the same stage accumulates, never overwrites.
+    Trace::Span span(&trace, "selection");
+    span.Stop();
+    span.Stop();  // idempotent
+  }
+  trace.AddStageMillis("parse", 1.5);
+  trace.AddWork("gain_evaluations", 100);
+  trace.AddWork("gain_evaluations", 20);
+  const auto& entries = trace.entries();
+  ASSERT_TRUE(entries.count("stage.selection_ms"));
+  EXPECT_GE(entries.at("stage.selection_ms"), 0.0);
+  EXPECT_DOUBLE_EQ(entries.at("stage.parse_ms"), 1.5);
+  EXPECT_DOUBLE_EQ(entries.at("work.gain_evaluations"), 120.0);
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothing) {
+  Trace trace;  // disabled by default
+  EXPECT_FALSE(trace.enabled());
+  Trace::Span span(&trace, "selection");
+  span.Stop();
+  trace.AddStageMillis("parse", 1.0);
+  trace.AddWork("w", 1);
+  EXPECT_TRUE(trace.entries().empty());
+}
+
+TEST(TraceTest, SlowQueryLogLineFormat) {
+  Trace trace(/*enabled=*/true);
+  trace.AddStageMillis("selection", 12.5);
+  trace.AddWork("gain_evaluations", 64);
+
+  ::testing::internal::CaptureStderr();
+  MaybeLogSlowQuery("topk", "yelp", "q7", /*total_millis=*/18.25,
+                    /*threshold_millis=*/5.0, trace);
+  const std::string line = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(line.find("\"slow_query\": true"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"op\": \"topk\""), std::string::npos);
+  EXPECT_NE(line.find("\"dataset\": \"yelp\""), std::string::npos);
+  EXPECT_NE(line.find("\"id\": \"q7\""), std::string::npos);
+  EXPECT_NE(line.find("\"millis\": 18.25"), std::string::npos);
+  EXPECT_NE(line.find("\"stage.selection_ms\": 12.5"), std::string::npos);
+  EXPECT_NE(line.find("\"work.gain_evaluations\": 64"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+
+  // Below threshold or disarmed (< 0): silence.
+  ::testing::internal::CaptureStderr();
+  MaybeLogSlowQuery("topk", "yelp", "q7", 2.0, 5.0, trace);
+  MaybeLogSlowQuery("topk", "yelp", "q7", 1e9, -1.0, trace);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace voteopt::obs

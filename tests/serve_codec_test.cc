@@ -228,6 +228,87 @@ TEST(ResponseRoundTripTest, AdminAndErrorShapes) {
 }
 
 // ---------------------------------------------------------------------------
+// v3 observability: the stats verb and the trace side channel.
+// ---------------------------------------------------------------------------
+
+TEST(ObservabilityCodecTest, StatsVerbRoundTrips) {
+  // Request side: stats is a v3 verb; the canonical form keeps the version.
+  auto request = ParseRequest(R"({"op": "stats", "v": 3})");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->op, Request::Op::kStats);
+  EXPECT_TRUE(IsAdminOp(request->op)) << "stats must be an ordering barrier";
+  const std::string canonical = RequestToJson(*request);
+  EXPECT_EQ(canonical, R"({"op": "stats", "v": 3})");
+  EXPECT_EQ(Canonical(canonical), canonical);
+
+  // Response side: the flat "name{labels}" -> value snapshot survives the
+  // wire, including Prometheus-style label punctuation inside key names.
+  Response stats;
+  stats.op = "stats";
+  stats.id = "s1";
+  stats.stats[R"(voteopt_queries_total{method="RS",op="topk"})"] = 41;
+  stats.stats["voteopt_datasets_hosted"] = 2;
+  stats.stats["voteopt_query_seconds_sum{op=\"topk\"}"] = 0.125;
+  stats.millis = 0.5;
+  const std::string json = stats.ToJson();
+  EXPECT_EQ(ReEncode(json), json);
+  auto parsed = ParseResponse(json);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->stats.size(), 3u);
+  EXPECT_DOUBLE_EQ(
+      parsed->stats.at(R"(voteopt_queries_total{method="RS",op="topk"})"), 41);
+  EXPECT_DOUBLE_EQ(parsed->stats.at("voteopt_datasets_hosted"), 2);
+}
+
+TEST(ObservabilityCodecTest, TraceFieldRoundTrips) {
+  // "trace": true survives parse -> encode -> parse; false is the default
+  // and therefore omitted from the canonical form.
+  auto traced = ParseRequest(R"({"op": "topk", "v": 3, "k": 2, "trace": true})");
+  ASSERT_TRUE(traced.ok());
+  EXPECT_TRUE(traced->trace);
+  const std::string canonical = RequestToJson(*traced);
+  EXPECT_NE(canonical.find("\"trace\": true"), std::string::npos);
+  EXPECT_EQ(Canonical(canonical), canonical);
+  auto untraced = ParseRequest(R"({"op": "topk", "k": 2, "trace": false})");
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_FALSE(untraced->trace);
+  EXPECT_EQ(RequestToJson(*untraced).find("trace"), std::string::npos);
+  // Ill-typed trace is rejected, not coerced.
+  EXPECT_FALSE(ParseRequest(R"({"op": "topk", "trace": 1})").ok());
+}
+
+TEST(ObservabilityCodecTest, TracedDiagnosticsRideBehindMillis) {
+  Response response;
+  response.op = "topk";
+  response.dataset = "d";
+  response.seeds = {7, 9};
+  response.estimated_score = 4.5;
+  response.exact_score = 4.25;
+  response.millis = 1.5;
+  const std::string untraced_stable = response.ToStableJson();
+
+  response.traced = true;
+  response.diagnostics["stage.selection_ms"] = 1.25;
+  response.diagnostics["work.gain_evaluations"] = 120;
+  const std::string json = response.ToJson();
+  // Diagnostics serialize AFTER millis so the stable projection strips
+  // both volatile fields in one motion.
+  EXPECT_LT(json.find("\"millis\""), json.find("\"diagnostics\""));
+  EXPECT_EQ(ReEncode(json), json);
+  auto parsed = ParseResponse(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->traced);
+  EXPECT_DOUBLE_EQ(parsed->diagnostics.at("stage.selection_ms"), 1.25);
+  EXPECT_DOUBLE_EQ(parsed->diagnostics.at("work.gain_evaluations"), 120);
+
+  // The determinism ledger: traced and untraced answers share one stable
+  // form, and trace payloads never leak into it.
+  EXPECT_EQ(response.ToStableJson(), untraced_stable);
+  EXPECT_EQ(response.ToStableJson().find("diagnostics"), std::string::npos);
+  EXPECT_EQ(response.ToStableJson().find("millis"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Error vocabulary: what the codec must reject.
 // ---------------------------------------------------------------------------
 
@@ -235,7 +316,8 @@ TEST(CodecErrorTest, VersionNegotiation) {
   EXPECT_EQ(ParseRequest(R"({"op": "topk", "k": 1})")->v, 1u);
   EXPECT_EQ(ParseRequest(R"({"op": "topk", "v": 1, "k": 1})")->v, 1u);
   EXPECT_EQ(ParseRequest(R"({"op": "topk", "v": 2, "k": 1})")->v, 2u);
-  const auto future = ParseRequest(R"({"op": "topk", "v": 3, "k": 1})");
+  EXPECT_EQ(ParseRequest(R"({"op": "topk", "v": 3, "k": 1})")->v, 3u);
+  const auto future = ParseRequest(R"({"op": "topk", "v": 4, "k": 1})");
   ASSERT_FALSE(future.ok());
   EXPECT_EQ(future.status().code(), Status::Code::kInvalidArgument);
   EXPECT_NE(future.status().message().find("unsupported protocol version"),
@@ -247,7 +329,7 @@ TEST(CodecErrorTest, VersionNegotiation) {
   // verb this server has never heard of gets the version diagnostic (so
   // the client learns what to downgrade to), not "unknown op".
   const auto future_verb =
-      ParseRequest(R"({"op": "somenewverb", "v": 3, "x": 1})");
+      ParseRequest(R"({"op": "somenewverb", "v": 4, "x": 1})");
   ASSERT_FALSE(future_verb.ok());
   EXPECT_NE(
       future_verb.status().message().find("unsupported protocol version"),

@@ -169,6 +169,65 @@ TEST_F(ServeConcurrencyTest, ConcurrentClientsMatchSerialExecution) {
   EXPECT_LE(stats.worker_states, kClients);
 }
 
+TEST_F(ServeConcurrencyTest, StatsCountersAreExactUnderConcurrentStress) {
+  auto service = CampaignService::Open(OptionsFor(prefix_a_, 4));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  // Four client threads each fire the mixed batch (which includes one
+  // deliberately invalid request) several times, concurrently.
+  const std::vector<Request> batch = MixedBatch();
+  constexpr size_t kClients = 4;
+  constexpr size_t kRounds = 2;
+  {
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        for (size_t round = 0; round < kRounds; ++round) {
+          (*service)->HandleBatch(batch);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  const size_t issued = kClients * kRounds * batch.size();
+  const size_t bad = kClients * kRounds;  // one invalid request per batch
+
+  // The stats verb is an admin barrier, so after the joins its counters
+  // are EXACT, not approximate: relaxed atomics still sum correctly.
+  Request stats_request;
+  stats_request.op = Request::Op::kStats;
+  stats_request.v = 3;
+  const Response stats = (*service)->Handle(stats_request);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  double queries_total = 0, errors_total = 0, batches = 0;
+  for (const auto& [name, value] : stats.stats) {
+    if (name.rfind("voteopt_queries_total", 0) == 0) queries_total += value;
+    if (name.rfind("voteopt_errors_total", 0) == 0) errors_total += value;
+    if (name.rfind("voteopt_batch_requests_count", 0) == 0) batches += value;
+  }
+  EXPECT_EQ(queries_total, static_cast<double>(issued));
+  EXPECT_EQ(errors_total, static_cast<double>(bad));
+  EXPECT_EQ(batches, static_cast<double>(kClients * kRounds));
+  EXPECT_EQ(stats.stats.at("voteopt_batch_inflight"), 0.0);
+  // engine_queries_total includes the stats request itself (counted on
+  // entry); the voteopt_queries_total family does not (its increment runs
+  // after dispatch, i.e. after the snapshot was taken).
+  EXPECT_EQ(stats.stats.at("engine_queries_total"),
+            static_cast<double>(issued + 1));
+  EXPECT_EQ(stats.stats.at("engine_errors_total"), static_cast<double>(bad));
+
+  // The metric counters and the engine's core atomics agree exactly.
+  const auto engine_stats = (*service)->stats();
+  EXPECT_EQ(stats.stats.at("voteopt_evaluator_cache_hits_total"),
+            static_cast<double>(engine_stats.evaluator_cache_hits));
+  EXPECT_EQ(stats.stats.at("voteopt_evaluator_cache_misses_total"),
+            static_cast<double>(engine_stats.evaluator_cache_misses));
+  EXPECT_EQ(stats.stats.at("voteopt_sketch_resets_total"),
+            static_cast<double>(engine_stats.sketch_resets));
+  EXPECT_EQ(stats.stats.at("voteopt_worker_states_total"),
+            static_cast<double>(engine_stats.worker_states));
+}
+
 TEST_F(ServeConcurrencyTest, AdminVerbsAreBatchOrderingBarriers) {
   auto service = CampaignService::Open(OptionsFor(prefix_a_, 4));
   ASSERT_TRUE(service.ok());

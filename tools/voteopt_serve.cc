@@ -26,6 +26,7 @@
 //       {"op": "methodcompare", "v": 2, "k": 10, "dataset": "default"}
 //       {"op": "rulesweep", "v": 2, "k": 10, "dataset": "dblp"}
 //       {"op": "list"}
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -36,6 +37,7 @@
 #include "datasets/synthetic.h"
 #include "serve/protocol.h"
 #include "util/options.h"
+#include "util/timer.h"
 
 using namespace voteopt;
 
@@ -44,7 +46,7 @@ namespace {
 constexpr char kUsage[] = R"(usage: voteopt_serve [flags]
 
 Serves topk / minseed / evaluate / methodcompare / rulesweep and the
-load / unload / list admin verbs (newline-delimited JSON; see
+load / unload / list / stats admin verbs (newline-delimited JSON; see
 docs/PROTOCOL.md) against one or more hosted dataset bundles and their
 persisted sketches. Every request dispatches through api::Engine, the same
 code path embedded C++ callers use.
@@ -87,7 +89,31 @@ Serving:
   --requests=<path|->    request file (default "-": stdin)
   --out=<path|->         response file (default "-": stdout)
   --help                 print this message and exit
+
+Observability (docs/OBSERVABILITY.md):
+  --metrics=0|1          record engine/registry/state-pool metrics
+                         (default 1; answers are bit-identical either way)
+  --metrics_out=<path>   dump the metrics registry in Prometheus text
+                         exposition format to <path> (written atomically,
+                         temp + rename) every --metrics_interval_sec while
+                         serving and once more at exit
+  --metrics_interval_sec=<N>  dump period in seconds (default 60)
+  --slow_query_ms=<N>    slow-query log: a query whose handling time
+                         reaches N ms emits one structured JSON line to
+                         stderr with its stage timings (default -1 = off)
 )";
+
+/// Atomic metrics dump: a scraper never reads a torn file.
+bool DumpMetricsFile(const std::string& path, const std::string& text) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::trunc);
+    if (!file) return false;
+    file << text;
+    if (!file) return false;
+  }
+  return std::rename(tmp_path.c_str(), path.c_str()) == 0;
+}
 
 }  // namespace
 
@@ -136,6 +162,9 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(options.GetInt("threads", 1));
   engine_options.evaluator_cache_capacity = static_cast<uint32_t>(
       options.GetInt("cache", engine_options.evaluator_cache_capacity));
+  engine_options.enable_metrics = options.GetBool("metrics", true);
+  engine_options.slow_query_millis =
+      static_cast<double>(options.GetInt("slow_query_ms", -1));
 
   auto engine = api::Engine::Open(engine_options);
   if (!engine.ok()) {
@@ -207,6 +236,32 @@ int main(int argc, char** argv) {
   }
   std::ostream& out = out_path == "-" ? std::cout : out_file;
 
+  // Observability wiring: the transport owns the stages the engine cannot
+  // see — wire parse (handed to the engine's trace via parse_millis) and
+  // response serialization (metrics-only: the response bytes are final by
+  // then) — plus the periodic Prometheus dump.
+  const std::string metrics_out = options.GetString("metrics_out", "");
+  const double metrics_interval_sec =
+      static_cast<double>(options.GetInt("metrics_interval_sec", 60));
+  obs::Registry& metrics = (*engine)->metrics();
+  obs::Histogram* parse_seconds = nullptr;
+  obs::Histogram* serialize_seconds = nullptr;
+  if (engine_options.enable_metrics) {
+    parse_seconds = metrics.GetHistogram(
+        "voteopt_parse_seconds", {},
+        "Wall seconds parsing one request line into its typed form");
+    serialize_seconds = metrics.GetHistogram(
+        "voteopt_serialize_seconds", {},
+        "Wall seconds rendering one dispatch window's responses to JSON");
+  }
+  WallTimer since_dump;
+  auto dump_metrics = [&] {
+    if (metrics_out.empty()) return;
+    if (!DumpMetricsFile(metrics_out, metrics.ToPrometheusText())) {
+      std::cerr << "cannot write metrics to " << metrics_out << "\n";
+    }
+  };
+
   // Requests are read into a dispatch window and answered as one parallel
   // batch; responses are emitted in request order, with lines that failed
   // to parse answered in place. On stdin the window defaults to 1 so a
@@ -227,21 +282,35 @@ int main(int argc, char** argv) {
       if (slot.parsed) requests.push_back(slot.request);
     }
     std::vector<api::Response> answers = (*engine)->ExecuteBatch(requests);
+    WallTimer serialize_timer;
     size_t next = 0;
     for (const Slot& slot : window) {
       out << (slot.parsed ? answers[next++] : slot.error).ToJson() << "\n";
     }
+    if (serialize_seconds != nullptr) {
+      serialize_seconds->Observe(serialize_timer.Seconds());
+    }
     window.clear();
+    if (!metrics_out.empty() && since_dump.Seconds() >= metrics_interval_sec) {
+      dump_metrics();
+      since_dump.Restart();
+    }
   };
 
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     Slot slot;
+    WallTimer parse_timer;
     auto request = serve::ParseRequest(line);
+    const double parse_millis = parse_timer.Millis();
+    if (parse_seconds != nullptr) {
+      parse_seconds->Observe(parse_millis * 1e-3);
+    }
     if (request.ok()) {
       slot.parsed = true;
       slot.request = *request;
+      slot.request.parse_millis = parse_millis;
     } else {
       slot.error.op = "?";
       slot.error.ok = false;
@@ -254,6 +323,7 @@ int main(int argc, char** argv) {
     }
   }
   flush();
+  dump_metrics();
 
   const auto stats = (*engine)->stats();
   std::cerr << "served " << stats.queries << " requests (" << stats.errors
