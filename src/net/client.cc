@@ -1,0 +1,131 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace voteopt::net {
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_),
+      rbuf_(std::move(other.rbuf_)),
+      consumed_(other.consumed_) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rbuf_ = std::move(other.rbuf_);
+    consumed_ = other.consumed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status BlockingClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    Close();
+    return Status::Internal("connect " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  rbuf_.clear();
+  consumed_ = 0;
+  return Status::OK();
+}
+
+Status BlockingClient::SendBytes(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status BlockingClient::SendLine(const std::string& line) {
+  return SendBytes(line + "\n");
+}
+
+Status BlockingClient::ReadLine(std::string* line, int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (true) {
+    const size_t newline = rbuf_.find('\n', consumed_);
+    if (newline != std::string::npos) {
+      size_t end = newline;
+      if (end > consumed_ && rbuf_[end - 1] == '\r') --end;
+      line->assign(rbuf_, consumed_, end - consumed_);
+      consumed_ = newline + 1;
+      if (consumed_ >= rbuf_.size()) {
+        rbuf_.clear();
+        consumed_ = 0;
+      }
+      return Status::OK();
+    }
+    if (timeout_ms > 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0 && errno != EINTR) {
+        return Status::Internal(std::string("poll: ") + std::strerror(errno));
+      }
+      if (ready == 0) {
+        return Status::Internal("read timeout after " +
+                                std::to_string(timeout_ms) + "ms");
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::Internal("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    rbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void BlockingClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  consumed_ = 0;
+}
+
+}  // namespace voteopt::net

@@ -1,0 +1,58 @@
+// net::BlockingClient — a deliberately simple synchronous TCP client for
+// the newline-JSON protocol. This is the test-and-bench side of the
+// socket stack: serve_net_test splits requests at every byte boundary,
+// serve_net_fault_test half-sends and disconnects, bench_serve drives
+// open-loop load — all through this class, so its primitives are
+// byte-level (SendBytes) rather than request-level.
+//
+// Not a production client: one blocking socket, no reconnects, no TLS.
+#ifndef VOTEOPT_NET_CLIENT_H_
+#define VOTEOPT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace voteopt::net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes the raw bytes as-is (no terminator added). The fault tests
+  /// use this to send partial frames.
+  Status SendBytes(const std::string& bytes);
+
+  /// Writes `line` + '\n'.
+  Status SendLine(const std::string& line);
+
+  /// Reads until one full line (without the trailing '\n') is available.
+  /// Fails on EOF, on socket error, or when no byte arrives within
+  /// `timeout_ms` (0 waits forever).
+  Status ReadLine(std::string* line, int timeout_ms = 10000);
+
+  /// Half-close: no more requests, but responses can still be read. The
+  /// server answers everything in flight, then closes.
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace voteopt::net
+
+#endif  // VOTEOPT_NET_CLIENT_H_

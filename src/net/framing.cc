@@ -1,0 +1,45 @@
+#include "net/framing.h"
+
+#include <algorithm>
+
+namespace voteopt::net {
+
+void LineFramer::Append(const char* data, size_t size) {
+  if (overflowed_) return;
+  // Compact once the consumed prefix dominates, so a long-lived pipelined
+  // connection doesn't grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+bool LineFramer::NextLine(std::string* line) {
+  if (overflowed_) return false;
+  // The overflow check lives HERE, not in Append, so it fires in line
+  // order: valid requests that arrived in the same read as an oversized
+  // one are still extracted and answered before the connection is
+  // condemned. Memory stays bounded because the caller drains lines after
+  // every append — the buffer never holds more than one over-cap partial
+  // plus one read chunk.
+  const size_t newline = buffer_.find('\n', consumed_);
+  if (newline == std::string::npos) {
+    if (max_line_bytes_ > 0 &&
+        buffer_.size() - consumed_ > max_line_bytes_) {
+      overflowed_ = true;
+    }
+    return false;
+  }
+  if (max_line_bytes_ > 0 && newline - consumed_ > max_line_bytes_) {
+    overflowed_ = true;
+    return false;
+  }
+  size_t end = newline;
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+  line->assign(buffer_, consumed_, end - consumed_);
+  consumed_ = newline + 1;
+  return true;
+}
+
+}  // namespace voteopt::net

@@ -1,0 +1,62 @@
+// net::LineFramer — incremental newline framing for the TCP front end.
+// The wire protocol over a socket is the SAME newline-delimited JSON the
+// stdin path reads (docs/PROTOCOL.md): one request object per '\n'; the
+// framer's only jobs are reassembling lines from arbitrarily split reads
+// (a request may arrive one byte at a time) and bounding the memory one
+// connection can pin (an unterminated line longer than `max_line_bytes`
+// is an OVERFLOW — the connection cannot be resynchronized, because the
+// byte that would end the oversized line is indistinguishable from the
+// byte that starts the next request, so the server answers with a clean
+// error and drops the connection).
+//
+// Not thread-safe: one framer belongs to one connection, owned by the
+// I/O thread.
+#ifndef VOTEOPT_NET_FRAMING_H_
+#define VOTEOPT_NET_FRAMING_H_
+
+#include <cstddef>
+#include <string>
+
+namespace voteopt::net {
+
+class LineFramer {
+ public:
+  /// `max_line_bytes` caps one request line (terminator excluded);
+  /// 0 means unlimited.
+  explicit LineFramer(size_t max_line_bytes = 0)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends freshly read bytes. Safe to call with any split of the
+  /// stream, including one byte at a time. No-op once overflowed.
+  void Append(const char* data, size_t size);
+
+  /// Extracts the next complete line (terminator stripped; a trailing
+  /// '\r' before the '\n' is stripped too, so `printf '...\r\n'` clients
+  /// work). Returns false when no complete line is buffered — or when the
+  /// next line (complete or still partial) exceeds max_line_bytes, which
+  /// sets overflowed(). The check runs in line order: lines buffered
+  /// ahead of an oversized one are still returned first.
+  bool NextLine(std::string* line);
+
+  /// True once a line exceeded max_line_bytes. Terminal: the caller must
+  /// drop the connection (the framer discards further input). Check after
+  /// every NextLine drain.
+  bool overflowed() const { return overflowed_; }
+
+  /// Bytes buffered toward a not-yet-terminated line.
+  size_t partial_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True when a started-but-unterminated request is pending — what the
+  /// read timeout (slow-loris defense) is measured against.
+  bool has_partial() const { return partial_bytes() > 0; }
+
+ private:
+  const size_t max_line_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // bytes of buffer_ already returned as lines
+  bool overflowed_ = false;
+};
+
+}  // namespace voteopt::net
+
+#endif  // VOTEOPT_NET_FRAMING_H_

@@ -1,0 +1,514 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.h"
+#include "util/timer.h"
+
+namespace voteopt::net {
+
+namespace {
+
+// epoll user-data ids for the two non-connection descriptors; connection
+// ids start above them and are never reused.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = 1;
+constexpr uint64_t kFirstConnId = 2;
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+std::string ParseErrorLine(const Status& status) {
+  // Mirrors the stdin path exactly: a line that never parsed answers with
+  // op "?" (it never reached the engine), same rendering, same bytes.
+  api::Response response;
+  response.op = "?";
+  response.ok = false;
+  response.error = status.ToString();
+  return response.ToJson();
+}
+
+}  // namespace
+
+Server::Server(api::Engine* engine, const ServerOptions& options)
+    : engine_(engine), options_(options), next_conn_id_(kFirstConnId) {
+  mx_ = options_.batch.metrics;
+  if (mx_ == nullptr) return;
+  m_accepted_ = mx_->GetCounter("net_accepted_total", {},
+                                "TCP connections accepted");
+  m_accept_rejected_ = mx_->GetCounter(
+      "net_accept_rejected_total", {},
+      "Connections refused at accept because max_connections was reached");
+  m_active_ = mx_->GetGauge("net_connections_active", {},
+                            "Currently open TCP connections");
+  m_requests_ = mx_->GetCounter(
+      "net_requests_total", {},
+      "Request lines parsed successfully off sockets (admitted + shed)");
+  m_responses_ = mx_->GetCounter(
+      "net_responses_total", {},
+      "Response lines appended to connection write buffers");
+  m_parse_errors_ = mx_->GetCounter(
+      "net_parse_errors_total", {},
+      "Request lines that failed to parse (answered with op \"?\")");
+  m_shed_ = mx_->GetCounter(
+      "net_shed_total", {},
+      "Requests refused at admission with an Overloaded response");
+  m_read_timeouts_ = mx_->GetCounter(
+      "net_read_timeouts_total", {},
+      "Connections closed because a partial request line outlived the "
+      "read timeout (slow-loris defense)");
+  m_oversized_ = mx_->GetCounter(
+      "net_oversized_lines_total", {},
+      "Connections dropped for exceeding max_line_bytes on one request "
+      "line");
+  m_bytes_read_ = mx_->GetCounter("net_bytes_read_total", {},
+                                  "Bytes read off client sockets");
+  m_bytes_written_ = mx_->GetCounter("net_bytes_written_total", {},
+                                     "Bytes written to client sockets");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host '" + options_.host +
+                                   "' (expected an IPv4 address)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = Status::IOError(
+        "bind " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status status =
+        Status::IOError(std::string("epoll/eventfd: ") +
+                        std::strerror(errno));
+    Stop();
+    return status;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  batcher_ = std::make_unique<Batcher>(
+      engine_, options_.batch,
+      [this](uint64_t conn_id, uint64_t seq, std::string line) {
+        Deliver(conn_id, seq, std::move(line));
+      });
+
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (started_.exchange(false)) {
+    stop_ = true;
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    if (io_thread_.joinable()) io_thread_.join();
+    // Executors may still be delivering; depositing into a still-mapped
+    // connection is harmless (never flushed), so drain them before the
+    // table and descriptors go away.
+    if (batcher_ != nullptr) batcher_->Stop();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      for (auto& [id, conn] : conns_) ::close(conn->fd);
+      conns_.clear();
+    }
+    if (m_active_ != nullptr) m_active_->Set(0);
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  return conns_.size();
+}
+
+void Server::IoLoop() {
+  epoll_event events[64];
+  while (!stop_) {
+    const int timeout_ms = SweepTimeouts();
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n && !stop_; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenId) {
+        AcceptAll();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        std::vector<uint64_t> flush;
+        {
+          std::lock_guard<std::mutex> lock(pending_mutex_);
+          flush.swap(pending_flush_);
+        }
+        for (const uint64_t conn_id : flush) {
+          std::shared_ptr<Conn> conn;
+          {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            const auto it = conns_.find(conn_id);
+            if (it != conns_.end()) conn = it->second;
+          }
+          if (conn != nullptr) FlushConn(conn);
+        }
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        const auto it = conns_.find(id);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn == nullptr) continue;  // closed earlier in this batch
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(conn);
+      }
+      if (events[i].events & EPOLLOUT) {
+        // The read path may have closed the connection; re-resolve.
+        std::shared_ptr<Conn> still_open;
+        {
+          std::lock_guard<std::mutex> lock(conns_mutex_);
+          const auto it = conns_.find(id);
+          if (it != conns_.end()) still_open = it->second;
+        }
+        if (still_open != nullptr) HandleWritable(still_open);
+      }
+    }
+  }
+}
+
+void Server::AcceptAll() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      active = conns_.size();
+    }
+    if (active >= options_.max_connections) {
+      // Counted before the close so the increment is visible by the time
+      // a client observes the EOF. Best-effort shed line so a
+      // well-behaved client learns why; a short write just means the
+      // client sees a bare close instead.
+      if (m_accept_rejected_ != nullptr) m_accept_rejected_->Increment();
+      static const std::string kReject =
+          ParseErrorLine(Status::Overloaded("connection limit reached")) +
+          "\n";
+      (void)::send(fd, kReject.data(), kReject.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(options_.max_line_bytes);
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conn->id = next_conn_id_++;
+      conns_.emplace(conn->id, conn);
+      if (m_active_ != nullptr) {
+        m_active_->Set(static_cast<double>(conns_.size()));
+      }
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (m_accepted_ != nullptr) m_accepted_->Increment();
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  char buf[kReadChunk];
+  bool eof = false;
+  while (!conn->close_after_flush) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (m_bytes_read_ != nullptr) {
+        m_bytes_read_->Increment(static_cast<uint64_t>(n));
+      }
+      conn->framer.Append(buf, static_cast<size_t>(n));
+      DrainLines(conn);
+      // Overflow is detected in line order, so everything the client sent
+      // before the oversized line was just answered normally.
+      if (conn->framer.overflowed()) {
+        if (m_oversized_ != nullptr) m_oversized_->Increment();
+        const uint64_t seq = conn->next_seq++;
+        Deliver(conn->id, seq,
+                ParseErrorLine(Status::InvalidArgument(
+                    "request line exceeds " +
+                    std::to_string(options_.max_line_bytes) +
+                    " bytes; closing connection (framing cannot be "
+                    "resynchronized)")));
+        conn->close_after_flush = true;
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn->id, "error");
+    return;
+  }
+  // The slow-loris clock starts when a partial request is pending and
+  // stops the moment the line completes. A connection already condemned
+  // for an oversized line just waits for its error flush.
+  if (conn->framer.has_partial() && !conn->close_after_flush) {
+    if (conn->partial_since == std::chrono::steady_clock::time_point{}) {
+      conn->partial_since = std::chrono::steady_clock::now();
+    }
+  } else {
+    conn->partial_since = {};
+  }
+  if (eof) {
+    conn->read_closed = true;
+    FlushConn(conn);  // may close now if nothing is pending
+  }
+}
+
+void Server::DrainLines(const std::shared_ptr<Conn>& conn) {
+  std::string line;
+  while (conn->framer.NextLine(&line)) {
+    if (line.empty() || line[0] == '#') continue;  // same as the stdin path
+    WallTimer parse_timer;
+    auto request = serve::ParseRequest(line);
+    const double parse_millis = parse_timer.Millis();
+    const uint64_t seq = conn->next_seq++;
+    if (!request.ok()) {
+      if (m_parse_errors_ != nullptr) m_parse_errors_->Increment();
+      Deliver(conn->id, seq, ParseErrorLine(request.status()));
+      continue;
+    }
+    if (m_requests_ != nullptr) m_requests_->Increment();
+    Batcher::Ticket ticket;
+    ticket.conn_id = conn->id;
+    ticket.seq = seq;
+    ticket.request = *request;  // keep *request intact for the shed path
+    ticket.request.parse_millis = parse_millis;
+    if (!batcher_->Submit(std::move(ticket))) {
+      if (m_shed_ != nullptr) m_shed_->Increment();
+      Deliver(conn->id, seq,
+              api::Response::Error(
+                  *request,
+                  Status::Overloaded(
+                      "admission queue" +
+                      (api::IsAdminOp(request->op)
+                           ? std::string(" (admin)")
+                           : " for dataset '" + request->dataset + "'") +
+                      " is full (depth " +
+                      std::to_string(options_.batch.queue_depth) +
+                      "); shed, retry later"))
+                  .ToJson());
+    }
+  }
+}
+
+void Server::Deliver(uint64_t conn_id, uint64_t seq, std::string line) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // client went away mid-request
+    conn = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->ready.emplace(seq, std::move(line));
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_flush_.push_back(conn_id);
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::FlushConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    auto it = conn->ready.begin();
+    while (it != conn->ready.end() && it->first == conn->next_deliver) {
+      conn->wbuf += it->second;
+      conn->wbuf += '\n';
+      it = conn->ready.erase(it);
+      ++conn->next_deliver;
+      if (m_responses_ != nullptr) m_responses_->Increment();
+    }
+  }
+  while (conn->woff < conn->wbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->wbuf.data() + conn->woff,
+               conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->woff += static_cast<size_t>(n);
+      if (m_bytes_written_ != nullptr) {
+        m_bytes_written_->Increment(static_cast<uint64_t>(n));
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        UpdateEpollInterest(*conn);
+      }
+      break;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn->id, "error");
+    return;
+  }
+  if (conn->woff == conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->woff = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      UpdateEpollInterest(*conn);
+    }
+    // Both terminal states wait for every assigned sequence to be
+    // answered AND flushed — an in-flight engine answer older than the
+    // condemning line must still reach the client first.
+    if ((conn->close_after_flush || conn->read_closed) &&
+        conn->next_deliver == conn->next_seq) {
+      CloseConn(conn->id, conn->close_after_flush ? "oversized" : "eof");
+      return;
+    }
+  } else if (conn->woff > 0 && conn->woff >= conn->wbuf.size() / 2) {
+    conn->wbuf.erase(0, conn->woff);
+    conn->woff = 0;
+  }
+  if (conn->wbuf.size() - conn->woff > options_.max_write_buffer_bytes) {
+    CloseConn(conn->id, "backpressure");
+  }
+}
+
+void Server::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  FlushConn(conn);
+}
+
+void Server::UpdateEpollInterest(Conn& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void Server::CloseConn(uint64_t conn_id, const char* reason) {
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    conn = it->second;
+    conns_.erase(it);
+    if (m_active_ != nullptr) {
+      m_active_->Set(static_cast<double>(conns_.size()));
+    }
+  }
+  ::close(conn->fd);  // the kernel drops it from the epoll set
+  conn->fd = -1;
+  if (mx_ != nullptr) {
+    mx_->GetCounter("net_disconnects_total", {{"reason", reason}},
+                    "Connections closed, by cause (eof / timeout / "
+                    "oversized / backpressure / error)")
+        ->Increment();
+  }
+}
+
+int Server::SweepTimeouts() {
+  if (options_.read_timeout_ms == 0) return 500;
+  const auto now = std::chrono::steady_clock::now();
+  const auto timeout = std::chrono::milliseconds(options_.read_timeout_ms);
+  std::vector<uint64_t> expired;
+  auto next_deadline = now + std::chrono::milliseconds(500);
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& [id, conn] : conns_) {
+      if (conn->partial_since == std::chrono::steady_clock::time_point{}) {
+        continue;
+      }
+      const auto deadline = conn->partial_since + timeout;
+      if (deadline <= now) {
+        expired.push_back(id);
+      } else if (deadline < next_deadline) {
+        next_deadline = deadline;
+      }
+    }
+  }
+  for (const uint64_t id : expired) {
+    if (m_read_timeouts_ != nullptr) m_read_timeouts_->Increment();
+    CloseConn(id, "timeout");
+  }
+  const auto wait =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next_deadline -
+                                                            now)
+          .count();
+  return static_cast<int>(std::max<int64_t>(1, wait));
+}
+
+}  // namespace voteopt::net

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "FailedPrecondition";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

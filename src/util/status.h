@@ -25,6 +25,10 @@ class Status {
     kIOError,
     kFailedPrecondition,
     kInternal,
+    /// Load shedding: the request was refused at admission because a
+    /// bounded queue was full. Retryable by construction — nothing about
+    /// the request itself was wrong (docs/PROTOCOL.md, `overloaded`).
+    kOverloaded,
   };
 
   /// Constructs an OK status.
@@ -51,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,0 +1,314 @@
+// Abuse coverage for the epoll TCP front end: every failure mode the
+// server defends against (net/server.h "Abuse handling") must produce a
+// clean, observable outcome — never a crash, a hang, or a wrong answer on
+// an unrelated connection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/protocol.h"
+
+namespace voteopt::net {
+namespace {
+
+using api::Request;
+
+class ServeNetFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/serve_net_fault";
+    ASSERT_TRUE(datasets::SaveDatasetBundle(
+                    datasets::MakeDataset(datasets::DatasetName::kTwitterMask,
+                                          0.05, /*seed=*/7),
+                    prefix_)
+                    .ok());
+  }
+  void TearDown() override {
+    for (const char* suffix : {".influence.edges", ".counts.edges",
+                               ".campaigns.tsv", ".meta", ".sketch"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  api::EngineOptions EngineOptionsFor(uint32_t worker_threads = 2) const {
+    api::EngineOptions options;
+    options.load.bundle_prefix = prefix_;
+    options.load.build_theta = 10000;
+    options.load.build_horizon = 8;
+    options.load.save_built_sketch = true;
+    options.load.build_threads = 2;
+    options.num_worker_threads = worker_threads;
+    return options;
+  }
+
+  static std::string TopKLine(int k, const std::string& id = "") {
+    Request request;
+    request.op = Request::Op::kTopK;
+    request.k = static_cast<uint32_t>(k);
+    request.id = id;
+    return serve::RequestToJson(request);
+  }
+
+  static double Metric(obs::Registry& metrics, const std::string& name) {
+    const auto snapshot = metrics.Snapshot();
+    const auto it = snapshot.find(name);
+    return it == snapshot.end() ? 0.0 : it->second;
+  }
+
+  /// Polls until `predicate` holds or ~5s pass — the tests sync on server
+  /// state instead of sleeping fixed amounts.
+  template <typename Predicate>
+  static bool WaitFor(Predicate predicate) {
+    for (int i = 0; i < 500; ++i) {
+      if (predicate()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return predicate();
+  }
+
+  std::string prefix_;
+};
+
+TEST_F(ServeNetFaultTest, MidRequestDisconnectLeavesServerServing) {
+  auto engine = api::Engine::Open(EngineOptionsFor());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServerOptions options;
+  options.batch.metrics = &(*engine)->metrics();
+  Server server(engine->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Client 1: half a request line, then a hard disconnect.
+  {
+    BlockingClient rude;
+    ASSERT_TRUE(rude.Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(rude.SendBytes("{\"op\": \"topk\", ").ok());
+    rude.Close();
+  }
+  // Client 2: full requests sent, connection dropped before reading the
+  // answers — the in-flight deliveries must be discarded safely.
+  {
+    BlockingClient impatient;
+    ASSERT_TRUE(impatient.Connect("127.0.0.1", server.port()).ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(impatient.SendLine(TopKLine(3)).ok());
+    }
+    impatient.Close();
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+
+  // The server still answers a well-behaved client correctly.
+  BlockingClient polite;
+  ASSERT_TRUE(polite.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(polite.SendLine(TopKLine(3)).ok());
+  std::string answer;
+  ASSERT_TRUE(polite.ReadLine(&answer).ok());
+  auto parsed = serve::ParseResponse(answer);
+  ASSERT_TRUE(parsed.ok()) << answer;
+  EXPECT_TRUE(parsed->ok) << parsed->error;
+}
+
+TEST_F(ServeNetFaultTest, SlowLorisPartialLineHitsReadTimeout) {
+  auto engine = api::Engine::Open(EngineOptionsFor());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServerOptions options;
+  options.read_timeout_ms = 100;
+  options.batch.metrics = &(*engine)->metrics();
+  Server server(engine->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockingClient loris;
+  ASSERT_TRUE(loris.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(loris.SendBytes("{\"op\": ").ok());  // never terminates
+  // The server must close the connection on its own: ReadLine observes
+  // EOF well before its own (much longer) timeout.
+  std::string answer;
+  EXPECT_FALSE(loris.ReadLine(&answer, 5000).ok());
+  EXPECT_GE(Metric((*engine)->metrics(), "net_read_timeouts_total"), 1.0);
+  EXPECT_EQ(server.active_connections(), 0u);
+
+  // A connection with NO partial line pending is not a slow loris and
+  // must survive idling past the read timeout.
+  BlockingClient idle;
+  ASSERT_TRUE(idle.Connect("127.0.0.1", server.port()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_TRUE(idle.SendLine(TopKLine(3)).ok());
+  ASSERT_TRUE(idle.ReadLine(&answer).ok());
+  EXPECT_TRUE(serve::ParseResponse(answer)->ok);
+}
+
+TEST_F(ServeNetFaultTest, OversizedLineAnswersErrorThenCloses) {
+  auto engine = api::Engine::Open(EngineOptionsFor());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServerOptions options;
+  options.max_line_bytes = 256;
+  options.batch.metrics = &(*engine)->metrics();
+  Server server(engine->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // A valid request first: it must be answered before the connection is
+  // condemned for the oversized line that follows.
+  ASSERT_TRUE(client.SendLine(TopKLine(3, "before")).ok());
+  ASSERT_TRUE(client.SendBytes(std::string(1024, 'x') + "\n").ok());
+
+  std::string answer;
+  ASSERT_TRUE(client.ReadLine(&answer).ok());
+  auto first = serve::ParseResponse(answer);
+  ASSERT_TRUE(first.ok()) << answer;
+  EXPECT_TRUE(first->ok) << first->error;
+  EXPECT_EQ(first->id, "before");
+
+  ASSERT_TRUE(client.ReadLine(&answer).ok());
+  auto second = serve::ParseResponse(answer);
+  ASSERT_TRUE(second.ok()) << answer;
+  EXPECT_FALSE(second->ok);
+  EXPECT_NE(second->error.find("exceeds 256 bytes"), std::string::npos)
+      << second->error;
+
+  // ... and then the close (framing past the cap cannot be resynced).
+  EXPECT_FALSE(client.ReadLine(&answer, 5000).ok());
+  EXPECT_GE(Metric((*engine)->metrics(), "net_oversized_lines_total"), 1.0);
+  // The server is unharmed.
+  BlockingClient next;
+  ASSERT_TRUE(next.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(next.SendLine(TopKLine(3)).ok());
+  ASSERT_TRUE(next.ReadLine(&answer).ok());
+  EXPECT_TRUE(serve::ParseResponse(answer)->ok);
+}
+
+TEST_F(ServeNetFaultTest, AdmissionOverflowShedsDeterministically) {
+  auto engine = api::Engine::Open(EngineOptionsFor());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Deterministic overload: one executor, one-request windows, and a hook
+  // that freezes the first window until released. With queue_depth=2 the
+  // admission state is then exact — 1 executing, 2 queued — and every
+  // further request must shed, in arrival order.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  bool first_window_started = false;
+  ServerOptions options;
+  options.batch.metrics = &(*engine)->metrics();
+  options.batch.queue_depth = 2;
+  options.batch.batch_max = 1;
+  options.batch.num_executors = 1;
+  options.batch.batch_started_hook = [&](const std::string&, size_t) {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    first_window_started = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  Server server(engine->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockingClient filler;
+  ASSERT_TRUE(filler.Connect("127.0.0.1", server.port()).ok());
+  // Request 0 occupies the (blocked) executor...
+  ASSERT_TRUE(filler.SendLine(TopKLine(3, "blocked")).ok());
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    ASSERT_TRUE(gate_cv.wait_for(lock, std::chrono::seconds(5),
+                                 [&] { return first_window_started; }));
+  }
+  // ... requests 1..2 fill the lane to its cap.
+  ASSERT_TRUE(filler.SendLine(TopKLine(3, "queued1")).ok());
+  ASSERT_TRUE(filler.SendLine(TopKLine(3, "queued2")).ok());
+  ASSERT_TRUE(WaitFor([&] { return server.batcher().QueueDepth("") == 2; }));
+
+  // A second client's requests now shed IMMEDIATELY — while the executor
+  // is still frozen — with the documented `Overloaded` error.
+  BlockingClient shed;
+  ASSERT_TRUE(shed.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(shed.SendLine(TopKLine(3, "shed" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::string answer;
+    ASSERT_TRUE(shed.ReadLine(&answer).ok()) << "shed response " << i;
+    auto parsed = serve::ParseResponse(answer);
+    ASSERT_TRUE(parsed.ok()) << answer;
+    // Shed responses echo the request (op, id) and carry the Overloaded
+    // status — deterministic: exactly the arrivals beyond the cap.
+    EXPECT_FALSE(parsed->ok);
+    EXPECT_EQ(parsed->op, "topk");
+    EXPECT_EQ(parsed->id, "shed" + std::to_string(i));
+    EXPECT_EQ(parsed->error.rfind("Overloaded:", 0), 0u) << parsed->error;
+    EXPECT_NE(parsed->error.find("depth 2"), std::string::npos)
+        << parsed->error;
+  }
+  EXPECT_EQ(Metric((*engine)->metrics(), "net_shed_total"), 3.0);
+
+  // Release the gate: the admitted requests all complete with real
+  // answers — shedding never dropped an admitted ticket.
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  const std::string expected = [&] {
+    Request request;
+    request.op = Request::Op::kTopK;
+    request.k = 3;
+    return (*engine)->Execute(request).ToStableJson();
+  }();
+  for (const char* id : {"blocked", "queued1", "queued2"}) {
+    std::string answer;
+    ASSERT_TRUE(filler.ReadLine(&answer).ok()) << id;
+    auto parsed = serve::ParseResponse(answer);
+    ASSERT_TRUE(parsed.ok()) << answer;
+    EXPECT_TRUE(parsed->ok) << parsed->error;
+    EXPECT_EQ(parsed->id, id);  // per-connection order survived overload
+  }
+}
+
+TEST_F(ServeNetFaultTest, ConnectionLimitRefusesExcessAccepts) {
+  auto engine = api::Engine::Open(EngineOptionsFor());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ServerOptions options;
+  options.max_connections = 2;
+  options.batch.metrics = &(*engine)->metrics();
+  Server server(engine->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockingClient a, b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(a.SendLine(TopKLine(3)).ok());
+  std::string answer;
+  ASSERT_TRUE(a.ReadLine(&answer).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(b.SendLine(TopKLine(3)).ok());
+  ASSERT_TRUE(b.ReadLine(&answer).ok());
+
+  // The third connection gets a best-effort Overloaded line, then EOF.
+  BlockingClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(c.ReadLine(&answer).ok());
+  auto parsed = serve::ParseResponse(answer);
+  ASSERT_TRUE(parsed.ok()) << answer;
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_NE(parsed->error.find("connection limit"), std::string::npos);
+  EXPECT_FALSE(c.ReadLine(&answer, 5000).ok());
+  EXPECT_GE(Metric((*engine)->metrics(), "net_accept_rejected_total"), 1.0);
+
+  // Closing one admitted connection frees a slot.
+  a.Close();
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() < 2; }));
+  BlockingClient d;
+  ASSERT_TRUE(d.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(d.SendLine(TopKLine(3)).ok());
+  ASSERT_TRUE(d.ReadLine(&answer).ok());
+  EXPECT_TRUE(serve::ParseResponse(answer)->ok);
+}
+
+}  // namespace
+}  // namespace voteopt::net

@@ -1,0 +1,262 @@
+// Property-style fuzz sweep over a LIVE socket, extending the
+// graph_edge_stream_test pattern to the TCP front end: 300 seeded rounds
+// of random garbage — printable junk, bogus JSON, raw binary (newlines
+// and NULs included), oversized lines, partial frames — interleaved with
+// valid canary requests. Invariants:
+//   - the server never crashes (the suite runs under ASan+UBSan in CI);
+//   - every byte the server emits parses as a protocol response line;
+//   - valid requests embedded in the chaos get their exact engine answer,
+//     in request order, no matter what surrounds them;
+//   - an oversized line closes only ITS connection; the next connection
+//     is served normally.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+namespace voteopt::net {
+namespace {
+
+using api::Request;
+
+constexpr size_t kMaxLineBytes = 2048;
+
+struct FuzzItem {
+  std::string bytes;           // exactly what goes on the wire
+  bool valid = false;          // a well-formed request line
+  std::string expected;        // stable answer when valid
+  bool accountable = true;     // false: may add/consume response lines
+  bool condemns = false;       // oversized: the connection will close
+};
+
+class ServeNetFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/serve_net_fuzz";
+    ASSERT_TRUE(datasets::SaveDatasetBundle(
+                    datasets::MakeDataset(datasets::DatasetName::kTwitterMask,
+                                          0.05, /*seed=*/7),
+                    prefix_)
+                    .ok());
+    api::EngineOptions options;
+    options.load.bundle_prefix = prefix_;
+    options.load.build_theta = 10000;
+    options.load.build_horizon = 8;
+    options.load.save_built_sketch = true;
+    options.load.build_threads = 2;
+    options.num_worker_threads = 2;
+    auto engine = api::Engine::Open(options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+
+    ServerOptions server_options;
+    server_options.max_line_bytes = kMaxLineBytes;
+    server_options.batch.metrics = &engine_->metrics();
+    server_ = std::make_unique<Server>(engine_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+
+    // The valid-request pool and its reference answers, straight from the
+    // engine (the thing every socket answer must be byte-identical to).
+    auto add = [&](Request request) {
+      valid_pool_.push_back(serve::RequestToJson(request));
+      expected_pool_.push_back(engine_->Execute(request).ToStableJson());
+    };
+    Request request;
+    request.op = Request::Op::kTopK;
+    request.k = 3;
+    add(request);
+    request = {};
+    request.op = Request::Op::kTopK;
+    request.k = 2;
+    request.rule = "plurality";
+    add(request);
+    request = {};
+    request.op = Request::Op::kEvaluate;
+    request.seeds = {1, 2};
+    add(request);
+    request = {};
+    request.op = Request::Op::kList;
+    add(request);
+  }
+
+  void TearDown() override {
+    server_.reset();
+    engine_.reset();
+    for (const char* suffix : {".influence.edges", ".counts.edges",
+                               ".campaigns.tsv", ".meta", ".sketch"}) {
+      std::remove((prefix_ + suffix).c_str());
+    }
+  }
+
+  FuzzItem MakeItem(Rng* rng) {
+    FuzzItem item;
+    const uint64_t kind = rng->UniformInt(10);
+    if (kind < 4) {
+      // A valid request from the pool, possibly split later.
+      const size_t at = rng->UniformInt(valid_pool_.size());
+      item.bytes = valid_pool_[at] + "\n";
+      item.valid = true;
+      item.expected = expected_pool_[at];
+    } else if (kind < 6) {
+      // Printable junk on its own line: one parse-error response.
+      static const char* kJunk[] = {
+          "hello there", "GET / HTTP/1.1", "\"just a string\"",
+          "{\"op\": \"bogus\"}", "{\"op\": \"topk\", \"k\": }",
+          "{\"op\": \"topk\"", "[1, 2, 3]", "{}", "null", "42",
+          "{\"op\": 7}", "{\"op\": \"topk\", \"k\": \"three\"}"};
+      item.bytes = std::string(kJunk[rng->UniformInt(12)]) + "\n";
+    } else if (kind < 8) {
+      // Comment / blank chaos: skipped by the server, zero responses.
+      item.bytes = rng->Bernoulli(0.5) ? "\n" : "# noise\n";
+    } else if (kind == 8) {
+      // Raw binary, newline-terminated. May contain '\n' (extra line
+      // splits), '\r', '#', '\0' — response accounting is off, but the
+      // server must still answer everything else correctly around it.
+      const size_t len = 1 + rng->UniformInt(256);
+      item.bytes.reserve(len + 1);
+      for (size_t i = 0; i < len; ++i) {
+        item.bytes.push_back(static_cast<char>(rng->UniformInt(256)));
+      }
+      item.bytes.push_back('\n');
+      item.accountable = false;
+    } else {
+      // Oversized line: error response, then the connection closes.
+      item.bytes = std::string(kMaxLineBytes + 64, 'x') + "\n";
+      item.condemns = true;
+      item.accountable = false;
+    }
+    return item;
+  }
+
+  std::string prefix_;
+  std::unique_ptr<api::Engine> engine_;
+  std::unique_ptr<Server> server_;
+  std::vector<std::string> valid_pool_;
+  std::vector<std::string> expected_pool_;
+};
+
+TEST_F(ServeNetFuzzTest, RandomGarbageOverLiveSocketNeverCrashes) {
+  Rng rng(20230841);
+  int condemned_rounds = 0, binary_rounds = 0, valid_sent = 0;
+  for (int round = 0; round < 300; ++round) {
+    BlockingClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok())
+        << "round " << round;
+
+    const int num_items = 1 + static_cast<int>(rng.UniformInt(8));
+    std::vector<std::string> expected_in_order;
+    bool condemned = false;
+    for (int i = 0; i < num_items && !condemned; ++i) {
+      FuzzItem item = MakeItem(&rng);
+      if (item.valid && rng.Bernoulli(0.3)) {
+        // Split the valid line at a random byte boundary: the framer must
+        // reassemble it exactly.
+        const size_t split = 1 + rng.UniformInt(item.bytes.size() - 1);
+        ASSERT_TRUE(client.SendBytes(item.bytes.substr(0, split)).ok());
+        ASSERT_TRUE(client.SendBytes(item.bytes.substr(split)).ok());
+      } else {
+        ASSERT_TRUE(client.SendBytes(item.bytes).ok());
+      }
+      if (item.valid) {
+        expected_in_order.push_back(item.expected);
+        ++valid_sent;
+      }
+      if (!item.accountable && !item.condemns) ++binary_rounds;
+      if (item.condemns) {
+        condemned = true;
+        ++condemned_rounds;
+      }
+    }
+
+    // The canary: terminate any partial garbage, then one known-good
+    // request the server MUST answer — unless this round's oversized line
+    // already condemned the connection.
+    if (!condemned) {
+      ASSERT_TRUE(client.SendBytes("\n").ok());
+      ASSERT_TRUE(client.SendBytes(valid_pool_[0] + "\n").ok());
+      expected_in_order.push_back(expected_pool_[0]);
+      client.ShutdownWrite();
+    }
+
+    // Read everything until the server closes (half-close drain or the
+    // oversize drop). EVERY line must parse as a protocol response, and
+    // the valid requests' answers must appear in order, exactly.
+    std::vector<std::string> stable_answers;
+    std::string line;
+    int guard = 0;
+    while (client.ReadLine(&line).ok()) {
+      ASSERT_LT(++guard, 300) << "round " << round << ": response flood";
+      auto response = serve::ParseResponse(line);
+      ASSERT_TRUE(response.ok())
+          << "round " << round << " emitted junk: " << line;
+      stable_answers.push_back(response->ToStableJson());
+    }
+    // Subsequence match: garbage may interleave parse-error responses,
+    // but every valid answer arrives, in order, byte-identical.
+    size_t matched = 0;
+    for (const std::string& answer : stable_answers) {
+      if (matched < expected_in_order.size() &&
+          answer == expected_in_order[matched]) {
+        ++matched;
+      }
+    }
+    std::string received;
+    for (const std::string& answer : stable_answers) {
+      received += "  " + answer + "\n";
+    }
+    EXPECT_EQ(matched, expected_in_order.size())
+        << "round " << round << ": " << matched << "/"
+        << expected_in_order.size() << " valid answers surfaced; got:\n"
+        << received;
+  }
+  // The generator must actually exercise every regime.
+  EXPECT_GT(condemned_rounds, 20);
+  EXPECT_GT(binary_rounds, 20);
+  EXPECT_GT(valid_sent, 200);
+
+  // After 300 rounds of abuse the server still answers a fresh client
+  // with the exact engine answer.
+  BlockingClient survivor;
+  ASSERT_TRUE(survivor.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(survivor.SendLine(valid_pool_[0]).ok());
+  std::string answer;
+  ASSERT_TRUE(survivor.ReadLine(&answer).ok());
+  auto parsed = serve::ParseResponse(answer);
+  ASSERT_TRUE(parsed.ok()) << answer;
+  EXPECT_EQ(parsed->ToStableJson(), expected_pool_[0]);
+}
+
+TEST_F(ServeNetFuzzTest, ByteAtATimeDribbleReassemblesEverything) {
+  // The slowest possible well-behaved client: an entire mixed batch
+  // dribbled one byte per send. Every answer must still be exact.
+  Rng rng(777);
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  std::string wire;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 12; ++i) {
+    const size_t at = rng.UniformInt(valid_pool_.size());
+    wire += valid_pool_[at] + "\n";
+    expected.push_back(expected_pool_[at]);
+  }
+  for (const char byte : wire) {
+    ASSERT_TRUE(client.SendBytes(std::string(1, byte)).ok());
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    std::string answer;
+    ASSERT_TRUE(client.ReadLine(&answer).ok()) << "answer " << i;
+    auto parsed = serve::ParseResponse(answer);
+    ASSERT_TRUE(parsed.ok()) << answer;
+    EXPECT_EQ(parsed->ToStableJson(), expected[i]) << "answer " << i;
+  }
+}
+
+}  // namespace
+}  // namespace voteopt::net

@@ -26,15 +26,18 @@
 //       {"op": "methodcompare", "v": 2, "k": 10, "dataset": "default"}
 //       {"op": "rulesweep", "v": 2, "k": 10, "dataset": "dblp"}
 //       {"op": "list"}
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "api/engine.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
+#include "net/server.h"
 #include "serve/protocol.h"
 #include "util/options.h"
 #include "util/timer.h"
@@ -90,6 +93,35 @@ Serving:
   --out=<path|->         response file (default "-": stdout)
   --help                 print this message and exit
 
+Network serving (docs/PROTOCOL.md "Transports"; the protocol over a
+socket is the same newline-JSON, answers bit-identical to the stdin path):
+  --listen=<port>        serve TCP instead of stdin: accept connections and
+                         answer one response line per request line, per
+                         connection in request order (0 = kernel-assigned
+                         ephemeral port; the bound port is printed to
+                         stderr as "listening on <host>:<port>")
+  --listen_host=<addr>   bind address (default 127.0.0.1; use 0.0.0.0 to
+                         accept non-local clients)
+  --net_queue_depth=<N>  per-dataset admission-queue cap; requests beyond
+                         it are shed with an `overloaded` error response
+                         (default 256)
+  --net_batch_max=<N>    largest engine batch window assembled from one
+                         dataset's queue (default 64)
+  --net_coalesce_us=<N>  microseconds a non-full window waits for more
+                         requests before dispatching (default 0: dispatch
+                         immediately; batching still emerges under load)
+  --net_executors=<N>    engine batch windows in flight at once (default 2)
+  --net_read_timeout_ms=<N>  drop a connection holding an unterminated
+                         request line longer than this (slow-loris
+                         defense; default 30000, 0 = off)
+  --net_max_line_bytes=<N>  longest accepted request line; longer ones get
+                         an error response and the connection is closed
+                         (default 1048576)
+  --net_max_conns=<N>    connection cap; excess accepts are refused with a
+                         best-effort `overloaded` line (default 1024)
+  SIGINT/SIGTERM stop accepting, drain in-flight requests, dump metrics
+  (if --metrics_out is set), and exit 0.
+
 Observability (docs/OBSERVABILITY.md):
   --metrics=0|1          record engine/registry/state-pool metrics
                          (default 1; answers are bit-identical either way)
@@ -114,6 +146,10 @@ bool DumpMetricsFile(const std::string& path, const std::string& text) {
   }
   return std::rename(tmp_path.c_str(), path.c_str()) == 0;
 }
+
+/// SIGINT/SIGTERM request a graceful network-server shutdown.
+volatile std::sig_atomic_t g_shutdown = 0;
+void HandleShutdownSignal(int) { g_shutdown = 1; }
 
 }  // namespace
 
@@ -215,6 +251,76 @@ int main(int argc, char** argv) {
   }
   if (options.GetBool("build_only", false)) return 0;
 
+  const std::string metrics_out_path = options.GetString("metrics_out", "");
+  const double metrics_dump_interval_sec =
+      static_cast<double>(options.GetInt("metrics_interval_sec", 60));
+
+  // ---- Network serving: --listen=<port> replaces the stdin transport ----
+  // (the stdin path below stays the default; both speak the identical
+  // protocol through the identical engine, so answers are bit-identical).
+  if (const int64_t listen_port = options.GetInt("listen", -1);
+      listen_port >= 0) {
+    if (listen_port > 65535) {
+      std::cerr << "--listen=" << listen_port << " is not a TCP port\n";
+      return 2;
+    }
+    net::ServerOptions server_options;
+    server_options.host = options.GetString("listen_host", "127.0.0.1");
+    server_options.port = static_cast<uint16_t>(listen_port);
+    server_options.max_connections =
+        static_cast<size_t>(options.GetInt("net_max_conns", 1024));
+    server_options.max_line_bytes =
+        static_cast<size_t>(options.GetInt("net_max_line_bytes", 1 << 20));
+    server_options.read_timeout_ms =
+        static_cast<uint32_t>(options.GetInt("net_read_timeout_ms", 30000));
+    server_options.batch.queue_depth =
+        static_cast<size_t>(options.GetInt("net_queue_depth", 256));
+    server_options.batch.batch_max =
+        static_cast<size_t>(options.GetInt("net_batch_max", 64));
+    server_options.batch.coalesce_micros =
+        static_cast<uint32_t>(options.GetInt("net_coalesce_us", 0));
+    server_options.batch.num_executors =
+        static_cast<uint32_t>(options.GetInt("net_executors", 2));
+    if (engine_options.enable_metrics) {
+      server_options.batch.metrics = &(*engine)->metrics();
+    }
+
+    net::Server server(engine->get(), server_options);
+    if (Status st = server.Start(); !st.ok()) {
+      std::cerr << "cannot listen: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "listening on " << server_options.host << ":"
+              << server.port() << "\n";
+
+    std::signal(SIGINT, HandleShutdownSignal);
+    std::signal(SIGTERM, HandleShutdownSignal);
+    WallTimer since_net_dump;
+    auto dump_net_metrics = [&] {
+      if (metrics_out_path.empty()) return;
+      if (!DumpMetricsFile(metrics_out_path,
+                           (*engine)->metrics().ToPrometheusText())) {
+        std::cerr << "cannot write metrics to " << metrics_out_path << "\n";
+      }
+    };
+    while (g_shutdown == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (!metrics_out_path.empty() &&
+          since_net_dump.Seconds() >= metrics_dump_interval_sec) {
+        dump_net_metrics();
+        since_net_dump.Restart();
+      }
+    }
+    std::cerr << "shutdown signal received; draining\n";
+    server.Stop();
+    dump_net_metrics();
+    const auto stats = (*engine)->stats();
+    std::cerr << "served " << stats.queries << " requests (" << stats.errors
+              << " errors) on " << (*engine)->num_worker_threads()
+              << " worker(s)\n";
+    return 0;
+  }
+
   const std::string requests_path = options.GetString("requests", "-");
   const std::string out_path = options.GetString("out", "-");
   std::ifstream request_file;
@@ -240,9 +346,8 @@ int main(int argc, char** argv) {
   // see — wire parse (handed to the engine's trace via parse_millis) and
   // response serialization (metrics-only: the response bytes are final by
   // then) — plus the periodic Prometheus dump.
-  const std::string metrics_out = options.GetString("metrics_out", "");
-  const double metrics_interval_sec =
-      static_cast<double>(options.GetInt("metrics_interval_sec", 60));
+  const std::string& metrics_out = metrics_out_path;
+  const double metrics_interval_sec = metrics_dump_interval_sec;
   obs::Registry& metrics = (*engine)->metrics();
   obs::Histogram* parse_seconds = nullptr;
   obs::Histogram* serialize_seconds = nullptr;
