@@ -2,6 +2,13 @@
 // to retain the most recently used per-voting-rule evaluator states (each
 // one caches the competitors' propagated horizon opinions — the expensive
 // part).
+//
+// Thread-compatibility: deliberately unsynchronized. Each instance lives
+// inside one pooled QueryState, and api::StatePool hands a QueryState to
+// at most one worker at a time (states_pool ownership transfer), so the
+// cache is single-thread-confined by construction — a mutex here would
+// only hide a pool bug. Confinement is exercised by the ASan/TSan runs
+// of serve_concurrency_test.
 #ifndef VOTEOPT_API_LRU_CACHE_H_
 #define VOTEOPT_API_LRU_CACHE_H_
 

@@ -156,7 +156,7 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Load(
     return Status::InvalidArgument("dataset name must be non-empty");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (entries_.count(name) != 0) {
       return Status::FailedPrecondition(
           "dataset '" + name + "' is already loaded — unload it first");
@@ -266,7 +266,7 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Host(
 
 Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Publish(
     std::shared_ptr<DatasetEntry> entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (entries_.count(entry->name) != 0) {  // also catches a lost Load race
     return Status::FailedPrecondition(
         "dataset '" + entry->name + "' is already loaded — unload it first");
@@ -296,7 +296,7 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Publish(
 
 Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Unload(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("dataset '" + name + "' is not loaded");
@@ -318,7 +318,7 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Unload(
 
 Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Resolve(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (name.empty()) {
     if (entries_.size() == 1) return entries_.begin()->second;
     return entries_.empty()
@@ -335,7 +335,7 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Resolve(
 
 std::vector<std::shared_ptr<const DatasetEntry>> DatasetRegistry::List()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::shared_ptr<const DatasetEntry>> entries;
   entries.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) entries.push_back(entry);
@@ -343,7 +343,7 @@ std::vector<std::shared_ptr<const DatasetEntry>> DatasetRegistry::List()
 }
 
 size_t DatasetRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return entries_.size();
 }
 

@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "opinion/fj_model.h"
 #include "store/sketch_store.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "voting/evaluator.h"
 
 namespace voteopt::api {
@@ -175,9 +175,12 @@ class DatasetRegistry {
   Result<std::shared_ptr<const DatasetEntry>> Publish(
       std::shared_ptr<DatasetEntry> entry);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const DatasetEntry>> entries_;
-  uint64_t next_generation_ = 1;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const DatasetEntry>> entries_
+      GUARDED_BY(mutex_);
+  uint64_t next_generation_ GUARDED_BY(mutex_) = 1;
+  /// Deliberately unguarded: set once by set_metrics before concurrent
+  /// use (api::Engine wires it at Open), read-only afterwards.
   obs::Registry* metrics_ = nullptr;
 };
 

@@ -68,7 +68,7 @@ StatePool::Lease StatePool::Acquire(
     std::shared_ptr<const DatasetEntry> entry) {
   WallTimer timer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++outstanding_[entry->name];
     auto it = idle_.find(entry->name);
     if (it != idle_.end()) {
@@ -98,7 +98,7 @@ StatePool::Lease StatePool::Acquire(
   auto state =
       std::make_unique<QueryState>(std::move(entry), evaluator_cache_capacity_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     ++states_created_;
   }
   if (states_created_total_ != nullptr) states_created_total_->Increment();
@@ -109,7 +109,7 @@ StatePool::Lease StatePool::Acquire(
 }
 
 void StatePool::Release(std::unique_ptr<QueryState> state) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const std::string& name = state->entry->name;
   auto retired = retired_upto_.find(state->entry->name);
   const bool discard = retired != retired_upto_.end() &&
@@ -126,7 +126,7 @@ void StatePool::Release(std::unique_ptr<QueryState> state) {
 }
 
 void StatePool::Evict(const std::string& name, uint64_t upto_generation) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // The watermark only guards the check-in of leases already in flight;
   // with none outstanding there is nothing to guard.
   if (outstanding_.count(name) != 0) {
@@ -143,13 +143,13 @@ void StatePool::Evict(const std::string& name, uint64_t upto_generation) {
 }
 
 size_t StatePool::IdleStates(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = idle_.find(name);
   return it == idle_.end() ? 0 : it->second.size();
 }
 
 uint64_t StatePool::states_created() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return states_created_;
 }
 

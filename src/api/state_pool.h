@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -31,6 +30,7 @@
 #include "api/lru_cache.h"
 #include "api/registry.h"
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 #include "voting/evaluator.h"
 
@@ -119,20 +119,23 @@ class StatePool {
   void Release(std::unique_ptr<QueryState> state);
 
   const uint32_t evaluator_cache_capacity_;
-  /// Resolved once by set_metrics — the Acquire hot path just bumps them.
+  /// Resolved once by set_metrics (before concurrent use — see above) —
+  /// the Acquire hot path just bumps them. Deliberately unguarded.
   obs::Histogram* lease_wait_seconds_ = nullptr;
   obs::Counter* states_created_total_ = nullptr;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<std::string, std::vector<std::unique_ptr<QueryState>>>
-      idle_;
+      idle_ GUARDED_BY(mutex_);
   /// name -> highest generation retired by Evict. An entry exists only
   /// while leases of that name are outstanding (it guards their check-in);
   /// Release drops it with the last lease, so unload-heavy servers with
   /// rotating dataset names don't accumulate dead watermarks.
-  std::unordered_map<std::string, uint64_t> retired_upto_;
+  std::unordered_map<std::string, uint64_t> retired_upto_
+      GUARDED_BY(mutex_);
   /// name -> currently checked-out leases.
-  std::unordered_map<std::string, uint64_t> outstanding_;
-  uint64_t states_created_ = 0;
+  std::unordered_map<std::string, uint64_t> outstanding_
+      GUARDED_BY(mutex_);
+  uint64_t states_created_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace voteopt::api

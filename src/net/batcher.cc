@@ -41,16 +41,16 @@ Batcher::~Batcher() { Stop(); }
 
 void Batcher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (coordinator_.joinable()) coordinator_.join();
   executors_.reset();
 }
 
 bool Batcher::Submit(Ticket ticket) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (stopping_) return false;
   std::deque<Item>* queue = nullptr;
   obs::Gauge* depth_gauge = nullptr;
@@ -76,23 +76,23 @@ bool Batcher::Submit(Ticket ticket) {
   if (depth_gauge != nullptr) {
     depth_gauge->Set(static_cast<double>(queue->size()));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return true;
 }
 
 size_t Batcher::QueueDepth(const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = lanes_.find(dataset);
   return it == lanes_.end() ? 0 : it->second.queue.size();
 }
 
 size_t Batcher::InFlight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return inflight_;
 }
 
 void Batcher::CoordinatorLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto coalesce = std::chrono::microseconds(options_.coalesce_micros);
   while (true) {
     if (stopping_) {
@@ -104,7 +104,7 @@ void Batcher::CoordinatorLoop() {
         if (lane.depth_gauge != nullptr) lane.depth_gauge->Set(0);
       }
       admin_queue_.clear();
-      cv_.wait(lock, [&] { return inflight_ == 0; });
+      while (inflight_ != 0) cv_.Wait(&mutex_);
       return;
     }
 
@@ -123,7 +123,7 @@ void Batcher::CoordinatorLoop() {
         }
       }
       if (!older_pending) {
-        RunAdmin(lock);
+        RunAdmin();
         continue;
       }
     }
@@ -162,9 +162,9 @@ void Batcher::CoordinatorLoop() {
     }
     if (dispatched) continue;
     if (have_deadline && inflight_ < options_.num_executors) {
-      cv_.wait_until(lock, deadline);
+      cv_.WaitUntil(&mutex_, deadline);
     } else {
-      cv_.wait(lock);
+      cv_.Wait(&mutex_);
     }
   }
 }
@@ -211,16 +211,16 @@ void Batcher::RunWindow(std::string dataset, std::vector<Item> window) {
              responses[i].ToJson());
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     --inflight_;
     if (m_inflight_ != nullptr) {
       m_inflight_->Set(static_cast<double>(inflight_));
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
-void Batcher::RunAdmin(std::unique_lock<std::mutex>& lock) {
+void Batcher::RunAdmin() {
   Item item = std::move(admin_queue_.front());
   admin_queue_.pop_front();
   if (m_queue_wait_seconds_ != nullptr) {
@@ -233,10 +233,10 @@ void Batcher::RunAdmin(std::unique_lock<std::mutex>& lock) {
   // newly admitted has a higher global_seq and waits its turn); the
   // coordinator itself is single-threaded, so nothing dispatches while an
   // admin runs — exactly the barrier semantics of the stdin batch window.
-  lock.unlock();
+  mutex_.Unlock();
   const api::Response response = engine_->Execute(item.ticket.request);
   deliver_(item.ticket.conn_id, item.ticket.seq, response.ToJson());
-  lock.lock();
+  mutex_.Lock();
 }
 
 }  // namespace voteopt::net

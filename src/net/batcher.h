@@ -37,19 +37,18 @@
 #define VOTEOPT_NET_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/engine.h"
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace voteopt::net {
 
@@ -139,26 +138,27 @@ class Batcher {
 
   void CoordinatorLoop();
   /// Dispatches up to batch_max items from `lane` (only items admitted
-  /// before `barrier_seq`) onto the executor pool. Caller holds mutex_.
+  /// before `barrier_seq`) onto the executor pool.
   void DispatchWindow(const std::string& name, Lane& lane,
-                      uint64_t barrier_seq);
+                      uint64_t barrier_seq) REQUIRES(mutex_);
   void RunWindow(std::string dataset, std::vector<Item> window);
   /// Executes one admin request as a global barrier (mutex_ held on entry
   /// and exit; released around the engine call).
-  void RunAdmin(std::unique_lock<std::mutex>& lock);
+  void RunAdmin() REQUIRES(mutex_);
 
   api::Engine* const engine_;
   const BatcherOptions options_;
   const Delivery deliver_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::string, Lane> lanes_;
-  std::deque<Item> admin_queue_;
-  uint64_t next_global_seq_ = 0;
-  size_t inflight_ = 0;
-  bool stopping_ = false;
-  std::string last_lane_;  // round-robin cursor over lane names
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::map<std::string, Lane> lanes_ GUARDED_BY(mutex_);
+  std::deque<Item> admin_queue_ GUARDED_BY(mutex_);
+  uint64_t next_global_seq_ GUARDED_BY(mutex_) = 0;
+  size_t inflight_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  /// Round-robin cursor over lane names.
+  std::string last_lane_ GUARDED_BY(mutex_);
 
   obs::Histogram* m_batch_requests_ = nullptr;
   obs::Histogram* m_queue_wait_seconds_ = nullptr;

@@ -155,7 +155,7 @@ void Server::Stop() {
     // table and descriptors go away.
     if (batcher_ != nullptr) batcher_->Stop();
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
+      MutexLock lock(&conns_mutex_);
       for (auto& [id, conn] : conns_) ::close(conn->fd);
       conns_.clear();
     }
@@ -170,7 +170,7 @@ void Server::Stop() {
 }
 
 size_t Server::active_connections() const {
-  std::lock_guard<std::mutex> lock(conns_mutex_);
+  MutexLock lock(&conns_mutex_);
   return conns_.size();
 }
 
@@ -195,13 +195,13 @@ void Server::IoLoop() {
         }
         std::vector<uint64_t> flush;
         {
-          std::lock_guard<std::mutex> lock(pending_mutex_);
+          MutexLock lock(&pending_mutex_);
           flush.swap(pending_flush_);
         }
         for (const uint64_t conn_id : flush) {
           std::shared_ptr<Conn> conn;
           {
-            std::lock_guard<std::mutex> lock(conns_mutex_);
+            MutexLock lock(&conns_mutex_);
             const auto it = conns_.find(conn_id);
             if (it != conns_.end()) conn = it->second;
           }
@@ -211,7 +211,7 @@ void Server::IoLoop() {
       }
       std::shared_ptr<Conn> conn;
       {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
+        MutexLock lock(&conns_mutex_);
         const auto it = conns_.find(id);
         if (it != conns_.end()) conn = it->second;
       }
@@ -223,7 +223,7 @@ void Server::IoLoop() {
         // The read path may have closed the connection; re-resolve.
         std::shared_ptr<Conn> still_open;
         {
-          std::lock_guard<std::mutex> lock(conns_mutex_);
+          MutexLock lock(&conns_mutex_);
           const auto it = conns_.find(id);
           if (it != conns_.end()) still_open = it->second;
         }
@@ -244,7 +244,7 @@ void Server::AcceptAll() {
     }
     size_t active;
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
+      MutexLock lock(&conns_mutex_);
       active = conns_.size();
     }
     if (active >= options_.max_connections) {
@@ -265,7 +265,7 @@ void Server::AcceptAll() {
     auto conn = std::make_shared<Conn>(options_.max_line_bytes);
     conn->fd = fd;
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
+      MutexLock lock(&conns_mutex_);
       conn->id = next_conn_id_++;
       conns_.emplace(conn->id, conn);
       if (m_active_ != nullptr) {
@@ -372,17 +372,17 @@ void Server::DrainLines(const std::shared_ptr<Conn>& conn) {
 void Server::Deliver(uint64_t conn_id, uint64_t seq, std::string line) {
   std::shared_ptr<Conn> conn;
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    MutexLock lock(&conns_mutex_);
     const auto it = conns_.find(conn_id);
     if (it == conns_.end()) return;  // client went away mid-request
     conn = it->second;
   }
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     conn->ready.emplace(seq, std::move(line));
   }
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(&pending_mutex_);
     pending_flush_.push_back(conn_id);
   }
   const uint64_t one = 1;
@@ -391,7 +391,7 @@ void Server::Deliver(uint64_t conn_id, uint64_t seq, std::string line) {
 
 void Server::FlushConn(const std::shared_ptr<Conn>& conn) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     auto it = conn->ready.begin();
     while (it != conn->ready.end() && it->first == conn->next_deliver) {
       conn->wbuf += it->second;
@@ -461,7 +461,7 @@ void Server::UpdateEpollInterest(Conn& conn) {
 void Server::CloseConn(uint64_t conn_id, const char* reason) {
   std::shared_ptr<Conn> conn;
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    MutexLock lock(&conns_mutex_);
     const auto it = conns_.find(conn_id);
     if (it == conns_.end()) return;
     conn = it->second;
@@ -487,7 +487,7 @@ int Server::SweepTimeouts() {
   std::vector<uint64_t> expired;
   auto next_deadline = now + std::chrono::milliseconds(500);
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    MutexLock lock(&conns_mutex_);
     for (const auto& [id, conn] : conns_) {
       if (conn->partial_since == std::chrono::steady_clock::time_point{}) {
         continue;

@@ -44,7 +44,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +52,7 @@
 #include "net/batcher.h"
 #include "net/framing.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace voteopt::net {
 
@@ -109,6 +109,9 @@ class Server {
 
   /// The bound port (the kernel's pick when options.port was 0).
   /// Precondition: Start() succeeded.
+  /// Lock-free on purpose: port_ is written once inside Start(), before
+  /// the I/O thread is spawned and before Start() returns, so any caller
+  /// that can legally observe the precondition sees the final value.
   uint16_t port() const { return port_; }
 
   /// Live connection count (tests poll this to sync without sleeping).
@@ -126,9 +129,11 @@ class Server {
     std::chrono::steady_clock::time_point partial_since{};
 
     /// Write-back state. `mu` guards `ready` (executor threads deposit
-    /// completed lines); everything else is I/O-thread-only.
-    std::mutex mu;
-    std::map<uint64_t, std::string> ready;
+    /// completed lines); every other field below is I/O-thread-only —
+    /// single-thread confinement the analysis cannot express, so they
+    /// are deliberately unannotated.
+    Mutex mu;
+    std::map<uint64_t, std::string> ready GUARDED_BY(mu);
     uint64_t next_seq = 0;      // next request sequence to assign
     uint64_t next_deliver = 0;  // next sequence to append to wbuf
     std::string wbuf;
@@ -177,14 +182,14 @@ class Server {
   /// Connection table. The I/O thread inserts/erases; executor threads
   /// resolve ids to deposit responses. Ids are never reused, so a
   /// delivery racing a close simply finds nothing.
-  mutable std::mutex conns_mutex_;
-  std::map<uint64_t, std::shared_ptr<Conn>> conns_;
-  uint64_t next_conn_id_ = 1;
+  mutable Mutex conns_mutex_;
+  std::map<uint64_t, std::shared_ptr<Conn>> conns_ GUARDED_BY(conns_mutex_);
+  uint64_t next_conn_id_ GUARDED_BY(conns_mutex_) = 1;
 
   /// Connections with freshly deposited responses, drained by the I/O
   /// thread on eventfd wakeup.
-  std::mutex pending_mutex_;
-  std::vector<uint64_t> pending_flush_;
+  Mutex pending_mutex_;
+  std::vector<uint64_t> pending_flush_ GUARDED_BY(pending_mutex_);
 
   std::unique_ptr<Batcher> batcher_;
   std::thread io_thread_;

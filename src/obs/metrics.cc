@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <sstream>
 
 namespace voteopt::obs {
@@ -91,14 +90,14 @@ Registry::Series* Registry::GetSeries(const std::string& name, Labels&& labels,
   {
     // Fast path: the family and series already exist (every call after
     // the first for a given instrument) — a shared lock and two probes.
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(&mutex_);
     auto family = families_.find(name);
     if (family != families_.end()) {
       auto series = family->second.series.find(key);
       if (series != family->second.series.end()) return &series->second;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   Family& family = families_[name];
   if (family.series.empty()) {
     family.kind = kind;
@@ -148,7 +147,7 @@ Histogram* Registry::GetHistogram(const std::string& name, Labels labels,
 }
 
 std::string Registry::ToPrometheusText() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::ostringstream out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
@@ -194,7 +193,7 @@ std::string Registry::ToPrometheusText() const {
 }
 
 std::map<std::string, double> Registry::Snapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::map<std::string, double> snapshot;
   for (const auto& [name, family] : families_) {
     for (const auto& [key, series] : family.series) {

@@ -36,10 +36,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace voteopt::obs {
 
@@ -146,8 +147,8 @@ class Registry {
                     const std::string& help,
                     const std::vector<double>& bounds);
 
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, Family> families_;
+  mutable SharedMutex mutex_;
+  std::map<std::string, Family> families_ GUARDED_BY(mutex_);
 };
 
 /// Canonical label rendering: {op="topk",rule="plurality"} — "" for no

@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -28,8 +28,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mutex_);
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());
       queue_.pop();

@@ -7,17 +7,17 @@
 #ifndef VOTEOPT_UTIL_THREAD_POOL_H_
 #define VOTEOPT_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace voteopt {
 
@@ -32,6 +32,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Lock-free on purpose: workers_ is written only by the constructor,
+  /// before any other thread can hold a reference to the pool.
   uint32_t num_threads() const {
     return static_cast<uint32_t>(workers_.size());
   }
@@ -47,10 +49,10 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       queue_.push([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
@@ -60,10 +62,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor; joined by the destructor.
   std::vector<std::thread> workers_;
 };
 

@@ -5,6 +5,8 @@
 // the service keeps answering.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -330,6 +332,50 @@ TEST_F(ServeConcurrencyTest, SingleWorkerReusesOneState) {
   // pooled state.
   EXPECT_EQ((*service)->stats().worker_states, 1u);
   EXPECT_EQ((*service)->state_pool().IdleStates("default"), 1u);
+}
+
+// Lock-free accessor audit regression: the pool's observability accessors
+// (IdleStates, states_created) are read by monitoring threads while
+// workers check states in and out. An observer hammers both for the whole
+// query storm and asserts states_created is monotone — which only holds
+// if the accessors take the pool mutex. The CI `tsan` job runs this suite,
+// so an accessor that drops the lock fails there too.
+TEST_F(ServeConcurrencyTest, StatePoolAccessorsAreSafeUnderQueryStorm) {
+  auto service = CampaignService::Open(OptionsFor(prefix_a_, 4));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  const std::vector<Request> batch = MixedBatch();
+
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    uint64_t floor = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const uint64_t created = (*service)->state_pool().states_created();
+      EXPECT_GE(created, floor) << "states_created went backwards";
+      floor = created;
+      (void)(*service)->state_pool().IdleStates("default");
+    }
+  });
+
+  constexpr size_t kClients = 3;
+  constexpr size_t kRounds = 2;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          (void)(*service)->Handle(batch[(i + c) % batch.size()]);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  const uint64_t created = (*service)->state_pool().states_created();
+  EXPECT_GE(created, 1u);
+  EXPECT_LE(created, kClients);  // one state per concurrent client at most
+  EXPECT_GE((*service)->state_pool().IdleStates("default"), 1u);
 }
 
 }  // namespace

@@ -5,11 +5,14 @@
 // one write, many concurrent clients, any worker-thread count.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/batcher.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "serve/protocol.h"
@@ -334,6 +337,56 @@ TEST_F(ServeNetTest, AdminVerbsActAsBarriersOverTheSocket) {
                              ".campaigns.tsv", ".meta", ".sketch"}) {
     std::remove((other_prefix + suffix).c_str());
   }
+}
+
+// Lock-free accessor audit regression: QueueDepth and InFlight are read by
+// monitoring code while the coordinator and executors mutate the lanes.
+// An observer thread hammers both for the whole life of a batched run and
+// asserts the documented bounds; under TSan (CI `tsan` job) this is the
+// test that flags an accessor that stops taking the batcher mutex.
+TEST_F(ServeNetTest, BatcherDepthAccessorsAreSafeUnderLoad) {
+  auto engine = api::Engine::Open(EngineOptionsFor(2));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  std::atomic<size_t> delivered{0};
+  BatcherOptions options;
+  options.num_executors = 2;
+  options.batch_max = 8;
+  Batcher batcher(engine->get(), options,
+                  [&delivered](uint64_t, uint64_t, std::string) {
+                    delivered.fetch_add(1, std::memory_order_relaxed);
+                  });
+
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      // "" is the lane key: MixedBatch-free tickets leave Request::dataset
+      // empty (the sole loaded dataset).
+      EXPECT_LE(batcher.QueueDepth(""), options.queue_depth);
+      EXPECT_LE(batcher.InFlight(), options.num_executors);
+    }
+  });
+
+  constexpr size_t kTickets = 96;
+  size_t admitted = 0;
+  for (size_t i = 0; i < kTickets; ++i) {
+    Batcher::Ticket ticket;
+    ticket.conn_id = 1;
+    ticket.seq = i;
+    ticket.request.op = Request::Op::kEvaluate;
+    ticket.request.seeds = {1, 2};
+    if (batcher.Submit(std::move(ticket))) ++admitted;
+  }
+  ASSERT_GE(admitted, 1u);
+  while (delivered.load(std::memory_order_relaxed) < admitted) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  done.store(true, std::memory_order_release);
+  observer.join();
+  batcher.Stop();
+  EXPECT_EQ(delivered.load(), admitted);
+  EXPECT_EQ(batcher.QueueDepth(""), 0u);
+  EXPECT_EQ(batcher.InFlight(), 0u);
 }
 
 }  // namespace
