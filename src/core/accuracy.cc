@@ -23,11 +23,29 @@ uint64_t LambdaFromGamma(double gamma, double rho, bool one_sided) {
       std::log(numerator / (1.0 - rho)) / (2.0 * gamma * gamma)));
 }
 
+namespace {
+
+/// std::lgamma writes the process-global `signgam` (C99 allows it; glibc
+/// does), so concurrent engine workers sizing theta race on it — TSan
+/// flags the write under serve_net_test. lgamma_r returns the identical
+/// value with the sign in an out-parameter; non-POSIX builds keep
+/// std::lgamma and only lose the reentrancy guarantee.
+double ReentrantLgamma(double x) {
+#if defined(__linux__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double LogBinomial(uint64_t n, uint64_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return ReentrantLgamma(static_cast<double>(n) + 1.0) -
+         ReentrantLgamma(static_cast<double>(k) + 1.0) -
+         ReentrantLgamma(static_cast<double>(n - k) + 1.0);
 }
 
 double ThetaForCumulative(uint64_t n, uint32_t k, double epsilon, double l,
