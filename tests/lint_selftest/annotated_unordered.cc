@@ -1,0 +1,13 @@
+// lint-fixture-path: src/api/annotated_unordered.cc
+// Fixture: the nondeterministic-ok escape hatch (with a reason) waives
+// the iteration rule — zero findings expected.
+#include <unordered_map>
+
+std::unordered_map<int, double> cache;
+
+double Total() {
+  double total = 0;
+  // lint: nondeterministic-ok(sum is order-independent, never ordered output)
+  for (const auto& [key, value] : cache) total += value;
+  return total;
+}

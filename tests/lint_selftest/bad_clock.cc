@@ -1,0 +1,9 @@
+// lint-fixture-path: src/obs/bad_clock.cc
+// Fixture: system_clock outside util/timer.h must fire wall-clock
+// exactly once.
+#include <chrono>
+
+double NowSeconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

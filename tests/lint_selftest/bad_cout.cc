@@ -1,0 +1,6 @@
+// lint-fixture-path: src/serve/bad_cout.cc
+// Fixture: std::cout in library code must fire library-cout exactly
+// once.
+#include <iostream>
+
+void Announce() { std::cout << "serving\n"; }

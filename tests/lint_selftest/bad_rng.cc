@@ -1,0 +1,9 @@
+// lint-fixture-path: src/core/bad_rng.cc
+// Fixture: stdlib RNG in an answer-producing layer must fire
+// forbidden-rng exactly once.
+#include <random>
+
+int Draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: src/api/bad_thread.cc
+// Fixture: a bare std::thread outside util/net must fire bare-thread
+// exactly once; the hardware_concurrency property query must not.
+#include <thread>
+
+unsigned SpawnAndCount() {
+  std::thread worker([] {});
+  worker.join();
+  return std::thread::hardware_concurrency();
+}

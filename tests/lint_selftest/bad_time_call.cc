@@ -1,0 +1,5 @@
+// lint-fixture-path: src/serve/bad_time_call.cc
+// Fixture: a bare time() call must fire wall-clock exactly once.
+#include <ctime>
+
+long StampSeconds() { return static_cast<long>(time(nullptr)); }

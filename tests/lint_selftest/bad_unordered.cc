@@ -1,0 +1,13 @@
+// lint-fixture-path: src/core/bad_unordered.cc
+// Fixture: unannotated iteration over an unordered container in an
+// answer-producing layer must fire nondeterministic-iteration exactly
+// once.
+#include <unordered_map>
+
+std::unordered_map<int, double> scores;
+
+double Sum() {
+  double total = 0;
+  for (const auto& [node, score] : scores) total += score;
+  return total;
+}

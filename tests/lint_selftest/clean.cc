@@ -1,0 +1,14 @@
+// lint-fixture-path: src/api/clean.cc
+// Fixture: deterministic idioms — ordered iteration, steady_clock —
+// produce zero findings.
+#include <chrono>
+#include <map>
+
+std::map<int, double> ordered;
+
+double Tick() {
+  const auto t0 = std::chrono::steady_clock::now();
+  double total = 0;
+  for (const auto& [key, value] : ordered) total += value;
+  return total + std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

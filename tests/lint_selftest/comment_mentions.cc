@@ -1,0 +1,8 @@
+// lint-fixture-path: src/obs/comment_mentions.cc
+// Fixture: rule keywords inside comments and string literals must not
+// fire — never use system_clock here, and std::mt19937 would be wrong.
+/* Even rand() in a block comment stays silent. */
+
+const char* kDoc = "calling rand() or time() at runtime is banned";
+
+int Nothing() { return 0; }

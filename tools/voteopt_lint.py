@@ -1,0 +1,389 @@
+#!/usr/bin/env python3
+"""voteopt_lint: the repo-specific determinism linter.
+
+Statically enforces the determinism-ledger invariants of
+docs/ARCHITECTURE.md across src/ and tools/ (the library and the CLIs;
+tests and benches may do what they like):
+
+  forbidden-rng
+      No rand()/srand()/std::random_device/std::mt19937 (or any other
+      <random> engine) outside src/util/rng.* — every stochastic
+      component draws from the explicitly seeded util::Rng, which is
+      what makes sketches a pure function of (master_seed, theta,
+      horizon) (ledger entries 1 and 7).
+
+  wall-clock
+      No system_clock / time() / gettimeofday / clock_gettime outside
+      src/util/timer.h — all timing reads the one steady_clock
+      stopwatch; system_clock steps under NTP and corrupts latency
+      measurements (the obs layer's contract, ledger entry 8).
+
+  nondeterministic-iteration
+      No iteration over std::unordered_map / std::unordered_set in the
+      ANSWER-PRODUCING layers (src/core, src/voting, src/api,
+      src/serve, src/net): unordered iteration order varies across
+      libstdc++ versions and hash seeds, so any answer bytes derived
+      from it would break bit-identity (ledger entries 3, 6, 9).
+      Iteration that provably cannot reach answer bytes may be
+      annotated  // lint: nondeterministic-ok(<reason>)  on the same or
+      the preceding line; an empty reason does not count.
+
+  bare-thread
+      No std::thread outside src/util and src/net — concurrency routes
+      through util::ThreadPool (annotated, TSan-covered) or the net
+      layer's dedicated I/O and coordinator threads. Ad-hoc threads
+      elsewhere would dodge both the thread-safety annotations and the
+      CI TSan job.
+
+  library-cout
+      No std::cout in library code (src/): the serving stack's stdout
+      is the wire protocol, and a stray print interleaves with response
+      lines. CLIs under tools/ own their stdout and are exempt.
+
+Every rule may also be waived per line with
+  // lint: <rule>-ok(<reason>)
+or per file/prefix via the allowlist (tools/lint_allowlist.txt):
+  <rule> <path-prefix>  # justification
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+Self test: --selftest runs every rule against the golden fixtures in
+tests/lint_selftest/ and asserts exact finding counts.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Source scanning: strip comments and string literals so a rule never
+# fires on prose (e.g. a header comment explaining WHY system_clock is
+# banned), while keeping line numbers intact. The original lines are
+# kept for the `// lint: ...-ok(...)` escape-hatch lookup.
+# ---------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    """Returns `text` with comments and string/char literals blanked.
+
+    Newlines are preserved so line numbers survive. Handles // and /* */
+    comments, "..." and '...' literals with backslash escapes, and basic
+    R"(...)" raw strings.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c == "R" and text[i : i + 2] == 'R"':
+            m = re.match(r'R"([^()\s]*)\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            closer = ")" + m.group(1) + '"'
+            end = text.find(closer, i + m.end())
+            end = n if end < 0 else end + len(closer)
+            out.extend(ch if ch == "\n" else " " for ch in text[i:end])
+            i = end
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+ANSWER_LAYERS = ("src/core/", "src/voting/", "src/api/", "src/serve/",
+                 "src/net/")
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>[&*\s]*"
+    r"(?:[A-Za-z_]\w*\s*,\s*)*([A-Za-z_]\w*)\s*(?:GUARDED_BY\([^)]*\)\s*)?"
+    r"[;={,)]")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def waived(rule, raw_lines, lineno):
+    """True when line `lineno` (1-based) or the line above carries a
+    non-empty  // lint: <rule>-ok(reason)  annotation. The generic
+    spelling nondeterministic-ok(...) waives nondeterministic-iteration
+    (the name the determinism ledger documents)."""
+    names = [f"{rule}-ok"]
+    if rule == "nondeterministic-iteration":
+        names.append("nondeterministic-ok")
+    pattern = re.compile(
+        r"//\s*lint:\s*(?:" + "|".join(re.escape(n) for n in names) +
+        r")\(\s*([^)]*\S)\s*\)")
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines) and pattern.search(raw_lines[ln - 1]):
+            return True
+    return False
+
+
+def grep_rule(rule, pattern, message, stripped_lines, raw_lines, path):
+    findings = []
+    for idx, line in enumerate(stripped_lines, start=1):
+        if pattern.search(line) and not waived(rule, raw_lines, idx):
+            findings.append(Finding(rule, path, idx, message))
+    return findings
+
+
+def check_forbidden_rng(path, stripped_lines, raw_lines):
+    if path.startswith("src/util/rng."):
+        return []
+    pattern = re.compile(
+        r"(?<!\w)(?:s?rand\s*\(|random_device\b|mt19937(?:_64)?\b|"
+        r"minstd_rand0?\b|default_random_engine\b|ranlux\d+\b|knuth_b\b)")
+    return grep_rule(
+        "forbidden-rng", pattern,
+        "unseeded/stdlib RNG; draw from util::Rng (src/util/rng.h) so the "
+        "stream is reproducible", stripped_lines, raw_lines, path)
+
+
+def check_wall_clock(path, stripped_lines, raw_lines):
+    if path == "src/util/timer.h":
+        return []
+    pattern = re.compile(
+        r"(?:\bsystem_clock\b|(?<![\w.>])time\s*\(|\bgettimeofday\s*\(|"
+        r"\bclock_gettime\s*\(|\blocaltime\s*\(|\bgmtime\s*\()")
+    return grep_rule(
+        "wall-clock", pattern,
+        "wall-clock time source; use util::WallTimer (steady_clock, "
+        "src/util/timer.h)", stripped_lines, raw_lines, path)
+
+
+def check_nondeterministic_iteration(path, stripped_lines, raw_lines):
+    if not path.startswith(ANSWER_LAYERS):
+        return []
+    text = "\n".join(stripped_lines)
+    names = set(UNORDERED_DECL.findall(text))
+    if not names:
+        return []
+    findings = []
+    alt = "|".join(re.escape(name) for name in sorted(names))
+    # Range-for over a tracked container (optionally behind member/deref
+    # syntax), or an explicit iterator walk via .begin()/.cbegin().
+    iter_pattern = re.compile(
+        r"(?::\s*(?:[\w>\-.]+(?:\.|->))?(?:" + alt + r")\s*\)"
+        r"|\b(?:" + alt + r")\s*(?:\.|->)\s*c?begin\s*\()")
+    for idx, line in enumerate(stripped_lines, start=1):
+        if iter_pattern.search(line) and not waived(
+                "nondeterministic-iteration", raw_lines, idx):
+            findings.append(Finding(
+                "nondeterministic-iteration", path, idx,
+                "iterating an unordered container in an answer-producing "
+                "layer; order varies across stdlib/hash seeds — use an "
+                "ordered container, sort first, or annotate "
+                "// lint: nondeterministic-ok(<reason>)"))
+    return findings
+
+
+def check_bare_thread(path, stripped_lines, raw_lines):
+    if path.startswith(("src/util/", "src/net/")):
+        return []
+    # std::thread::hardware_concurrency() is a property query, not a
+    # spawned thread — exempt.
+    pattern = re.compile(r"\bstd\s*::\s*j?thread\b(?!\s*::)")
+    return grep_rule(
+        "bare-thread", pattern,
+        "bare std::thread outside src/util and src/net; route concurrency "
+        "through util::ThreadPool or the net layer", stripped_lines,
+        raw_lines, path)
+
+
+def check_library_cout(path, stripped_lines, raw_lines):
+    if not path.startswith("src/"):
+        return []
+    pattern = re.compile(r"\bstd\s*::\s*cout\b")
+    return grep_rule(
+        "library-cout", pattern,
+        "std::cout in library code; stdout belongs to the wire protocol — "
+        "return data or use the obs layer", stripped_lines, raw_lines, path)
+
+
+RULES = [
+    check_forbidden_rng,
+    check_wall_clock,
+    check_nondeterministic_iteration,
+    check_bare_thread,
+    check_library_cout,
+]
+
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def lint_source(path, text, allowlist):
+    raw_lines = text.splitlines()
+    stripped_lines = strip_comments_and_strings(text).splitlines()
+    while len(stripped_lines) < len(raw_lines):
+        stripped_lines.append("")
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(path, stripped_lines, raw_lines))
+    return [
+        f for f in findings
+        if not any(f.rule == rule and f.path.startswith(prefix)
+                   for rule, prefix in allowlist)
+    ]
+
+
+def load_allowlist(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                sys.exit(f"{path}:{lineno}: expected '<rule> <path-prefix>'")
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def lint_tree(root, paths, allowlist):
+    findings = []
+    for top in paths:
+        top_abs = os.path.join(root, top)
+        if not os.path.isdir(top_abs):
+            sys.exit(f"voteopt_lint: no such directory: {top_abs}")
+        for dirpath, _, filenames in os.walk(top_abs):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTENSIONS):
+                    continue
+                abspath = os.path.join(dirpath, name)
+                relpath = os.path.relpath(abspath, root).replace(os.sep, "/")
+                with open(abspath, encoding="utf-8") as fh:
+                    findings.extend(lint_source(relpath, fh.read(), allowlist))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self test: golden fixtures, each expected to fire one rule exactly once
+# (or to stay clean). The fixture's first line declares the pseudo-path
+# it is linted under:  // lint-fixture-path: src/core/foo.cc
+# ---------------------------------------------------------------------------
+
+EXPECTATIONS = {
+    "bad_rng.cc": ("forbidden-rng", 1),
+    "bad_clock.cc": ("wall-clock", 1),
+    "bad_time_call.cc": ("wall-clock", 1),
+    "bad_unordered.cc": ("nondeterministic-iteration", 1),
+    "bad_thread.cc": ("bare-thread", 1),
+    "bad_cout.cc": ("library-cout", 1),
+    "annotated_unordered.cc": (None, 0),
+    "comment_mentions.cc": (None, 0),
+    "clean.cc": (None, 0),
+}
+
+
+def selftest(root):
+    fixture_dir = os.path.join(root, "tests", "lint_selftest")
+    failures = []
+    seen = set()
+    for name, (rule, expected_count) in sorted(EXPECTATIONS.items()):
+        path = os.path.join(fixture_dir, name)
+        if not os.path.exists(path):
+            failures.append(f"{name}: fixture missing")
+            continue
+        seen.add(name)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        m = re.match(r"//\s*lint-fixture-path:\s*(\S+)", text)
+        if m is None:
+            failures.append(f"{name}: missing // lint-fixture-path: header")
+            continue
+        findings = lint_source(m.group(1), text, allowlist=[])
+        if rule is None:
+            if findings:
+                failures.append(
+                    f"{name}: expected clean, got " +
+                    "; ".join(str(f) for f in findings))
+        else:
+            hits = [f for f in findings if f.rule == rule]
+            others = [f for f in findings if f.rule != rule]
+            if len(hits) != expected_count or others:
+                failures.append(
+                    f"{name}: expected exactly {expected_count} "
+                    f"{rule} finding(s), got " +
+                    ("; ".join(str(f) for f in findings) or "none"))
+    on_disk = {
+        n for n in os.listdir(fixture_dir) if n.endswith(SOURCE_EXTENSIONS)
+    } if os.path.isdir(fixture_dir) else set()
+    for stray in sorted(on_disk - seen):
+        failures.append(f"{stray}: fixture on disk but not in EXPECTATIONS")
+    if failures:
+        print("voteopt_lint selftest FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"voteopt_lint selftest: {len(EXPECTATIONS)} fixtures OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="voteopt_lint.py",
+        description="repo-specific determinism linter (see module docstring)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="directories to lint, relative to --root "
+                        "(default: src tools)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the linter's parent dir)")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                        "tools/lint_allowlist.txt under --root)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture self test and exit")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.selftest:
+        return selftest(root)
+
+    allowlist_path = args.allowlist or os.path.join(root, "tools",
+                                                    "lint_allowlist.txt")
+    allowlist = load_allowlist(allowlist_path)
+    findings = lint_tree(root, args.paths or ["src", "tools"], allowlist)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"voteopt_lint: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
