@@ -158,6 +158,12 @@ class Engine {
   Response HandleUnload(const Request& request);
   Response HandleList(const Request& request);
   Response HandleStats(const Request& request);
+  /// All four mutation verbs (edge_add / edge_del / set_opinion / mutate):
+  /// patches the graph+opinions, repairs the sketch incrementally
+  /// (dyn::SketchRepairer — bit-identical to a from-scratch rebuild by
+  /// determinism ledger entry #10), persists the mutation journal, and
+  /// commits via DatasetRegistry::Replace + StatePool::Evict.
+  Response HandleMutate(const Request& request);
 
   /// One method's selection on the shared instance: the hosted sketch for
   /// RS, baselines::SelectWithMethod for everything else. Wraps itself in
@@ -193,6 +199,13 @@ class Engine {
   std::unique_ptr<ThreadPool> pool_;
   bool bootstrap_built_ = false;
 
+  /// Serializes mutation commits: each is a read-modify-write of one
+  /// registry entry (resolve → patch → repair → Replace), and Replace
+  /// itself checks no lineage. Queries never take this mutex — they keep
+  /// resolving entries through the registry's own lock and finish on
+  /// whatever instance they resolved.
+  Mutex mutate_mutex_;
+
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> evaluator_cache_hits_{0};
@@ -207,6 +220,9 @@ class Engine {
   obs::Counter* m_sketch_resets_ = nullptr;
   obs::Histogram* m_batch_size_ = nullptr;
   obs::Gauge* m_batch_inflight_ = nullptr;
+  obs::Counter* m_dyn_commits_ = nullptr;
+  obs::Counter* m_dyn_walks_repaired_ = nullptr;
+  obs::Histogram* m_dyn_repair_seconds_ = nullptr;
 };
 
 }  // namespace voteopt::api

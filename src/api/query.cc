@@ -13,13 +13,19 @@ const char* OpName(Request::Op op) {
     case Request::Op::kUnload: return "unload";
     case Request::Op::kList: return "list";
     case Request::Op::kStats: return "stats";
+    case Request::Op::kEdgeAdd: return "edge_add";
+    case Request::Op::kEdgeDel: return "edge_del";
+    case Request::Op::kSetOpinion: return "set_opinion";
+    case Request::Op::kMutate: return "mutate";
   }
   return "?";
 }
 
 bool IsAdminOp(Request::Op op) {
   return op == Request::Op::kLoad || op == Request::Op::kUnload ||
-         op == Request::Op::kList || op == Request::Op::kStats;
+         op == Request::Op::kList || op == Request::Op::kStats ||
+         op == Request::Op::kEdgeAdd || op == Request::Op::kEdgeDel ||
+         op == Request::Op::kSetOpinion || op == Request::Op::kMutate;
 }
 
 Result<voting::ScoreSpec> ResolveRule(const std::string& rule, uint32_t p,
@@ -122,6 +128,36 @@ Request Request::RuleSweep(uint32_t k) {
   Request request;
   request.op = Op::kRuleSweep;
   request.k = k;
+  return request;
+}
+
+Request Request::EdgeAdd(uint32_t from, uint32_t to, double weight) {
+  Request request;
+  request.op = Op::kEdgeAdd;
+  request.mutations.push_back(dyn::Mutation::EdgeAdd(from, to, weight));
+  return request;
+}
+
+Request Request::EdgeDel(uint32_t from, uint32_t to) {
+  Request request;
+  request.op = Op::kEdgeDel;
+  request.mutations.push_back(dyn::Mutation::EdgeDel(from, to));
+  return request;
+}
+
+Request Request::SetOpinion(uint32_t candidate, graph::NodeId node,
+                            double value) {
+  Request request;
+  request.op = Op::kSetOpinion;
+  request.mutations.push_back(
+      dyn::Mutation::SetOpinion(candidate, node, value));
+  return request;
+}
+
+Request Request::Mutate(std::vector<dyn::Mutation> mutations) {
+  Request request;
+  request.op = Op::kMutate;
+  request.mutations = std::move(mutations);
   return request;
 }
 

@@ -19,6 +19,10 @@
 //   * Load / Unload / List
 //   * Stats — a flat snapshot of the engine's obs::Registry (admin so the
 //     counters it reports are exact at its barrier point in a batch)
+// Mutation kinds (v4, dynamic graphs — src/dyn): admin-adjacent barriers
+// that commit edits to a hosted dataset and repair its sketch in place:
+//   * EdgeAdd / EdgeDel / SetOpinion — one streaming edit each
+//   * Mutate — a batch of edits committed atomically (one repair)
 //
 // Requests are a flat tagged struct rather than a std::variant so the wire
 // codec, which sees untyped JSON fields before it knows the op, can fill
@@ -34,6 +38,7 @@
 #include <vector>
 
 #include "baselines/selector_factory.h"
+#include "dyn/mutation.h"
 #include "graph/graph.h"
 #include "util/status.h"
 #include "voting/scores.h"
@@ -43,11 +48,12 @@ namespace voteopt::api {
 /// Highest protocol major version this engine speaks. Version 1 is the
 /// PR-2..4 protocol (topk/minseed/evaluate/load/unload/list, RS only);
 /// version 2 adds `method`, `methodcompare`, and `rulesweep`; version 3
-/// adds the `stats` verb and the per-request `trace` field. Requests
-/// omitting "v" are treated as v1; v1, v2, and v3 parse identically (each
-/// is a strict superset of the last); higher majors are rejected with
-/// InvalidArgument.
-inline constexpr uint32_t kProtocolVersion = 3;
+/// adds the `stats` verb and the per-request `trace` field; version 4 adds
+/// the dynamic-graph mutation verbs `edge_add` / `edge_del` /
+/// `set_opinion` / `mutate`. Requests omitting "v" are treated as v1;
+/// v1..v4 parse identically (each is a strict superset of the last);
+/// higher majors are rejected with InvalidArgument.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /// Per-query selection knobs — the one options surface consolidating what
 /// used to be scattered across RSOptions / RWOptions /
@@ -95,6 +101,13 @@ struct Request {
     kUnload,
     kList,
     kStats,
+    // v4 mutation verbs (dynamic graphs). All four route into the same
+    // commit path: apply, repair, publish. The single-edit verbs are
+    // sugar for a one-element kMutate batch.
+    kEdgeAdd,
+    kEdgeDel,
+    kSetOpinion,
+    kMutate,
   };
 
   Op op = Op::kTopK;
@@ -129,6 +142,10 @@ struct Request {
   std::string sketch;  // load: explicit sketch path ("" = bundle member)
   uint64_t theta = 0;  // load: build-fallback walk count (0 = server default)
 
+  /// Mutation verbs: the edits to commit, in order. The single-edit verbs
+  /// carry exactly one entry; `mutate` any number (>= 1).
+  std::vector<dyn::Mutation> mutations;
+
   /// Selection knobs; defaults reproduce the wire protocol's behavior.
   QueryOptions options;
 
@@ -155,13 +172,22 @@ struct Request {
                           const voting::ScoreSpec& spec);
   static Request MethodCompare(uint32_t k, const voting::ScoreSpec& spec);
   static Request RuleSweep(uint32_t k);
+  static Request EdgeAdd(uint32_t from, uint32_t to, double weight);
+  static Request EdgeDel(uint32_t from, uint32_t to);
+  static Request SetOpinion(uint32_t candidate, graph::NodeId node,
+                            double value);
+  static Request Mutate(std::vector<dyn::Mutation> mutations);
 };
 
 const char* OpName(Request::Op op);
 
-/// True for the registry-management verbs (load / unload / list). Admin
-/// verbs act as ordering barriers in a batch: queries ahead of them see the
-/// registry as it was, queries after them see the updated one.
+/// True for the registry-management verbs (load / unload / list / stats)
+/// AND the v4 mutation verbs. Admin verbs act as ordering barriers in a
+/// batch: queries ahead of them see the registry as it was, queries after
+/// them see the updated one. Mutations need exactly those semantics — a
+/// query is answered entirely by the pre- or post-mutation generation,
+/// never a mix — which is why they ride the same classification through
+/// Engine::ExecuteBatch, net::Batcher, and net::Server.
 bool IsAdminOp(Request::Op op);
 
 /// Resolves a request's rule/p/omega fields into a validated ScoreSpec for
@@ -253,6 +279,14 @@ struct Response {
   /// stats payload: a flat point-in-time metrics snapshot
   /// ("name{labels}" -> value) from the engine's obs::Registry.
   std::map<std::string, double> stats;
+
+  // Mutation-verb payload: what the commit did. All deterministic
+  // functions of (dataset state, mutation batch) — they go on the wire
+  // and survive ToStableJson.
+  uint64_t applied = 0;          // mutations committed in this batch
+  uint64_t dirty_nodes = 0;      // nodes whose in-rows changed
+  uint64_t walks_repaired = 0;   // sketch walks regenerated
+  uint64_t walks_total = 0;      // sketch size (theta), for rates
 
   /// Selection diagnostics of the answering algorithm: stage timings
   /// (`stage.<name>_ms`) and work counts (`work.<name>`, plus the legacy

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/sketch.h"
+#include "dyn/journal.h"
+#include "dyn/repair.h"
 #include "sketch_ooc/ooc_builder.h"
 #include "store/format.h"
 #include "util/timer.h"
@@ -23,14 +25,10 @@ std::string EvaluatorSpecKey(const voting::ScoreSpec& spec) {
   return key;
 }
 
-namespace {
-
-/// Fingerprint of the problem instance a sketch is bound to: every CSR
-/// array of the influence graph plus every campaign's opinions and
-/// stubbornness. A regenerated bundle with the same node count but
-/// different edges/opinions would otherwise silently serve wrong answers
-/// from a stale sketch. (The bundle's default target is deliberately
-/// excluded: the sketch pins its own target in SketchMeta.)
+/// A regenerated bundle with the same node count but different
+/// edges/opinions would otherwise silently serve wrong answers from a
+/// stale sketch. (The bundle's default target is deliberately excluded:
+/// the sketch pins its own target in SketchMeta.)
 uint64_t BundleFingerprint(const datasets::Dataset& dataset) {
   std::vector<uint64_t> digests;
   auto add = [&digests](const void* data, size_t size) {
@@ -51,6 +49,8 @@ uint64_t BundleFingerprint(const datasets::Dataset& dataset) {
   }
   return store::Fnv1a64(digests.data(), digests.size() * sizeof(uint64_t));
 }
+
+namespace {
 
 /// A collision-free scratch prefix for one OOC build: concurrent loads may
 /// share a base prefix, so each build gets a unique numbered sibling.
@@ -235,6 +235,60 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Load(
         sketch_path + ": sketch target candidate not in the bundle");
   }
 
+  entry->bundle_prefix = options.bundle_prefix;
+  entry->base_fingerprint = fingerprint;
+
+  // Crash recovery for dynamic graphs: a committed mutation journal next
+  // to the bundle means the process last served a mutated instance —
+  // replay it on top of the base bundle and repair the sketch so the
+  // hosted entry is bit-identical to the pre-crash one (ledger entry 10).
+  const std::string journal_path =
+      options.bundle_prefix + dyn::kMutationLogSuffix;
+  if (std::filesystem::exists(journal_path)) {
+    auto journal = dyn::LoadMutationLog(journal_path);
+    if (!journal.ok()) return journal.status();
+    if (journal->base_fingerprint != fingerprint) {
+      return Status::FailedPrecondition(
+          journal_path +
+          ": mutation journal was recorded against a different base bundle "
+          "(fingerprint mismatch) — remove it or restore the bundle");
+    }
+    if (!journal->mutations.empty()) {
+      auto patched = dyn::ApplyMutations(entry->dataset.influence,
+                                         entry->dataset.state,
+                                         journal->mutations);
+      if (!patched.ok()) return patched.status();
+      // Install the patched instance BEFORE repairing: the repair's alias
+      // tables bind to the graph object they are built over, so that graph
+      // must already sit in its published home, not in a local about to be
+      // moved from.
+      entry->dataset.influence = std::move(patched->graph);
+      entry->dataset.state = std::move(patched->state);
+      if (!patched->dirty_nodes.empty()) {
+        dyn::RepairOptions repair_options;
+        repair_options.num_threads = options.build_threads;
+        auto repaired = dyn::SketchRepairer::Repair(
+            *entry->sketch, entry->dataset.influence,
+            entry->dataset.state.campaigns[entry->meta.target], entry->meta,
+            patched->dirty_nodes, /*base_alias=*/nullptr, repair_options);
+        if (!repaired.ok()) return repaired.status();
+        entry->sketch = std::shared_ptr<const core::WalkSet>(
+            std::move(repaired->sketch));
+        entry->alias = std::move(repaired->alias);
+      }
+      entry->model =
+          std::make_unique<opinion::FJModel>(entry->dataset.influence);
+      entry->meta.bundle_fingerprint = BundleFingerprint(entry->dataset);
+      // The retained build evaluator propagated opinions over the BASE
+      // instance; dropping it is correct (workers rebuild on demand),
+      // keeping it would be a stale-answer bug.
+      entry->build_evaluator = nullptr;
+      entry->build_evaluator_key.clear();
+      entry->mutation_log.Append(std::span<const dyn::Mutation>(
+          journal->mutations));
+    }
+  }
+
   return Publish(std::move(entry));
 }
 
@@ -292,6 +346,27 @@ Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Publish(
         ->Set(static_cast<double>(entry->generation));
   }
   return std::shared_ptr<const DatasetEntry>(entry);
+}
+
+Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Replace(
+    std::shared_ptr<DatasetEntry> entry) {
+  MutexLock lock(&mutex_);
+  auto it = entries_.find(entry->name);
+  if (it == entries_.end()) {
+    return Status::NotFound("dataset '" + entry->name +
+                            "' is not loaded (unloaded mid-mutation?)");
+  }
+  std::shared_ptr<const DatasetEntry> replaced = std::move(it->second);
+  entry->generation = next_generation_++;
+  it->second = entry;
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetGauge("voteopt_dataset_generation", {{"dataset", entry->name}},
+                   "Generation stamp of this dataset's current entry "
+                   "(bumps on every re-load under the same name)")
+        ->Set(static_cast<double>(entry->generation));
+  }
+  return replaced;
 }
 
 Result<std::shared_ptr<const DatasetEntry>> DatasetRegistry::Unload(

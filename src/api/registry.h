@@ -27,6 +27,8 @@
 #include "core/walk_set.h"
 #include "datasets/io.h"
 #include "datasets/synthetic.h"
+#include "dyn/mutation.h"
+#include "graph/alias_table.h"
 #include "obs/metrics.h"
 #include "opinion/fj_model.h"
 #include "store/sketch_store.h"
@@ -39,6 +41,12 @@ namespace voteopt::api {
 /// Canonical cache key for a voting rule (omega is hashed; two positional
 /// rules with different weights must not share an evaluator).
 std::string EvaluatorSpecKey(const voting::ScoreSpec& spec);
+
+/// Fingerprint of a problem instance: every CSR array of the influence
+/// graph plus every campaign's opinions and stubbornness. Binds sketches
+/// to bundles (SketchMeta::bundle_fingerprint) and mutation journals to
+/// their base bundle (dyn/journal.h).
+uint64_t BundleFingerprint(const datasets::Dataset& dataset);
 
 /// How to materialize one dataset: where the bundle lives and what to do
 /// when its sketch member is missing.
@@ -97,6 +105,21 @@ struct DatasetEntry {
   std::shared_ptr<const voting::ScoreEvaluator> build_evaluator;
   std::string build_evaluator_key;
 
+  // --- dynamic-graph state (src/dyn) --------------------------------------
+  /// Bundle prefix the entry was loaded from; "" for hosted (in-memory)
+  /// entries — then the mutation journal is not persisted.
+  std::string bundle_prefix;
+  /// Fingerprint of the on-disk base bundle (what a journal replays
+  /// against). Unlike meta.bundle_fingerprint — which tracks the CURRENT,
+  /// possibly mutated instance — this never changes across mutations.
+  uint64_t base_fingerprint = 0;
+  /// Every committed mutation since the base bundle, in commit order.
+  dyn::MutationLog mutation_log;
+  /// Alias tables over the current influence graph, populated lazily by
+  /// the first edge mutation so later repairs rebuild rows, not tables.
+  /// Null until then (query paths never need it).
+  std::shared_ptr<const graph::AliasSampler> alias;
+
   /// The target campaign's initial opinions — what each query's
   /// WalkSet::ResetValues rebuilds the dynamic truncation state from.
   const std::vector<double>& target_opinions() const {
@@ -150,6 +173,16 @@ class DatasetRegistry {
   /// the entry finish unharmed; its memory is freed when the last reference
   /// drops. NotFound when absent.
   Result<std::shared_ptr<const DatasetEntry>> Unload(const std::string& name);
+
+  /// Atomically swaps the entry hosted under entry->name for `entry` (the
+  /// commit step of a mutation): stamps a fresh generation and returns the
+  /// REPLACED entry so the caller can evict per-worker state built against
+  /// it. In-flight queries holding the old entry finish unharmed on the
+  /// pre-mutation instance — exactly the Unload consistency story.
+  /// NotFound when the name is not currently hosted (mutating and
+  /// unloading race; the mutation loses).
+  Result<std::shared_ptr<const DatasetEntry>> Replace(
+      std::shared_ptr<DatasetEntry> entry);
 
   /// Resolves a query's dataset name. "" means "the sole hosted dataset" —
   /// a convenience for single-tenant deployments; an error when the

@@ -1,0 +1,88 @@
+#include "dyn/journal.h"
+
+#include <atomic>
+#include <cstdio>
+#include <span>
+#include <utility>
+
+#include "store/format.h"
+
+namespace voteopt::dyn {
+
+Status SaveMutationLog(const std::string& path, uint64_t base_fingerprint,
+                       std::span<const Mutation> mutations) {
+  MutationLogMeta meta;
+  meta.base_fingerprint = base_fingerprint;
+  meta.count = mutations.size();
+
+  std::vector<MutationRecord> records;
+  records.reserve(mutations.size());
+  for (const Mutation& m : mutations) {
+    MutationRecord rec;
+    rec.kind = static_cast<uint32_t>(m.kind);
+    rec.u = m.u;
+    rec.v = m.v;
+    rec.value = m.value;
+    records.push_back(rec);
+  }
+
+  std::vector<store::SectionRef> sections;
+  sections.push_back(store::MakeSection<MutationLogMeta>(
+      "meta", std::span<const MutationLogMeta>(&meta, 1)));
+  sections.push_back(store::MakeSection<MutationRecord>(
+      "mutations", std::span<const MutationRecord>(records)));
+
+  // Write-temp + rename: the committed path never holds a torn file. The
+  // counter keeps concurrent commits (different datasets sharing a prefix
+  // directory) from clobbering each other's temp files.
+  static std::atomic<uint64_t> temp_counter{0};
+  const std::string temp =
+      path + ".tmp" + std::to_string(temp_counter.fetch_add(1));
+  Status written =
+      store::WriteSectionFile(temp, store::FileKind::kMutationLog, sections);
+  if (!written.ok()) return written;
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::IOError("rename failed for mutation log " + path);
+  }
+  return Status::OK();
+}
+
+Result<MutationJournal> LoadMutationLog(const std::string& path) {
+  auto file = store::MappedFile::Open(path, store::MappedFile::Mode::kCopy);
+  if (!file.ok()) return file.status();
+  auto reader =
+      store::SectionReader::Parse(*file, store::FileKind::kMutationLog);
+  if (!reader.ok()) return reader.status();
+
+  auto meta = reader->Typed<MutationLogMeta>("meta");
+  if (!meta.ok()) return meta.status();
+  if (meta->size() != 1) {
+    return Status::Corruption("mutation log meta section malformed");
+  }
+  auto records = reader->Typed<MutationRecord>("mutations");
+  if (!records.ok()) return records.status();
+  if ((*meta)[0].count != records->size()) {
+    return Status::Corruption("mutation log record count mismatch");
+  }
+
+  MutationJournal journal;
+  journal.base_fingerprint = (*meta)[0].base_fingerprint;
+  journal.mutations.reserve(records->size());
+  for (const MutationRecord& rec : *records) {
+    if (rec.kind < static_cast<uint32_t>(Mutation::Kind::kEdgeAdd) ||
+        rec.kind > static_cast<uint32_t>(Mutation::Kind::kSetOpinion)) {
+      return Status::Corruption("mutation log holds unknown mutation kind " +
+                                std::to_string(rec.kind));
+    }
+    Mutation m;
+    m.kind = static_cast<Mutation::Kind>(rec.kind);
+    m.u = rec.u;
+    m.v = rec.v;
+    m.value = rec.value;
+    journal.mutations.push_back(m);
+  }
+  return journal;
+}
+
+}  // namespace voteopt::dyn

@@ -1,0 +1,223 @@
+#include "dyn/mutation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace voteopt::dyn {
+namespace {
+
+/// A materialized copy of one in-row, kept sorted by source the way
+/// GraphBuilder stores rows. Weights always sum to 1 after every edit
+/// (or the row is empty).
+struct Row {
+  std::vector<graph::NodeId> sources;
+  std::vector<double> weights;
+};
+
+void Renormalize(Row* row) {
+  double sum = 0.0;
+  for (double w : row->weights) sum += w;
+  if (sum <= 0.0) return;
+  for (double& w : row->weights) w /= sum;
+}
+
+}  // namespace
+
+const char* MutationKindName(Mutation::Kind kind) {
+  switch (kind) {
+    case Mutation::Kind::kEdgeAdd:
+      return "edge_add";
+    case Mutation::Kind::kEdgeDel:
+      return "edge_del";
+    case Mutation::Kind::kSetOpinion:
+      return "set_opinion";
+  }
+  return "?";
+}
+
+Result<PatchResult> ApplyMutations(const graph::Graph& graph,
+                                   const opinion::MultiCampaignState& state,
+                                   std::span<const Mutation> mutations) {
+  const uint32_t n = graph.num_nodes();
+  const uint32_t r = state.num_candidates();
+
+  PatchResult result;
+  result.state = state;
+
+  // In-rows are copied out of the CSR lazily, only for mutated targets;
+  // std::map keeps the eventual dirty-node sweep in ascending node order.
+  std::map<graph::NodeId, Row> rows;
+  auto row_of = [&](graph::NodeId v) -> Row& {
+    auto it = rows.find(v);
+    if (it == rows.end()) {
+      Row row;
+      auto sources = graph.InNeighbors(v);
+      auto weights = graph.InWeights(v);
+      row.sources.assign(sources.begin(), sources.end());
+      row.weights.assign(weights.begin(), weights.end());
+      it = rows.emplace(v, std::move(row)).first;
+    }
+    return it->second;
+  };
+
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    const Mutation& m = mutations[i];
+    const std::string at = " (mutation " + std::to_string(i) + ")";
+    switch (m.kind) {
+      case Mutation::Kind::kEdgeAdd: {
+        if (m.u >= n || m.v >= n) {
+          return Status::InvalidArgument("edge_add: node id out of range" + at);
+        }
+        if (m.u == m.v) {
+          return Status::InvalidArgument("edge_add: self loop " +
+                                         std::to_string(m.u) + at);
+        }
+        if (!std::isfinite(m.value) || m.value <= 0.0) {
+          return Status::InvalidArgument("edge_add: weight must be positive" +
+                                         at);
+        }
+        Row& row = row_of(m.v);
+        auto pos = std::lower_bound(row.sources.begin(), row.sources.end(),
+                                    m.u);
+        if (pos != row.sources.end() && *pos == m.u) {
+          return Status::FailedPrecondition(
+              "edge_add: edge " + std::to_string(m.u) + " -> " +
+              std::to_string(m.v) + " already exists" + at);
+        }
+        size_t idx = static_cast<size_t>(pos - row.sources.begin());
+        row.sources.insert(pos, m.u);
+        row.weights.insert(row.weights.begin() + idx, m.value);
+        Renormalize(&row);
+        ++result.edges_added;
+        break;
+      }
+      case Mutation::Kind::kEdgeDel: {
+        if (m.u >= n || m.v >= n) {
+          return Status::InvalidArgument("edge_del: node id out of range" + at);
+        }
+        Row& row = row_of(m.v);
+        auto pos = std::lower_bound(row.sources.begin(), row.sources.end(),
+                                    m.u);
+        if (pos == row.sources.end() || *pos != m.u) {
+          return Status::NotFound("edge_del: edge " + std::to_string(m.u) +
+                                  " -> " + std::to_string(m.v) +
+                                  " does not exist" + at);
+        }
+        size_t idx = static_cast<size_t>(pos - row.sources.begin());
+        row.sources.erase(pos);
+        row.weights.erase(row.weights.begin() + idx);
+        Renormalize(&row);
+        ++result.edges_deleted;
+        break;
+      }
+      case Mutation::Kind::kSetOpinion: {
+        if (m.u >= r) {
+          return Status::InvalidArgument(
+              "set_opinion: candidate out of range" + at);
+        }
+        if (m.v >= n) {
+          return Status::InvalidArgument("set_opinion: node out of range" + at);
+        }
+        if (!std::isfinite(m.value) || m.value < 0.0 || m.value > 1.0) {
+          return Status::InvalidArgument(
+              "set_opinion: value must be in [0, 1]" + at);
+        }
+        result.state.campaigns[m.u].initial_opinions[m.v] = m.value;
+        ++result.opinions_set;
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown mutation kind" + at);
+    }
+  }
+
+  if (rows.empty()) {
+    // Opinion-only batch: the graph is structurally untouched; hand back a
+    // byte-identical copy so callers can still treat the result uniformly.
+    auto copy = graph::Graph::FromCsr(
+        n, {graph.OutOffsets().begin(), graph.OutOffsets().end()},
+        {graph.OutTargets().begin(), graph.OutTargets().end()},
+        {graph.OutWeightsRaw().begin(), graph.OutWeightsRaw().end()},
+        {graph.InOffsets().begin(), graph.InOffsets().end()},
+        {graph.InSources().begin(), graph.InSources().end()},
+        {graph.InWeightsRaw().begin(), graph.InWeightsRaw().end()});
+    if (!copy.ok()) return copy.status();
+    result.graph = std::move(copy).value();
+    return result;
+  }
+
+  // Assemble the patched in-CSR: untouched rows are copied verbatim (byte
+  // identity is what lets the repairer keep their alias rows and walks),
+  // mutated rows come from the patched copies above.
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  std::vector<graph::NodeId> in_sources;
+  std::vector<double> in_weights;
+  {
+    uint64_t total = 0;
+    auto it = rows.begin();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (it != rows.end() && it->first == v) {
+        total += it->second.sources.size();
+        ++it;
+      } else {
+        total += graph.InDegree(v);
+      }
+    }
+    in_sources.reserve(total);
+    in_weights.reserve(total);
+  }
+  {
+    auto it = rows.begin();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (it != rows.end() && it->first == v) {
+        in_sources.insert(in_sources.end(), it->second.sources.begin(),
+                          it->second.sources.end());
+        in_weights.insert(in_weights.end(), it->second.weights.begin(),
+                          it->second.weights.end());
+        ++it;
+      } else {
+        auto sources = graph.InNeighbors(v);
+        auto weights = graph.InWeights(v);
+        in_sources.insert(in_sources.end(), sources.begin(), sources.end());
+        in_weights.insert(in_weights.end(), weights.begin(), weights.end());
+      }
+      in_offsets[v + 1] = in_sources.size();
+    }
+  }
+
+  // Derive the out-CSR from the in-CSR with the same stable counting pass
+  // GraphBuilder::Build runs, so the whole graph stays builder-canonical.
+  const uint64_t m_total = in_sources.size();
+  std::vector<uint64_t> out_offsets(n + 1, 0);
+  for (graph::NodeId u : in_sources) ++out_offsets[u + 1];
+  for (uint32_t v = 0; v < n; ++v) out_offsets[v + 1] += out_offsets[v];
+  std::vector<graph::NodeId> out_targets(m_total);
+  std::vector<double> out_weights(m_total);
+  {
+    std::vector<uint64_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      for (uint64_t e = in_offsets[v]; e < in_offsets[v + 1]; ++e) {
+        const graph::NodeId u = in_sources[e];
+        out_targets[cursor[u]] = v;
+        out_weights[cursor[u]] = in_weights[e];
+        ++cursor[u];
+      }
+    }
+  }
+
+  auto patched = graph::Graph::FromCsr(
+      n, std::move(out_offsets), std::move(out_targets),
+      std::move(out_weights), std::move(in_offsets), std::move(in_sources),
+      std::move(in_weights));
+  if (!patched.ok()) return patched.status();
+  result.graph = std::move(patched).value();
+
+  result.dirty_nodes.reserve(rows.size());
+  for (const auto& [v, row] : rows) result.dirty_nodes.push_back(v);
+  return result;
+}
+
+}  // namespace voteopt::dyn

@@ -1,5 +1,6 @@
 #include "graph/alias_table.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 
@@ -52,17 +53,59 @@ AliasSampler::AliasSampler(const Graph& graph) : graph_(&graph) {
   const uint64_t m = graph.num_edges();
   prob_.assign(m, 1.0);
   alias_.assign(m, 0);
+  offsets_.resize(graph.num_nodes() + 1);
+  offsets_[graph.num_nodes()] = m;
 
   std::vector<uint32_t> small;
   std::vector<uint32_t> large;
   std::vector<double> scaled;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    offsets_[v] = graph.InEdgeBegin(v);
     const auto weights = graph.InWeights(v);
     if (weights.empty()) continue;
-    const uint64_t base = graph.InEdgeBegin(v);
-    internal::BuildAliasRow(weights, prob_.data() + base, alias_.data() + base,
+    internal::BuildAliasRow(weights, prob_.data() + offsets_[v],
+                            alias_.data() + offsets_[v], &scaled, &small,
+                            &large);
+  }
+}
+
+AliasSampler::AliasSampler(const Graph& graph, const AliasSampler& base,
+                           std::span<const NodeId> dirty_rows)
+    : graph_(&graph) {
+  const uint64_t m = graph.num_edges();
+  prob_.assign(m, 1.0);
+  alias_.assign(m, 0);
+  offsets_.resize(graph.num_nodes() + 1);
+  offsets_[graph.num_nodes()] = m;
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  std::vector<double> scaled;
+  size_t next_dirty = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const bool dirty =
+        next_dirty < dirty_rows.size() && dirty_rows[next_dirty] == v;
+    if (dirty) ++next_dirty;
+    offsets_[v] = graph.InEdgeBegin(v);
+    const auto weights = graph.InWeights(v);
+    if (weights.empty()) continue;
+    const uint64_t dst = offsets_[v];
+    if (!dirty) {
+      // Clean rows locate their base slice through base's OWN offsets
+      // snapshot — base.graph_ may already be freed (a sampler can be
+      // shared across dataset generations whose graphs it outlives).
+      const uint64_t src = base.offsets_[v];
+      assert(base.offsets_[v + 1] - src == weights.size());
+      std::copy_n(base.prob_.begin() + src, weights.size(),
+                  prob_.begin() + dst);
+      std::copy_n(base.alias_.begin() + src, weights.size(),
+                  alias_.begin() + dst);
+      continue;
+    }
+    internal::BuildAliasRow(weights, prob_.data() + dst, alias_.data() + dst,
                             &scaled, &small, &large);
   }
+  assert(next_dirty == dirty_rows.size());
 }
 
 AliasSlice::AliasSlice(std::span<const uint64_t> offsets,

@@ -42,6 +42,19 @@ class AliasSampler {
 
   explicit AliasSampler(const Graph& graph);
 
+  /// Incremental rebuild for dynamic graphs (src/dyn): tables over `graph`
+  /// where only the rows in `dirty_rows` (ascending, unique) differ from
+  /// `base`'s graph. Clean rows copy base's prob/alias entries verbatim —
+  /// row tables are pure functions of the row's weight slice, so the copy
+  /// is exact even though global offsets shift — and Vose runs only on the
+  /// dirty rows. Equivalent to AliasSampler(graph), at O(dirty) build cost.
+  /// Reads only `base`'s owned arrays (tables + offsets snapshot), never
+  /// the graph `base` was built over, so `base` may outlive its graph.
+  /// Precondition: every row NOT listed dirty has an identical weight slice
+  /// in both graphs.
+  AliasSampler(const Graph& graph, const AliasSampler& base,
+               std::span<const NodeId> dirty_rows);
+
   /// Draws an in-neighbor of v with probability proportional to the edge
   /// weight, or kNoNeighbor when v has no in-edges. O(1).
   NodeId SampleInNeighbor(NodeId v, Rng* rng) const;
@@ -51,15 +64,23 @@ class AliasSampler {
   double Probability(NodeId v, size_t slot) const;
 
   size_t memory_bytes() const {
-    return prob_.size() * sizeof(double) + alias_.size() * sizeof(uint32_t);
+    return prob_.size() * sizeof(double) + alias_.size() * sizeof(uint32_t) +
+           offsets_.size() * sizeof(uint64_t);
   }
 
  private:
+  // The graph sampled from. Must stay alive for Sample/Probability calls;
+  // the incremental constructor above deliberately does NOT read it (a
+  // sampler may be used as a copy base after its graph is gone).
   const Graph* graph_;
   // Parallel to the graph's in-edge arrays: acceptance probability and
   // within-slice alias index.
   std::vector<double> prob_;
   std::vector<uint32_t> alias_;
+  // Snapshot of the graph's in-edge CSR offsets (num_nodes + 1 entries).
+  // Owned so clean-row copies in the incremental constructor can locate
+  // base rows without touching base's — possibly freed — graph.
+  std::vector<uint64_t> offsets_;
 };
 
 /// Per-row alias tables over a rebased local CSR slice — the in-adjacency

@@ -261,6 +261,59 @@ void AppendNumberArray(std::ostringstream* out, const std::vector<T>& items) {
   *out << "]";
 }
 
+/// One mutation from a flat field set: "from"/"to" (+"weight", default 1 —
+/// the row renormalizes, so only ratios matter) for the edge kinds,
+/// "candidate"/"node"/"value" for set_opinion. Shared by the single-edit
+/// verbs (fields on the request object, kind implied by the op) and the
+/// mutate batch (fields per array entry, kind explicit).
+Result<dyn::Mutation> ParseMutationFields(const JsonValue& object,
+                                          dyn::Mutation::Kind kind) {
+  auto require_u32 = [&object](const char* name) -> Result<uint32_t> {
+    const JsonValue* v = object.Find(name);
+    if (v == nullptr) {
+      return Status::InvalidArgument(std::string("missing field '") + name +
+                                     "'");
+    }
+    return AsU32(*v, name);
+  };
+  switch (kind) {
+    case dyn::Mutation::Kind::kEdgeAdd: {
+      auto from = require_u32("from");
+      if (!from.ok()) return from.status();
+      auto to = require_u32("to");
+      if (!to.ok()) return to.status();
+      double weight = 1.0;
+      if (const JsonValue* w = object.Find("weight"); w != nullptr) {
+        auto number = AsNumber(*w, "weight");
+        if (!number.ok()) return number.status();
+        weight = *number;
+      }
+      return dyn::Mutation::EdgeAdd(*from, *to, weight);
+    }
+    case dyn::Mutation::Kind::kEdgeDel: {
+      auto from = require_u32("from");
+      if (!from.ok()) return from.status();
+      auto to = require_u32("to");
+      if (!to.ok()) return to.status();
+      return dyn::Mutation::EdgeDel(*from, *to);
+    }
+    case dyn::Mutation::Kind::kSetOpinion: {
+      auto candidate = require_u32("candidate");
+      if (!candidate.ok()) return candidate.status();
+      auto node = require_u32("node");
+      if (!node.ok()) return node.status();
+      const JsonValue* v = object.Find("value");
+      if (v == nullptr) {
+        return Status::InvalidArgument("missing field 'value'");
+      }
+      auto number = AsNumber(*v, "value");
+      if (!number.ok()) return number.status();
+      return dyn::Mutation::SetOpinion(*candidate, *node, *number);
+    }
+  }
+  return Status::InvalidArgument("bad mutation kind");
+}
+
 }  // namespace
 
 namespace serve {
@@ -282,7 +335,7 @@ Result<Request> ParseRequest(const std::string& line) {
   if (const JsonValue* v = object.Find("v"); v != nullptr) {
     auto parsed_v = AsU32(*v, "v");
     if (!parsed_v.ok()) return parsed_v.status();
-    // v1, v2, and v3 parse identically (each a strict superset of the
+    // v1 through v4 parse identically (each a strict superset of the
     // last); an unknown major means the client wants semantics this server
     // does not speak, so fail clean instead of answering something subtly
     // different (docs/PROTOCOL.md).
@@ -316,6 +369,14 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kList;
   } else if (op->str == "stats") {
     request.op = Request::Op::kStats;
+  } else if (op->str == "edge_add") {
+    request.op = Request::Op::kEdgeAdd;
+  } else if (op->str == "edge_del") {
+    request.op = Request::Op::kEdgeDel;
+  } else if (op->str == "set_opinion") {
+    request.op = Request::Op::kSetOpinion;
+  } else if (op->str == "mutate") {
+    request.op = Request::Op::kMutate;
   } else {
     return Status::InvalidArgument("unknown op '" + op->str + "'");
   }
@@ -427,6 +488,52 @@ Result<Request> ParseRequest(const std::string& line) {
       request.overrides.emplace_back(*user, pair.items[1].number);
     }
   }
+  if (request.op == Request::Op::kEdgeAdd ||
+      request.op == Request::Op::kEdgeDel ||
+      request.op == Request::Op::kSetOpinion) {
+    const dyn::Mutation::Kind kind =
+        request.op == Request::Op::kEdgeAdd ? dyn::Mutation::Kind::kEdgeAdd
+        : request.op == Request::Op::kEdgeDel
+            ? dyn::Mutation::Kind::kEdgeDel
+            : dyn::Mutation::Kind::kSetOpinion;
+    auto mutation = ParseMutationFields(object, kind);
+    if (!mutation.ok()) return mutation.status();
+    request.mutations.push_back(*mutation);
+  }
+  if (const JsonValue* mutations = object.Find("mutations");
+      mutations != nullptr) {
+    if (request.op != Request::Op::kMutate) {
+      return Status::InvalidArgument(
+          "field 'mutations' is only valid for op 'mutate'");
+    }
+    if (mutations->type != JsonValue::Type::kArray) {
+      return Status::InvalidArgument("field 'mutations' must be an array");
+    }
+    for (const JsonValue& item : mutations->items) {
+      if (item.type != JsonValue::Type::kObject) {
+        return Status::InvalidArgument("'mutations' entries must be objects");
+      }
+      const JsonValue* kind = item.Find("kind");
+      if (kind == nullptr || kind->type != JsonValue::Type::kString) {
+        return Status::InvalidArgument(
+            "'mutations' entry missing string field 'kind'");
+      }
+      dyn::Mutation::Kind parsed_kind;
+      if (kind->str == "edge_add") {
+        parsed_kind = dyn::Mutation::Kind::kEdgeAdd;
+      } else if (kind->str == "edge_del") {
+        parsed_kind = dyn::Mutation::Kind::kEdgeDel;
+      } else if (kind->str == "set_opinion") {
+        parsed_kind = dyn::Mutation::Kind::kSetOpinion;
+      } else {
+        return Status::InvalidArgument("unknown mutation kind '" + kind->str +
+                                       "'");
+      }
+      auto mutation = ParseMutationFields(item, parsed_kind);
+      if (!mutation.ok()) return mutation.status();
+      request.mutations.push_back(*mutation);
+    }
+  }
   return request;
 }
 
@@ -487,6 +594,46 @@ std::string RequestToJson(const Request& request) {
       }
       out << "]";
     }
+  }
+  if ((request.op == Request::Op::kEdgeAdd ||
+       request.op == Request::Op::kEdgeDel ||
+       request.op == Request::Op::kSetOpinion) &&
+      !request.mutations.empty()) {
+    // Single-edit sugar: the one mutation's fields ride flat on the
+    // request object (weight always emitted — canonical form).
+    const dyn::Mutation& m = request.mutations.front();
+    if (request.op == Request::Op::kSetOpinion) {
+      out << ", \"candidate\": " << m.u << ", \"node\": " << m.v
+          << ", \"value\": " << m.value;
+    } else {
+      out << ", \"from\": " << m.u << ", \"to\": " << m.v;
+      if (request.op == Request::Op::kEdgeAdd) {
+        out << ", \"weight\": " << m.value;
+      }
+    }
+  }
+  if (request.op == Request::Op::kMutate) {
+    out << ", \"mutations\": [";
+    for (size_t i = 0; i < request.mutations.size(); ++i) {
+      const dyn::Mutation& m = request.mutations[i];
+      out << (i == 0 ? "" : ", ") << "{\"kind\": ";
+      AppendJsonString(&out, dyn::MutationKindName(m.kind));
+      switch (m.kind) {
+        case dyn::Mutation::Kind::kEdgeAdd:
+          out << ", \"from\": " << m.u << ", \"to\": " << m.v
+              << ", \"weight\": " << m.value;
+          break;
+        case dyn::Mutation::Kind::kEdgeDel:
+          out << ", \"from\": " << m.u << ", \"to\": " << m.v;
+          break;
+        case dyn::Mutation::Kind::kSetOpinion:
+          out << ", \"candidate\": " << m.u << ", \"node\": " << m.v
+              << ", \"value\": " << m.value;
+          break;
+      }
+      out << "}";
+    }
+    out << "]";
   }
   if (!request.bundle.empty()) {
     out << ", \"bundle\": ";
@@ -576,6 +723,21 @@ Result<Response> ParseResponse(const std::string& line) {
   response.k_star = static_cast<uint32_t>(k_star);
   response.selector_calls = static_cast<uint32_t>(selector_calls);
   response.winner = static_cast<uint32_t>(winner);
+  struct U64Field {
+    const char* name;
+    uint64_t* into;
+  };
+  for (const U64Field field :
+       {U64Field{"applied", &response.applied},
+        U64Field{"dirty_nodes", &response.dirty_nodes},
+        U64Field{"walks_repaired", &response.walks_repaired},
+        U64Field{"walks_total", &response.walks_total}}) {
+    if (const JsonValue* v = object.Find(field.name); v != nullptr) {
+      auto number = AsU64(*v, field.name);
+      if (!number.ok()) return number.status();
+      *field.into = *number;
+    }
+  }
   if (const JsonValue* achievable = object.Find("achievable");
       achievable != nullptr) {
     if (achievable->type != JsonValue::Type::kBool) {
@@ -830,6 +992,15 @@ std::string Response::ToJson() const {
       first = false;
     }
     out << "}";
+  } else if (op == "edge_add" || op == "edge_del" || op == "set_opinion" ||
+             op == "mutate") {
+    // Deterministic repair accounting (ahead of the volatile millis tail,
+    // so ToStableJson keeps it): how many mutations committed, how many
+    // nodes' in-rows changed, and the dirty-walk share of the sketch.
+    out << ", \"applied\": " << applied
+        << ", \"dirty_nodes\": " << dirty_nodes
+        << ", \"walks_repaired\": " << walks_repaired
+        << ", \"walks_total\": " << walks_total;
   }
   out << ", \"millis\": " << millis;
   if (traced) {

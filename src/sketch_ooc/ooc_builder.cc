@@ -60,19 +60,22 @@ bool AdvanceInBlock(WalkTask task, const GraphBlock& block,
   return false;
 }
 
-}  // namespace
-
-Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
-    const BlockSet& blocks, const opinion::Campaign& campaign,
-    uint32_t horizon, uint64_t theta, uint64_t master_seed,
-    const OocBuildOptions& options, OocBuildStats* stats) {
+/// The shared wave/round scheduler: generates `count` walks whose global
+/// sketch indices are `global_index(0) .. global_index(count - 1)`, calling
+/// `emit(assembled)` once per wave with the wave's walks in list order.
+/// BuildSketchSetOoc instantiates it with the identity mapping over
+/// 0..theta-1; RegenerateWalksOoc with a dirty-walk index list. Both
+/// produce per-walk bytes identical to the in-memory builder's, because
+/// each walk's entire trajectory comes from its own SketchWalkRng stream.
+template <typename IndexFn, typename EmitFn>
+Status RunWalkWaves(const BlockSet& blocks, const opinion::Campaign& campaign,
+                    uint32_t horizon, uint64_t master_seed, uint64_t count,
+                    const OocBuildOptions& options, OocBuildStats* local_stats,
+                    IndexFn global_index, EmitFn emit) {
   const uint32_t n = blocks.num_nodes();
-  VOTEOPT_RETURN_IF_ERROR(campaign.Validate(n));
   const PartitionPlan& plan = blocks.plan();
   const uint32_t num_blocks = plan.num_blocks();
-
-  OocBuildStats local_stats;
-  local_stats.num_blocks = num_blocks;
+  local_stats->num_blocks = num_blocks;
 
   uint32_t threads = options.num_threads == 0
                          ? ThreadPool::DefaultThreadCount()
@@ -81,7 +84,6 @@ Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
-  auto walks = std::make_unique<core::WalkSet>(n);
   const uint64_t wave_walks = std::max<uint64_t>(options.wave_walks, 1);
   const uint64_t stride = static_cast<uint64_t>(horizon) + 1;
 
@@ -90,9 +92,9 @@ Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
   std::vector<std::vector<WalkTask>> queues(num_blocks);
   core::WalkBuffer assembled;
 
-  for (uint64_t wave_begin = 0; wave_begin < theta; wave_begin += wave_walks) {
-    const uint64_t wave_count = std::min(wave_walks, theta - wave_begin);
-    ++local_stats.waves;
+  for (uint64_t wave_begin = 0; wave_begin < count; wave_begin += wave_walks) {
+    const uint64_t wave_count = std::min(wave_walks, count - wave_begin);
+    ++local_stats->waves;
     slab.resize(wave_count * stride);
     lengths.assign(wave_count, 0);
 
@@ -100,7 +102,8 @@ Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
     // block owning that node.
     uint64_t remaining = wave_count;
     for (uint64_t local = 0; local < wave_count; ++local) {
-      Rng rng = core::SketchWalkRng(master_seed, wave_begin + local);
+      Rng rng =
+          core::SketchWalkRng(master_seed, global_index(wave_begin + local));
       const auto start = static_cast<graph::NodeId>(rng.UniformInt(n));
       slab[local * stride] = start;
       lengths[local] = 1;
@@ -118,12 +121,12 @@ Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
     // the same sweep.
     std::vector<WalkTask> active;
     while (remaining > 0) {
-      ++local_stats.rounds;
+      ++local_stats->rounds;
       for (uint32_t b = 0; b < num_blocks; ++b) {
         if (queues[b].empty()) continue;
         auto block = blocks.LoadBlock(b);
         if (!block.ok()) return block.status();
-        ++local_stats.block_loads;
+        ++local_stats->block_loads;
 
         active.swap(queues[b]);
         queues[b].clear();
@@ -167,7 +170,7 @@ Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
         for (size_t c = 0; c < num_chunks; ++c) {
           for (const Moved& m : moved[c]) {
             queues[m.dest_block].push_back(m.task);
-            ++local_stats.boundary_hops;
+            ++local_stats->boundary_hops;
           }
           remaining -= terminated[c];
         }
@@ -188,13 +191,52 @@ Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
       assembled.nodes.insert(assembled.nodes.end(), row, row + lengths[local]);
       assembled.lengths.push_back(lengths[local]);
     }
-    walks->AddWalks(assembled);
+    emit(assembled);
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOoc(
+    const BlockSet& blocks, const opinion::Campaign& campaign,
+    uint32_t horizon, uint64_t theta, uint64_t master_seed,
+    const OocBuildOptions& options, OocBuildStats* stats) {
+  const uint32_t n = blocks.num_nodes();
+  VOTEOPT_RETURN_IF_ERROR(campaign.Validate(n));
+
+  OocBuildStats local_stats;
+  auto walks = std::make_unique<core::WalkSet>(n);
+  VOTEOPT_RETURN_IF_ERROR(RunWalkWaves(
+      blocks, campaign, horizon, master_seed, theta, options, &local_stats,
+      [](uint64_t i) { return i; },
+      [&walks](const core::WalkBuffer& wave) { walks->AddWalks(wave); }));
 
   walks->Finalize(campaign.initial_opinions);
   core::ApplySketchWeights(walks.get(), n, theta);
   if (stats) *stats = local_stats;
   return walks;
+}
+
+Status RegenerateWalksOoc(const BlockSet& blocks,
+                          const opinion::Campaign& campaign, uint32_t horizon,
+                          uint64_t master_seed,
+                          std::span<const uint64_t> walk_indices,
+                          const OocBuildOptions& options,
+                          core::WalkBuffer* out, OocBuildStats* stats) {
+  VOTEOPT_RETURN_IF_ERROR(campaign.Validate(blocks.num_nodes()));
+  OocBuildStats local_stats;
+  VOTEOPT_RETURN_IF_ERROR(RunWalkWaves(
+      blocks, campaign, horizon, master_seed, walk_indices.size(), options,
+      &local_stats, [walk_indices](uint64_t i) { return walk_indices[i]; },
+      [out](const core::WalkBuffer& wave) {
+        out->nodes.insert(out->nodes.end(), wave.nodes.begin(),
+                          wave.nodes.end());
+        out->lengths.insert(out->lengths.end(), wave.lengths.begin(),
+                            wave.lengths.end());
+      }));
+  if (stats) *stats = local_stats;
+  return Status::OK();
 }
 
 Result<std::unique_ptr<core::WalkSet>> BuildSketchSetOocFromGraph(

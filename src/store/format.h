@@ -41,6 +41,9 @@ enum class FileKind : uint32_t {
   /// The manifest tying a set of kGraphBlock files together; written last,
   /// so its presence certifies a complete block set (crash consistency).
   kBlockManifest = 4,
+  /// A dataset's committed mutation journal (dyn/journal.h): the ordered
+  /// edge/opinion edits applied on top of the immutable base bundle.
+  kMutationLog = 5,
 };
 
 /// FNV-1a 64-bit over a byte range (the format's checksum primitive).

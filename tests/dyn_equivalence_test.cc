@@ -1,0 +1,368 @@
+// Determinism ledger entry #10: incremental sketch repair
+// (dyn::SketchRepairer) produces a WalkSet BIT-IDENTICAL to a from-scratch
+// rebuild of the mutated instance — for every mutation schedule (edge
+// additions, deletions, mixed batches, opinion-only batches), every thread
+// count, both the in-memory and the out-of-core regeneration paths, and
+// with seed selections agreeing under all five voting rules. A sketch of
+// unknown provenance (master_seed = 0) refuses repair with a clean Status.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/estimated_greedy.h"
+#include "core/sketch.h"
+#include "dyn/mutation.h"
+#include "dyn/repair.h"
+#include "graph/alias_table.h"
+#include "opinion/fj_model.h"
+#include "store/sketch_store.h"
+#include "test_fixtures.h"
+#include "voting/evaluator.h"
+
+namespace voteopt::dyn {
+namespace {
+
+using test::MakeRandomInstance;
+using test::RandomInstance;
+
+constexpr uint32_t kHorizon = 6;
+constexpr uint64_t kTheta = 4000;
+constexpr uint64_t kSeed = 99;
+
+// Byte-for-byte equality of the full frozen layer plus the dynamic values
+// (the same obligation sketch_ooc_equivalence_test states for ledger #7).
+void ExpectBitIdentical(const core::WalkSet& a, const core::WalkSet& b) {
+  const auto& fa = a.frozen();
+  const auto& fb = b.frozen();
+  ASSERT_EQ(fa.nodes.size(), fb.nodes.size());
+  for (size_t i = 0; i < fa.nodes.size(); ++i) {
+    ASSERT_EQ(fa.nodes[i], fb.nodes[i]) << "node slab byte " << i;
+  }
+  ASSERT_EQ(fa.offsets.size(), fb.offsets.size());
+  for (size_t i = 0; i < fa.offsets.size(); ++i) {
+    ASSERT_EQ(fa.offsets[i], fb.offsets[i]) << "offset " << i;
+  }
+  ASSERT_EQ(fa.starts.size(), fb.starts.size());
+  for (size_t i = 0; i < fa.starts.size(); ++i) {
+    ASSERT_EQ(fa.starts[i], fb.starts[i]) << "start " << i;
+  }
+  ASSERT_EQ(fa.lambda.size(), fb.lambda.size());
+  for (size_t i = 0; i < fa.lambda.size(); ++i) {
+    ASSERT_EQ(fa.lambda[i], fb.lambda[i]) << "lambda " << i;
+    ASSERT_EQ(fa.start_weight[i], fb.start_weight[i]) << "weight " << i;
+  }
+  ASSERT_EQ(fa.index_offsets.size(), fb.index_offsets.size());
+  for (size_t i = 0; i < fa.index_offsets.size(); ++i) {
+    ASSERT_EQ(fa.index_offsets[i], fb.index_offsets[i]);
+  }
+  ASSERT_EQ(fa.index_entries.size(), fb.index_entries.size());
+  for (size_t i = 0; i < fa.index_entries.size(); ++i) {
+    ASSERT_EQ(fa.index_entries[i].walk, fb.index_entries[i].walk);
+    ASSERT_EQ(fa.index_entries[i].pos, fb.index_entries[i].pos);
+  }
+  ASSERT_EQ(a.num_walks(), b.num_walks());
+  for (uint32_t w = 0; w < a.num_walks(); ++w) {
+    ASSERT_EQ(a.Value(w), b.Value(w)) << "value of walk " << w;
+    ASSERT_EQ(a.EffectiveLen(w), b.EffectiveLen(w)) << "len of walk " << w;
+  }
+}
+
+std::unique_ptr<core::WalkSet> BuildFromScratch(
+    const graph::Graph& graph, const opinion::MultiCampaignState& state,
+    uint64_t theta = kTheta, uint64_t seed = kSeed) {
+  opinion::FJModel model(graph);
+  voting::ScoreEvaluator ev(model, state, /*target=*/0, kHorizon,
+                            voting::ScoreSpec::Cumulative());
+  core::SketchBuildOptions options;
+  options.num_threads = 2;
+  return core::BuildSketchSet(ev, theta, seed, options);
+}
+
+store::SketchMeta MetaFor(uint64_t theta = kTheta, uint64_t seed = kSeed) {
+  store::SketchMeta meta;
+  meta.theta = theta;
+  meta.horizon = kHorizon;
+  meta.target = 0;
+  meta.master_seed = seed;
+  return meta;
+}
+
+/// A deterministic (u -> v) pair NOT currently in the graph (edge_add
+/// rejects duplicates).
+std::pair<graph::NodeId, graph::NodeId> AbsentEdge(const graph::Graph& graph,
+                                                   uint32_t salt) {
+  const uint32_t n = graph.num_nodes();
+  for (uint32_t step = 0;; ++step) {
+    const graph::NodeId u = (salt + step * 7) % n;
+    const graph::NodeId v = (salt * 3 + step * 11 + 1) % n;
+    if (u == v) continue;
+    const auto in = graph.InNeighbors(v);
+    if (std::find(in.begin(), in.end(), u) == in.end()) return {u, v};
+  }
+}
+
+/// An existing edge (u -> v) of the graph, by flat in-CSR position.
+std::pair<graph::NodeId, graph::NodeId> EdgeAt(const graph::Graph& graph,
+                                               size_t flat_index) {
+  const auto offsets = graph.InOffsets();
+  const auto sources = graph.InSources();
+  flat_index %= sources.size();
+  graph::NodeId v = 0;
+  while (offsets[v + 1] <= flat_index) ++v;
+  return {sources[flat_index], v};
+}
+
+/// Three representative schedules against `inst`: pure additions, a
+/// mixed add/delete batch, and edits + opinion flips interleaved.
+std::vector<std::vector<Mutation>> Schedules(const RandomInstance& inst) {
+  const uint32_t n = inst.graph.num_nodes();
+  const auto [au1, av1] = AbsentEdge(inst.graph, 13);
+  const auto [au2, av2] = AbsentEdge(inst.graph, 29);
+  const auto [au3, av3] = AbsentEdge(inst.graph, 57);
+  const auto [du1, dv1] = EdgeAt(inst.graph, 7);
+  const auto [du2, dv2] = EdgeAt(inst.graph, 131);
+  std::vector<std::vector<Mutation>> schedules;
+  schedules.push_back({Mutation::EdgeAdd(au1, av1, 2.0)});
+  schedules.push_back({Mutation::EdgeAdd(au2, av2, 1.0),
+                       Mutation::EdgeDel(du1, dv1),
+                       Mutation::EdgeAdd(au3, av3, 0.25)});
+  schedules.push_back({Mutation::EdgeDel(du2, dv2),
+                       Mutation::SetOpinion(0, 5, 0.9),
+                       Mutation::EdgeAdd(du2, dv2, 3.0),
+                       Mutation::SetOpinion(1, n - 3, 0.1)});
+  return schedules;
+}
+
+TEST(DynEquivalenceTest, RepairMatchesRebuildAcrossSchedulesAndThreads) {
+  auto inst = MakeRandomInstance(120, 700, 2, 41);
+  const auto base = BuildFromScratch(inst.graph, inst.state);
+  const store::SketchMeta meta = MetaFor();
+
+  for (size_t s = 0; s < Schedules(inst).size(); ++s) {
+    const auto schedule = Schedules(inst)[s];
+    auto patched = ApplyMutations(inst.graph, inst.state, schedule);
+    ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+    ASSERT_FALSE(patched->dirty_nodes.empty());
+    const auto rebuilt = BuildFromScratch(patched->graph, patched->state);
+
+    for (const uint32_t threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("schedule=" + std::to_string(s) +
+                   " threads=" + std::to_string(threads));
+      RepairOptions options;
+      options.num_threads = threads;
+      auto outcome = SketchRepairer::Repair(
+          *base, patched->graph, patched->state.campaigns[0], meta,
+          patched->dirty_nodes, /*base_alias=*/nullptr, options);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      ExpectBitIdentical(*rebuilt, *outcome->sketch);
+      EXPECT_EQ(outcome->stats.walks_total, kTheta);
+      EXPECT_EQ(outcome->stats.dirty_nodes, patched->dirty_nodes.size());
+      EXPECT_GT(outcome->stats.walks_repaired, 0u);
+      EXPECT_LE(outcome->stats.walks_repaired, kTheta);
+      ASSERT_NE(outcome->alias, nullptr);
+    }
+  }
+}
+
+TEST(DynEquivalenceTest, SequentialBatchesChainRowLevelAliasRebuilds) {
+  auto inst = MakeRandomInstance(90, 500, 2, 17);
+  const auto base = BuildFromScratch(inst.graph, inst.state);
+  const store::SketchMeta meta = MetaFor();
+  const auto base_alias =
+      std::make_shared<const graph::AliasSampler>(inst.graph);
+
+  // Batch 1 repairs against the full base tables; batch 2 must produce the
+  // same bytes whether its tables come from batch 1's row-level rebuild or
+  // from a full construction over the intermediate graph.
+  const auto [du, dv] = EdgeAt(inst.graph, 42);
+  auto patched1 = ApplyMutations(inst.graph, inst.state,
+                                 std::vector<Mutation>{
+                                     Mutation::EdgeAdd(1, 88, 1.5),
+                                     Mutation::EdgeDel(du, dv)});
+  ASSERT_TRUE(patched1.ok()) << patched1.status().ToString();
+  RepairOptions options;
+  options.num_threads = 2;
+  auto outcome1 = SketchRepairer::Repair(
+      *base, patched1->graph, patched1->state.campaigns[0], meta,
+      patched1->dirty_nodes, base_alias.get(), options);
+  ASSERT_TRUE(outcome1.ok()) << outcome1.status().ToString();
+  ExpectBitIdentical(*BuildFromScratch(patched1->graph, patched1->state),
+                     *outcome1->sketch);
+
+  auto patched2 = ApplyMutations(patched1->graph, patched1->state,
+                                 std::vector<Mutation>{
+                                     Mutation::EdgeAdd(88, 1, 1.0),
+                                     Mutation::EdgeAdd(2, 3, 0.5)});
+  ASSERT_TRUE(patched2.ok()) << patched2.status().ToString();
+  auto outcome2 = SketchRepairer::Repair(
+      *outcome1->sketch, patched2->graph, patched2->state.campaigns[0], meta,
+      patched2->dirty_nodes, outcome1->alias.get(), options);
+  ASSERT_TRUE(outcome2.ok()) << outcome2.status().ToString();
+  ExpectBitIdentical(*BuildFromScratch(patched2->graph, patched2->state),
+                     *outcome2->sketch);
+}
+
+TEST(DynEquivalenceTest, OocRepairPathMatchesInMemoryAndRebuild) {
+  auto inst = MakeRandomInstance(100, 600, 2, 61);
+  const auto base = BuildFromScratch(inst.graph, inst.state);
+  const store::SketchMeta meta = MetaFor();
+
+  const auto [du, dv] = EdgeAt(inst.graph, 250);
+  const std::vector<Mutation> schedule = {Mutation::EdgeDel(du, dv),
+                                          Mutation::EdgeAdd(7, 70, 2.0)};
+  auto patched = ApplyMutations(inst.graph, inst.state, schedule);
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  const auto rebuilt = BuildFromScratch(patched->graph, patched->state);
+
+  for (const uint32_t threads : {1u, 2u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    RepairOptions options;
+    options.num_threads = threads;
+    // A tight budget forces several blocks, so dirty walks cross block
+    // boundaries mid-trajectory.
+    options.block_budget_bytes = 2048;
+    options.ooc_scratch_prefix =
+        ::testing::TempDir() + "/dyn_repair_t" + std::to_string(threads);
+    auto outcome = SketchRepairer::Repair(
+        *base, patched->graph, patched->state.campaigns[0], meta,
+        patched->dirty_nodes, /*base_alias=*/nullptr, options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ExpectBitIdentical(*rebuilt, *outcome->sketch);
+    EXPECT_EQ(outcome->alias, nullptr);  // OOC path builds no tables
+  }
+}
+
+TEST(DynEquivalenceTest, OpinionOnlyBatchKeepsGraphAndTrajectories) {
+  auto inst = MakeRandomInstance(60, 300, 2, 71);
+  const auto base = BuildFromScratch(inst.graph, inst.state);
+  const store::SketchMeta meta = MetaFor();
+
+  auto patched = ApplyMutations(inst.graph, inst.state,
+                                std::vector<Mutation>{
+                                    Mutation::SetOpinion(0, 10, 0.25),
+                                    Mutation::SetOpinion(0, 11, 0.75)});
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  EXPECT_TRUE(patched->dirty_nodes.empty());
+  EXPECT_EQ(patched->opinions_set, 2u);
+  // The graph is a byte-identical copy.
+  ASSERT_EQ(patched->graph.num_edges(), inst.graph.num_edges());
+  const auto a = patched->graph.InWeightsRaw();
+  const auto b = inst.graph.InWeightsRaw();
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+
+  // Repair with zero dirty nodes re-finalizes under the new opinions and
+  // still matches the rebuild (trajectory layer untouched, value layer
+  // re-derived).
+  auto outcome = SketchRepairer::Repair(
+      *base, patched->graph, patched->state.campaigns[0], meta,
+      patched->dirty_nodes, /*base_alias=*/nullptr, RepairOptions{});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->stats.walks_repaired, 0u);
+  ExpectBitIdentical(*BuildFromScratch(patched->graph, patched->state),
+                     *outcome->sketch);
+}
+
+TEST(DynEquivalenceTest, SeedSelectionMatchesForAllFiveRules) {
+  auto inst = MakeRandomInstance(80, 450, 3, 53);
+  const auto base = BuildFromScratch(inst.graph, inst.state, /*theta=*/6000);
+  const store::SketchMeta meta = MetaFor(/*theta=*/6000);
+
+  const auto [du, dv] = EdgeAt(inst.graph, 99);
+  auto patched = ApplyMutations(inst.graph, inst.state,
+                                std::vector<Mutation>{
+                                    Mutation::EdgeAdd(4, 40, 1.0),
+                                    Mutation::EdgeDel(du, dv)});
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+
+  opinion::FJModel model(patched->graph);
+  const voting::ScoreSpec specs[] = {
+      voting::ScoreSpec::Cumulative(), voting::ScoreSpec::Plurality(),
+      voting::ScoreSpec::PApproval(2),
+      voting::ScoreSpec::PositionalPApproval({1.0, 0.6, 0.2}),
+      voting::ScoreSpec::Copeland()};
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(voting::ScoreKindName(spec.kind));
+    voting::ScoreEvaluator ev(model, patched->state, 0, kHorizon, spec);
+    // Fresh sketches per rule: greedy selection rewrites the dynamic
+    // values layer in place.
+    auto repaired = SketchRepairer::Repair(
+        *base, patched->graph, patched->state.campaigns[0], meta,
+        patched->dirty_nodes, /*base_alias=*/nullptr, RepairOptions{});
+    ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+    const auto rebuilt =
+        BuildFromScratch(patched->graph, patched->state, /*theta=*/6000);
+
+    core::EstimatedGreedyOptions greedy;
+    greedy.evaluate_exact = false;
+    const auto from_repair =
+        core::EstimatedGreedySelect(ev, 5, repaired->sketch.get(), greedy);
+    const auto from_rebuild =
+        core::EstimatedGreedySelect(ev, 5, rebuilt.get(), greedy);
+    EXPECT_EQ(from_repair.seeds, from_rebuild.seeds);
+    EXPECT_DOUBLE_EQ(from_repair.score, from_rebuild.score);
+  }
+}
+
+TEST(DynEquivalenceTest, UnknownProvenanceSketchRefusesRepair) {
+  auto inst = MakeRandomInstance(40, 200, 2, 5);
+  const auto base = BuildFromScratch(inst.graph, inst.state);
+  store::SketchMeta meta = MetaFor();
+  meta.master_seed = 0;  // serial / unknown provenance
+
+  auto patched = ApplyMutations(inst.graph, inst.state,
+                                std::vector<Mutation>{
+                                    Mutation::EdgeAdd(0, 1, 1.0)});
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  auto outcome = SketchRepairer::Repair(
+      *base, patched->graph, patched->state.campaigns[0], meta,
+      patched->dirty_nodes, nullptr, RepairOptions{});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(DynEquivalenceTest, MutationValidationFailsClean) {
+  auto inst = MakeRandomInstance(30, 150, 2, 9);
+  const auto [du, dv] = EdgeAt(inst.graph, 0);
+
+  // Duplicate edge: (du, dv) already exists.
+  auto dup = ApplyMutations(inst.graph, inst.state,
+                            std::vector<Mutation>{
+                                Mutation::EdgeAdd(du, dv, 1.0)});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), Status::Code::kFailedPrecondition);
+
+  // Deleting an absent edge: self-loops never exist post-normalization.
+  auto missing = ApplyMutations(inst.graph, inst.state,
+                                std::vector<Mutation>{
+                                    Mutation::EdgeDel(dv, dv)});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), Status::Code::kNotFound);
+
+  // Out-of-range endpoints and opinion values.
+  EXPECT_EQ(ApplyMutations(inst.graph, inst.state,
+                           std::vector<Mutation>{
+                               Mutation::EdgeAdd(0, 999, 1.0)})
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ApplyMutations(inst.graph, inst.state,
+                           std::vector<Mutation>{
+                               Mutation::SetOpinion(0, 3, 1.5)})
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ApplyMutations(inst.graph, inst.state,
+                           std::vector<Mutation>{
+                               Mutation::SetOpinion(9, 3, 0.5)})
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace voteopt::dyn

@@ -187,7 +187,11 @@ TEST(AliasSamplerTest, MemoryAccounting) {
   auto g = b.Build();
   ASSERT_TRUE(g.ok());
   AliasSampler sampler(*g);
-  EXPECT_EQ(sampler.memory_bytes(), 2 * (sizeof(double) + sizeof(uint32_t)));
+  // Two table entries (one per edge) plus the owned CSR offsets snapshot
+  // (num_nodes + 1 entries) that decouples incremental copies from the
+  // base sampler's graph lifetime.
+  EXPECT_EQ(sampler.memory_bytes(),
+            2 * (sizeof(double) + sizeof(uint32_t)) + 4 * sizeof(uint64_t));
 }
 
 }  // namespace

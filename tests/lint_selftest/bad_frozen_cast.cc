@@ -1,0 +1,10 @@
+// lint-fixture-path: src/api/bad_frozen_cast.cc
+// Fixture: casting away a published sketch's constness outside src/dyn
+// must fire frozen-mutation exactly once; the read-only reference and
+// the prose mention in this comment (const_cast on a WalkSet) must not.
+#include "core/walk_set.h"
+
+void Poke(const voteopt::core::WalkSet& sketch) {
+  auto* writable = const_cast<voteopt::core::WalkSet*>(&sketch);
+  (void)writable;
+}

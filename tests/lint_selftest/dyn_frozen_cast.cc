@@ -1,0 +1,9 @@
+// lint-fixture-path: src/dyn/dyn_frozen_cast.cc
+// Fixture: the SAME cast under src/dyn/ is the repairer's prerogative
+// (it splices frozen bytes into a NEW WalkSet) — zero findings.
+#include "core/walk_set.h"
+
+void Splice(const voteopt::core::WalkSet& sketch) {
+  auto* writable = const_cast<voteopt::core::WalkSet*>(&sketch);
+  (void)writable;
+}

@@ -317,7 +317,8 @@ TEST(CodecErrorTest, VersionNegotiation) {
   EXPECT_EQ(ParseRequest(R"({"op": "topk", "v": 1, "k": 1})")->v, 1u);
   EXPECT_EQ(ParseRequest(R"({"op": "topk", "v": 2, "k": 1})")->v, 2u);
   EXPECT_EQ(ParseRequest(R"({"op": "topk", "v": 3, "k": 1})")->v, 3u);
-  const auto future = ParseRequest(R"({"op": "topk", "v": 4, "k": 1})");
+  EXPECT_EQ(ParseRequest(R"({"op": "topk", "v": 4, "k": 1})")->v, 4u);
+  const auto future = ParseRequest(R"({"op": "topk", "v": 5, "k": 1})");
   ASSERT_FALSE(future.ok());
   EXPECT_EQ(future.status().code(), Status::Code::kInvalidArgument);
   EXPECT_NE(future.status().message().find("unsupported protocol version"),
@@ -329,7 +330,7 @@ TEST(CodecErrorTest, VersionNegotiation) {
   // verb this server has never heard of gets the version diagnostic (so
   // the client learns what to downgrade to), not "unknown op".
   const auto future_verb =
-      ParseRequest(R"({"op": "somenewverb", "v": 4, "x": 1})");
+      ParseRequest(R"({"op": "somenewverb", "v": 5, "x": 1})");
   ASSERT_FALSE(future_verb.ok());
   EXPECT_NE(
       future_verb.status().message().find("unsupported protocol version"),

@@ -40,6 +40,15 @@ tests and benches may do what they like):
       is the wire protocol, and a stray print interleaves with response
       lines. CLIs under tools/ own their stdout and are exempt.
 
+  frozen-mutation
+      No const_cast that names a WalkSet or its Frozen view outside
+      src/dyn/ — a published sketch's frozen layer is immutable and
+      shared zero-copy across every worker (ledger entry 10): mutating
+      it in place would corrupt concurrent readers AND break the
+      repaired-equals-rebuilt invariant. The dyn layer alone may take
+      frozen bytes apart, and it does so by splicing them into a NEW
+      WalkSet, never by writing through the shared one.
+
 Every rule may also be waived per line with
   // lint: <rule>-ok(<reason>)
 or per file/prefix via the allowlist (tools/lint_allowlist.txt):
@@ -230,12 +239,29 @@ def check_library_cout(path, stripped_lines, raw_lines):
         "return data or use the obs layer", stripped_lines, raw_lines, path)
 
 
+def check_frozen_mutation(path, stripped_lines, raw_lines):
+    if path.startswith("src/dyn/"):
+        return []
+    # const_cast whose target type names the sketch or its frozen view
+    # (core::WalkSet, WalkSet::Frozen, ...). The cast is the only way to
+    # obtain a writable handle on a published sketch, so banning it bans
+    # the mutation.
+    pattern = re.compile(
+        r"\bconst_cast\s*<[^>]*\b(?:WalkSet|Frozen)\b")
+    return grep_rule(
+        "frozen-mutation", pattern,
+        "const_cast on a frozen WalkSet/sketch view outside src/dyn; the "
+        "published sketch is immutable and shared — repair it through "
+        "dyn::SketchRepairer instead", stripped_lines, raw_lines, path)
+
+
 RULES = [
     check_forbidden_rng,
     check_wall_clock,
     check_nondeterministic_iteration,
     check_bare_thread,
     check_library_cout,
+    check_frozen_mutation,
 ]
 
 SOURCE_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
@@ -302,6 +328,8 @@ EXPECTATIONS = {
     "bad_unordered.cc": ("nondeterministic-iteration", 1),
     "bad_thread.cc": ("bare-thread", 1),
     "bad_cout.cc": ("library-cout", 1),
+    "bad_frozen_cast.cc": ("frozen-mutation", 1),
+    "dyn_frozen_cast.cc": (None, 0),
     "annotated_unordered.cc": (None, 0),
     "comment_mentions.cc": (None, 0),
     "clean.cc": (None, 0),
